@@ -1,0 +1,1 @@
+bench/exp_baseline.ml: Api Bytes Engine Harness K L List Locus_nested Tables

@@ -1,0 +1,1 @@
+bench/exp_commit.ml: Api Bytes Engine Harness K L List Option Printf String Tables

@@ -1,0 +1,1 @@
+bench/exp_concurrency.ml: Api Bytes Engine Harness K L List M Printf String Tables

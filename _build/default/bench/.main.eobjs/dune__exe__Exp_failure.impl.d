@@ -1,0 +1,1 @@
+bench/exp_failure.ml: Api Bytes Engine Harness K L List Locus_txn M Printf String Tables

@@ -1,0 +1,1 @@
+bench/exp_io.ml: Api Bytes Engine Harness K L List Locus_disk Locus_txn Option Printf Tables

@@ -1,0 +1,1 @@
+bench/exp_locks.ml: Api Harness K L List Locus_lock M Printf String Tables

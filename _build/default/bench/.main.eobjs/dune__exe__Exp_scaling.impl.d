@@ -1,0 +1,1 @@
+bench/exp_scaling.ml: Api Bytes Engine Fun Harness Int K L List M Printf Prng String Tables

@@ -1,0 +1,1 @@
+bench/exp_walcmp.ml: Bytes Fmt Harness L List Locus_disk Locus_fs Locus_sim Locus_wal Owner Pid Printf Tables Txid

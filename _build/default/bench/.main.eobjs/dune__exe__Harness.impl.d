@@ -1,0 +1,1 @@
+bench/harness.ml: List Locus_core Locus_disk Locus_fs Locus_sim Printf

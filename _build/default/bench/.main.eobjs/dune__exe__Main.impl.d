@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_baseline Exp_commit Exp_concurrency Exp_failure Exp_io Exp_locks Exp_scaling Exp_walcmp Fmt List Micro String Sys

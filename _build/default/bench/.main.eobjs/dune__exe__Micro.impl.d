@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Byte_range Bytes File_id Fmt Hashtbl Instance List Locus_deadlock Locus_lock Locus_sim Measure Owner Pid Range_set Staged String Test Time Toolkit Txid

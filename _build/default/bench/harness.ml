@@ -1,0 +1,45 @@
+(* Shared plumbing for the experiments. *)
+
+module L = Locus_core.Locus
+module Api = L.Api
+module K = L.Kernel
+module M = L.Mode
+
+let fresh ?config ?costs ?(seed = 42) ~n_sites () = L.make ?config ?costs ~seed ~n_sites ()
+
+(* Run [f] as a single user process and drain the engine. *)
+let run_proc sim ~site f =
+  ignore (Api.spawn_process sim.L.cluster ~site f);
+  L.run sim
+
+let stats sim = L.Engine.stats sim.L.engine
+let now sim = L.Engine.now sim.L.engine
+
+(* Total disk I/Os across every volume of the cluster. *)
+let io_counts sim =
+  let reads = ref 0 and writes = ref 0 and logs = ref 0 in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun vol ->
+          reads := !reads + Locus_disk.Volume.io_reads vol;
+          writes := !writes + Locus_disk.Volume.io_writes vol;
+          logs := !logs + Locus_disk.Volume.io_log_writes vol)
+        (Locus_fs.Filestore.volumes (K.filestore k)))
+    (K.kernels sim.L.cluster);
+  (!reads, !writes, !logs)
+
+let reset_io sim =
+  List.iter
+    (fun k ->
+      List.iter Locus_disk.Volume.reset_io_counters
+        (Locus_fs.Filestore.volumes (K.filestore k)))
+    (K.kernels sim.L.cluster)
+
+let cpu_instr sim = L.Stats.get (stats sim) "cpu.instr"
+
+let cpu_instr_site sim s =
+  L.Stats.get (stats sim) (Printf.sprintf "cpu.instr.site%d" s)
+
+let instr_to_ms instr =
+  float_of_int (instr * Locus_sim.Costs.default.Locus_sim.Costs.instr_ns) /. 1_000_000.

@@ -1,0 +1,87 @@
+(* E11 — bechamel microbenchmarks: real CPU cost of the hot in-kernel
+   operations (these complement the virtual-time experiments: they measure
+   this implementation on today's hardware, not the simulated VAX). *)
+
+open Bechamel
+open Toolkit
+
+let lock_table_cycle =
+  Test.make ~name:"lock_table request+release"
+    (Staged.stage (fun () ->
+         let fid = File_id.make ~vid:1 ~ino:1 in
+         let t = Locus_lock.Lock_table.create fid in
+         let pid = Pid.make ~origin:0 ~num:1 in
+         for i = 0 to 19 do
+           let owner =
+             Owner.Transaction (Txid.make ~site:0 ~incarnation:1 ~seq:i)
+           in
+           ignore
+             (Locus_lock.Lock_table.request t ~owner ~pid
+                ~mode:Locus_lock.Mode.Exclusive
+                ~range:(Byte_range.of_pos_len ~pos:(i * 10) ~len:10)
+                ~non_transaction:false);
+           Locus_lock.Lock_table.release_owner t owner
+         done))
+
+let page_differencing =
+  Test.make ~name:"page differencing merge (1 KiB)"
+    (Staged.stage (fun () ->
+         let old_page = Bytes.make 1024 'o' in
+         let shadow = Bytes.make 1024 's' in
+         let merged = Bytes.copy old_page in
+         List.iter
+           (fun (off, len) -> Bytes.blit shadow off merged off len)
+           [ (0, 100); (256, 64); (900, 100) ]))
+
+let range_set_ops =
+  Test.make ~name:"range_set add/remove (20 ranges)"
+    (Staged.stage (fun () ->
+         let s = ref Range_set.empty in
+         for i = 0 to 19 do
+           s := Range_set.add (Byte_range.of_pos_len ~pos:(i * 7) ~len:5) !s
+         done;
+         for i = 0 to 9 do
+           s := Range_set.remove (Byte_range.of_pos_len ~pos:(i * 14) ~len:5) !s
+         done))
+
+let wfg_detection =
+  Test.make ~name:"wait-for graph cycle detection (24 nodes)"
+    (Staged.stage (fun () ->
+         let g = Locus_deadlock.Wfg.create () in
+         let tx n = Owner.Transaction (Txid.make ~site:0 ~incarnation:1 ~seq:n) in
+         for i = 0 to 23 do
+           Locus_deadlock.Wfg.add_edge g ~waiter:(tx i) ~blocker:(tx ((i + 1) mod 24))
+         done;
+         ignore (Locus_deadlock.Wfg.victims g)))
+
+let engine_spawn =
+  Test.make ~name:"engine spawn+sleep (100 fibers)"
+    (Staged.stage (fun () ->
+         let e = Locus_sim.Engine.create () in
+         for _ = 1 to 100 do
+           ignore (Locus_sim.Engine.spawn e (fun () -> Locus_sim.Engine.sleep 5))
+         done;
+         Locus_sim.Engine.run e))
+
+let run () =
+  let tests =
+    [ lock_table_cycle; page_differencing; range_set_ops; wfg_detection; engine_spawn ]
+  in
+  Fmt.pr "@.E11: microbenchmarks (real CPU, this machine)@.";
+  Fmt.pr "%s@." (String.make 72 '-');
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:(Some 300) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let results = Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                                   ~predictors:[| Measure.run |]) Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Fmt.pr "%-44s %10.0f ns/run@." name est
+          | _ -> Fmt.pr "%-44s (no estimate)@." name)
+        results)
+    tests

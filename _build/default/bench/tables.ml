@@ -1,0 +1,31 @@
+(* Lightweight fixed-width table rendering for the experiment output. *)
+
+let rule width = String.make width '-'
+
+let print_table ~title ~columns rows =
+  let widths =
+    List.mapi
+      (fun i c ->
+        List.fold_left (fun w r -> max w (String.length (List.nth r i)))
+          (String.length c) rows)
+      columns
+  in
+  let total = List.fold_left ( + ) 0 widths + (3 * List.length widths) + 1 in
+  Fmt.pr "@.%s@." title;
+  Fmt.pr "%s@." (rule total);
+  let print_row cells =
+    List.iteri
+      (fun i cell -> Fmt.pr "| %-*s " (List.nth widths i) cell)
+      cells;
+    Fmt.pr "|@."
+  in
+  print_row columns;
+  Fmt.pr "%s@." (rule total);
+  List.iter print_row rows;
+  Fmt.pr "%s@." (rule total)
+
+let paper note = Fmt.pr "paper: %s@." note
+
+let ms us = Printf.sprintf "%.1f ms" (float_of_int us /. 1000.)
+let msf f = Printf.sprintf "%.1f ms" f
+let i = string_of_int

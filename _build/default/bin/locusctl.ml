@@ -1,0 +1,403 @@
+(* locusctl — drive scripted scenarios on a simulated Locus cluster from
+   the command line.
+
+     locusctl bank --sites 4 --tellers 8 --transfers 6
+     locusctl chaos --orders 20 --crash-at 4.0
+     locusctl deadlock --cycle 5
+     locusctl stats --sites 3
+
+   Every run is deterministic for a given --seed. *)
+
+module L = Locus_core.Locus
+module Api = L.Api
+module K = L.Kernel
+module M = L.Mode
+open Cmdliner
+
+let print_summary sim =
+  let stats = L.Engine.stats sim.L.engine in
+  Fmt.pr "@.--- run summary ---@.";
+  Fmt.pr "virtual time: %.2f s@."
+    (float_of_int (L.Engine.now sim.L.engine) /. 1_000_000.);
+  List.iter
+    (fun key ->
+      let v = L.Stats.get stats key in
+      if v > 0 then Fmt.pr "%-24s %d@." key v)
+    [
+      "txn.begun"; "txn.committed"; "txn.aborted"; "2pc.prepares";
+      "lock.requests"; "lock.waits"; "lock.implicit"; "deadlock.scans";
+      "deadlock.victims"; "proc.forks"; "proc.migrations"; "merge.retries";
+      "disk.io.read"; "disk.io.write"; "disk.io.log"; "net.msg"; "cache.hit";
+      "cache.miss"; "recovery.replayed_commit"; "recovery.replayed_abort";
+    ]
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed.")
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"CATS"
+        ~doc:
+          "Enable execution tracing and print the tail of the trace. CATS is \
+           'all' or a comma list of net,disk,lock,txn,proc,fs,recovery.")
+
+let setup_trace sim = function
+  | None -> ()
+  | Some spec ->
+    let categories =
+      if spec = "all" then None
+      else
+        Some
+          (List.filter_map Trace.category_of_string
+             (String.split_on_char ',' spec))
+    in
+    (match categories with
+    | None -> Trace.enable (L.Engine.trace sim.L.engine)
+    | Some cats -> Trace.enable ~categories:cats (L.Engine.trace sim.L.engine))
+
+let dump_trace sim = function
+  | None -> ()
+  | Some _ ->
+    Fmt.pr "@.--- trace (most recent %d events) ---@."
+      (List.length (Trace.events (L.Engine.trace sim.L.engine)));
+    Fmt.pr "%a" Trace.dump (L.Engine.trace sim.L.engine)
+
+let sites_arg =
+  Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N" ~doc:"Number of sites.")
+
+(* {1 bank} *)
+
+let bank seed sites tellers transfers =
+  let n_accounts = 32 and rec_len = 16 and initial = 1000 in
+  let sim = L.make ~seed ~n_sites:sites () in
+  let cl = sim.L.cluster in
+  let read_bal env c a =
+    int_of_string
+      (String.trim (Bytes.to_string (Api.pread env c ~pos:(a * rec_len) ~len:rec_len)))
+  in
+  let write_bal env c a v =
+    Api.pwrite env c ~pos:(a * rec_len)
+      (Bytes.of_string (Printf.sprintf "%-*d" rec_len v))
+  in
+  let total = ref 0 in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"setup" (fun env ->
+         let c = Api.creat env "/bank/accounts" ~vid:1 in
+         for a = 0 to n_accounts - 1 do
+           write_bal env c a initial
+         done;
+         Api.close env c;
+         let teller i =
+           Api.fork env ~site:(i mod sites) ~name:(Printf.sprintf "teller%d" i)
+             (fun tenv ->
+               let prng = Prng.create ~seed:(seed + i) in
+               let c = Api.open_file tenv "/bank/accounts" in
+               for _ = 1 to transfers do
+                 let from_a = Prng.int prng n_accounts in
+                 let to_a = Prng.int prng n_accounts in
+                 let amount = 1 + Prng.int prng 200 in
+                 let rec attempt tries =
+                   let ok = ref false in
+                   let w =
+                     Api.fork tenv ~name:"xfer" (fun env ->
+                         Api.begin_trans env;
+                         Api.seek env c ~pos:(from_a * rec_len);
+                         (match Api.lock env c ~len:rec_len ~mode:M.Exclusive () with
+                         | Api.Granted -> ()
+                         | Api.Conflict _ -> ());
+                         if to_a <> from_a then begin
+                           Api.seek env c ~pos:(to_a * rec_len);
+                           match Api.lock env c ~len:rec_len ~mode:M.Exclusive () with
+                           | Api.Granted -> ()
+                           | Api.Conflict _ -> ()
+                         end;
+                         let src = read_bal env c from_a in
+                         if src >= amount && to_a <> from_a then begin
+                           write_bal env c from_a (src - amount);
+                           write_bal env c to_a (read_bal env c to_a + amount)
+                         end;
+                         match Api.end_trans env with
+                         | K.Committed -> ok := true
+                         | K.Aborted -> ())
+                   in
+                   Api.wait_pid tenv w;
+                   if (not !ok) && tries < 5 then attempt (tries + 1)
+                 in
+                 attempt 0
+               done;
+               Api.close tenv c)
+         in
+         let pids = List.init tellers teller in
+         List.iter (Api.wait_pid env) pids;
+         let c = Api.open_file env "/bank/accounts" in
+         for a = 0 to n_accounts - 1 do
+           total := !total + read_bal env c a
+         done;
+         Api.close env c));
+  L.run sim;
+  Fmt.pr "final total: %d (expected %d) -> %s@." !total (n_accounts * initial)
+    (if !total = n_accounts * initial then "CONSERVED" else "VIOLATION");
+  print_summary sim;
+  if !total <> n_accounts * initial then exit 1
+
+let bank_cmd =
+  let tellers =
+    Arg.(value & opt int 8 & info [ "tellers" ] ~docv:"N" ~doc:"Teller processes.")
+  in
+  let transfers =
+    Arg.(value & opt int 6 & info [ "transfers" ] ~docv:"N" ~doc:"Transfers per teller.")
+  in
+  Cmd.v
+    (Cmd.info "bank" ~doc:"Concurrent bank transfers with record locking.")
+    Term.(const bank $ seed_arg $ sites_arg $ tellers $ transfers)
+
+(* {1 chaos} *)
+
+let chaos seed sites orders crash_at =
+  let sim = L.make ~seed ~n_sites:(max sites 3) () in
+  let cl = sim.L.cluster in
+  let placed = ref 0 and failed = ref 0 in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"chaos" (fun _ ->
+         Engine.sleep (int_of_float (crash_at *. 1_000_000.));
+         Fmt.pr "!! crashing site 1@.";
+         K.crash_site cl 1;
+         Engine.sleep 2_000_000;
+         Fmt.pr "!! rebooting site 1@.";
+         K.restart_site cl 1));
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"shop" (fun env ->
+         let sc = Api.creat env "/stock" ~vid:1 in
+         Api.pwrite env sc ~pos:0 (Bytes.of_string (Printf.sprintf "%-16d" 10_000));
+         Api.close env sc;
+         let oc = Api.creat env "/orders" ~vid:2 in
+         Api.close env oc;
+         for n = 1 to orders do
+           let ok = ref false in
+           let runner =
+             Api.fork env ~name:"order" (fun oenv ->
+                 Api.begin_trans oenv;
+                 let sc = Api.open_file oenv "/stock" in
+                 Api.seek oenv sc ~pos:0;
+                 (match Api.lock oenv sc ~len:16 ~mode:M.Exclusive () with
+                 | Api.Granted -> ()
+                 | Api.Conflict _ -> Api.fail oenv "lock");
+                 let have =
+                   int_of_string
+                     (String.trim (Bytes.to_string (Api.pread oenv sc ~pos:0 ~len:16)))
+                 in
+                 Api.pwrite oenv sc ~pos:0
+                   (Bytes.of_string (Printf.sprintf "%-16d" (have - 5)));
+                 let oc = Api.open_file oenv "/orders" in
+                 Api.set_append oenv oc true;
+                 (match Api.lock oenv oc ~len:32 ~mode:M.Exclusive () with
+                 | Api.Granted -> ()
+                 | Api.Conflict _ -> Api.fail oenv "append lock");
+                 Api.write_string oenv oc
+                   (Printf.sprintf "%-32s" (Printf.sprintf "order=%d qty=5" n));
+                 match Api.end_trans oenv with
+                 | K.Committed -> ok := true
+                 | K.Aborted -> ())
+           in
+           Api.wait_pid env runner;
+           if !ok then incr placed else incr failed;
+           Engine.sleep 300_000
+         done));
+  L.run sim;
+  let stock =
+    match K.lookup cl "/stock" with
+    | Some fid ->
+      int_of_string (String.trim (K.read_committed_oracle cl fid))
+    | None -> -1
+  in
+  let orders_bytes =
+    match K.lookup cl "/orders" with
+    | Some fid -> String.length (K.read_committed_oracle cl fid)
+    | None -> 0
+  in
+  Fmt.pr "placed=%d failed=%d stock=%d orders=%d@." !placed !failed stock
+    (orders_bytes / 32);
+  Fmt.pr "atomicity: %s@."
+    (if 10_000 - stock = 5 * (orders_bytes / 32) then "PRESERVED" else "VIOLATED");
+  print_summary sim;
+  if 10_000 - stock <> 5 * (orders_bytes / 32) then exit 1
+
+let chaos_cmd =
+  let orders =
+    Arg.(value & opt int 15 & info [ "orders" ] ~docv:"N" ~doc:"Orders to place.")
+  in
+  let crash_at =
+    Arg.(
+      value & opt float 2.5
+      & info [ "crash-at" ] ~docv:"SECONDS" ~doc:"When to crash site 1 (virtual).")
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc:"Multi-site transactions with a mid-run crash+reboot.")
+    Term.(const chaos $ seed_arg $ sites_arg $ orders $ crash_at)
+
+(* {1 deadlock} *)
+
+let deadlock seed sites cycle trace =
+  let sim = L.make ~seed ~n_sites:sites () in
+  setup_trace sim trace;
+  ignore
+    (Api.spawn_process sim.L.cluster ~site:0 ~name:"main" (fun env ->
+         let c = Api.creat env "/r" ~vid:1 in
+         Api.write_string env c (String.make (64 * cycle) 'i');
+         Api.commit_file env c;
+         let worker i =
+           Api.fork env ~name:(Printf.sprintf "d%d" i) (fun w ->
+               Api.begin_trans w;
+               Api.seek w c ~pos:(i * 64);
+               (match Api.lock w c ~len:64 ~mode:M.Exclusive () with
+               | Api.Granted -> ()
+               | Api.Conflict _ -> ());
+               Engine.sleep 30_000;
+               Api.seek w c ~pos:(64 * ((i + 1) mod cycle));
+               (match Api.lock w c ~len:64 ~mode:M.Exclusive () with
+               | Api.Granted -> ()
+               | Api.Conflict _ -> ());
+               ignore (Api.end_trans w))
+         in
+         let pids = List.init cycle worker in
+         List.iter (Api.wait_pid env) pids));
+  L.run sim;
+  print_summary sim;
+  Fmt.pr "@.--- kernel state (§3.1 interface) ---@.";
+  Fmt.pr "%a" Locus_core.Kinfo.pp (Locus_core.Kinfo.snapshot sim.L.cluster);
+  dump_trace sim trace
+
+let deadlock_cmd =
+  let cycle =
+    Arg.(value & opt int 4 & info [ "cycle" ] ~docv:"N" ~doc:"Deadlock cycle size.")
+  in
+  Cmd.v
+    (Cmd.info "deadlock" ~doc:"Induce an N-cycle deadlock and watch the resolver.")
+    Term.(const deadlock $ seed_arg $ sites_arg $ cycle $ trace_arg)
+
+(* {1 dc: the DebitCredit workload} *)
+
+let dc seed sites terminals txns =
+  let sites = max sites 2 in
+  let sim = L.make ~seed ~n_sites:sites () in
+  let cl = sim.L.cluster in
+  let rec_len = 16 in
+  let n_accounts = 64 and n_tellers = 8 and n_branches = 2 in
+  let committed = ref 0 and t_start = ref 0 and t_end = ref 0 in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"setup" (fun env ->
+         let mk path vid n =
+           let c = Api.creat env path ~vid in
+           for i = 0 to n - 1 do
+             Api.pwrite env c ~pos:(i * rec_len)
+               (Bytes.of_string (Printf.sprintf "%-*d" rec_len 0))
+           done;
+           Api.close env c
+         in
+         mk "/dc/accounts" 1 n_accounts;
+         mk "/dc/tellers" (min 2 (sites - 1)) n_tellers;
+         mk "/dc/branches" 0 n_branches;
+         let h = Api.creat env "/dc/history" ~vid:0 in
+         Api.close env h;
+         let e = K.engine cl in
+         t_start := Engine.now e;
+         let terminal t =
+           Api.fork env ~site:(t mod sites) ~name:(Printf.sprintf "term%d" t)
+             (fun tenv ->
+               let prng = Prng.create ~seed:(seed + t) in
+               let chans =
+                 List.map (Api.open_file tenv)
+                   [ "/dc/accounts"; "/dc/tellers"; "/dc/branches"; "/dc/history" ]
+               in
+               match chans with
+               | [ ac; tc; bc; hc ] ->
+                 for _ = 1 to txns do
+                   let acct = Prng.int prng n_accounts in
+                   let teller = Prng.int prng n_tellers in
+                   let branch = teller mod n_branches in
+                   let delta = Prng.int_in prng ~lo:(-99) ~hi:99 in
+                   let w =
+                     Api.fork tenv ~name:"dc" (fun w ->
+                         Api.begin_trans w;
+                         let upd c i =
+                           Api.seek w c ~pos:(i * rec_len);
+                           (match Api.lock w c ~len:rec_len ~mode:M.Exclusive () with
+                           | Api.Granted -> ()
+                           | Api.Conflict _ -> ());
+                           let v =
+                             int_of_string
+                               (String.trim
+                                  (Bytes.to_string
+                                     (Api.pread w c ~pos:(i * rec_len) ~len:rec_len)))
+                           in
+                           Api.pwrite w c ~pos:(i * rec_len)
+                             (Bytes.of_string (Printf.sprintf "%-*d" rec_len (v + delta)))
+                         in
+                         upd ac acct;
+                         upd tc teller;
+                         upd bc branch;
+                         Api.set_append w hc true;
+                         (match Api.lock w hc ~len:32 ~mode:M.Exclusive () with
+                         | Api.Granted -> ()
+                         | Api.Conflict _ -> ());
+                         Api.write_string w hc (Printf.sprintf "%-32d" delta);
+                         match Api.end_trans w with
+                         | K.Committed -> incr committed
+                         | K.Aborted -> ())
+                   in
+                   Api.wait_pid tenv w
+                 done;
+                 List.iter (Api.close tenv) chans
+               | _ -> assert false)
+         in
+         let pids = List.init terminals terminal in
+         List.iter (Api.wait_pid env) pids;
+         t_end := Engine.now e));
+  L.run sim;
+  let secs = float_of_int (!t_end - !t_start) /. 1_000_000. in
+  Fmt.pr "DebitCredit: %d committed in %.2f virtual seconds = %.1f tps@."
+    !committed secs
+    (float_of_int !committed /. secs);
+  print_summary sim
+
+let dc_cmd =
+  let terminals =
+    Arg.(value & opt int 8 & info [ "terminals" ] ~docv:"N" ~doc:"Terminals.")
+  in
+  let txns =
+    Arg.(value & opt int 5 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per terminal.")
+  in
+  Cmd.v
+    (Cmd.info "dc" ~doc:"DebitCredit (TPC-A style) throughput run.")
+    Term.(const dc $ seed_arg $ sites_arg $ terminals $ txns)
+
+(* {1 stats} *)
+
+let cluster_info _seed sites =
+  let sim = L.make ~n_sites:sites () in
+  let cl = sim.L.cluster in
+  Fmt.pr "cluster: %d sites@." sites;
+  List.iter
+    (fun k ->
+      let vols = Locus_fs.Filestore.volumes (K.filestore k) in
+      Fmt.pr "site %d: volumes [%s]@." (K.site k)
+        (String.concat ", "
+           (List.map (fun v -> string_of_int (Locus_disk.Volume.vid v)) vols)))
+    (K.kernels cl);
+  let c = Costs.default in
+  Fmt.pr "cost model: %d ns/instr, %d us one-way msg, %d us disk I/O@."
+    c.Costs.instr_ns c.Costs.msg_latency_us c.Costs.disk_latency_us
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "info" ~doc:"Describe the simulated cluster and cost model.")
+    Term.(const cluster_info $ seed_arg $ sites_arg)
+
+let () =
+  let doc = "Scenario driver for the Locus transaction facility reproduction." in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "locusctl" ~version:"1.0" ~doc)
+          [ bank_cmd; chaos_cmd; deadlock_cmd; dc_cmd; stats_cmd ]))

@@ -1,0 +1,1 @@
+examples/banking.ml: Bytes Engine Fmt List Locus_core Printf Prng Stats String

@@ -1,0 +1,1 @@
+examples/debit_credit.ml: Bytes Fmt List Locus_core Option Printf Prng String

@@ -1,0 +1,1 @@
+examples/debit_credit.mli:

@@ -1,0 +1,1 @@
+examples/inventory.ml: Bytes Engine Fmt Locus_core Printf String

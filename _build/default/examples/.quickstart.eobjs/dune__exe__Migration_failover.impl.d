@@ -1,0 +1,1 @@
+examples/migration_failover.ml: Bytes Engine Fmt Locus_core Option Printf String

@@ -1,0 +1,1 @@
+examples/minidb.ml: Bytes Fmt Locus_core Option Printf String

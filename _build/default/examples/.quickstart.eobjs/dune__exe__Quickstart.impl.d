@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Fmt Locus_core Option

@@ -1,0 +1,136 @@
+(* Inventory: multi-site transactions, append-mode locking, and crash
+   recovery.
+
+   /shop/stock (volume 1, site 1) holds item quantities; /shop/orders
+   (volume 2, site 2) is a shared log extended with the atomic
+   lock-and-extend of §3.2. Each order transaction spans both storage
+   sites: the top-level process at site 0 forks a member at site 1 to
+   decrement stock while it appends the order record itself — so commit is
+   a genuine two-participant two-phase commit.
+
+   Halfway through, site 1 (the stock volume) crashes and reboots: orders
+   in flight abort atomically — no order record without its stock
+   decrement, and vice versa. Run with:
+
+     dune exec examples/inventory.exe *)
+
+module L = Locus_core.Locus
+module Api = L.Api
+
+let item_len = 16
+let n_items = 8
+let order_len = 32
+
+let read_qty env c item =
+  int_of_string
+    (String.trim (Bytes.to_string (Api.pread env c ~pos:(item * item_len) ~len:item_len)))
+
+let write_qty env c item v =
+  Api.pwrite env c ~pos:(item * item_len)
+    (Bytes.of_string (Printf.sprintf "%-*d" item_len v))
+
+(* Run inside a dedicated child process: an externally aborted transaction
+   (site crash, deadlock) takes its processes with it (§4.3), and the shop
+   must survive that. *)
+let place_order env ~order_no ~item ~qty =
+  Api.begin_trans env;
+  let ok = ref false in
+  (* Member process at the stock site decrements the quantity. *)
+  let worker =
+    Api.fork env ~site:1 ~name:"stock-worker" (fun cenv ->
+        let sc = Api.open_file cenv "/shop/stock" in
+        Api.seek cenv sc ~pos:(item * item_len);
+        (match Api.lock cenv sc ~len:item_len ~mode:L.Mode.Exclusive () with
+        | Api.Granted -> ()
+        | Api.Conflict _ -> Api.fail cenv "stock lock denied");
+        let have = read_qty cenv sc item in
+        if have >= qty then begin
+          write_qty cenv sc item (have - qty);
+          ok := true
+        end;
+        Api.close cenv sc)
+  in
+  Api.wait_pid env worker;
+  if !ok then begin
+    (* Append the order record under an EOF-relative lock: no two orders
+       can claim the same log slot (§3.2's livelock-free log append). *)
+    let oc = Api.open_file env "/shop/orders" in
+    Api.set_append env oc true;
+    (match Api.lock env oc ~len:order_len ~mode:L.Mode.Exclusive () with
+    | Api.Granted -> ()
+    | Api.Conflict _ -> Api.fail env "order log lock denied");
+    Api.write_string env oc
+      (Printf.sprintf "%-*s" order_len
+         (Printf.sprintf "order=%d item=%d qty=%d" order_no item qty));
+    Api.close env oc;
+    match Api.end_trans env with
+    | L.Kernel.Committed -> true
+    | L.Kernel.Aborted -> false
+  end
+  else begin
+    Api.abort_trans env;
+    false
+  end
+
+let () =
+  let placed = ref 0 and failed = ref 0 in
+  let total_stock_after = ref 0 and orders_bytes = ref 0 in
+  let sim =
+    L.simulate ~n_sites:3 (fun cl ->
+        (* Chaos: crash the stock site at t=4s (virtual), reboot at 6s. *)
+        ignore
+          (Api.spawn_process cl ~site:0 ~name:"chaos" (fun _env ->
+               Engine.sleep 4_000_000;
+               Fmt.pr "!! site 1 crashes@.";
+               L.Kernel.crash_site cl 1;
+               Engine.sleep 2_000_000;
+               Fmt.pr "!! site 1 reboots (recovery runs)@.";
+               L.Kernel.restart_site cl 1));
+        ignore
+          (Api.spawn_process cl ~site:0 ~name:"shop" (fun env ->
+               let sc = Api.creat env "/shop/stock" ~vid:1 in
+               for i = 0 to n_items - 1 do
+                 write_qty env sc i 100
+               done;
+               Api.close env sc;
+               let oc = Api.creat env "/shop/orders" ~vid:2 in
+               Api.close env oc;
+               for order_no = 1 to 12 do
+                 let outcome = ref None in
+                 let runner =
+                   Api.fork env ~name:"order-runner" (fun oenv ->
+                       outcome :=
+                         Some
+                           (place_order oenv ~order_no
+                              ~item:(order_no mod n_items) ~qty:5))
+                 in
+                 Api.wait_pid env runner;
+                 (match !outcome with
+                 | Some true -> incr placed
+                 | Some false ->
+                   incr failed;
+                   Fmt.pr "order %d failed (aborted cleanly)@." order_no
+                 | None ->
+                   incr failed;
+                   Fmt.pr "order %d failed (processes lost)@." order_no);
+                 Engine.sleep 400_000
+               done;
+               let sc = Api.open_file env "/shop/stock" in
+               total_stock_after := 0;
+               for i = 0 to n_items - 1 do
+                 total_stock_after := !total_stock_after + read_qty env sc i
+               done;
+               Api.close env sc;
+               let oc = Api.open_file env "/shop/orders" in
+               orders_bytes := Api.size env oc;
+               Api.close env oc)))
+  in
+  ignore sim;
+  let orders_logged = !orders_bytes / order_len in
+  Fmt.pr "placed=%d failed=%d@." !placed !failed;
+  Fmt.pr "stock consumed: %d units; orders logged: %d (x5 units = %d)@."
+    ((n_items * 100) - !total_stock_after)
+    orders_logged (orders_logged * 5);
+  (* Atomicity across the crash: every logged order has its stock
+     decrement and vice versa. *)
+  assert ((n_items * 100) - !total_stock_after = 5 * orders_logged)

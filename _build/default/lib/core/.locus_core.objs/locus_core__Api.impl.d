@@ -1,0 +1,1 @@
+lib/core/api.ml: Byte_range Bytes Costs Engine File_id Fmt Fun Hashtbl Kernel List Locus_proc Mode Msg Option Owner Pid Printf Stats String Transport Txn_state

@@ -1,0 +1,1 @@
+lib/core/api.mli: Bytes Engine Kernel Mode Owner Pid Site

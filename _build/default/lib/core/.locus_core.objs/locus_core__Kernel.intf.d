@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Coord_log Engine File_id Filestore Fmt Lock_table Locus_deadlock Locus_proc Log_record Msg Owner Participant Pid Site Transport Txid Txn_state

@@ -1,0 +1,1 @@
+lib/core/kinfo.ml: Byte_range File_id Filestore Fmt Kernel List Lock_table Locus_disk Locus_proc Mode Owner Participant Pid Site Transport Txid Txn_state

@@ -1,0 +1,1 @@
+lib/core/kinfo.mli: Byte_range File_id Fmt Kernel Mode Owner Pid Site Txid

@@ -1,0 +1,1 @@
+lib/core/locus.ml: Api Kernel Locus_lock Locus_sim Msg

@@ -1,0 +1,1 @@
+lib/core/locus.mli: Api Kernel Locus_lock Locus_sim Msg

@@ -1,0 +1,1 @@
+lib/core/msg.ml: Byte_range Bytes File_id Fmt List Log_record Mode Owner Pid Txid

@@ -1,0 +1,1 @@
+lib/core/msg.mli: Byte_range Bytes File_id Fmt Log_record Mode Owner Pid Txid

@@ -1,0 +1,1471 @@
+module Wfg = Locus_deadlock.Wfg
+module Process = Locus_proc.Process
+module Proc_table = Locus_proc.Proc_table
+
+type outcome = Committed | Aborted
+
+let pp_outcome ppf = function
+  | Committed -> Fmt.string ppf "committed"
+  | Aborted -> Fmt.string ppf "aborted"
+
+type ready = Members_done | Abort_requested
+
+module Config = struct
+  type t = {
+    n_sites : int;
+    volumes : (int * Site.t list) list;
+    page_size : int;
+    cache_pages : int;
+    lock_cache : bool;
+    prefetch : bool;
+    lock_delegation : bool;
+    delegation_threshold : int;
+    prepare_log_per_file : bool;
+    two_write_log : bool;
+    replica_sync : bool;
+    async_phase2 : bool;
+    deadlock_patience_us : int;
+    deadlock_policy : Locus_deadlock.Detector.policy;
+    rpc_timeout_us : int;
+  }
+
+  let default ~n_sites =
+    {
+      n_sites;
+      volumes = List.init n_sites (fun i -> (i, [ i ]));
+      page_size = 1024;
+      cache_pages = 128;
+      lock_cache = true;
+      prefetch = false;
+      lock_delegation = false;
+      delegation_threshold = 3;
+      prepare_log_per_file = false;
+      two_write_log = false;
+      replica_sync = true;
+      async_phase2 = true;
+      deadlock_patience_us = 3_000_000;
+      deadlock_policy = Locus_deadlock.Detector.Youngest_transaction;
+      rpc_timeout_us = 30_000_000;
+    }
+end
+
+(* Failure-injection hooks: invoked synchronously at the protocol points
+   recovery cares about, so tests can crash sites at exactly the right
+   instant. *)
+type hooks = {
+  mutable on_coord_log_written : Txid.t -> unit;
+  mutable on_participant_prepared : Site.t -> Txid.t -> bool -> unit;
+  mutable on_decided : Txid.t -> Log_record.status -> unit;
+}
+
+let no_hooks () =
+  {
+    on_coord_log_written = (fun _ -> ());
+    on_participant_prepared = (fun _ _ _ -> ());
+    on_decided = (fun _ _ -> ());
+  }
+
+type t = {
+  site : Site.t;
+  engine : Engine.t;
+  mutable alive : bool;
+  mutable incarnation : int;
+  mutable txseq : int;
+  mutable coord_ready : bool;  (* coordinator-log recovery pass done *)
+  cache : Cache.t;
+  store : Filestore.t;
+  locks : (File_id.t, Lock_table.t) Hashtbl.t;
+  procs : Proc_table.t;
+  txns : Txn_state.t;
+  participant : Participant.t;
+  mutable coord : Coord_log.t;
+  fibers : (Pid.t, Engine.Fiber.handle) Hashtbl.t;
+  end_waits : (Txid.t, ready Engine.Ivar.t) Hashtbl.t;
+  (* §5.2 lock-control migration state. *)
+  delegations : (File_id.t, Site.t) Hashtbl.t;  (* we are home; authority is there *)
+  hosted : (File_id.t, Site.t) Hashtbl.t;  (* we hold authority; home is there *)
+  lock_origins : (File_id.t, Site.t * int) Hashtbl.t;  (* consecutive remote requesters *)
+  cl : cluster;
+}
+
+and cluster = {
+  cfg : Config.t;
+  c_engine : Engine.t;
+  net : (Msg.t, Msg.reply) Transport.t;
+  mutable ks : t array;
+  namespace : (string, File_id.t) Hashtbl.t;
+  paths : (File_id.t, string) Hashtbl.t;
+  vol_hosts : (int, Site.t list) Hashtbl.t;
+  primaries : (int, Site.t) Hashtbl.t;
+  locations : (Pid.t, Site.t) Hashtbl.t;
+  exit_ivars : (Pid.t, unit Engine.Ivar.t) Hashtbl.t;
+  lock_authority : (File_id.t, Site.t) Hashtbl.t;  (* client hints *)
+  mutable root_dir : File_id.t option;  (* lazily created "/" directory file *)
+  txn_tops : (Txid.t, Pid.t) Hashtbl.t;
+  txn_members : (Txid.t, (Pid.t * Site.t) list ref) Hashtbl.t;
+  hooks : hooks;
+}
+
+(* Marshalled migration payload (§4.1): the process record plus, for a
+   top-level process, its transaction record, which travels with it. *)
+type migration = { m_proc : Process.t; m_txn : Txn_state.txn option }
+
+let engine cl = cl.c_engine
+let config cl = cl.cfg
+let hooks cl = cl.hooks
+let transport cl = cl.net
+let kernel cl s = cl.ks.(s)
+let kernels cl = Array.to_list cl.ks
+let site k = k.site
+let cluster_of k = k.cl
+let procs k = k.procs
+let txns k = k.txns
+let filestore k = k.store
+let participant k = k.participant
+let coord_log k = k.coord
+let costs k = Engine.costs k.engine
+let stats k = Engine.stats k.engine
+
+let tr k cat fmt =
+  Trace.emitf (Engine.trace k.engine) ~at:(Engine.now k.engine) ~cat ~site:k.site fmt
+
+let alloc_txid k =
+  k.txseq <- k.txseq + 1;
+  Txid.make ~site:k.site ~incarnation:k.incarnation ~seq:k.txseq
+
+let lock_table k fid = Hashtbl.find_opt k.locks fid
+
+let ensure_table k fid =
+  match Hashtbl.find_opt k.locks fid with
+  | Some t -> t
+  | None ->
+    let t = Lock_table.create fid in
+    Hashtbl.replace k.locks fid t;
+    t
+
+let lock_tables cl =
+  Array.to_list cl.ks
+  |> List.concat_map (fun k ->
+         if k.alive then Hashtbl.fold (fun _ t acc -> t :: acc) k.locks [] else [])
+
+let register_fiber k pid h = Hashtbl.replace k.fibers pid h
+let fiber_of k pid = Hashtbl.find_opt k.fibers pid
+let forget_fiber k pid = Hashtbl.remove k.fibers pid
+
+let note_location cl pid s = Hashtbl.replace cl.locations pid s
+let location_hint cl pid = Hashtbl.find_opt cl.locations pid
+
+let exit_ivar cl pid =
+  match Hashtbl.find_opt cl.exit_ivars pid with
+  | Some iv -> iv
+  | None ->
+    let iv = Engine.Ivar.create () in
+    Hashtbl.replace cl.exit_ivars pid iv;
+    iv
+
+let rpc cl ~src ~dst msg =
+  match Transport.rpc cl.net ~src ~dst msg with
+  | Ok r -> r
+  | Error e -> Msg.R_err (Fmt.str "%a" Transport.pp_error e)
+
+(* {1 Namespace} *)
+
+let replica_sites cl fid =
+  match Hashtbl.find_opt cl.vol_hosts fid.File_id.vid with
+  | Some hosts -> hosts
+  | None -> []
+
+let storage_site cl fid =
+  let vid = fid.File_id.vid in
+  let hosts =
+    match Hashtbl.find_opt cl.vol_hosts vid with
+    | Some hosts -> hosts
+    | None -> invalid_arg "Kernel.storage_site: unknown volume"
+  in
+  match Hashtbl.find_opt cl.primaries vid with
+  | Some s when Transport.site_up cl.net s -> s
+  | Some _ | None ->
+    (* Elect (or re-elect after a crash) the primary update site (§5.2). *)
+    let s =
+      match List.find_opt (Transport.site_up cl.net) hosts with
+      | Some s -> s
+      | None -> List.hd hosts
+    in
+    Hashtbl.replace cl.primaries vid s;
+    s
+
+let lookup cl path = Hashtbl.find_opt cl.namespace path
+
+let bind_path cl path fid =
+  Hashtbl.replace cl.namespace path fid;
+  Hashtbl.replace cl.paths fid path
+
+(* The root directory file, created on first use. Directories are ordinary
+   files full of fixed-width entries, resolved through normal kernel reads
+   (the name-mapping cost of §3.2 is real I/O here). *)
+let root_vid cl =
+  match List.find_opt (fun (_, hosts) -> List.mem 0 hosts) cl.cfg.Config.volumes with
+  | Some (vid, _) -> vid
+  | None -> invalid_arg "Kernel.root_vid: site 0 hosts no volume"
+
+let root_dir cl ~src =
+  match cl.root_dir with
+  | Some fid -> fid
+  | None -> (
+    let vid = root_vid cl in
+    let host = storage_site cl (File_id.make ~vid ~ino:0) in
+    match rpc cl ~src ~dst:host (Msg.Create_file { vid }) with
+    | Msg.R_fid fid -> (
+      (* Lost race with a concurrent first resolver: keep the winner's. *)
+      match cl.root_dir with
+      | Some existing -> existing
+      | None ->
+        cl.root_dir <- Some fid;
+        bind_path cl "/" fid;
+        fid)
+    | r -> failwith (Fmt.str "root_dir: %a" Msg.pp_reply r))
+let path_of cl fid = Hashtbl.find_opt cl.paths fid
+
+let create_file cl ~src ~path ~vid =
+  if Hashtbl.mem cl.namespace path then
+    invalid_arg (Printf.sprintf "Kernel.create_file: %s exists" path);
+  let host =
+    storage_site cl (File_id.make ~vid ~ino:0)
+  in
+  match rpc cl ~src ~dst:host (Msg.Create_file { vid }) with
+  | Msg.R_fid fid ->
+    Hashtbl.replace cl.namespace path fid;
+    Hashtbl.replace cl.paths fid path;
+    fid
+  | r -> failwith (Fmt.str "create_file: %a" Msg.pp_reply r)
+
+(* {1 Rule 2 of §3.3}
+
+   When a transaction locks a range containing modified-but-uncommitted
+   records, it becomes responsible for them: non-transaction owners'
+   dirty bytes are adopted, and the lock is retained whatever its mode. *)
+let apply_rule2 k table fid ~owner ~range =
+  match owner with
+  | Owner.Process _ -> ()
+  | Owner.Transaction _ ->
+    let dirty = Filestore.uncommitted_overlapping k.store fid range in
+    if dirty <> [] then begin
+      if List.exists (fun o -> not (Owner.equal o owner)) dirty then
+        Filestore.adopt k.store fid ~range ~new_owner:owner;
+      Lock_table.mark_retained table owner ~range
+    end
+
+(* Forward declaration: lock waiting triggers deadlock scans. *)
+let deadlock_scan_ref :
+    (cluster -> src:Site.t -> Owner.t list) ref =
+  ref (fun _ ~src:_ -> [])
+
+(* Forward declaration: data paths must recall delegated lock authority
+   (§5.2) before consulting local lock tables. *)
+let recall_locks_ref : (t -> File_id.t -> unit) ref = ref (fun _ _ -> ())
+
+let ensure_authority_home k fid =
+  if Hashtbl.mem k.delegations fid then !recall_locks_ref k fid
+
+let grant_lock k ~fid ~owner ~pid ~mode ~range ~non_transaction ~wait =
+  Engine.consume k.engine ~instr:(costs k).Costs.lock_request_instr;
+  Stats.incr (stats k) "lock.requests";
+  let table = ensure_table k fid in
+  match Lock_table.request table ~owner ~pid ~mode ~range ~non_transaction with
+  | `Granted ->
+    apply_rule2 k table fid ~owner ~range;
+    tr k Trace.Lock "grant %a %a %a %a" File_id.pp fid Owner.pp owner Mode.pp mode
+      Byte_range.pp range;
+    `Granted
+  | `Conflict owners ->
+    tr k Trace.Lock "conflict %a %a blocked by %a" File_id.pp fid Owner.pp owner
+      Fmt.(list ~sep:comma Owner.pp) owners;
+    if not wait then `Conflict owners
+    else begin
+      Stats.incr (stats k) "lock.waits";
+      let iv = Engine.Ivar.create () in
+      let w =
+        Lock_table.enqueue table ~owner ~pid ~mode ~range ~non_transaction
+          ~notify:(fun ok -> ignore (Engine.try_fill k.engine iv ok))
+      in
+      let rec wait_loop rounds =
+        match
+          Engine.await_timeout iv ~timeout:k.cl.cfg.Config.deadlock_patience_us
+        with
+        | Some true ->
+          apply_rule2 k table fid ~owner ~range;
+          `Granted
+        | Some false -> `Cancelled
+        | None ->
+          (* Blocked suspiciously long: run the wait-for-graph service
+             (§3.1). If we were the victim our wait gets cancelled and the
+             next round sees it. *)
+          let (_ : Owner.t list) = !deadlock_scan_ref k.cl ~src:k.site in
+          if rounds >= 40 then begin
+            Lock_table.cancel table w;
+            `Timeout
+          end
+          else wait_loop (rounds + 1)
+      in
+      wait_loop 0
+    end
+
+(* Ranges of [range] not already covered by [owner]'s locks in a
+   sufficient mode: the pieces a conventional (Unix) access must
+   momentarily synchronize on. *)
+let uncovered_pieces table ~owner ~range ~write =
+  let sufficient (m : Mode.t) =
+    match m with
+    | Mode.Exclusive -> true
+    | Mode.Shared -> not write
+    | Mode.Unix_access -> false
+  in
+  let covered =
+    List.fold_left
+      (fun acc (l : Lock_table.lock) ->
+        if Owner.equal l.Lock_table.owner owner && sufficient l.Lock_table.mode
+        then Range_set.add l.Lock_table.range acc
+        else acc)
+      Range_set.empty (Lock_table.locks table)
+  in
+  Range_set.ranges (Range_set.diff (Range_set.of_range range) covered)
+
+exception Denied of string
+
+(* Conventional Unix access by a non-transaction process: behave as a
+   momentary holder of the appropriate Figure-1 mode on each byte range
+   not already covered by the process's explicit locks. *)
+let with_momentary k ~fid ~owner ~pid ~range ~write f =
+  let table = ensure_table k fid in
+  let mode = if write then Mode.Exclusive else Mode.Shared in
+  let pieces = uncovered_pieces table ~owner ~range ~write in
+  List.iter
+    (fun piece ->
+      match
+        grant_lock k ~fid ~owner ~pid ~mode ~range:piece ~non_transaction:false
+          ~wait:true
+      with
+      | `Granted -> ()
+      | `Conflict _ | `Cancelled | `Timeout -> raise (Denied "access blocked"))
+    pieces;
+  Fun.protect f ~finally:(fun () ->
+      List.iter
+        (fun piece -> Lock_table.unlock table ~owner ~pid ~range:piece)
+        pieces)
+
+(* Transaction access: two-phase locks are acquired implicitly at record
+   access time when not already held (§3.1). *)
+let ensure_txn_lock k ~fid ~owner ~pid ~range ~write =
+  let table = ensure_table k fid in
+  if not (Lock_table.owner_covers table ~owner ~range ~write) then begin
+    let mode = if write then Mode.Exclusive else Mode.Shared in
+    match
+      grant_lock k ~fid ~owner ~pid ~mode ~range ~non_transaction:false ~wait:true
+    with
+    | `Granted -> Stats.incr (stats k) "lock.implicit"
+    | `Cancelled -> raise (Denied "transaction aborted while waiting for lock")
+    | `Timeout -> raise (Denied "lock timeout")
+    | `Conflict _ -> raise (Denied "lock conflict")
+  end
+
+(* {1 Storage-site operations (run at the file's storage site)} *)
+
+let ss_read k ~fid ~reader ~pid ~pos ~len =
+  if len <= 0 then Bytes.create 0
+  else begin
+    ensure_authority_home k fid;
+    let range = Byte_range.of_pos_len ~pos ~len in
+    match reader with
+    | Owner.Transaction _ ->
+      ensure_txn_lock k ~fid ~owner:reader ~pid ~range ~write:false;
+      Filestore.read k.store fid ~pos ~len
+    | Owner.Process _ ->
+      with_momentary k ~fid ~owner:reader ~pid ~range ~write:false (fun () ->
+          Filestore.read k.store fid ~pos ~len)
+  end
+
+let ss_write k ~fid ~owner ~pid ~pos ~data =
+  let len = Bytes.length data in
+  if len > 0 then begin
+    ensure_authority_home k fid;
+    let range = Byte_range.of_pos_len ~pos ~len in
+    match owner with
+    | Owner.Transaction _ ->
+      ensure_txn_lock k ~fid ~owner ~pid ~range ~write:true;
+      (* Rule 2 may apply even when the lock was acquired earlier. *)
+      Filestore.adopt k.store fid ~range ~new_owner:owner;
+      Filestore.write k.store fid ~owner ~pos data
+    | Owner.Process _ ->
+      with_momentary k ~fid ~owner ~pid ~range ~write:true (fun () ->
+          (* A later conventional writer takes over earlier conventional
+             writers' uncommitted bytes (§5: uncommitted changes are
+             visible and may be committed by anyone). *)
+          Filestore.adopt k.store fid ~range ~new_owner:owner;
+          Filestore.write k.store fid ~owner ~pos data)
+  end
+
+(* Atomic lock-and-extend at end of file (§3.2): retry with a fresh EOF
+   whenever someone else extended the file while we waited. *)
+let ss_lock_append k ~fid ~owner ~pid ~len ~mode ~non_transaction =
+  ensure_authority_home k fid;
+  let rec attempt tries =
+    if tries > 100 then raise (Denied "lock_append: livelock")
+    else begin
+      let eof = Filestore.size k.store fid in
+      let range = Byte_range.of_pos_len ~pos:eof ~len in
+      match grant_lock k ~fid ~owner ~pid ~mode ~range ~non_transaction ~wait:true with
+      | `Granted ->
+        let eof' = Filestore.size k.store fid in
+        if eof' = eof then eof
+        else begin
+          (* The file grew while we waited: our lock no longer covers the
+             true end of file. Release and retry against the new EOF. *)
+          let table = ensure_table k fid in
+          Lock_table.unlock table ~owner ~pid ~range;
+          attempt (tries + 1)
+        end
+      | `Conflict _ | `Cancelled | `Timeout -> raise (Denied "lock_append failed")
+    end
+  in
+  attempt 0
+
+(* Propagate a file's committed state to the other hosts of its volume
+   (§5.2 replication: commit propagation from the primary update site). *)
+let propagate_replicas k fid =
+  if k.cl.cfg.Config.replica_sync then begin
+    let others = List.filter (fun s -> s <> k.site) (replica_sites k.cl fid) in
+    if others <> [] && Filestore.file_exists k.store fid then begin
+      let size = Filestore.committed_size k.store fid in
+      let psz = k.cl.cfg.Config.page_size in
+      let n_pages = (size + psz - 1) / psz in
+      let pages =
+        List.init n_pages (fun i ->
+            (i, Filestore.read_committed k.store fid ~pos:(i * psz) ~len:psz))
+      in
+      List.iter
+        (fun dst ->
+          Transport.send k.cl.net ~src:k.site ~dst
+            (Msg.Replica_sync { fid; size; pages }))
+        others
+    end
+  end
+
+let ss_replica_sync k ~fid ~size ~pages =
+  match Filestore.volume k.store ~vid:fid.File_id.vid with
+  | None -> ()
+  | Some vol ->
+    let ino = fid.File_id.ino in
+    let existing =
+      if Volume.inode_exists vol ino then Volume.read_inode_nosim vol ino
+      else { Volume.ino; size = 0; pages = [||]; version = 0 }
+    in
+    let max_index = List.fold_left (fun acc (i, _) -> max acc i) (-1) pages in
+    let slots = Array.make (max (max_index + 1) (Array.length existing.Volume.pages)) (-1) in
+    Array.blit existing.Volume.pages 0 slots 0 (Array.length existing.Volume.pages);
+    List.iter
+      (fun (index, data) ->
+        let slot = if slots.(index) = -1 then Volume.alloc_page vol else slots.(index) in
+        Volume.write_page vol slot data;
+        Cache.put k.cache vol slot data;
+        slots.(index) <- slot)
+      pages;
+    Volume.write_inode vol { Volume.ino; size; pages = slots; version = 0 };
+    Stats.incr (stats k) "replica.sync"
+
+(* {1 Lock-control migration (§5.2)}
+
+   A storage site may temporarily transfer its ability to manage a file's
+   locks to a site whose processes are making heavy use of them. Clients
+   learn the current authority through [R_redirect] replies and a hint
+   map. Authority returns home ("recall") before anything that needs the
+   lock state next to the data: prepare, data access with implicit
+   locking, commit/abort lock release. *)
+
+let lock_authority_hint cl fid = Hashtbl.find_opt cl.lock_authority fid
+let note_lock_authority cl fid s = Hashtbl.replace cl.lock_authority fid s
+
+let marshal_locks (locks : Lock_table.lock list) = Marshal.to_string locks []
+let unmarshal_locks s : Lock_table.lock list = Marshal.from_string s 0
+
+(* Where should this site handle (or send) a lock operation on [fid]? *)
+let lock_route k fid =
+  if Hashtbl.mem k.hosted fid then `Here
+  else if k.site = storage_site k.cl fid then begin
+    match Hashtbl.find_opt k.delegations fid with
+    | Some d -> `Redirect d
+    | None -> `Here
+  end
+  else `Redirect (storage_site k.cl fid)
+
+(* Take lock management back from the delegate. On delegate crash the
+   lock state dies with its volatile tables — exactly like any other
+   volatile lock state lost in a crash; the topology sweep aborts the
+   owning transactions. *)
+let recall_locks k fid =
+  match Hashtbl.find_opt k.delegations fid with
+  | None -> ()
+  | Some d ->
+    let rec go tries =
+      match rpc k.cl ~src:k.site ~dst:d (Msg.Recall_locks { fid }) with
+      | Msg.R_data payload ->
+        Hashtbl.replace k.locks fid (Lock_table.restore fid (unmarshal_locks (Bytes.to_string payload)));
+        Hashtbl.remove k.delegations fid;
+        note_lock_authority k.cl fid k.site;
+        Stats.incr (stats k) "delegation.recalls"
+      | Msg.R_retry when tries < 100 ->
+        Engine.sleep 2_000;
+        go (tries + 1)
+      | _ ->
+        (* Delegate unreachable: authority (and its volatile lock state)
+           is gone. Resume with an empty table. *)
+        Hashtbl.replace k.locks fid (Lock_table.create fid);
+        Hashtbl.remove k.delegations fid;
+        note_lock_authority k.cl fid k.site;
+        Stats.incr (stats k) "delegation.lost"
+    in
+    go 0
+
+let () = recall_locks_ref := recall_locks
+
+(* Called at the home site on each remote lock request: hand authority to
+   a site that keeps coming back. *)
+let maybe_delegate k fid ~src =
+  let cfg = k.cl.cfg in
+  if cfg.Config.lock_delegation && src <> k.site then begin
+    let streak =
+      match Hashtbl.find_opt k.lock_origins fid with
+      | Some (s, n) when s = src -> n + 1
+      | Some _ | None -> 1
+    in
+    Hashtbl.replace k.lock_origins fid (src, streak);
+    if
+      streak >= cfg.Config.delegation_threshold
+      && not (Hashtbl.mem k.delegations fid)
+    then begin
+      let table = ensure_table k fid in
+      if Lock_table.waiting table = 0 then begin
+        let payload = marshal_locks (Lock_table.locks table) in
+        match rpc k.cl ~src:k.site ~dst:src (Msg.Delegate_locks { fid; payload }) with
+        | Msg.R_ok ->
+          Hashtbl.remove k.locks fid;
+          Hashtbl.replace k.delegations fid src;
+          Hashtbl.remove k.lock_origins fid;
+          note_lock_authority k.cl fid src;
+          tr k Trace.Lock "delegated %a to site%d" File_id.pp fid src;
+          Stats.incr (stats k) "delegation.out"
+        | _ -> ()
+      end
+    end
+  end
+  else if src = k.site then Hashtbl.remove k.lock_origins fid
+
+(* {1 Transaction plumbing} *)
+
+let register_end_wait k txid =
+  match Hashtbl.find_opt k.end_waits txid with
+  | Some iv -> iv
+  | None ->
+    let iv = Engine.Ivar.create () in
+    Hashtbl.replace k.end_waits txid iv;
+    iv
+
+(* If the top-level process is parked at the transaction endpoint and the
+   last member has completed, release it into two-phase commit. *)
+let txn_ready_check k (txn : Txn_state.txn) =
+  if txn.Txn_state.live_members <= 1 && txn.Txn_state.phase = Txn_state.Active
+  then begin
+    match Hashtbl.find_opt k.end_waits txn.Txn_state.txid with
+    | Some iv ->
+      if Engine.try_fill k.engine iv Members_done then
+        txn.Txn_state.phase <- Txn_state.Committing
+    | None -> ()
+  end
+
+let registry_remove_txn cl txid =
+  Hashtbl.remove cl.txn_tops txid;
+  Hashtbl.remove cl.txn_members txid
+
+let registry_add_member cl txid pid s =
+  match Hashtbl.find_opt cl.txn_members txid with
+  | Some r -> r := (pid, s) :: !r
+  | None -> Hashtbl.replace cl.txn_members txid (ref [ (pid, s) ])
+
+let register_transaction cl txid ~top ~site:s =
+  Hashtbl.replace cl.txn_tops txid top;
+  registry_add_member cl txid top s
+
+let register_member = registry_add_member
+let transaction_top cl txid = Hashtbl.find_opt cl.txn_tops txid
+
+let encode_migration proc txn = Marshal.to_string { m_proc = proc; m_txn = txn } []
+
+let registry_remove_member cl txid pid =
+  match Hashtbl.find_opt cl.txn_members txid with
+  | Some r -> r := List.filter (fun (p, _) -> not (Pid.equal p pid)) !r
+  | None -> ()
+
+let update_member_site cl txid pid s =
+  match Hashtbl.find_opt cl.txn_members txid with
+  | Some r ->
+    r := (pid, s) :: List.filter (fun (p, _) -> not (Pid.equal p pid)) !r
+  | None -> ()
+
+let find_process cl ~src pid =
+  let probe s =
+    if Transport.reachable cl.net src s then
+      match rpc cl ~src ~dst:s (Msg.Find_process { pid }) with
+      | Msg.R_found true -> true
+      | _ -> false
+    else false
+  in
+  match location_hint cl pid with
+  | Some s when probe s -> Some s
+  | Some _ | None -> (
+    match List.find_opt probe (Transport.sites cl.net) with
+    | Some s ->
+      note_location cl pid s;
+      Some s
+    | None -> None)
+
+(* Cascade abort (§4.3): roll back the member's files, kill its fiber
+   (unless spared), recurse to its children, and when the top-level
+   process is reached finish the whole transaction. *)
+let rec abort_member k ~txid ~pid ~spare =
+  match Proc_table.find k.procs pid with
+  | None -> ()
+  | Some p ->
+    let cl = k.cl in
+    (* Children first — they may be local or remote. *)
+    Pid.Set.iter
+      (fun child ->
+        match find_process cl ~src:k.site child with
+        | Some s when s = k.site -> abort_member k ~txid ~pid:child ~spare
+        | Some s ->
+          ignore (rpc cl ~src:k.site ~dst:s (Msg.Abort_tree { txid; pid = child; spare }))
+        | None -> ())
+      p.Process.children;
+    (* Roll back this member's modified records and release its locks. *)
+    File_id.Set.iter
+      (fun fid ->
+        let dst = storage_site cl fid in
+        ignore
+          (rpc cl ~src:k.site ~dst
+             (Msg.Abort_file { fid; owner = Owner.Transaction txid })))
+      p.Process.file_list;
+    let is_spared = match spare with Some s -> Pid.equal s pid | None -> false in
+    let parked_top =
+      p.Process.top_level
+      &&
+      match Hashtbl.find_opt k.end_waits txid with
+      | Some iv -> Engine.try_fill k.engine iv Abort_requested
+      | None -> false
+    in
+    if p.Process.top_level then begin
+      (match Txn_state.find k.txns txid with
+      | Some txn -> txn.Txn_state.phase <- Txn_state.Aborting
+      | None -> ());
+      Txn_state.remove k.txns txid;
+      registry_remove_txn cl txid
+    end
+    else registry_remove_member cl txid pid;
+    if (not is_spared) && not parked_top then begin
+      (match fiber_of k pid with
+      | Some h -> Engine.kill k.engine h
+      | None -> ());
+      p.Process.status <- Process.Exited;
+      Proc_table.remove k.procs pid;
+      forget_fiber k pid;
+      Engine.fill k.engine (exit_ivar cl pid) ()
+    end
+
+let abort_transaction cl ?spare ~src txid =
+  Stats.incr (Engine.stats cl.c_engine) "txn.abort_requests";
+  (* Clear any queued lock waits of the dying transaction first, so
+     blocked member fibers unwind promptly. *)
+  List.iter
+    (fun table -> Lock_table.cancel_owner table (Owner.Transaction txid))
+    (lock_tables cl);
+  match Hashtbl.find_opt cl.txn_tops txid with
+  | None -> ()
+  | Some top -> (
+    match find_process cl ~src top with
+    | Some s ->
+      ignore (rpc cl ~src ~dst:s (Msg.Abort_tree { txid; pid = top; spare }))
+    | None ->
+      (* The top-level process is gone (its site crashed): sweep every
+         reachable storage site instead. *)
+      List.iter
+        (fun dst ->
+          if Transport.reachable cl.net src dst then
+            ignore (rpc cl ~src ~dst (Msg.Abort_phase2 { txid; files = [] })))
+        (Transport.sites cl.net);
+      registry_remove_txn cl txid)
+
+(* Local sweep used by Abort_phase2: roll back everything this site holds
+   for the transaction, prepared or not. *)
+let ss_abort2 k ~txid ~files =
+  tr k Trace.Txn "phase2 abort %a" Txid.pp txid;
+  let owner = Owner.Transaction txid in
+  List.iter (ensure_authority_home k) files;
+  let local_fids =
+    Hashtbl.fold
+      (fun fid table acc ->
+        if List.exists (fun (l : Lock_table.lock) -> Owner.equal l.Lock_table.owner owner)
+             (Lock_table.locks table)
+        then fid :: acc
+        else acc)
+      k.locks []
+  in
+  let fids = List.sort_uniq File_id.compare (files @ local_fids) in
+  Participant.abort k.participant ~txid;
+  List.iter
+    (fun fid ->
+      if Filestore.is_open k.store fid then Filestore.abort k.store fid ~owner;
+      match lock_table k fid with
+      | Some table ->
+        Lock_table.cancel_owner table owner;
+        Lock_table.release_owner table owner
+      | None -> ())
+    fids
+
+let ss_commit2 k ~txid ~files =
+  tr k Trace.Txn "phase2 commit %a" Txid.pp txid;
+  let owner = Owner.Transaction txid in
+  List.iter (ensure_authority_home k) files;
+  let prepared = Participant.prepared_files k.participant txid in
+  Participant.commit k.participant ~txid;
+  List.iter (propagate_replicas k) prepared;
+  List.iter
+    (fun fid ->
+      match lock_table k fid with
+      | Some table -> Lock_table.release_owner table owner
+      | None -> ())
+    (List.sort_uniq File_id.compare (files @ prepared))
+
+(* Two-phase commit, driven from the coordinator site (§4.2). *)
+let commit_transaction k (txn : Txn_state.txn) =
+  let cl = k.cl in
+  let txid = txn.Txn_state.txid in
+  txn.Txn_state.phase <- Txn_state.Committing;
+  let files =
+    List.sort_uniq
+      (fun (a, _) (b, _) -> File_id.compare a b)
+      (List.map (fun (fid, _) -> (fid, storage_site cl fid)) txn.Txn_state.file_list)
+  in
+  let outcome =
+    if files = [] then Committed
+    else begin
+      let by_site =
+        List.fold_left
+          (fun acc (fid, s) ->
+            match List.assoc_opt s acc with
+            | Some r ->
+              r := fid :: !r;
+              acc
+            | None -> (s, ref [ fid ]) :: acc)
+          [] files
+        |> List.map (fun (s, r) -> (s, !r))
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      in
+      (* Step 1 (Figure 5): the coordinator log, status unknown. *)
+      tr k Trace.Txn "2pc begin %a (%d files)" Txid.pp txid (List.length files);
+      Coord_log.begin_commit k.coord ~txid ~files;
+      cl.hooks.on_coord_log_written txid;
+      (* Steps 2-3 happen at the participants, in parallel. *)
+      let votes =
+        List.map
+          (fun (s, fs) ->
+            let iv = Engine.Ivar.create () in
+            ignore
+              (Engine.spawn ~name:"2pc-prepare" ~site:k.site k.engine (fun () ->
+                   let vote =
+                     match
+                       rpc cl ~src:k.site ~dst:s
+                         (Msg.Prepare { txid; coordinator_site = k.site; files = fs })
+                     with
+                     | Msg.R_vote v -> v
+                     | _ -> false
+                   in
+                   ignore (Engine.try_fill k.engine iv vote)));
+            iv)
+          by_site
+      in
+      let all_prepared = List.for_all (fun iv -> Engine.await iv) votes in
+      let status : Log_record.status =
+        if all_prepared then Log_record.Committed else Log_record.Aborted
+      in
+      (* Step 4: writing the mark is the commit (or abort) point. *)
+      Coord_log.decide k.coord ~txid status;
+      tr k Trace.Txn "2pc decide %a %a" Txid.pp txid Log_record.pp_status status;
+      cl.hooks.on_decided txid status;
+      let phase2 () =
+        let all_acked = ref true in
+        List.iter
+          (fun (s, fs) ->
+            let msg =
+              if all_prepared then Msg.Commit_phase2 { txid; files = fs }
+              else Msg.Abort_phase2 { txid; files = fs }
+            in
+            let rec push tries =
+              match rpc cl ~src:k.site ~dst:s msg with
+              | Msg.R_ok -> ()
+              | _ when tries < 10 ->
+                Engine.sleep 2_000_000;
+                push (tries + 1)
+              | _ -> all_acked := false
+            in
+            push 0)
+          by_site;
+        (* The coordinator log is retained until commit/abort processing
+           has completed everywhere (§4.4). *)
+        if !all_acked then Coord_log.finished k.coord ~txid
+      in
+      if cl.cfg.Config.async_phase2 then
+        ignore (Engine.spawn ~name:"2pc-phase2" ~site:k.site k.engine phase2)
+      else phase2 ();
+      if all_prepared then Committed else Aborted
+    end
+  in
+  txn.Txn_state.phase <- Txn_state.Finished;
+  Txn_state.remove k.txns txid;
+  Hashtbl.remove k.end_waits txid;
+  registry_remove_txn cl txid;
+  Stats.incr (stats k)
+    (match outcome with Committed -> "txn.committed" | Aborted -> "txn.aborted");
+  outcome
+
+(* Member-process exit (§4.1): the child's file-list merges into the
+   top-level process's transaction record, with retry when the merge races
+   a migration. *)
+let member_exit cl ~src (p : Process.t) =
+  (match p.Process.txid with
+  | Some txid when not p.Process.top_level ->
+    let top =
+      match Hashtbl.find_opt cl.txn_tops txid with
+      | Some top -> Some top
+      | None -> None
+    in
+    (match top with
+    | None -> ()
+    | Some top ->
+      let files =
+        File_id.Set.elements p.Process.file_list
+        |> List.map (fun fid -> (fid, storage_site cl fid))
+      in
+      let rec send_merge tries =
+        if tries > 50 then ()
+        else begin
+          let dst =
+            match location_hint cl top with
+            | Some s when Transport.site_up cl.net s -> Some s
+            | _ -> find_process cl ~src top
+          in
+          match dst with
+          | None -> ()
+          | Some dst -> (
+            match rpc cl ~src ~dst (Msg.Merge_file_list { top; txid; files }) with
+            | Msg.R_ok -> ()
+            | Msg.R_retry ->
+              Stats.incr (Engine.stats cl.c_engine) "merge.retries";
+              Engine.sleep 2_000;
+              Hashtbl.remove cl.locations top;
+              send_merge (tries + 1)
+            | _ ->
+              Engine.sleep 2_000;
+              send_merge (tries + 1))
+        end
+      in
+      send_merge 0);
+    registry_remove_member cl txid p.Process.pid
+  | Some _ | None -> ());
+  (* Channel cleanup: release process-owned locks, commit conventional
+     (non-transaction) modifications — the base system's default atomic
+     file update on close — and drop open references. *)
+  let fids =
+    List.sort_uniq File_id.compare (List.map (fun c -> c.Process.fid) p.Process.channels)
+  in
+  let by_site =
+    List.fold_left
+      (fun acc fid ->
+        let s = storage_site cl fid in
+        match List.assoc_opt s acc with
+        | Some r ->
+          r := fid :: !r;
+          acc
+        | None -> (s, ref [ fid ]) :: acc)
+      [] fids
+  in
+  List.iter
+    (fun (s, r) ->
+      ignore
+        (rpc cl ~src ~dst:s (Msg.Proc_exit_cleanup { pid = p.Process.pid; fids = !r })))
+    by_site
+
+let ss_proc_exit_cleanup k ~pid ~fids =
+  let owner = Owner.Process pid in
+  List.iter
+    (fun fid ->
+      (match lock_table k fid with
+      | Some table -> Lock_table.release_process table pid
+      | None -> ());
+      if Filestore.is_open k.store fid then begin
+        if Filestore.modified_by k.store fid owner <> [] then begin
+          let (_ : Intentions.t) = Filestore.commit k.store fid ~owner in
+          propagate_replicas k fid
+        end;
+        Filestore.close_file k.store fid
+      end)
+    fids
+
+(* {1 Deadlock service (§3.1)} *)
+
+let deadlock_scan cl ~src =
+  Stats.incr (Engine.stats cl.c_engine) "deadlock.scans";
+  let victims =
+    Locus_deadlock.Detector.victims cl.cfg.Config.deadlock_policy (lock_tables cl)
+  in
+  List.iter
+    (fun victim ->
+      Stats.incr (Engine.stats cl.c_engine) "deadlock.victims";
+      Trace.emitf (Engine.trace cl.c_engine) ~at:(Engine.now cl.c_engine)
+        ~cat:Trace.Lock ~site:src "deadlock victim %a" Owner.pp victim;
+      match victim with
+      | Owner.Transaction txid -> abort_transaction cl ~src txid
+      | Owner.Process _ ->
+        List.iter (fun t -> Lock_table.cancel_owner t victim) (lock_tables cl))
+    victims;
+  victims
+
+let () = deadlock_scan_ref := deadlock_scan
+
+(* {1 The kernel message handler} *)
+
+let handle k ~src msg =
+  let open Msg in
+  if not k.alive then R_err "site down"
+  else begin
+    tr k Trace.Net "<- site%d: %a" src Msg.pp msg;
+    try
+      match msg with
+      | Ping -> R_ok
+      | Open { fid } ->
+        Filestore.open_file k.store fid;
+        ignore (ensure_table k fid);
+        R_ok
+      | Close { fid; owner; commit_on_close } ->
+        if
+          commit_on_close
+          && Filestore.is_open k.store fid
+          && Filestore.modified_by k.store fid owner <> []
+        then begin
+          let (_ : Intentions.t) = Filestore.commit k.store fid ~owner in
+          propagate_replicas k fid
+        end;
+        Filestore.close_file k.store fid;
+        R_ok
+      | Read { fid; reader; pid; pos; len } ->
+        R_data (ss_read k ~fid ~reader ~pid ~pos ~len)
+      | Write { fid; owner; pid; pos; data } ->
+        ss_write k ~fid ~owner ~pid ~pos ~data;
+        R_ok
+      | Lock { fid; owner; pid; mode; range; non_transaction; wait } -> (
+        match lock_route k fid with
+        | `Redirect d -> R_redirect d
+        | `Here ->
+        maybe_delegate k fid ~src;
+        (* Delegation may have just moved the table away. *)
+        match
+          (match lock_route k fid with
+          | `Redirect d -> `Moved d
+          | `Here ->
+            `R (grant_lock k ~fid ~owner ~pid ~mode ~range ~non_transaction ~wait))
+        with
+        | `Moved d -> R_redirect d
+        | `R r ->
+        match r with
+        | `Granted ->
+          if k.cl.cfg.Config.prefetch && src <> k.site then begin
+            (* §5.2: piggyback the locked range's data on the grant, in
+               anticipation of its use at the requesting site. *)
+            Stats.incr (stats k) "prefetch.grants";
+            let data =
+              Filestore.read k.store fid ~pos:(Byte_range.lo range)
+                ~len:(Byte_range.len range)
+            in
+            R_granted_data data
+          end
+          else R_granted
+        | `Conflict owners -> R_conflict owners
+        | `Cancelled -> R_err "lock cancelled"
+        | `Timeout -> R_err "lock timeout")
+      | Lock_append { fid; owner; pid; len; mode; non_transaction } ->
+        R_granted_at (ss_lock_append k ~fid ~owner ~pid ~len ~mode ~non_transaction)
+      | Unlock { fid; owner; pid; range } -> (
+        match lock_route k fid with
+        | `Redirect d -> R_redirect d
+        | `Here ->
+        (match lock_table k fid with
+        | Some table ->
+          Lock_table.unlock table ~owner ~pid ~range;
+          (* Locks the process acquired before BeginTrans were never
+             converted to transaction locks (§3.4): an unlock inside the
+             transaction releases them for real. *)
+          (match owner with
+          | Owner.Transaction _ ->
+            Lock_table.unlock table ~owner:(Owner.Process pid) ~pid ~range
+          | Owner.Process _ -> ())
+        | None -> ());
+        R_ok)
+      | Commit_file { fid; owner } ->
+        if Filestore.is_open k.store fid && Filestore.modified_by k.store fid owner <> []
+        then begin
+          let (_ : Intentions.t) = Filestore.commit k.store fid ~owner in
+          propagate_replicas k fid
+        end;
+        R_ok
+      | Abort_file { fid; owner } ->
+        ensure_authority_home k fid;
+        if Filestore.is_open k.store fid then Filestore.abort k.store fid ~owner;
+        (match lock_table k fid with
+        | Some table ->
+          Lock_table.cancel_owner table owner;
+          Lock_table.release_owner table owner
+        | None -> ());
+        R_ok
+      | File_size { fid } -> R_int (Filestore.size k.store fid)
+      | Create_file { vid } -> R_fid (Filestore.create_file k.store ~vid)
+      | Member_join { top; txid } -> (
+        match Proc_table.find k.procs top with
+        | Some p when p.Process.status <> Process.In_transit -> (
+          match Txn_state.find k.txns txid with
+          | Some _ ->
+            Txn_state.member_joined k.txns txid;
+            R_ok
+          | None -> R_retry)
+        | Some _ | None -> R_retry)
+      | Merge_file_list { top; txid; files } -> (
+        match Proc_table.find k.procs top with
+        | Some p when p.Process.status <> Process.In_transit -> (
+          match Txn_state.find k.txns txid with
+          | Some txn ->
+            Txn_state.merge_files txn files;
+            Txn_state.member_exited k.txns txid;
+            txn_ready_check k txn;
+            R_ok
+          | None -> R_retry)
+        | Some _ | None ->
+          (* Not here, or mid-migration: bounce for retry (§4.1). *)
+          R_retry)
+      | Proc_arrive { payload } ->
+        let m : migration = Marshal.from_string payload 0 in
+        tr k Trace.Proc "process %a arrives" Pid.pp m.m_proc.Process.pid;
+        m.m_proc.Process.status <- Process.Running;
+        m.m_proc.Process.site <- k.site;
+        Proc_table.insert k.procs m.m_proc;
+        (match m.m_txn with Some txn -> Txn_state.adopt k.txns txn | None -> ());
+        R_ok
+      | Proc_exit_cleanup { pid; fids } ->
+        ss_proc_exit_cleanup k ~pid ~fids;
+        R_ok
+      | Prepare { txid; coordinator_site; files } ->
+        Stats.incr (stats k) "2pc.prepares";
+        (* The lock state must be home before we log it with the data. *)
+        List.iter (recall_locks k) files;
+        let vote =
+          try Participant.prepare k.participant ~txid ~coordinator_site ~files
+          with _ -> false
+        in
+        k.cl.hooks.on_participant_prepared k.site txid vote;
+        R_vote vote
+      | Commit_phase2 { txid; files } ->
+        ss_commit2 k ~txid ~files;
+        R_ok
+      | Abort_phase2 { txid; files } ->
+        ss_abort2 k ~txid ~files;
+        R_ok
+      | Abort_tree { txid; pid; spare } ->
+        abort_member k ~txid ~pid ~spare;
+        R_ok
+      | Query_outcome { txid } ->
+        if not k.coord_ready then R_err "recovering"
+        else R_outcome (Coord_log.outcome k.coord txid)
+      | Find_process { pid } -> (
+        match Proc_table.find k.procs pid with
+        | Some p -> R_found (p.Process.status <> Process.In_transit)
+        | None -> R_found false)
+      | Replica_sync { fid; size; pages } ->
+        ss_replica_sync k ~fid ~size ~pages;
+        R_ok
+      | Delegate_locks { fid; payload } ->
+        Hashtbl.replace k.locks fid
+          (Lock_table.restore fid (unmarshal_locks payload));
+        Hashtbl.replace k.hosted fid src;
+        Stats.incr (stats k) "delegation.in";
+        R_ok
+      | Recall_locks { fid } -> (
+        match Hashtbl.find_opt k.locks fid with
+        | Some table when Hashtbl.mem k.hosted fid ->
+          if Lock_table.waiting table > 0 then R_retry
+          else begin
+            Hashtbl.remove k.locks fid;
+            Hashtbl.remove k.hosted fid;
+            R_data (Bytes.of_string (marshal_locks (Lock_table.locks table)))
+          end
+        | Some _ | None -> R_err "not hosted here")
+    with
+    | Denied reason -> R_err reason
+    | Filestore.Conflicting_write (_, a, b) ->
+      R_err (Fmt.str "conflicting write %a vs %a" Owner.pp a Owner.pp b)
+    | Not_found -> R_err "not found"
+    | Invalid_argument m -> R_err m
+  end
+
+(* {1 Crash, restart, recovery (§4.3-4.4)} *)
+
+let kernel_crash k =
+  tr k Trace.Recovery "crash";
+  k.alive <- false;
+  Filestore.crash k.store;
+  Cache.clear k.cache;
+  Proc_table.clear k.procs;
+  Txn_state.crash k.txns;
+  Participant.crash k.participant;
+  Hashtbl.reset k.locks;
+  Hashtbl.reset k.fibers;
+  Hashtbl.reset k.end_waits;
+  Hashtbl.reset k.delegations;
+  Hashtbl.reset k.hosted;
+  Hashtbl.reset k.lock_origins
+
+(* Re-install exclusive locks over the byte ranges named by prepared
+   intentions: in-doubt data must stay inaccessible until the outcome is
+   known (§4.2 stores the lock lists in the prepare log for exactly this). *)
+let relock_prepared k txid =
+  let owner = Owner.Transaction txid in
+  let psz = k.cl.cfg.Config.page_size in
+  List.iter
+    (fun (it : Intentions.t) ->
+      let table = ensure_table k it.Intentions.fid in
+      List.iter
+        (fun (p : Intentions.page_commit) ->
+          List.iter
+            (fun (off, len) ->
+              let pos = (p.Intentions.index * psz) + off in
+              match
+                Lock_table.request table ~owner
+                  ~pid:(Pid.make ~origin:k.site ~num:0)
+                  ~mode:Mode.Exclusive
+                  ~range:(Byte_range.of_pos_len ~pos ~len)
+                  ~non_transaction:false
+              with
+              | `Granted ->
+                Lock_table.mark_retained table owner
+                  ~range:(Byte_range.of_pos_len ~pos ~len)
+              | `Conflict _ -> ())
+            p.Intentions.ranges)
+        it.Intentions.pages)
+    (Participant.prepared_intentions k.participant txid)
+
+let recover k =
+  let cl = k.cl in
+  tr k Trace.Recovery "recovery starts";
+  (* Coordinator pass: finish or abort every transaction in the log. *)
+  let records = Coord_log.scan k.coord in
+  tr k Trace.Recovery "coordinator log: %d records" (List.length records);
+  List.iter
+    (fun (c : Log_record.coordinator) ->
+      let txid = c.Log_record.txid in
+      let by_site =
+        List.fold_left
+          (fun acc (fid, s) ->
+            match List.assoc_opt s acc with
+            | Some r ->
+              r := fid :: !r;
+              acc
+            | None -> (s, ref [ fid ]) :: acc)
+          [] c.Log_record.files
+      in
+      (if c.Log_record.status = Log_record.Unknown then
+         Coord_log.decide k.coord ~txid Log_record.Aborted);
+      let committed = c.Log_record.status = Log_record.Committed in
+      let all_acked = ref true in
+      List.iter
+        (fun (s, r) ->
+          let msg =
+            if committed then Msg.Commit_phase2 { txid; files = !r }
+            else Msg.Abort_phase2 { txid; files = !r }
+          in
+          let rec push tries =
+            match rpc cl ~src:k.site ~dst:s msg with
+            | Msg.R_ok -> ()
+            | _ when tries < 5 ->
+              Engine.sleep 2_000_000;
+              push (tries + 1)
+            | _ -> all_acked := false
+          in
+          push 0)
+        by_site;
+      if !all_acked then Coord_log.finished k.coord ~txid;
+      Stats.incr (stats k)
+        (if committed then "recovery.replayed_commit" else "recovery.replayed_abort"))
+    records;
+  k.coord_ready <- true;
+  (* Participant pass: rebuild prepared state, protect it with locks, and
+     chase the coordinators for outcomes. *)
+  let in_doubt = Participant.recover k.participant in
+  tr k Trace.Recovery "participant: %d in doubt" (List.length in_doubt);
+  List.iter (fun (txid, _) -> relock_prepared k txid) in_doubt;
+  List.iter
+    (fun (txid, coord_site) ->
+      let rec ask tries =
+        if tries > 100 then Stats.incr (stats k) "recovery.still_in_doubt"
+        else begin
+          match rpc cl ~src:k.site ~dst:coord_site (Msg.Query_outcome { txid }) with
+          | Msg.R_outcome (Some Log_record.Committed) ->
+            ss_commit2 k ~txid ~files:[]
+          | Msg.R_outcome (Some Log_record.Aborted) | Msg.R_outcome None ->
+            (* Presumed abort: a coordinator with no record must have
+               aborted (or finished long ago — in which case it had already
+               heard our ack, impossible while we are in doubt). *)
+            ss_abort2 k ~txid ~files:[]
+          | Msg.R_outcome (Some Log_record.Unknown) | Msg.R_err _ | _ ->
+            Engine.sleep 5_000_000;
+            ask (tries + 1)
+        end
+      in
+      ask 0)
+    in_doubt
+
+let kernel_restart k =
+  k.alive <- true;
+  k.incarnation <- k.incarnation + 1;
+  k.coord_ready <- false;
+  k.txseq <- 0;
+  k.coord <- Coord_log.create (Coord_log.volume k.coord);
+  ignore
+    (Engine.spawn ~name:(Printf.sprintf "recovery@%d" k.site) ~site:k.site k.engine
+       (fun () -> recover k))
+
+(* Topology change (§4.3): abort active transactions that span lost sites,
+   and clean up storage-site state left by unreachable transactions that
+   never prepared. *)
+let topology_sweep k =
+  let cl = k.cl in
+  ignore
+    (Engine.spawn ~name:(Printf.sprintf "topo-sweep@%d" k.site) ~site:k.site
+       k.engine (fun () ->
+         (* As a transaction-home site. *)
+         List.iter
+           (fun (txn : Txn_state.txn) ->
+             if txn.Txn_state.phase = Txn_state.Active then begin
+               let member_sites =
+                 match Hashtbl.find_opt cl.txn_members txn.Txn_state.txid with
+                 | Some r -> List.map snd !r
+                 | None -> []
+               in
+               let file_sites = List.map snd txn.Txn_state.file_list in
+               let lost =
+                 List.exists
+                   (fun s -> not (Transport.reachable cl.net k.site s))
+                   (member_sites @ file_sites)
+               in
+               if lost then begin
+                 Stats.incr (stats k) "txn.topology_aborts";
+                 abort_transaction cl ~src:k.site txn.Txn_state.txid
+               end
+             end)
+           (Txn_state.active k.txns);
+         (* Delegated-out lock authority at a site that just became
+            unreachable is lost with that site's volatile state: resume at
+            home with an empty table (owning transactions get aborted by
+            the sweeps below). *)
+         let stale_delegations =
+           Hashtbl.fold
+             (fun fid d acc ->
+               if not (Transport.reachable cl.net k.site d) then fid :: acc
+               else acc)
+             k.delegations []
+         in
+         List.iter
+           (fun fid ->
+             Hashtbl.replace k.locks fid (Lock_table.create fid);
+             Hashtbl.remove k.delegations fid;
+             note_lock_authority cl fid k.site;
+             Stats.incr (stats k) "delegation.lost")
+           stale_delegations;
+         (* Hosted lock authority whose home storage site is gone dies
+            with it. *)
+         let stale_hosted =
+           Hashtbl.fold
+             (fun fid home acc ->
+               if not (Transport.reachable cl.net k.site home) then fid :: acc
+               else acc)
+             k.hosted []
+         in
+         List.iter
+           (fun fid ->
+             Hashtbl.remove k.hosted fid;
+             Hashtbl.remove k.locks fid)
+           stale_hosted;
+         (* As a storage site: foreign unprepared transactions whose home
+            is unreachable are aborted locally; prepared ones stay in
+            doubt. *)
+         let foreign_txids =
+           Hashtbl.fold
+             (fun _ table acc ->
+               List.fold_left
+                 (fun acc (l : Lock_table.lock) ->
+                   match l.Lock_table.owner with
+                   | Owner.Transaction txid
+                     when not (List.exists (Txid.equal txid) acc) ->
+                     txid :: acc
+                   | Owner.Transaction _ | Owner.Process _ -> acc)
+                 acc (Lock_table.locks table))
+             k.locks []
+         in
+         List.iter
+           (fun txid ->
+             if not (Participant.is_prepared k.participant txid) then begin
+               let home =
+                 match Hashtbl.find_opt cl.txn_tops txid with
+                 | Some top -> location_hint cl top
+                 | None -> None
+               in
+               let unreachable =
+                 match home with
+                 | Some s -> not (Transport.reachable cl.net k.site s)
+                 | None -> false
+               in
+               if unreachable then begin
+                 Stats.incr (stats k) "txn.storage_site_aborts";
+                 ss_abort2 k ~txid ~files:[]
+               end
+             end)
+           foreign_txids))
+
+(* {1 Construction} *)
+
+let make engine cfg =
+  let n_sites = cfg.Config.n_sites in
+  List.iter
+    (fun s ->
+      if not (List.exists (fun (_, hosts) -> List.mem s hosts) cfg.Config.volumes)
+      then
+        invalid_arg
+          (Printf.sprintf
+             "Kernel.make: site %d hosts no volume (needed for its coordinator log)"
+             s))
+    (List.init n_sites Fun.id);
+  let net =
+    Transport.create ~rpc_timeout_us:cfg.Config.rpc_timeout_us engine ~n_sites
+  in
+  let cl =
+    {
+      cfg;
+      c_engine = engine;
+      net;
+      ks = [||];
+      namespace = Hashtbl.create 64;
+      paths = Hashtbl.create 64;
+      vol_hosts = Hashtbl.create 8;
+      primaries = Hashtbl.create 8;
+      locations = Hashtbl.create 64;
+      exit_ivars = Hashtbl.create 64;
+      lock_authority = Hashtbl.create 16;
+      root_dir = None;
+      txn_tops = Hashtbl.create 32;
+      txn_members = Hashtbl.create 32;
+      hooks = no_hooks ();
+    }
+  in
+  List.iter
+    (fun (vid, hosts) ->
+      if hosts = [] then invalid_arg "Kernel.make: volume with no hosts";
+      Hashtbl.replace cl.vol_hosts vid hosts)
+    cfg.Config.volumes;
+  let make_kernel s =
+    let cache = Cache.create ~capacity_pages:cfg.Config.cache_pages engine in
+    let store = Filestore.create engine ~cache in
+    let hosted =
+      List.filter_map
+        (fun (vid, hosts) -> if List.mem s hosts then Some vid else None)
+        cfg.Config.volumes
+    in
+    List.iter
+      (fun vid ->
+        let vol = Volume.create engine ~vid ~page_size:cfg.Config.page_size () in
+        Volume.set_two_write_log vol cfg.Config.two_write_log;
+        Filestore.mount store vol)
+      hosted;
+    let participant = Participant.create store in
+    Participant.set_prepare_log_per_file participant cfg.Config.prepare_log_per_file;
+    let log_vol =
+      match hosted with
+      | vid :: _ -> Option.get (Filestore.volume store ~vid)
+      | [] -> assert false
+    in
+    {
+      site = s;
+      engine;
+      alive = true;
+      incarnation = 1;
+      txseq = 0;
+      coord_ready = true;
+      cache;
+      store;
+      locks = Hashtbl.create 32;
+      procs = Proc_table.create ~site:s;
+      txns = Txn_state.create ();
+      participant;
+      coord = Coord_log.create log_vol;
+      fibers = Hashtbl.create 32;
+      end_waits = Hashtbl.create 8;
+      delegations = Hashtbl.create 8;
+      hosted = Hashtbl.create 8;
+      lock_origins = Hashtbl.create 8;
+      cl;
+    }
+  in
+  cl.ks <- Array.init n_sites make_kernel;
+  Array.iter
+    (fun k -> Transport.set_handler net k.site (fun ~src msg -> handle k ~src msg))
+    cl.ks;
+  Transport.on_crash net (fun s -> kernel_crash cl.ks.(s));
+  Transport.on_restart net (fun s -> kernel_restart cl.ks.(s));
+  Transport.on_topology_change net (fun () ->
+      Array.iter (fun k -> if k.alive then topology_sweep k) cl.ks);
+  cl
+
+let crash_site cl s = Transport.crash cl.net s
+let restart_site cl s = Transport.restart cl.net s
+
+(* {1 Test and bench oracles} *)
+
+let read_committed_oracle cl fid =
+  let k = kernel cl (storage_site cl fid) in
+  match Filestore.volume k.store ~vid:fid.File_id.vid with
+  | None -> ""
+  | Some vol ->
+    if not (Volume.inode_exists vol fid.File_id.ino) then ""
+    else begin
+      let inode = Volume.read_inode_nosim vol fid.File_id.ino in
+      let psz = Volume.page_size vol in
+      let out = Bytes.make inode.Volume.size '\000' in
+      Array.iteri
+        (fun index slot ->
+          if slot <> -1 then begin
+            let content = Volume.read_page_nosim vol slot in
+            let base = index * psz in
+            let len = min psz (inode.Volume.size - base) in
+            if len > 0 then Bytes.blit content 0 out base len
+          end)
+        inode.Volume.pages;
+      Bytes.to_string out
+    end
+
+let active_transactions cl =
+  Array.to_list cl.ks
+  |> List.concat_map (fun k ->
+         if k.alive then
+           List.map (fun (t : Txn_state.txn) -> t.Txn_state.txid) (Txn_state.active k.txns)
+         else [])

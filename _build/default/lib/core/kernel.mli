@@ -1,0 +1,208 @@
+(** The per-site Locus kernel and the cluster that ties the kernels
+    together.
+
+    A {!cluster} is a set of sites, each running one kernel instance over
+    the shared simulated network. Each kernel composes the substrates:
+    volumes + buffer cache (storage), the file store (shadow-page record
+    commit), lock tables, the process table, the transaction registries
+    (coordinator log, participant state, active-transaction table).
+
+    The user-visible syscall layer is {!Api}; this module is the kernel
+    interface those syscalls (and the kernel-to-kernel message handler)
+    are built on. Everything here that performs I/O or messaging must run
+    inside an engine fiber. *)
+
+type t
+type cluster
+
+module Config : sig
+  type t = {
+    n_sites : int;
+    volumes : (int * Site.t list) list;
+        (** [(vid, hosting sites)]: a logical volume may be replicated at
+            several sites (first host = initial primary). Every site must
+            host at least one volume (it needs a medium for its coordinator
+            log). *)
+    page_size : int;
+    cache_pages : int;
+    lock_cache : bool;  (** requesting-site lock cache (§5.1) — E2 ablation *)
+    prefetch : bool;
+        (** §5.2 optimization: remote lock grants carry the locked range's
+            data, and covered reads are served from a requesting-site
+            cache while the lock is held. Default off (the paper lists it
+            as a further opportunity, not a measured feature). *)
+    lock_delegation : bool;
+        (** §5.2 optimization: a storage site may temporarily transfer
+            lock management for a file to a site whose processes dominate
+            its lock traffic; authority is recalled before prepare, data
+            access, or commit. Default off. *)
+    delegation_threshold : int;
+        (** consecutive remote lock requests from one site before
+            authority moves there *)
+    prepare_log_per_file : bool;  (** footnote 10 ablation *)
+    two_write_log : bool;  (** footnote 9 ablation *)
+    replica_sync : bool;  (** propagate commits to replicas (§5.2) *)
+    async_phase2 : bool;
+        (** paper behaviour: phase-2 commit messages are sent by a kernel
+            process after the client resumes (§4.2); [false] = synchronous
+            phase 2, for the E3/E4 ablation *)
+    deadlock_patience_us : int;
+        (** how long a lock waiter blocks before triggering a wait-for
+            graph scan (§3.1) *)
+    deadlock_policy : Locus_deadlock.Detector.policy;
+        (** victim-selection strategy used by the resolution service *)
+    rpc_timeout_us : int;
+  }
+
+  val default : n_sites:int -> t
+  (** One volume per site ([vid = site]), 1 KiB pages, paper-faithful
+      knobs. *)
+end
+
+val make : Engine.t -> Config.t -> cluster
+(** Build sites, volumes, kernels; install message handlers, crash /
+    restart / topology watchers. *)
+
+val engine : cluster -> Engine.t
+val config : cluster -> Config.t
+val transport : cluster -> (Msg.t, Msg.reply) Transport.t
+val kernel : cluster -> Site.t -> t
+val kernels : cluster -> t list
+val site : t -> Site.t
+val cluster_of : t -> cluster
+
+(** {1 Failure injection} *)
+
+val crash_site : cluster -> Site.t -> unit
+(** Crash: volatile kernel state vanishes, local fibers die, in-flight
+    messages drop, topology watchers fire everywhere reachable. *)
+
+val restart_site : cluster -> Site.t -> unit
+(** Reboot: fresh volatile state, then the §4.4 recovery pass runs (as a
+    fiber) before new transactions are admitted. *)
+
+(** {1 Namespace (transparent, global)} *)
+
+val create_file : cluster -> src:Site.t -> path:string -> vid:int -> File_id.t
+(** Create a file on volume [vid] and bind [path] to it. Fiber-only. *)
+
+val lookup : cluster -> string -> File_id.t option
+
+val bind_path : cluster -> string -> File_id.t -> unit
+(** Record a path binding in the flat index (kept alongside the real
+    directory files for oracles and introspection). *)
+
+val root_dir : cluster -> src:Site.t -> File_id.t
+(** The root directory file, created lazily on the root volume (the
+    lowest-numbered volume hosted at site 0). Fiber-only. *)
+
+val path_of : cluster -> File_id.t -> string option
+val storage_site : cluster -> File_id.t -> Site.t
+(** Current primary update site for the file's volume replica set (§5.2);
+    re-elected among reachable hosts when the primary is down. *)
+
+val replica_sites : cluster -> File_id.t -> Site.t list
+
+(** {1 Kernel services used by the Api layer (fiber-only)} *)
+
+val rpc : cluster -> src:Site.t -> dst:Site.t -> Msg.t -> Msg.reply
+(** Send a kernel message and await the reply; timeouts surface as
+    [R_err]. *)
+
+val alloc_txid : t -> Txid.t
+val procs : t -> Locus_proc.Proc_table.t
+val txns : t -> Txn_state.t
+val filestore : t -> Filestore.t
+val participant : t -> Participant.t
+val coord_log : t -> Coord_log.t
+val lock_table : t -> File_id.t -> Lock_table.t option
+val lock_tables : cluster -> Lock_table.t list
+(** All lock tables of all live sites — the kernel-data interface the
+    deadlock detector reads (§3.1). *)
+
+val lock_authority_hint : cluster -> File_id.t -> Site.t option
+(** Where clients believe lock management for the file currently lives
+    (§5.2 delegation); [None] means the storage site. *)
+
+val note_lock_authority : cluster -> File_id.t -> Site.t -> unit
+
+val register_fiber : t -> Pid.t -> Engine.Fiber.handle -> unit
+val fiber_of : t -> Pid.t -> Engine.Fiber.handle option
+val forget_fiber : t -> Pid.t -> unit
+
+val note_location : cluster -> Pid.t -> Site.t -> unit
+val location_hint : cluster -> Pid.t -> Site.t option
+val find_process : cluster -> src:Site.t -> Pid.t -> Site.t option
+(** Locate a process: check the hint, verify by message, fall back to
+    polling every reachable site. *)
+
+val exit_ivar : cluster -> Pid.t -> unit Engine.Ivar.t
+(** Created on demand; filled when the process exits (for [Api.wait]). *)
+
+(** {1 Transactions} *)
+
+type outcome = Committed | Aborted
+
+val pp_outcome : outcome Fmt.t
+
+type ready = Members_done | Abort_requested
+(** What releases a top-level process parked at the transaction endpoint:
+    the last member completed, or an abort arrived first. *)
+
+val register_end_wait : t -> Txid.t -> ready Engine.Ivar.t
+(** The top-level process parks here until all members have completed (or
+    a racing abort decides first). *)
+
+val register_transaction : cluster -> Txid.t -> top:Pid.t -> site:Site.t -> unit
+(** Record a new transaction's top-level process in the volatile global
+    registry used by cascade abort and topology sweeps. *)
+
+val register_member : cluster -> Txid.t -> Pid.t -> Site.t -> unit
+val transaction_top : cluster -> Txid.t -> Pid.t option
+val update_member_site : cluster -> Txid.t -> Pid.t -> Site.t -> unit
+
+val encode_migration : Locus_proc.Process.t -> Txn_state.txn option -> string
+(** Serialize a migration payload for a [Proc_arrive] message (§4.1). *)
+
+val commit_transaction : t -> Txn_state.txn -> outcome
+(** Drive two-phase commit from this (coordinator) site: coordinator log,
+    parallel prepares, decision, asynchronous phase 2 (§4.2). Call from
+    the top-level process's fiber once every member has completed. *)
+
+val abort_transaction : cluster -> ?spare:Pid.t -> src:Site.t -> Txid.t -> unit
+(** Cascade abort (§4.3): locate the top-level process, roll back every
+    member process's files, release locks, kill member fibers (sparing the
+    caller's), wake a parked [end_trans] with [Aborted]. Safe to call from
+    any fiber, including a member of the transaction itself. *)
+
+val member_exit : cluster -> src:Site.t -> Locus_proc.Process.t -> unit
+(** Run the member-process exit protocol for a transaction member: merge
+    its file-list into the top-level process's transaction record with the
+    §4.1 retry protocol, then clean up its channels and locks. *)
+
+val deadlock_scan : cluster -> src:Site.t -> Owner.t list
+(** Build the global wait-for graph and abort victim transactions; returns
+    the victims. Triggered by lock waiters that exceed the configured
+    patience, or manually by tests. *)
+
+(** {1 Failure-injection hooks (tests)} *)
+
+type hooks = {
+  mutable on_coord_log_written : Txid.t -> unit;
+      (** after Figure 5 step 1: the coordinator record is durable *)
+  mutable on_participant_prepared : Site.t -> Txid.t -> bool -> unit;
+      (** a participant just voted (after its prepare log write) *)
+  mutable on_decided : Txid.t -> Log_record.status -> unit;
+      (** after Figure 5 step 4: the commit/abort mark is durable *)
+}
+
+val hooks : cluster -> hooks
+(** Mutable; install crash injections at exact protocol points. *)
+
+(** {1 Introspection for tests and benches} *)
+
+val read_committed_oracle : cluster -> File_id.t -> string
+(** Committed contents of a file at its primary site, bypassing all cost
+    accounting. Test oracle only. *)
+
+val active_transactions : cluster -> Txid.t list

@@ -1,0 +1,108 @@
+type lock_info = {
+  li_fid : File_id.t;
+  li_owner : Owner.t;
+  li_mode : Mode.t;
+  li_range : Byte_range.t;
+  li_retained : bool;
+}
+
+type site_snapshot = {
+  site : Site.t;
+  up : bool;
+  processes : (Pid.t * string) list;
+  locks : lock_info list;
+  waiting : int;
+  active_txns : Txid.t list;
+  in_doubt : Txid.t list;
+  io : int * int * int;
+}
+
+let snapshot_site k =
+  let cl = Kernel.cluster_of k in
+  let up = Transport.site_up (Kernel.transport cl) (Kernel.site k) in
+  let locks, waiting =
+    if not up then ([], 0)
+    else
+      List.fold_left
+        (fun (acc, w) table ->
+          let acc =
+            List.fold_left
+              (fun acc (l : Lock_table.lock) ->
+                {
+                  li_fid = Lock_table.fid table;
+                  li_owner = l.Lock_table.owner;
+                  li_mode = l.Lock_table.mode;
+                  li_range = l.Lock_table.range;
+                  li_retained = l.Lock_table.retained;
+                }
+                :: acc)
+              acc (Lock_table.locks table)
+          in
+          (acc, w + Lock_table.waiting table))
+        ([], 0)
+        (List.filter
+           (fun t ->
+             match Kernel.lock_table k (Lock_table.fid t) with
+             | Some t' -> t' == t
+             | None -> false)
+           (Kernel.lock_tables cl))
+  in
+  {
+    site = Kernel.site k;
+    up;
+    processes =
+      (if up then
+         List.map
+           (fun (p : Locus_proc.Process.t) ->
+             ( p.Locus_proc.Process.pid,
+               match p.Locus_proc.Process.status with
+               | Locus_proc.Process.Running -> "running"
+               | Locus_proc.Process.In_transit -> "in-transit"
+               | Locus_proc.Process.Exited -> "exited" ))
+           (Locus_proc.Proc_table.processes (Kernel.procs k))
+       else []);
+    locks;
+    waiting;
+    active_txns =
+      (if up then
+         List.map
+           (fun (t : Txn_state.txn) -> t.Txn_state.txid)
+           (Txn_state.active (Kernel.txns k))
+       else []);
+    in_doubt =
+      (if up then Participant.prepared_transactions (Kernel.participant k)
+       else []);
+    io =
+      List.fold_left
+        (fun (r, w, l) vol ->
+          ( r + Locus_disk.Volume.io_reads vol,
+            w + Locus_disk.Volume.io_writes vol,
+            l + Locus_disk.Volume.io_log_writes vol ))
+        (0, 0, 0)
+        (Filestore.volumes (Kernel.filestore k));
+  }
+
+let snapshot cl = List.map snapshot_site (Kernel.kernels cl)
+
+let waits cl = List.concat_map Lock_table.waits_for (Kernel.lock_tables cl)
+
+let pp_lock ppf l =
+  Fmt.pf ppf "%a %a %a %a%s" File_id.pp l.li_fid Owner.pp l.li_owner Mode.pp
+    l.li_mode Byte_range.pp l.li_range
+    (if l.li_retained then " (retained)" else "")
+
+let pp_site ppf s =
+  Fmt.pf ppf "site %d: %s@." s.site (if s.up then "up" else "DOWN");
+  if s.up then begin
+    Fmt.pf ppf "  processes:";
+    List.iter (fun (p, st) -> Fmt.pf ppf " %a[%s]" Pid.pp p st) s.processes;
+    Fmt.pf ppf "@.";
+    Fmt.pf ppf "  transactions:";
+    List.iter (fun t -> Fmt.pf ppf " %a" Txid.pp t) s.active_txns;
+    Fmt.pf ppf "@.  locks (%d, %d waiting):@." (List.length s.locks) s.waiting;
+    List.iter (fun l -> Fmt.pf ppf "    %a@." pp_lock l) s.locks;
+    let r, w, l = s.io in
+    Fmt.pf ppf "  disk I/O: %d reads, %d writes, %d log writes@." r w l
+  end
+
+let pp ppf sites = List.iter (pp_site ppf) sites

@@ -1,0 +1,38 @@
+(** The kernel-data interface (§3.1).
+
+    The paper's kernel "does not detect deadlock. Instead, an interface to
+    operating system data is provided, permitting a system process to
+    detect deadlock by constructing a wait-for graph" — and, more
+    generally, to observe kernel state. This module is that interface's
+    read side: structured snapshots of a site's (or the whole cluster's)
+    processes, lock tables, active and in-doubt transactions, rendered for
+    tools like `locusctl inspect` and the deadlock service. *)
+
+type lock_info = {
+  li_fid : File_id.t;
+  li_owner : Owner.t;
+  li_mode : Mode.t;
+  li_range : Byte_range.t;
+  li_retained : bool;
+}
+
+type site_snapshot = {
+  site : Site.t;
+  up : bool;
+  processes : (Pid.t * string) list;  (** pid, status *)
+  locks : lock_info list;
+  waiting : int;  (** queued lock requests *)
+  active_txns : Txid.t list;  (** transactions whose top-level process is here *)
+  in_doubt : Txid.t list;  (** prepared, awaiting outcome *)
+  io : int * int * int;  (** reads, writes, log writes across local volumes *)
+}
+
+val snapshot_site : Kernel.t -> site_snapshot
+val snapshot : Kernel.cluster -> site_snapshot list
+
+val waits : Kernel.cluster -> (Owner.t * Owner.t list) list
+(** The raw wait-for edges, cluster-wide — what the deadlock system
+    process consumes. *)
+
+val pp_site : site_snapshot Fmt.t
+val pp : site_snapshot list Fmt.t

@@ -1,0 +1,112 @@
+type t =
+  | Open of { fid : File_id.t }
+  | Close of { fid : File_id.t; owner : Owner.t; commit_on_close : bool }
+  | Read of { fid : File_id.t; reader : Owner.t; pid : Pid.t; pos : int; len : int }
+  | Write of { fid : File_id.t; owner : Owner.t; pid : Pid.t; pos : int; data : Bytes.t }
+  | Lock of {
+      fid : File_id.t;
+      owner : Owner.t;
+      pid : Pid.t;
+      mode : Mode.t;
+      range : Byte_range.t;
+      non_transaction : bool;
+      wait : bool;
+    }
+  | Lock_append of {
+      fid : File_id.t;
+      owner : Owner.t;
+      pid : Pid.t;
+      len : int;
+      mode : Mode.t;
+      non_transaction : bool;
+    }
+  | Unlock of { fid : File_id.t; owner : Owner.t; pid : Pid.t; range : Byte_range.t }
+  | Commit_file of { fid : File_id.t; owner : Owner.t }
+  | Abort_file of { fid : File_id.t; owner : Owner.t }
+  | File_size of { fid : File_id.t }
+  | Create_file of { vid : int }
+  | Member_join of { top : Pid.t; txid : Txid.t }
+  | Merge_file_list of {
+      top : Pid.t;
+      txid : Txid.t;
+      files : (File_id.t * int) list;
+    }
+  | Proc_arrive of { payload : string }
+  | Proc_exit_cleanup of { pid : Pid.t; fids : File_id.t list }
+  | Prepare of { txid : Txid.t; coordinator_site : int; files : File_id.t list }
+  | Commit_phase2 of { txid : Txid.t; files : File_id.t list }
+  | Abort_phase2 of { txid : Txid.t; files : File_id.t list }
+  | Abort_tree of { txid : Txid.t; pid : Pid.t; spare : Pid.t option }
+  | Query_outcome of { txid : Txid.t }
+  | Find_process of { pid : Pid.t }
+  | Replica_sync of { fid : File_id.t; size : int; pages : (int * Bytes.t) list }
+  | Delegate_locks of { fid : File_id.t; payload : string }
+  | Recall_locks of { fid : File_id.t }
+  | Ping
+
+type reply =
+  | R_ok
+  | R_err of string
+  | R_retry
+  | R_data of Bytes.t
+  | R_int of int
+  | R_fid of File_id.t
+  | R_granted
+  | R_granted_data of Bytes.t
+  | R_granted_at of int
+  | R_conflict of Owner.t list
+  | R_redirect of int
+  | R_vote of bool
+  | R_outcome of Log_record.status option
+  | R_found of bool
+
+let pp ppf = function
+  | Open { fid } -> Fmt.pf ppf "open %a" File_id.pp fid
+  | Close { fid; _ } -> Fmt.pf ppf "close %a" File_id.pp fid
+  | Read { fid; pos; len; _ } -> Fmt.pf ppf "read %a@%d+%d" File_id.pp fid pos len
+  | Write { fid; pos; data; _ } ->
+    Fmt.pf ppf "write %a@%d+%d" File_id.pp fid pos (Bytes.length data)
+  | Lock { fid; owner; mode; range; wait; _ } ->
+    Fmt.pf ppf "lock %a %a %a %a%s" File_id.pp fid Owner.pp owner Mode.pp mode
+      Byte_range.pp range
+      (if wait then " wait" else "")
+  | Lock_append { fid; len; _ } -> Fmt.pf ppf "lock-append %a +%d" File_id.pp fid len
+  | Unlock { fid; range; _ } -> Fmt.pf ppf "unlock %a %a" File_id.pp fid Byte_range.pp range
+  | Commit_file { fid; owner } ->
+    Fmt.pf ppf "commit-file %a %a" File_id.pp fid Owner.pp owner
+  | Abort_file { fid; owner } ->
+    Fmt.pf ppf "abort-file %a %a" File_id.pp fid Owner.pp owner
+  | File_size { fid } -> Fmt.pf ppf "size %a" File_id.pp fid
+  | Create_file { vid } -> Fmt.pf ppf "create-file vol%d" vid
+  | Member_join { top; txid } -> Fmt.pf ppf "member-join %a %a" Pid.pp top Txid.pp txid
+  | Merge_file_list { top; txid; files } ->
+    Fmt.pf ppf "merge-file-list %a %a (%d)" Pid.pp top Txid.pp txid (List.length files)
+  | Proc_arrive _ -> Fmt.string ppf "proc-arrive"
+  | Proc_exit_cleanup { pid; _ } -> Fmt.pf ppf "proc-exit %a" Pid.pp pid
+  | Prepare { txid; _ } -> Fmt.pf ppf "prepare %a" Txid.pp txid
+  | Commit_phase2 { txid; _ } -> Fmt.pf ppf "commit2 %a" Txid.pp txid
+  | Abort_phase2 { txid; _ } -> Fmt.pf ppf "abort2 %a" Txid.pp txid
+  | Abort_tree { txid; pid; _ } -> Fmt.pf ppf "abort-tree %a %a" Txid.pp txid Pid.pp pid
+  | Query_outcome { txid } -> Fmt.pf ppf "query-outcome %a" Txid.pp txid
+  | Find_process { pid } -> Fmt.pf ppf "find-process %a" Pid.pp pid
+  | Replica_sync { fid; _ } -> Fmt.pf ppf "replica-sync %a" File_id.pp fid
+  | Delegate_locks { fid; _ } -> Fmt.pf ppf "delegate-locks %a" File_id.pp fid
+  | Recall_locks { fid } -> Fmt.pf ppf "recall-locks %a" File_id.pp fid
+  | Ping -> Fmt.string ppf "ping"
+
+let pp_reply ppf = function
+  | R_ok -> Fmt.string ppf "ok"
+  | R_err e -> Fmt.pf ppf "err(%s)" e
+  | R_retry -> Fmt.string ppf "retry"
+  | R_data b -> Fmt.pf ppf "data(%d)" (Bytes.length b)
+  | R_int n -> Fmt.pf ppf "int(%d)" n
+  | R_fid fid -> Fmt.pf ppf "fid(%a)" File_id.pp fid
+  | R_granted -> Fmt.string ppf "granted"
+  | R_granted_data b -> Fmt.pf ppf "granted+data(%d)" (Bytes.length b)
+  | R_granted_at n -> Fmt.pf ppf "granted@%d" n
+  | R_conflict owners -> Fmt.pf ppf "conflict(%a)" Fmt.(list ~sep:comma Owner.pp) owners
+  | R_redirect s -> Fmt.pf ppf "redirect(%d)" s
+  | R_vote v -> Fmt.pf ppf "vote(%b)" v
+  | R_outcome o ->
+    Fmt.pf ppf "outcome(%a)" Fmt.(option ~none:(any "none") Log_record.pp_status) o
+  | R_found b -> Fmt.pf ppf "found(%b)" b

@@ -1,0 +1,82 @@
+(** Kernel-to-kernel lightweight message types.
+
+    One request/reply pair per kernel service, mirroring the paper's
+    protocol inventory: remote file access and locking (§5.1), file-list
+    merging and process migration (§4.1), the two-phase commit and abort
+    messages (§4.2–4.3), outcome queries for recovery (§4.4), and replica
+    propagation (§5.2). *)
+
+type t =
+  | Open of { fid : File_id.t }
+  | Close of { fid : File_id.t; owner : Owner.t; commit_on_close : bool }
+  | Read of { fid : File_id.t; reader : Owner.t; pid : Pid.t; pos : int; len : int }
+  | Write of { fid : File_id.t; owner : Owner.t; pid : Pid.t; pos : int; data : Bytes.t }
+  | Lock of {
+      fid : File_id.t;
+      owner : Owner.t;
+      pid : Pid.t;
+      mode : Mode.t;
+      range : Byte_range.t;
+      non_transaction : bool;
+      wait : bool;
+    }
+  | Lock_append of {
+      fid : File_id.t;
+      owner : Owner.t;
+      pid : Pid.t;
+      len : int;
+      mode : Mode.t;
+      non_transaction : bool;
+    }  (** lock-and-extend at EOF, atomically (§3.2) *)
+  | Unlock of { fid : File_id.t; owner : Owner.t; pid : Pid.t; range : Byte_range.t }
+  | Commit_file of { fid : File_id.t; owner : Owner.t }
+  | Abort_file of { fid : File_id.t; owner : Owner.t }
+  | File_size of { fid : File_id.t }
+  | Create_file of { vid : int }
+  | Member_join of { top : Pid.t; txid : Txid.t }
+  | Merge_file_list of {
+      top : Pid.t;
+      txid : Txid.t;
+      files : (File_id.t * int) list;
+    }  (** child's file-list travelling to the top-level process (§4.1) *)
+  | Proc_arrive of { payload : string }  (** marshalled migration payload *)
+  | Proc_exit_cleanup of { pid : Pid.t; fids : File_id.t list }
+  | Prepare of { txid : Txid.t; coordinator_site : int; files : File_id.t list }
+  | Commit_phase2 of { txid : Txid.t; files : File_id.t list }
+  | Abort_phase2 of { txid : Txid.t; files : File_id.t list }
+  | Abort_tree of { txid : Txid.t; pid : Pid.t; spare : Pid.t option }
+      (** cascade abort to the member process [pid] at the target site
+          (§4.3); [spare]'s fiber is not killed (it issued the abort) *)
+  | Query_outcome of { txid : Txid.t }
+  | Find_process of { pid : Pid.t }
+  | Replica_sync of { fid : File_id.t; size : int; pages : (int * Bytes.t) list }
+  | Delegate_locks of { fid : File_id.t; payload : string }
+      (** home storage site hands lock management for [fid] to the target
+          site (§5.2 lock-control migration); payload = marshalled lock list *)
+  | Recall_locks of { fid : File_id.t }
+      (** home storage site takes lock management back (needed before
+          prepare or data access); delegate replies [R_data] with the
+          marshalled locks, or [R_retry] while it has waiters *)
+  | Ping
+
+type reply =
+  | R_ok
+  | R_err of string
+  | R_retry  (** target process in transit — resend (§4.1) *)
+  | R_data of Bytes.t
+  | R_int of int
+  | R_fid of File_id.t
+  | R_granted
+  | R_granted_data of Bytes.t
+      (** grant with the locked range's current contents piggybacked —
+          the §5.2 prefetch optimization *)
+  | R_granted_at of int  (** offset at which an append-mode lock landed *)
+  | R_conflict of Owner.t list
+  | R_redirect of int
+      (** lock management for the file currently lives at this site *)
+  | R_vote of bool
+  | R_outcome of Log_record.status option
+  | R_found of bool
+
+val pp : t Fmt.t
+val pp_reply : reply Fmt.t

@@ -1,0 +1,1 @@
+lib/deadlock/detector.ml: Fmt Hashtbl Int Lazy List Locus_lock Option Owner Pid Txid Wfg

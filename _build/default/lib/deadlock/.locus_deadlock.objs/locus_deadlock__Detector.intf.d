@@ -1,0 +1,1 @@
+lib/deadlock/detector.mli: Fmt Locus_lock Owner

@@ -1,0 +1,1 @@
+lib/deadlock/wfg.ml: Fmt Hashtbl List Locus_lock Option Owner Pid Txid

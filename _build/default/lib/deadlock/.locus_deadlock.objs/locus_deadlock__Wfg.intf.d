@@ -1,0 +1,1 @@
+lib/deadlock/wfg.mli: Fmt Locus_lock Owner

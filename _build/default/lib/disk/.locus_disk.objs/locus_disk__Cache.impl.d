@@ -1,0 +1,1 @@
+lib/disk/cache.ml: Bytes Engine Lru Stats Volume

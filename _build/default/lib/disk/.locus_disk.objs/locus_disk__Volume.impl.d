@@ -1,0 +1,1 @@
+lib/disk/volume.ml: Array Bytes Costs Engine Hashtbl Int List Stats

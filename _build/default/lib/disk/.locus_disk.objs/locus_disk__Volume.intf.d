@@ -1,0 +1,1 @@
+lib/disk/volume.mli: Bytes Engine

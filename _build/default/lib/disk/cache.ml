@@ -1,0 +1,32 @@
+type key = int * int (* vid, page *)
+
+type t = {
+  engine : Engine.t;
+  lru : (key, Bytes.t) Lru.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity_pages = 128) engine =
+  { engine; lru = Lru.create ~capacity:capacity_pages (); hits = 0; misses = 0 }
+
+let read t vol page =
+  let key = (Volume.vid vol, page) in
+  match Lru.find t.lru key with
+  | Some b ->
+    t.hits <- t.hits + 1;
+    Stats.incr (Engine.stats t.engine) "cache.hit";
+    Bytes.copy b
+  | None ->
+    t.misses <- t.misses + 1;
+    Stats.incr (Engine.stats t.engine) "cache.miss";
+    let b = Volume.read_page vol page in
+    ignore (Lru.put t.lru key (Bytes.copy b));
+    b
+
+let put t vol page b = ignore (Lru.put t.lru (Volume.vid vol, page) (Bytes.copy b))
+let invalidate t vol page = Lru.remove t.lru (Volume.vid vol, page)
+let invalidate_volume t ~vid = Lru.filter_inplace t.lru (fun (v, _) _ -> v <> vid)
+let clear t = Lru.clear t.lru
+let hits t = t.hits
+let misses t = t.misses

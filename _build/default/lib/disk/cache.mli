@@ -1,0 +1,28 @@
+(** Per-site buffer cache of {e committed} page contents.
+
+    Volatile: lost on site crash. Holding recently used clean pages is what
+    makes the differencing commit cheap — the paper notes that the old
+    version of a page is almost always still buffered when a commit needs
+    it (§6.3), so no re-read I/O is charged on a hit. *)
+
+type t
+
+val create : ?capacity_pages:int -> Engine.t -> t
+(** [capacity_pages] defaults to 128. *)
+
+val read : t -> Volume.t -> int -> Bytes.t
+(** [read t vol page] returns the committed contents of [vol]'s [page],
+    from cache if present (no I/O), otherwise via {!Volume.read_page}
+    (blocking) and caches the result. The returned bytes are a private
+    copy. *)
+
+val put : t -> Volume.t -> int -> Bytes.t -> unit
+(** Install fresh committed contents (after a commit wrote the page). *)
+
+val invalidate : t -> Volume.t -> int -> unit
+val invalidate_volume : t -> vid:int -> unit
+val clear : t -> unit
+(** Drop everything — done when the owning site crashes. *)
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,158 @@
+type inode = { ino : int; size : int; pages : int array; version : int }
+
+type log_record = { idx : int; tag : string; payload : string; mutable live : bool }
+
+type t = {
+  engine : Engine.t;
+  vid : int;
+  page_size : int;
+  store : (int, Bytes.t) Hashtbl.t;  (* non-volatile data pages *)
+  inodes : (int, inode) Hashtbl.t;  (* non-volatile inode table *)
+  mutable next_page : int;
+  mutable free_pages : int list;
+  mutable next_inode : int;
+  mutable log : log_record list;  (* newest first *)
+  mutable next_log_idx : int;
+  mutable busy_until : int;  (* disk head horizon: I/Os serialize *)
+  mutable two_write_log : bool;
+  mutable reads : int;
+  mutable writes : int;
+  mutable log_writes : int;
+}
+
+let create engine ~vid ?(page_size = 1024) () =
+  if page_size <= 0 then invalid_arg "Volume.create: non-positive page size";
+  {
+    engine;
+    vid;
+    page_size;
+    store = Hashtbl.create 256;
+    inodes = Hashtbl.create 64;
+    next_page = 0;
+    free_pages = [];
+    next_inode = 1;
+    log = [];
+    next_log_idx = 0;
+    busy_until = 0;
+    two_write_log = false;
+    reads = 0;
+    writes = 0;
+    log_writes = 0;
+  }
+
+let vid t = t.vid
+let page_size t = t.page_size
+let engine t = t.engine
+
+(* One disk I/O: wait for the head, then seek+transfer. Serializing through
+   [busy_until] models contention on the single spindle. *)
+let io t ~kind ~bytes =
+  let dur = Costs.disk_io_us (Engine.costs t.engine) ~bytes in
+  let start = max (Engine.now t.engine) t.busy_until in
+  let finish = start + dur in
+  t.busy_until <- finish;
+  Stats.incr (Engine.stats t.engine) ("disk.io." ^ kind);
+  Engine.sleep (finish - Engine.now t.engine)
+
+let alloc_page t =
+  match t.free_pages with
+  | p :: rest ->
+    t.free_pages <- rest;
+    p
+  | [] ->
+    let p = t.next_page in
+    t.next_page <- t.next_page + 1;
+    p
+
+let free_page t p = t.free_pages <- p :: t.free_pages
+let pages_in_use t = t.next_page - List.length t.free_pages
+
+let blank t = Bytes.make t.page_size '\000'
+
+let read_page_nosim t p =
+  match Hashtbl.find_opt t.store p with
+  | Some b -> Bytes.copy b
+  | None -> blank t
+
+let read_page t p =
+  t.reads <- t.reads + 1;
+  io t ~kind:"read" ~bytes:t.page_size;
+  read_page_nosim t p
+
+let write_page t p b =
+  let page = blank t in
+  Bytes.blit b 0 page 0 (min (Bytes.length b) t.page_size);
+  t.writes <- t.writes + 1;
+  io t ~kind:"write" ~bytes:t.page_size;
+  Hashtbl.replace t.store p page
+
+let alloc_inode t =
+  let ino = t.next_inode in
+  t.next_inode <- t.next_inode + 1;
+  ino
+
+let read_inode_nosim t ino =
+  match Hashtbl.find_opt t.inodes ino with
+  | Some i -> { i with pages = Array.copy i.pages }
+  | None -> raise Not_found
+
+let read_inode t ino =
+  t.reads <- t.reads + 1;
+  io t ~kind:"read" ~bytes:t.page_size;
+  read_inode_nosim t ino
+
+let write_inode t inode =
+  t.writes <- t.writes + 1;
+  io t ~kind:"write" ~bytes:t.page_size;
+  let prev_version =
+    match Hashtbl.find_opt t.inodes inode.ino with
+    | Some old -> old.version
+    | None -> 0
+  in
+  (* Keep the allocator ahead of inodes installed directly (replica
+     propagation writes an inode the local allocator never handed out). *)
+  t.next_inode <- max t.next_inode (inode.ino + 1);
+  Hashtbl.replace t.inodes inode.ino
+    { inode with pages = Array.copy inode.pages; version = prev_version + 1 }
+
+let inode_numbers t =
+  Hashtbl.fold (fun ino _ acc -> ino :: acc) t.inodes [] |> List.sort Int.compare
+
+let inode_exists t ino = Hashtbl.mem t.inodes ino
+let free_inode t ino = Hashtbl.remove t.inodes ino
+
+let log_io t =
+  t.log_writes <- t.log_writes + 1;
+  io t ~kind:"log" ~bytes:t.page_size
+
+let log_append t ~tag payload =
+  let idx = t.next_log_idx in
+  t.next_log_idx <- idx + 1;
+  log_io t;
+  if t.two_write_log then log_io t;
+  t.log <- { idx; tag; payload; live = true } :: t.log;
+  idx
+
+let log_overwrite t idx ~tag payload =
+  log_io t;
+  match List.find_opt (fun r -> r.idx = idx) t.log with
+  | None -> invalid_arg "Volume.log_overwrite: no such record"
+  | Some r ->
+    t.log <- { idx; tag; payload; live = r.live } :: List.filter (fun r -> r.idx <> idx) t.log
+
+let log_records t =
+  List.filter_map (fun r -> if r.live then Some (r.idx, r.tag, r.payload) else None) t.log
+  |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
+
+let log_delete t idx =
+  List.iter (fun r -> if r.idx = idx then r.live <- false) t.log
+
+let set_two_write_log t v = t.two_write_log <- v
+let io_reads t = t.reads
+let io_writes t = t.writes
+let io_log_writes t = t.log_writes
+
+let reset_io_counters t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.log_writes <- 0

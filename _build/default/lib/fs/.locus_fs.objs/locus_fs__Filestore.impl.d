@@ -1,0 +1,1 @@
+lib/fs/filestore.ml: Array Byte_range Bytes Cache Costs Engine File_id Fun Hashtbl Int Intentions List Owner Range_set Stats Volume

@@ -1,0 +1,1 @@
+lib/fs/filestore.mli: Byte_range Bytes Cache Engine File_id Intentions Owner Volume

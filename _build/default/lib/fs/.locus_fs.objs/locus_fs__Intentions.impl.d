@@ -1,0 +1,1 @@
+lib/fs/intentions.ml: File_id Fmt List Marshal Owner String

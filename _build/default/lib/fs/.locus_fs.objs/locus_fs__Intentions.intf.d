@@ -1,0 +1,1 @@
+lib/fs/intentions.mli: File_id Fmt Owner

@@ -1,0 +1,124 @@
+(** Storage-site file state and the record-level commit mechanism (§5.2).
+
+    One [Filestore.t] lives in each site's kernel and manages the files
+    whose current storage (update) site this is. It holds, per open file:
+
+    - the committed inode (brought into kernel memory at open, §5.1);
+    - volatile working pages: the current contents including {e all}
+      owners' uncommitted modifications;
+    - per-owner modified byte ranges on each page — the bookkeeping that
+      lets disjoint records on a single physical page be committed or
+      aborted independently (Figure 4);
+    - prepared-but-uncommitted intentions lists.
+
+    Writes by different owners must touch disjoint bytes (the lock layer
+    enforces mutually exclusive writes; this layer asserts it — footnote
+    6). Commit takes the fast path (direct page swap) when the owner was
+    the page's only modifier at prepare time and the differencing path
+    otherwise. All volatile state vanishes on {!crash}; committed pages,
+    inodes and anything in the volume log survive. *)
+
+type t
+
+exception Conflicting_write of File_id.t * Owner.t * Owner.t
+(** Raised when a write overlaps another owner's uncommitted bytes —
+    a locking-policy violation, never expected when the lock manager is in
+    front of this layer. *)
+
+val create : Engine.t -> cache:Cache.t -> t
+val engine : t -> Engine.t
+
+val mount : t -> Volume.t -> unit
+val volume : t -> vid:int -> Volume.t option
+val volumes : t -> Volume.t list
+
+(** {1 File lifecycle} *)
+
+val create_file : t -> vid:int -> File_id.t
+(** Allocate and durably write a fresh empty inode (one I/O). Must run in
+    a fiber. *)
+
+val open_file : t -> File_id.t -> unit
+(** Bring the inode in-core (one read I/O if this is the first opener) and
+    bump the refcount. Must run in a fiber. Raises [Not_found] if the file
+    does not exist on a mounted volume. *)
+
+val close_file : t -> File_id.t -> unit
+(** Drop a reference. In-core state is evicted once the refcount reaches
+    zero and no uncommitted modifications remain. *)
+
+val file_exists : t -> File_id.t -> bool
+val is_open : t -> File_id.t -> bool
+
+val size : t -> File_id.t -> int
+(** Volatile size: committed size extended by uncommitted appends. *)
+
+val committed_size : t -> File_id.t -> int
+
+(** {1 Data access (must run in a fiber)} *)
+
+val read : t -> File_id.t -> pos:int -> len:int -> Bytes.t
+(** Current contents — committed data overlaid with all uncommitted
+    modifications. Zero-filled past end of file. Untouched pages are read
+    through the buffer cache (possible I/O); touched pages come from the
+    volatile working copy. *)
+
+val read_committed : t -> File_id.t -> pos:int -> len:int -> Bytes.t
+(** Committed contents only, bypassing uncommitted state. *)
+
+val write : t -> File_id.t -> owner:Owner.t -> pos:int -> Bytes.t -> unit
+(** Modify the volatile working pages and record [owner]'s modified
+    ranges. No disk I/O (pages flush at prepare). Raises
+    {!Conflicting_write} on overlap with another owner's uncommitted
+    bytes. *)
+
+val modified_by : t -> File_id.t -> Owner.t -> Byte_range.t list
+(** Ranges [owner] has modified and not yet committed. *)
+
+val uncommitted_overlapping : t -> File_id.t -> Byte_range.t -> Owner.t list
+(** Owners holding uncommitted modifications that intersect the range —
+    what the lock manager consults to apply §3.3 rule 2. *)
+
+val adopt : t -> File_id.t -> range:Byte_range.t -> new_owner:Owner.t -> unit
+(** Transfer uncommitted modifications of {e non-transaction} owners inside
+    [range] to [new_owner] (§3.3 rule 2: a transaction locking a dirty
+    record becomes responsible for committing it). *)
+
+(** {1 Commit and abort (must run in a fiber)} *)
+
+val prepare : t -> File_id.t -> owner:Owner.t -> Intentions.t
+(** Flush the owner's modified pages to fresh shadow slots (one write I/O
+    per page — the intrinsic data I/O of Figure 5 step 2) and return the
+    intentions list. The owner's modifications stay volatile-visible and
+    the lock state is untouched; commit or abort must follow. *)
+
+val commit_prepared : t -> Intentions.t -> unit
+(** Single-file commit (§4): transfer merge-path ranges onto the latest
+    committed pages (re-read + differencing copy, Figure 4b), atomically
+    overwrite the inode (one I/O), free replaced pages, refresh the buffer
+    cache. Works with or without volatile state, so recovery can replay
+    it from the prepare log after a crash. *)
+
+val abort_prepared : t -> Intentions.t -> unit
+(** Discard a prepared update: free its shadow slots. Used by recovery
+    when no volatile state survives; with volatile state use {!abort}. *)
+
+val abort : t -> File_id.t -> owner:Owner.t -> unit
+(** Roll back the owner's uncommitted modifications (§5.2): pages whose
+    only modifier is [owner] revert to the committed version; pages with
+    other owners' modifications get only [owner]'s ranges overwritten from
+    the old version. Frees shadow slots if the owner had prepared. *)
+
+val commit : t -> File_id.t -> owner:Owner.t -> Intentions.t
+(** [prepare] immediately followed by [commit_prepared] — the path used by
+    non-transaction processes and single-site transactions. Returns the
+    applied intentions list (for I/O accounting by callers). *)
+
+val has_uncommitted : t -> File_id.t -> bool
+val prepared_intentions : t -> File_id.t -> Intentions.t list
+
+(** {1 Failure} *)
+
+val crash : t -> unit
+(** Drop every piece of volatile state (working pages, per-owner ranges,
+    prepared lists, refcounts). The volumes themselves survive. *)

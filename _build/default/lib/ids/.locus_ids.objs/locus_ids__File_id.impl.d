@@ -1,0 +1,1 @@
+lib/ids/file_id.ml: Fmt Int Map Printf Set String

@@ -1,0 +1,1 @@
+lib/ids/file_id.mli: Fmt Map Set

@@ -1,0 +1,1 @@
+lib/ids/owner.ml: Map Pid Set Txid

@@ -1,0 +1,1 @@
+lib/ids/owner.mli: Fmt Map Pid Set Txid

@@ -1,0 +1,1 @@
+lib/ids/pid.ml: Fmt Int Map Set

@@ -1,0 +1,1 @@
+lib/ids/pid.mli: Fmt Map Set

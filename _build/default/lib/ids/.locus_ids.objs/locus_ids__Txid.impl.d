@@ -1,0 +1,1 @@
+lib/ids/txid.ml: Fmt Hashtbl Int Map Printf Set String

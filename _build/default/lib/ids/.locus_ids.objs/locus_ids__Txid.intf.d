@@ -1,0 +1,1 @@
+lib/ids/txid.mli: Fmt Map Set

@@ -1,0 +1,27 @@
+type t = { vid : int; ino : int }
+
+let make ~vid ~ino = { vid; ino }
+let equal a b = a.vid = b.vid && a.ino = b.ino
+
+let compare a b =
+  match Int.compare a.vid b.vid with 0 -> Int.compare a.ino b.ino | c -> c
+
+let pp ppf t = Fmt.pf ppf "f%d:%d" t.vid t.ino
+let to_string t = Printf.sprintf "%d:%d" t.vid t.ino
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ a; b ] -> (
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some vid, Some ino -> Some { vid; ino }
+    | _ -> None)
+  | _ -> None
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,18 @@
+(** Global file identity: logical volume number + inode number.
+
+    The transparent namespace maps path names to file ids once, at [open]
+    time; all later locking and data operations use the id (§3.2 separates
+    name mapping from locking precisely because name resolution is the
+    expensive distributed step). *)
+
+type t = { vid : int; ino : int }
+
+val make : vid:int -> ino:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+val to_string : t -> string
+val of_string : string -> t option
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

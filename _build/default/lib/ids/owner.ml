@@ -1,0 +1,29 @@
+type t = Transaction of Txid.t | Process of Pid.t
+
+let is_transaction = function Transaction _ -> true | Process _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Transaction x, Transaction y -> Txid.equal x y
+  | Process x, Process y -> Pid.equal x y
+  | Transaction _, Process _ | Process _, Transaction _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Transaction x, Transaction y -> Txid.compare x y
+  | Process x, Process y -> Pid.compare x y
+  | Transaction _, Process _ -> -1
+  | Process _, Transaction _ -> 1
+
+let pp ppf = function
+  | Transaction tx -> Txid.pp ppf tx
+  | Process p -> Pid.pp ppf p
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

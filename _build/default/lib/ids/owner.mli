@@ -1,0 +1,17 @@
+(** The party on whose behalf data is modified or locked: a transaction, or
+    a process running outside any transaction.
+
+    The distinction drives the whole synchronization design (§3.3, §5):
+    transaction owners obey two-phase locking and commit through the
+    transaction mechanism; non-transaction owners may unlock without
+    committing, leaving visible uncommitted data behind. *)
+
+type t = Transaction of Txid.t | Process of Pid.t
+
+val is_transaction : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,18 @@
+type t = { origin : int; num : int }
+
+let make ~origin ~num = { origin; num }
+let equal a b = a.origin = b.origin && a.num = b.num
+
+let compare a b =
+  match Int.compare a.origin b.origin with 0 -> Int.compare a.num b.num | c -> c
+
+let pp ppf t = Fmt.pf ppf "p%d.%d" t.origin t.num
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

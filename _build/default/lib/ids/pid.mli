@@ -1,0 +1,14 @@
+(** Network-wide process identifiers.
+
+    A pid names a process for its whole life, across migrations: it records
+    the site where the process was created and a per-site sequence number. *)
+
+type t = { origin : int; num : int }
+
+val make : origin:int -> num:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

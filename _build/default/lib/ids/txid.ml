@@ -1,0 +1,34 @@
+type t = { site : int; incarnation : int; seq : int }
+
+let make ~site ~incarnation ~seq = { site; incarnation; seq }
+let site t = t.site
+let equal a b = a.site = b.site && a.incarnation = b.incarnation && a.seq = b.seq
+
+let compare a b =
+  match Int.compare a.site b.site with
+  | 0 -> (
+    match Int.compare a.incarnation b.incarnation with
+    | 0 -> Int.compare a.seq b.seq
+    | c -> c)
+  | c -> c
+
+let hash t = Hashtbl.hash t
+let pp ppf t = Fmt.pf ppf "tx%d.%d.%d" t.site t.incarnation t.seq
+let to_string t = Printf.sprintf "%d.%d.%d" t.site t.incarnation t.seq
+
+let of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+    | Some site, Some incarnation, Some seq -> Some { site; incarnation; seq }
+    | _ -> None)
+  | _ -> None
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)

@@ -1,0 +1,22 @@
+(** Temporally unique transaction identifiers (§4.1).
+
+    A transaction id names the transaction network-wide. Uniqueness across
+    site reboots is what makes duplicate commit/abort messages harmless
+    during recovery (§4.4): ids combine the originating site, that site's
+    boot incarnation, and a per-incarnation sequence number. *)
+
+type t = { site : int; incarnation : int; seq : int }
+
+val make : site:int -> incarnation:int -> seq:int -> t
+val site : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+
+val to_string : t -> string
+val of_string : string -> t option
+(** Round-trips {!to_string}; used by the log codecs. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

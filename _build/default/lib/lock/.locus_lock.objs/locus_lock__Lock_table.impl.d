@@ -1,0 +1,1 @@
+lib/lock/lock_table.ml: Byte_range File_id Fmt List Mode Owner Pid Range_set

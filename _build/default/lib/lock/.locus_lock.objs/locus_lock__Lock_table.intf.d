@@ -1,0 +1,1 @@
+lib/lock/lock_table.mli: Byte_range File_id Fmt Mode Owner Pid

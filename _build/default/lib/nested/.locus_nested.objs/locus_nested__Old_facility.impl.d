@@ -1,0 +1,1 @@
+lib/nested/old_facility.ml: Bytes Costs Engine Hashtbl List Stats Version_stack

@@ -1,0 +1,1 @@
+lib/nested/old_facility.mli: Bytes Engine

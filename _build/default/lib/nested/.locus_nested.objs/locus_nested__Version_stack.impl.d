@@ -1,0 +1,1 @@
+lib/nested/version_stack.ml: Bytes Int List

@@ -1,0 +1,188 @@
+type outcome = Committed | Aborted
+
+exception Abort_requested
+
+type file = {
+  name : string;
+  stack : Version_stack.t;
+  mutable locked_by : int option;  (* top-level transaction id *)
+  mutable lock_queue : unit Engine.Ivar.t list;
+}
+
+type t = {
+  engine : Engine.t;
+  files : (string, file) Hashtbl.t;
+  mutable next_tid : int;
+  mutable ios : int;
+}
+
+type txn = {
+  fac : t;
+  tid : int;  (* top-level transaction id (shared by subtransactions) *)
+  mutable touched : file list;  (* files with a frame pushed at this level *)
+  parent : txn option;
+}
+
+let create engine = { engine; files = Hashtbl.create 16; next_tid = 0; ios = 0 }
+
+let create_file t name =
+  if Hashtbl.mem t.files name then invalid_arg "Old_facility.create_file: exists";
+  let f = { name; stack = Version_stack.create (); locked_by = None; lock_queue = [] } in
+  Hashtbl.replace t.files name f;
+  f
+
+let lookup t name = Hashtbl.find_opt t.files name
+
+let committed_contents t f =
+  ignore t;
+  let size = Version_stack.size f.stack in
+  Bytes.to_string (Version_stack.committed f.stack ~pos:0 ~len:size)
+
+let io_count t = t.ios
+
+let costs t = Engine.costs t.engine
+
+(* Whole-file exclusive locking, held until top-level commit (§7.1: the
+   previous design performed locking at the file level). *)
+let rec acquire_file txn f =
+  match f.locked_by with
+  | Some tid when tid = txn.tid -> ()
+  | None -> f.locked_by <- Some txn.tid
+  | Some _ ->
+    let iv = Engine.Ivar.create () in
+    f.lock_queue <- f.lock_queue @ [ iv ];
+    Engine.await iv;
+    acquire_file txn f
+
+let release_file t f =
+  f.locked_by <- None;
+  match f.lock_queue with
+  | [] -> ()
+  | iv :: rest ->
+    f.lock_queue <- rest;
+    Engine.fill t.engine iv ()
+
+(* Ensure this (sub)transaction level has its own frame on the file. *)
+let touch txn f =
+  acquire_file txn f;
+  if not (List.memq f txn.touched) then begin
+    Version_stack.push f.stack;
+    txn.touched <- f :: txn.touched
+  end
+
+let read txn f ~pos ~len =
+  touch txn f;
+  Engine.consume txn.fac.engine
+    ~instr:((costs txn.fac).Costs.rw_base_instr + Costs.copy_instr (costs txn.fac) ~bytes:len);
+  Version_stack.read f.stack ~pos ~len
+
+let write txn f ~pos data =
+  touch txn f;
+  Engine.consume txn.fac.engine
+    ~instr:
+      ((costs txn.fac).Costs.rw_base_instr
+      + Costs.copy_instr (costs txn.fac) ~bytes:(Bytes.length data));
+  Version_stack.write f.stack ~pos data
+
+let abort _txn = raise Abort_requested
+
+(* Frame merge bookkeeping: the paper calls this the expensive part of the
+   old design. Charge copy cost for every buffered byte moved. *)
+let merge_cost txn =
+  List.fold_left
+    (fun acc f -> acc + Version_stack.frame_bytes f.stack)
+    0 txn.touched
+
+let commit_frames txn =
+  Engine.consume txn.fac.engine
+    ~instr:
+      ((costs txn.fac).Costs.commit_merge_instr * max 1 (List.length txn.touched)
+      + Costs.copy_instr (costs txn.fac) ~bytes:(merge_cost txn));
+  List.iter (fun f -> Version_stack.commit_top f.stack) txn.touched
+
+let abort_frames txn = List.iter (fun f -> Version_stack.abort_top f.stack) txn.touched
+
+(* Durable commit of a top-level transaction: write the dirty bytes as
+   pages plus a commit record. *)
+let durable_commit txn =
+  let t = txn.fac in
+  let dirty = merge_cost txn in
+  let pages = max 1 ((dirty + 1023) / 1024) in
+  for _ = 1 to pages + 1 (* data pages + commit record *) do
+    t.ios <- t.ios + 1;
+    Stats.incr (Engine.stats t.engine) "nested.io";
+    Engine.sleep (Costs.disk_io_us (Engine.costs t.engine) ~bytes:1024)
+  done
+
+(* Run [body] as a new heavyweight transaction process: a real fiber plus
+   the full process-creation charge (§7.1: "the creation of a new
+   Unix-style heavy-weight process for each transaction was judged too
+   expensive"). *)
+let in_transaction_process t body =
+  Engine.consume t.engine ~instr:(Engine.costs t.engine).Costs.fork_instr;
+  Stats.incr (Engine.stats t.engine) "nested.processes";
+  let done_iv = Engine.Ivar.create () in
+  ignore
+    (Engine.spawn ~name:"old-txn-proc" t.engine (fun () ->
+         let result = try Ok (body ()) with e -> Error e in
+         Engine.fill t.engine done_iv result));
+  match Engine.await done_iv with
+  | Ok v -> v
+  | Error e -> raise e
+
+let run_transaction t body =
+  t.next_tid <- t.next_tid + 1;
+  let tid = t.next_tid in
+  let txn = { fac = t; tid; touched = []; parent = None } in
+  let result =
+    in_transaction_process t (fun () ->
+        match body txn with
+        | () -> Committed
+        | exception Abort_requested -> Aborted)
+  in
+  (match result with
+  | Committed ->
+    (* Merge the outermost frames into the base, then write. *)
+    durable_commit txn;
+    commit_frames txn
+  | Aborted -> abort_frames txn);
+  List.iter (release_file t) txn.touched;
+  result
+
+let subtransaction parent body =
+  let t = parent.fac in
+  let txn = { fac = t; tid = parent.tid; touched = []; parent = Some parent } in
+  (* The files the enclosing levels touched also need fresh frames so the
+     subtransaction's writes can be undone independently. *)
+  let rec inherited p =
+    match p with
+    | None -> []
+    | Some p -> p.touched @ inherited p.parent
+  in
+  List.iter
+    (fun f ->
+      if not (List.memq f txn.touched) then begin
+        Version_stack.push f.stack;
+        txn.touched <- f :: txn.touched
+      end)
+    (inherited (Some parent));
+  let result =
+    in_transaction_process t (fun () ->
+        match body txn with
+        | () -> Committed
+        | exception Abort_requested -> Aborted)
+  in
+  (match result with
+  | Committed -> commit_frames txn
+  | Aborted -> abort_frames txn);
+  (* Files first touched at this level stay locked by the top-level
+     transaction (2PL); hand them to the parent's bookkeeping. *)
+  List.iter
+    (fun f ->
+      if not (List.memq f parent.touched) then begin
+        (* The parent needs its own frame to continue using the file. *)
+        Version_stack.push f.stack;
+        parent.touched <- f :: parent.touched
+      end)
+    txn.touched;
+  result

@@ -1,0 +1,57 @@
+(** A reconstruction of the {e previous} Locus transaction facility
+    ([Mueller83], [Moore82]) used as the §7.1 comparison baseline.
+
+    Characteristics the paper criticizes, all reproduced here:
+
+    - {b process-based}: every transaction {e and every subtransaction} is
+      run by creating a new heavyweight process (we charge the full
+      process-creation cost and spawn a real fiber);
+    - {b fully nested}: subtransactions are first-class, implemented with
+      per-file version stacks ({!Version_stack}) whose frames must be
+      merged on every subcommit;
+    - {b whole-file locking}: a transaction's first access to a file takes
+      an exclusive lock on the entire file, held to top-level commit;
+    - {b single-site}: the 1983 prototype ran centralized; there is no
+      distribution, migration, or remote fork here.
+
+    The E13 bench runs identical work through this facility and through
+    the paper's BeginTrans/EndTrans facility and compares per-transaction
+    cost and nesting overhead. *)
+
+type t
+type file
+type txn
+
+type outcome = Committed | Aborted
+
+val create : Engine.t -> t
+(** Must run where an engine exists; operations must run in fibers. *)
+
+val create_file : t -> string -> file
+val lookup : t -> string -> file option
+
+val committed_contents : t -> file -> string
+(** Test oracle: the durably committed image. *)
+
+val io_count : t -> int
+(** Disk I/Os charged by commits so far. *)
+
+exception Abort_requested
+
+val run_transaction : t -> (txn -> unit) -> outcome
+(** Run a top-level transaction: creates a transaction process (fiber +
+    full process-creation CPU charge), acquires whole-file locks as files
+    are touched, commits on return or rolls back if {!abort} was called
+    (or the function raised). Blocks the calling fiber until done. *)
+
+val subtransaction : txn -> (txn -> unit) -> outcome
+(** Run a fully-nested subtransaction: another process creation, a version
+    frame pushed on every file the transaction has touched, frame merge on
+    commit. An aborted subtransaction only discards its own frame. *)
+
+val read : txn -> file -> pos:int -> len:int -> Bytes.t
+val write : txn -> file -> pos:int -> Bytes.t -> unit
+
+val abort : txn -> 'a
+(** Abort the current (sub)transaction: raises {!Abort_requested}, caught
+    by the enclosing {!run_transaction} / {!subtransaction}. *)

@@ -1,0 +1,101 @@
+(* Each frame stores its writes as a sorted list of (pos, bytes) extents
+   (kept disjoint by merging on write); the base is a growable byte
+   image. *)
+
+type frame = { mutable extents : (int * Bytes.t) list (* sorted by pos, disjoint *) }
+
+type t = {
+  mutable base : Bytes.t;
+  mutable base_size : int;
+  mutable frames : frame list;  (* top first *)
+}
+
+let create () = { base = Bytes.create 0; base_size = 0; frames = [] }
+let depth t = List.length t.frames
+let push t = t.frames <- { extents = [] } :: t.frames
+
+(* Merge a write into a frame's extent list, coalescing overlaps. *)
+let frame_write frame ~pos data =
+  let lo = pos and hi = pos + Bytes.length data in
+  (* Collect extents overlapping-or-adjacent to the new write. *)
+  let touching, rest =
+    List.partition
+      (fun (p, b) -> p <= hi && lo <= p + Bytes.length b)
+      frame.extents
+  in
+  let new_lo = List.fold_left (fun acc (p, _) -> min acc p) lo touching in
+  let new_hi =
+    List.fold_left (fun acc (p, b) -> max acc (p + Bytes.length b)) hi touching
+  in
+  let merged = Bytes.create (new_hi - new_lo) in
+  (* Old extents first, then the new data on top. *)
+  List.iter
+    (fun (p, b) -> Bytes.blit b 0 merged (p - new_lo) (Bytes.length b))
+    touching;
+  Bytes.blit data 0 merged (lo - new_lo) (Bytes.length data);
+  frame.extents <-
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) ((new_lo, merged) :: rest)
+
+let write t ~pos data =
+  match t.frames with
+  | [] -> invalid_arg "Version_stack.write: no open frame"
+  | top :: _ -> if Bytes.length data > 0 then frame_write top ~pos data
+
+let committed t ~pos ~len =
+  let out = Bytes.make len '\000' in
+  let avail = max 0 (min len (t.base_size - pos)) in
+  if avail > 0 then Bytes.blit t.base pos out 0 avail;
+  out
+
+let read t ~pos ~len =
+  let out = committed t ~pos ~len in
+  (* Apply frames bottom (oldest) to top so the newest write wins. *)
+  List.iter
+    (fun frame ->
+      List.iter
+        (fun (p, b) ->
+          let lo = max pos p and hi = min (pos + len) (p + Bytes.length b) in
+          if lo < hi then Bytes.blit b (lo - p) out (lo - pos) (hi - lo))
+        frame.extents)
+    (List.rev t.frames);
+  out
+
+let ensure_base t n =
+  if Bytes.length t.base < n then begin
+    let bigger = Bytes.make (max n (max 256 (2 * Bytes.length t.base))) '\000' in
+    Bytes.blit t.base 0 bigger 0 (Bytes.length t.base);
+    t.base <- bigger
+  end
+
+let commit_top t =
+  match t.frames with
+  | [] -> invalid_arg "Version_stack.commit_top: no open frame"
+  | [ top ] ->
+    (* Outermost frame: merge into the committed base. *)
+    List.iter
+      (fun (p, b) ->
+        ensure_base t (p + Bytes.length b);
+        Bytes.blit b 0 t.base p (Bytes.length b);
+        t.base_size <- max t.base_size (p + Bytes.length b))
+      top.extents;
+    t.frames <- []
+  | top :: parent :: rest ->
+    List.iter (fun (p, b) -> frame_write parent ~pos:p b) top.extents;
+    t.frames <- parent :: rest
+
+let abort_top t =
+  match t.frames with
+  | [] -> invalid_arg "Version_stack.abort_top: no open frame"
+  | _ :: rest -> t.frames <- rest
+
+let size t =
+  List.fold_left
+    (fun acc frame ->
+      List.fold_left (fun acc (p, b) -> max acc (p + Bytes.length b)) acc frame.extents)
+    t.base_size t.frames
+
+let frame_bytes t =
+  List.fold_left
+    (fun acc frame ->
+      List.fold_left (fun acc (_, b) -> acc + Bytes.length b) acc frame.extents)
+    0 t.frames

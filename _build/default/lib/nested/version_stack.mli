@@ -1,0 +1,48 @@
+(** Version stacks — the intra-transaction synchronization mechanism of
+    the {e previous} Locus transaction facility ([Mueller83], [Moore82]),
+    which the paper's design explicitly abandons (§2, §7.1: "version
+    stacks and version trees ... are unnecessary when full-nested
+    transactions are avoided").
+
+    Each open file carries a stack of versions, one per live
+    (sub)transaction frame. A subtransaction reads through the stack top;
+    its writes go to its own frame; committing a subtransaction merges its
+    frame into the parent's, aborting discards it. This module implements
+    the data structure so the old facility can be reconstructed as a
+    baseline and its bookkeeping costs measured (bench E13). *)
+
+type t
+
+val create : unit -> t
+(** A file image with no open frames: only the committed base version. *)
+
+val depth : t -> int
+(** Number of live frames (the transaction nesting depth). *)
+
+val push : t -> unit
+(** Open a frame for a new subtransaction. *)
+
+val read : t -> pos:int -> len:int -> Bytes.t
+(** Read through the stack: the topmost frame that wrote each byte wins,
+    falling through to the committed base. Zero-filled past EOF. *)
+
+val write : t -> pos:int -> Bytes.t -> unit
+(** Write into the top frame. Raises [Invalid_argument] if no frame is
+    open. *)
+
+val commit_top : t -> unit
+(** Merge the top frame into its parent (or into the committed base when
+    it is the outermost frame). *)
+
+val abort_top : t -> unit
+(** Discard the top frame. *)
+
+val committed : t -> pos:int -> len:int -> Bytes.t
+(** The base version, ignoring all open frames. *)
+
+val size : t -> int
+(** Visible size through the whole stack. *)
+
+val frame_bytes : t -> int
+(** Total bytes buffered across open frames — the bookkeeping the paper
+    calls expensive. *)

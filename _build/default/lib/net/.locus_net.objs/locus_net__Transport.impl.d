@@ -1,0 +1,1 @@
+lib/net/transport.ml: Array Costs Engine Fmt Fun List Printf Site Stats

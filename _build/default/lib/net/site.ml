@@ -1,0 +1,8 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let pp ppf s = Fmt.pf ppf "site%d" s
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

@@ -1,0 +1,13 @@
+(** Site (network node) identifiers.
+
+    A Locus network is a set of sites, each running a kernel instance.
+    Sites are numbered densely from 0. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : t Fmt.t
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,160 @@
+type error = Timeout | No_handler
+
+let pp_error ppf = function
+  | Timeout -> Fmt.string ppf "timeout"
+  | No_handler -> Fmt.string ppf "no-handler"
+
+type ('req, 'resp) site_state = {
+  id : Site.t;
+  mutable up : bool;
+  mutable incarnation : int;
+  mutable group : int;
+  mutable handler : (src:Site.t -> 'req -> 'resp) option;
+}
+
+type ('req, 'resp) t = {
+  engine : Engine.t;
+  latency_us : int;
+  rpc_timeout_us : int;
+  states : ('req, 'resp) site_state array;
+  mutable next_group : int;
+  mutable crash_watchers : (Site.t -> unit) list;
+  mutable restart_watchers : (Site.t -> unit) list;
+  mutable topology_watchers : (unit -> unit) list;
+}
+
+let create ?latency_us ?(rpc_timeout_us = 500_000) engine ~n_sites =
+  if n_sites <= 0 then invalid_arg "Transport.create: need at least one site";
+  let latency_us =
+    match latency_us with
+    | Some l -> l
+    | None -> (Engine.costs engine).Costs.msg_latency_us
+  in
+  {
+    engine;
+    latency_us;
+    rpc_timeout_us;
+    states =
+      Array.init n_sites (fun id ->
+          { id; up = true; incarnation = 0; group = 0; handler = None });
+    next_group = 1;
+    crash_watchers = [];
+    restart_watchers = [];
+    topology_watchers = [];
+  }
+
+let engine t = t.engine
+let n_sites t = Array.length t.states
+let sites t = List.init (n_sites t) Fun.id
+
+let state t s =
+  if s < 0 || s >= Array.length t.states then
+    invalid_arg (Printf.sprintf "Transport: unknown site %d" s);
+  t.states.(s)
+
+let set_handler t s h = (state t s).handler <- Some h
+let site_up t s = (state t s).up
+
+let reachable t a b =
+  let sa = state t a and sb = state t b in
+  sa.up && sb.up && (a = b || sa.group = sb.group)
+
+let notify_topology t = List.iter (fun f -> f ()) (List.rev t.topology_watchers)
+
+let crash t s =
+  let st = state t s in
+  if st.up then begin
+    st.up <- false;
+    st.incarnation <- st.incarnation + 1;
+    Engine.kill_site t.engine s;
+    List.iter (fun f -> f s) (List.rev t.crash_watchers);
+    notify_topology t
+  end
+
+let restart t s =
+  let st = state t s in
+  if not st.up then begin
+    st.up <- true;
+    st.incarnation <- st.incarnation + 1;
+    List.iter (fun f -> f s) (List.rev t.restart_watchers);
+    notify_topology t
+  end
+
+(* Each explicit group gets a fresh group number, so sites in different
+   groups of this call — and sites of this call vs. any earlier call — are
+   separated. Unmentioned sites keep their current group. *)
+let partition t groups =
+  List.iter
+    (fun members ->
+      let g = t.next_group in
+      t.next_group <- t.next_group + 1;
+      List.iter (fun s -> (state t s).group <- g) members)
+    groups;
+  notify_topology t
+
+let heal t =
+  Array.iter (fun st -> st.group <- 0) t.states;
+  notify_topology t
+
+let on_crash t f = t.crash_watchers <- f :: t.crash_watchers
+let on_restart t f = t.restart_watchers <- f :: t.restart_watchers
+let on_topology_change t f = t.topology_watchers <- f :: t.topology_watchers
+
+let stats_incr t name = Stats.incr (Engine.stats t.engine) name
+
+(* Deliver [work] at [dst] after one-way latency, provided [dst] is still
+   reachable from [src] and has not rebooted since the message was sent. *)
+let deliver t ~src ~dst work =
+  let inc = (state t dst).incarnation in
+  Engine.schedule ~delay:t.latency_us t.engine (fun () ->
+      if reachable t src dst && (state t dst).incarnation = inc then work ())
+
+let run_handler t ~src ~dst req ~on_reply =
+  match (state t dst).handler with
+  | None -> ()
+  | Some h ->
+    ignore
+      (Engine.spawn ~name:(Printf.sprintf "netsrv@%d" dst) ~site:dst t.engine
+         (fun () ->
+           Engine.consume t.engine ~instr:(Engine.costs t.engine).Costs.msg_cpu_instr;
+           let resp = h ~src req in
+           on_reply resp))
+
+let rpc t ~src ~dst req =
+  let costs = Engine.costs t.engine in
+  if src = dst then begin
+    (* Local service: no wire, no message counters (§6.2 measures exactly
+       this asymmetry). *)
+    match (state t dst).handler with
+    | None -> Error No_handler
+    | Some h -> Ok (h ~src req)
+  end
+  else begin
+    stats_incr t "net.msg";
+    Engine.consume t.engine ~instr:costs.Costs.msg_cpu_instr;
+    let reply = Engine.Ivar.create () in
+    deliver t ~src ~dst (fun () ->
+        run_handler t ~src ~dst req ~on_reply:(fun resp ->
+            stats_incr t "net.msg";
+            Engine.consume t.engine ~instr:costs.Costs.msg_cpu_instr;
+            deliver t ~src:dst ~dst:src (fun () ->
+                ignore (Engine.try_fill t.engine reply resp))));
+    match Engine.await_timeout reply ~timeout:t.rpc_timeout_us with
+    | Some resp -> Ok resp
+    | None -> Error Timeout
+  end
+
+let send t ~src ~dst req =
+  if src = dst then begin
+    match (state t dst).handler with
+    | None -> ()
+    | Some h ->
+      ignore
+        (Engine.spawn ~name:(Printf.sprintf "netsrv@%d" dst) ~site:dst t.engine
+           (fun () -> ignore (h ~src req)))
+  end
+  else begin
+    stats_incr t "net.msg";
+    deliver t ~src ~dst (fun () ->
+        run_handler t ~src ~dst req ~on_reply:(fun _ -> ()))
+  end

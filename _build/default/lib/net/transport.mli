@@ -1,0 +1,80 @@
+(** Lightweight network message transport between simulated sites.
+
+    Models the special-purpose kernel-to-kernel protocol Locus uses instead
+    of a general-purpose protocol stack [Popek81]: a request is one message,
+    the reply is one message, and the server side runs as a lightweight
+    kernel activity at the destination site.
+
+    Failure semantics match what the paper's recovery design needs:
+    messages to crashed or partitioned sites vanish; a site crash kills all
+    server activities running there; senders discover failures by timeout.
+    Topology changes (crash, restart, partition) are announced to watchers,
+    which is how the transaction layer learns to abort transactions that
+    span a lost site (§4.3). *)
+
+type ('req, 'resp) t
+
+type error =
+  | Timeout  (** no reply within the timeout: site down, partitioned, or crashed mid-request *)
+  | No_handler  (** destination site has no registered kernel handler *)
+
+val pp_error : error Fmt.t
+
+val create :
+  ?latency_us:int -> ?rpc_timeout_us:int -> Engine.t -> n_sites:int -> ('req, 'resp) t
+(** [create engine ~n_sites] makes a transport for sites [0 .. n_sites-1],
+    all up and mutually connected. [latency_us] defaults to the engine cost
+    model's one-way message latency; [rpc_timeout_us] defaults to 500 ms of
+    virtual time. *)
+
+val engine : ('req, 'resp) t -> Engine.t
+val n_sites : ('req, 'resp) t -> int
+val sites : ('req, 'resp) t -> Site.t list
+
+val set_handler :
+  ('req, 'resp) t -> Site.t -> (src:Site.t -> 'req -> 'resp) -> unit
+(** Install the kernel message handler for a site. The handler runs in a
+    fresh fiber at the destination (it may block, perform nested RPCs,
+    sleep, ...). Its return value is sent back as the reply. *)
+
+(** {1 Messaging (call from inside a fiber)} *)
+
+val rpc :
+  ('req, 'resp) t -> src:Site.t -> dst:Site.t -> 'req -> ('resp, error) result
+(** Send a request and await the reply. Charges send/receive CPU per the
+    cost model and one-way latency each direction. A request to the local
+    site still goes through the handler but skips the wire (no latency, no
+    message counters) — matching the paper's local/remote asymmetry. *)
+
+val send : ('req, 'resp) t -> src:Site.t -> dst:Site.t -> 'req -> unit
+(** One-way, best-effort message (used for asynchronous phase-2 commit
+    messages, §4.2). The reply, if any, is discarded. Never blocks. *)
+
+(** {1 Topology} *)
+
+val site_up : ('req, 'resp) t -> Site.t -> bool
+
+val reachable : ('req, 'resp) t -> Site.t -> Site.t -> bool
+(** Both sites up and in the same partition. A site always reaches
+    itself while up. *)
+
+val crash : ('req, 'resp) t -> Site.t -> unit
+(** Take the site down: kill its fibers, drop in-flight messages to it,
+    notify crash and topology watchers. Idempotent. *)
+
+val restart : ('req, 'resp) t -> Site.t -> unit
+(** Bring a crashed site back up and notify restart/topology watchers
+    (the kernel's watcher runs transaction recovery, §4.4). *)
+
+val partition : ('req, 'resp) t -> Site.t list list -> unit
+(** Impose a partition: sites in different groups cannot communicate.
+    Sites not mentioned keep their current group. *)
+
+val heal : ('req, 'resp) t -> unit
+(** Remove all partitions. *)
+
+val on_crash : ('req, 'resp) t -> (Site.t -> unit) -> unit
+val on_restart : ('req, 'resp) t -> (Site.t -> unit) -> unit
+
+val on_topology_change : ('req, 'resp) t -> (unit -> unit) -> unit
+(** Fires after any crash, restart, partition or heal. *)

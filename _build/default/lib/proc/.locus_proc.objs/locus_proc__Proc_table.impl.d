@@ -1,0 +1,1 @@
+lib/proc/proc_table.ml: Hashtbl Pid Process Txid

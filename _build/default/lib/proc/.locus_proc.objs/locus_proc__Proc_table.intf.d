@@ -1,0 +1,1 @@
+lib/proc/proc_table.mli: Pid Process Txid

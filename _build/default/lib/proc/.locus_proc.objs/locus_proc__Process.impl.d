@@ -1,0 +1,1 @@
+lib/proc/process.ml: File_id Fmt List Owner Pid Txid

@@ -1,0 +1,1 @@
+lib/proc/process.mli: File_id Fmt Owner Pid Txid

@@ -1,0 +1,32 @@
+type t = {
+  site : int;
+  table : (Pid.t, Process.t) Hashtbl.t;
+  mutable next_num : int;
+}
+
+let create ~site = { site; table = Hashtbl.create 32; next_num = 0 }
+let site t = t.site
+
+let alloc_pid t =
+  t.next_num <- t.next_num + 1;
+  Pid.make ~origin:t.site ~num:t.next_num
+
+let insert t p =
+  if Hashtbl.mem t.table p.Process.pid then
+    invalid_arg "Proc_table.insert: pid already present";
+  Hashtbl.replace t.table p.Process.pid p
+
+let remove t pid = Hashtbl.remove t.table pid
+let find t pid = Hashtbl.find_opt t.table pid
+let mem t pid = Hashtbl.mem t.table pid
+let processes t = Hashtbl.fold (fun _ p acc -> p :: acc) t.table []
+
+let members_of t txid =
+  Hashtbl.fold
+    (fun _ p acc ->
+      match p.Process.txid with
+      | Some tx when Txid.equal tx txid -> p :: acc
+      | Some _ | None -> acc)
+    t.table []
+
+let clear t = Hashtbl.reset t.table

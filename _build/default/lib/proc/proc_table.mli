@@ -1,0 +1,24 @@
+(** Per-site process table. *)
+
+type t
+
+val create : site:int -> t
+val site : t -> int
+
+val alloc_pid : t -> Pid.t
+(** Fresh pid with this site as origin. *)
+
+val insert : t -> Process.t -> unit
+(** Register a process at this site (birth or arrival of a migration).
+    Raises [Invalid_argument] if the pid is already present. *)
+
+val remove : t -> Pid.t -> unit
+val find : t -> Pid.t -> Process.t option
+val mem : t -> Pid.t -> bool
+val processes : t -> Process.t list
+
+val members_of : t -> Txid.t -> Process.t list
+(** Local member processes of the given transaction. *)
+
+val clear : t -> unit
+(** Site crash: every local process dies. *)

@@ -1,0 +1,78 @@
+type status = Running | In_transit | Exited
+
+type open_file = {
+  chan : int;
+  fid : File_id.t;
+  mutable pos : int;
+  mutable append : bool;
+}
+
+type t = {
+  pid : Pid.t;
+  mutable site : int;
+  mutable parent : Pid.t option;
+  mutable children : Pid.Set.t;
+  mutable txid : Txid.t option;
+  mutable top_level : bool;
+  mutable nesting : int;
+  mutable file_list : File_id.Set.t;
+  mutable channels : open_file list;
+  mutable next_chan : int;
+  mutable status : status;
+}
+
+let create ~pid ~site ~parent =
+  {
+    pid;
+    site;
+    parent;
+    children = Pid.Set.empty;
+    txid = None;
+    top_level = false;
+    nesting = 0;
+    file_list = File_id.Set.empty;
+    channels = [];
+    next_chan = 0;
+    status = Running;
+  }
+
+let fork_child t ~pid ~site =
+  {
+    pid;
+    site;
+    parent = Some t.pid;
+    children = Pid.Set.empty;
+    txid = t.txid;
+    top_level = false;
+    nesting = t.nesting;
+    file_list = File_id.Set.empty;
+    channels =
+      List.map
+        (fun c -> { chan = c.chan; fid = c.fid; pos = c.pos; append = c.append })
+        t.channels;
+    next_chan = t.next_chan;
+    status = Running;
+  }
+
+let in_transaction t = t.txid <> None
+
+let owner t =
+  match t.txid with
+  | Some tx -> Owner.Transaction tx
+  | None -> Owner.Process t.pid
+
+let add_channel t fid =
+  let chan = t.next_chan in
+  t.next_chan <- chan + 1;
+  t.channels <- { chan; fid; pos = 0; append = false } :: t.channels;
+  chan
+
+let channel t chan = List.find_opt (fun c -> c.chan = chan) t.channels
+let close_channel t chan = t.channels <- List.filter (fun c -> c.chan <> chan) t.channels
+let note_file_use t fid = t.file_list <- File_id.Set.add fid t.file_list
+
+let pp ppf t =
+  Fmt.pf ppf "%a@site%d%s%a" Pid.pp t.pid t.site
+    (match t.status with Running -> "" | In_transit -> "(transit)" | Exited -> "(exited)")
+    Fmt.(option (fun ppf tx -> Fmt.pf ppf " in %a" Txid.pp tx))
+    t.txid

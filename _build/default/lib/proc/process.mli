@@ -1,0 +1,53 @@
+(** Process records.
+
+    A Locus process lives at exactly one site at a time but may migrate;
+    its pid never changes. Transaction membership is inherited by children
+    (§3.1) along with their open file channels, Unix-style. The
+    [In_transit] status is the flag that makes migration atomic with
+    respect to arriving file-list merge messages (§4.1): a site that finds
+    the target process in transit bounces the message back for retry. *)
+
+type status = Running | In_transit | Exited
+
+type open_file = {
+  chan : int;
+  fid : File_id.t;
+  mutable pos : int;  (** current file pointer (lock requests use it, §3.2) *)
+  mutable append : bool;  (** append mode: lock requests are EOF-relative *)
+}
+
+type t = {
+  pid : Pid.t;
+  mutable site : int;  (** current execution site *)
+  mutable parent : Pid.t option;
+  mutable children : Pid.Set.t;
+  mutable txid : Txid.t option;  (** transaction membership, inherited *)
+  mutable top_level : bool;  (** the process that issued the outermost BeginTrans *)
+  mutable nesting : int;  (** BeginTrans/EndTrans nesting counter (§2) *)
+  mutable file_list : File_id.Set.t;
+      (** files this process used inside the transaction (§4.1) *)
+  mutable channels : open_file list;
+  mutable next_chan : int;
+  mutable status : status;
+}
+
+val create : pid:Pid.t -> site:int -> parent:Pid.t option -> t
+
+val fork_child : t -> pid:Pid.t -> site:int -> t
+(** Child inherits transaction membership, open channels (with positions)
+    and nothing else; its file-list starts empty and merges back at
+    exit. *)
+
+val in_transaction : t -> bool
+val owner : t -> Owner.t
+(** The synchronization identity: the transaction if inside one, otherwise
+    the process itself. *)
+
+val add_channel : t -> File_id.t -> int
+(** Open a new channel on a (name-mapped) file; returns the channel
+    number. *)
+
+val channel : t -> int -> open_file option
+val close_channel : t -> int -> unit
+val note_file_use : t -> File_id.t -> unit
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Costs Effect Hashtbl List Option Pqueue Printexc Printf Prng Stats Trace

@@ -1,0 +1,241 @@
+type time = int
+
+exception Killed
+
+type fiber = { fid : int; mutable fsite : int; fname : string; mutable alive : bool }
+
+module Fiber = struct
+  type handle = fiber
+
+  let id f = f.fid
+  let site f = f.fsite
+  let name f = f.fname
+  let alive f = f.alive
+end
+
+type event = { mutable cancelled : bool; ef : unit -> unit }
+
+type t = {
+  mutable now : time;
+  mutable seq : int;
+  events : event Pqueue.t;
+  live : (int, fiber) Hashtbl.t;
+  mutable next_fid : int;
+  stats : Stats.t;
+  costs : Costs.t;
+  prng : Prng.t;
+  trace : Trace.t;
+  mutable current : fiber option;
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+}
+
+module Ivar = struct
+  type 'a state = Empty of ('a -> unit) list | Full of 'a
+  type 'a t = { mutable state : 'a state }
+
+  let create () = { state = Empty [] }
+  let is_full iv = match iv.state with Full _ -> true | Empty _ -> false
+  let peek iv = match iv.state with Full v -> Some v | Empty _ -> None
+end
+
+type _ Effect.t +=
+  | Sleep_eff : time -> unit Effect.t
+  | Await_eff : 'a Ivar.t -> 'a Effect.t
+  | Await_timeout_eff : 'a Ivar.t * time -> 'a option Effect.t
+
+let create ?(seed = 42) ?(costs = Costs.default) () =
+  {
+    now = 0;
+    seq = 0;
+    events = Pqueue.create ();
+    live = Hashtbl.create 64;
+    next_fid = 0;
+    stats = Stats.create ();
+    costs;
+    prng = Prng.create ~seed;
+    trace = Trace.create ();
+    current = None;
+    failure = None;
+  }
+
+let now t = t.now
+let stats t = t.stats
+let trace t = t.trace
+let costs t = t.costs
+let prng t = t.prng
+let live_fibers t = Hashtbl.length t.live
+
+let schedule ?(delay = 0) t f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  t.seq <- t.seq + 1;
+  Pqueue.push t.events ~time:(t.now + delay) ~seq:t.seq { cancelled = false; ef = f }
+
+(* Like [schedule], returning a canceller: a cancelled event is skipped
+   without advancing the clock, so abandoned timers (e.g. an await_timeout
+   whose ivar filled first) do not stretch virtual time. *)
+let schedule_cancellable ?(delay = 0) t f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  t.seq <- t.seq + 1;
+  let e = { cancelled = false; ef = f } in
+  Pqueue.push t.events ~time:(t.now + delay) ~seq:t.seq e;
+  fun () -> e.cancelled <- true
+
+let record_failure t e =
+  if t.failure = None then t.failure <- Some (e, Printexc.get_raw_backtrace ())
+
+let finish t fiber =
+  fiber.alive <- false;
+  Hashtbl.remove t.live fiber.fid
+
+(* Resume a suspended fiber continuation after [delay], honoring kill: a
+   dead fiber's continuation is discontinued with [Killed] so its stack
+   unwinds (running any Fun.protect finalizers on the way out). *)
+let resume :
+    type a. ?delay:time -> t -> fiber -> (a, unit) Effect.Deep.continuation -> a -> unit =
+ fun ?delay t fiber k v ->
+  schedule ?delay t (fun () ->
+      let prev = t.current in
+      t.current <- Some fiber;
+      (if fiber.alive then Effect.Deep.continue k v
+       else Effect.Deep.discontinue k Killed);
+      t.current <- prev)
+
+let handler t fiber =
+  let open Effect.Deep in
+  {
+    retc = (fun () -> finish t fiber);
+    exnc =
+      (fun e ->
+        (match e with Killed -> () | e -> record_failure t e);
+        finish t fiber);
+    effc =
+      (fun (type b) (eff : b Effect.t) ->
+        match eff with
+        | Sleep_eff d ->
+          Some
+            (fun (k : (b, unit) continuation) ->
+              resume ~delay:(max 0 d) t fiber k ())
+        | Await_eff iv ->
+          Some
+            (fun (k : (b, unit) continuation) ->
+              match iv.Ivar.state with
+              | Ivar.Full v -> continue k v
+              | Ivar.Empty waiters ->
+                let cb v = resume t fiber k v in
+                iv.Ivar.state <- Ivar.Empty (cb :: waiters))
+        | Await_timeout_eff (iv, timeout) ->
+          Some
+            (fun (k : (b, unit) continuation) ->
+              match iv.Ivar.state with
+              | Ivar.Full v -> continue k (Some v)
+              | Ivar.Empty waiters ->
+                let fired = ref false in
+                let cancel_timer = ref (fun () -> ()) in
+                let cb v =
+                  if not !fired then begin
+                    fired := true;
+                    !cancel_timer ();
+                    resume t fiber k (Some v)
+                  end
+                in
+                iv.Ivar.state <- Ivar.Empty (cb :: waiters);
+                cancel_timer :=
+                  schedule_cancellable ~delay:(max 0 timeout) t (fun () ->
+                      if not !fired then begin
+                        fired := true;
+                        resume t fiber k None
+                      end))
+        | _ -> None);
+  }
+
+let spawn ?(name = "fiber") ?(site = -1) t fn =
+  t.next_fid <- t.next_fid + 1;
+  let fiber = { fid = t.next_fid; fsite = site; fname = name; alive = true } in
+  Hashtbl.add t.live fiber.fid fiber;
+  schedule t (fun () ->
+      if fiber.alive then begin
+        let prev = t.current in
+        t.current <- Some fiber;
+        Effect.Deep.match_with fn () (handler t fiber);
+        t.current <- prev
+      end
+      else finish t fiber);
+  fiber
+
+let kill t fiber =
+  if fiber.alive then begin
+    fiber.alive <- false;
+    Hashtbl.remove t.live fiber.fid
+  end
+
+let set_site _t fiber site = fiber.fsite <- site
+
+let kill_site t site =
+  let doomed =
+    Hashtbl.fold (fun _ f acc -> if f.fsite = site then f :: acc else acc) t.live []
+  in
+  List.iter (kill t) doomed
+
+let fill _t iv v =
+  match iv.Ivar.state with
+  | Ivar.Full _ -> invalid_arg "Engine.fill: ivar already full"
+  | Ivar.Empty waiters ->
+    iv.Ivar.state <- Ivar.Full v;
+    List.iter (fun cb -> cb v) (List.rev waiters)
+
+let try_fill t iv v =
+  match iv.Ivar.state with
+  | Ivar.Full _ -> false
+  | Ivar.Empty _ ->
+    fill t iv v;
+    true
+
+let sleep d = Effect.perform (Sleep_eff d)
+let yield () = sleep 0
+let await iv = Effect.perform (Await_eff iv)
+let await_timeout iv ~timeout = Effect.perform (Await_timeout_eff (iv, timeout))
+
+let consume t ~instr =
+  Stats.add t.stats "cpu.instr" instr;
+  (match t.current with
+  | Some f when f.fsite >= 0 ->
+    Stats.add t.stats (Printf.sprintf "cpu.instr.site%d" f.fsite) instr
+  | Some _ | None -> ());
+  sleep (Costs.instr_us t.costs instr)
+
+let run ?(max_events = 50_000_000) ?until t =
+  let fired = ref 0 in
+  let rec loop () =
+    match t.failure with
+    | Some _ -> ()
+    | None -> (
+      match Pqueue.peek_time t.events with
+      | None -> ()
+      | Some time when (match until with Some u -> time > u | None -> false) ->
+        t.now <- Option.get until
+      | Some _ -> (
+        match Pqueue.pop t.events with
+        | None -> ()
+        | Some (time, _, e) ->
+          if e.cancelled then loop ()
+          else begin
+            t.now <- max t.now time;
+            incr fired;
+            if !fired > max_events then
+              failwith "Engine.run: max_events exceeded (virtual livelock?)";
+            e.ef ();
+            loop ()
+          end))
+  in
+  loop ();
+  match t.failure with
+  | Some (e, bt) ->
+    t.failure <- None;
+    Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let run_fn ?seed ?costs f =
+  let t = create ?seed ?costs () in
+  f t;
+  run t;
+  t

@@ -1,0 +1,67 @@
+type 'a entry = { time : int; seq : int; value : 'a }
+
+type 'a t = { mutable arr : 'a entry array; mutable size : int }
+
+let create () = { arr = [||]; size = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.arr in
+  if t.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    let narr = Array.make ncap t.arr.(0) in
+    Array.blit t.arr 0 narr 0 t.size;
+    t.arr <- narr
+  end
+
+let push t ~time ~seq value =
+  let e = { time; seq; value } in
+  if Array.length t.arr = 0 then t.arr <- Array.make 16 e else grow t;
+  t.arr.(t.size) <- e;
+  t.size <- t.size + 1;
+  (* Sift up. *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    less t.arr.(!i) t.arr.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.arr.(!i) in
+    t.arr.(!i) <- t.arr.(parent);
+    t.arr.(parent) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.arr.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.arr.(0) <- t.arr.(t.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && less t.arr.(l) t.arr.(!smallest) then smallest := l;
+        if r < t.size && less t.arr.(r) t.arr.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.arr.(!i) in
+          t.arr.(!i) <- t.arr.(!smallest);
+          t.arr.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.time, top.seq, top.value)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.arr.(0).time

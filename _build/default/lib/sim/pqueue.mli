@@ -1,0 +1,19 @@
+(** Mutable binary min-heap keyed by [(time, seq)].
+
+    The sequence number makes event ordering a total order, which in turn
+    makes the whole simulation deterministic: two events scheduled for the
+    same instant fire in scheduling order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> time:int -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (int * int * 'a) option
+(** Remove and return the minimum [(time, seq, value)]. *)
+
+val peek_time : 'a t -> int option
+(** Time of the minimum element, without removing it. *)

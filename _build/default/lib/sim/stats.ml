@@ -1,0 +1,73 @@
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  series : (string, int list ref) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 32 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.counters name r;
+    r
+
+let incr t name = incr (counter_ref t name)
+let add t name n = counter_ref t name := !(counter_ref t name) + n
+let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+let reset t name = match Hashtbl.find_opt t.counters name with Some r -> r := 0 | None -> ()
+
+let reset_all t =
+  Hashtbl.iter (fun _ r -> r := 0) t.counters;
+  Hashtbl.reset t.series
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let sample t name v =
+  match Hashtbl.find_opt t.series name with
+  | Some r -> r := v :: !r
+  | None -> Hashtbl.add t.series name (ref [ v ])
+
+let samples t name =
+  match Hashtbl.find_opt t.series name with Some r -> List.rev !r | None -> []
+
+module Summary = struct
+  type t = { n : int; mean : float; min : int; max : int; p50 : int; p95 : int }
+
+  let pp ppf s =
+    Fmt.pf ppf "n=%d mean=%.1f min=%d p50=%d p95=%d max=%d" s.n s.mean s.min
+      s.p50 s.p95 s.max
+end
+
+let summary t name =
+  match samples t name with
+  | [] -> None
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort Int.compare a;
+    let n = Array.length a in
+    let pct p = a.(min (n - 1) (p * n / 100)) in
+    let total = Array.fold_left ( + ) 0 a in
+    Some
+      Summary.
+        {
+          n;
+          mean = float_of_int total /. float_of_int n;
+          min = a.(0);
+          max = a.(n - 1);
+          p50 = pct 50;
+          p95 = pct 95;
+        }
+
+let pp ppf t =
+  List.iter (fun (k, v) -> Fmt.pf ppf "%-40s %d@." k v) (counters t);
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) t.series [] in
+  List.iter
+    (fun k ->
+      match summary t k with
+      | Some s -> Fmt.pf ppf "%-40s %a@." k Summary.pp s
+      | None -> ())
+    (List.sort String.compare names)

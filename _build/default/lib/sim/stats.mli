@@ -1,0 +1,41 @@
+(** Named counters and latency samples gathered during a simulation run.
+
+    The benchmark harness reads these to reproduce the paper's tables:
+    disk-I/O counts drive Figure 5, and latency samples drive Figure 6 and
+    the §6.2 locking measurements. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val incr : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** [get t name] is the counter value, 0 if never touched. *)
+
+val reset : t -> string -> unit
+val reset_all : t -> unit
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {1 Latency / value samples} *)
+
+val sample : t -> string -> int -> unit
+(** Record one sample (e.g. a latency in µs) under [name]. *)
+
+val samples : t -> string -> int list
+(** Samples in recording order; [] if none. *)
+
+module Summary : sig
+  type t = { n : int; mean : float; min : int; max : int; p50 : int; p95 : int }
+
+  val pp : t Fmt.t
+end
+
+val summary : t -> string -> Summary.t option
+
+val pp : t Fmt.t
+(** Render all counters and sample summaries, for debugging. *)

@@ -1,0 +1,79 @@
+type category = Net | Disk | Lock | Txn | Proc | Fs | Recovery | User
+
+let pp_category ppf c =
+  Fmt.string ppf
+    (match c with
+    | Net -> "net"
+    | Disk -> "disk"
+    | Lock -> "lock"
+    | Txn -> "txn"
+    | Proc -> "proc"
+    | Fs -> "fs"
+    | Recovery -> "recovery"
+    | User -> "user")
+
+let category_of_string = function
+  | "net" -> Some Net
+  | "disk" -> Some Disk
+  | "lock" -> Some Lock
+  | "txn" -> Some Txn
+  | "proc" -> Some Proc
+  | "fs" -> Some Fs
+  | "recovery" -> Some Recovery
+  | "user" -> Some User
+  | _ -> None
+
+type event = { at : int; cat : category; site : int; text : string }
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable next : int;
+  mutable count : int;
+  mutable active : category list option;  (* None = disabled *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: non-positive capacity";
+  { capacity; ring = Array.make capacity None; next = 0; count = 0; active = None }
+
+let enable ?(categories = [ Net; Disk; Lock; Txn; Proc; Fs; Recovery; User ]) t =
+  t.active <- Some categories
+
+let disable t = t.active <- None
+
+let enabled t cat =
+  match t.active with None -> false | Some cats -> List.mem cat cats
+
+let emit t ~at ~cat ~site text =
+  if enabled t cat then begin
+    t.ring.(t.next) <- Some { at; cat; site; text };
+    t.next <- (t.next + 1) mod t.capacity;
+    t.count <- min (t.count + 1) t.capacity
+  end
+
+let emitf t ~at ~cat ~site fmt =
+  Format.kasprintf
+    (fun s -> if enabled t cat then emit t ~at ~cat ~site s)
+    fmt
+
+let events t =
+  let out = ref [] in
+  for i = 0 to t.count - 1 do
+    let idx = (t.next - t.count + i + t.capacity * 2) mod t.capacity in
+    match t.ring.(idx) with Some e -> out := e :: !out | None -> ()
+  done;
+  List.rev !out
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.count <- 0
+
+let pp_event ppf e =
+  let cat = Fmt.str "%a" pp_category e.cat in
+  Fmt.pf ppf "%10.3f ms  %-8s site%-2d  %s"
+    (float_of_int e.at /. 1000.)
+    cat e.site e.text
+
+let dump ppf t = List.iter (fun e -> Fmt.pf ppf "%a@." pp_event e) (events t)

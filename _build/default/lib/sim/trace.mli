@@ -1,0 +1,42 @@
+(** Structured execution tracing.
+
+    A bounded ring of [(virtual time, category, site, message)] events,
+    off by default and cheap when disabled. The kernel emits events at
+    protocol points (message handling, lock grants, commit steps, crashes,
+    recovery); tests and `locusctl --trace` read them back. Because the
+    simulation is deterministic, a trace is a reproducible artifact: the
+    same seed always yields the same trace. *)
+
+type category = Net | Disk | Lock | Txn | Proc | Fs | Recovery | User
+
+val pp_category : category Fmt.t
+val category_of_string : string -> category option
+
+type event = { at : int; cat : category; site : int; text : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring capacity defaults to 4096 events. Tracing starts disabled. *)
+
+val enable : ?categories:category list -> t -> unit
+(** Enable tracing, optionally restricted to the given categories. *)
+
+val disable : t -> unit
+val enabled : t -> category -> bool
+
+val emit : t -> at:int -> cat:category -> site:int -> string -> unit
+(** Record an event (dropped when the category is disabled). The string
+    should be built lazily by callers: guard with {!enabled} when the
+    message is expensive to render. *)
+
+val emitf :
+  t -> at:int -> cat:category -> site:int -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatting variant; the format is only rendered when enabled. *)
+
+val events : t -> event list
+(** Oldest first; at most [capacity] most recent events. *)
+
+val clear : t -> unit
+val pp_event : event Fmt.t
+val dump : t Fmt.t

@@ -1,0 +1,1 @@
+lib/txn/coord_log.ml: Bytes List Log_record Option Txid Volume

@@ -1,0 +1,1 @@
+lib/txn/coord_log.mli: File_id Log_record Txid Volume

@@ -1,0 +1,1 @@
+lib/txn/log_record.ml: File_id Fmt Intentions List Marshal String Txid

@@ -1,0 +1,1 @@
+lib/txn/log_record.mli: File_id Fmt Intentions Txid

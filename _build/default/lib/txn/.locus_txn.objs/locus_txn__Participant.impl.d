@@ -1,0 +1,1 @@
+lib/txn/participant.ml: Bytes File_id Filestore Hashtbl Intentions List Log_record Option Owner Txid Volume

@@ -1,0 +1,1 @@
+lib/txn/participant.mli: File_id Filestore Intentions Txid

@@ -1,0 +1,1 @@
+lib/txn/txn_state.ml: File_id List Pid Txid

@@ -1,0 +1,1 @@
+lib/txn/txn_state.mli: File_id Pid Txid

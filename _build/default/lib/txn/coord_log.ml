@@ -1,0 +1,60 @@
+type t = {
+  vol : Volume.t;
+  mutable index : (Txid.t * (int * Log_record.coordinator)) list;  (* volatile *)
+}
+
+let create vol = { vol; index = [] }
+let volume t = t.vol
+
+let begin_commit t ~txid ~files =
+  let record = { Log_record.txid; files; status = Log_record.Unknown } in
+  let idx =
+    Volume.log_append t.vol ~tag:Log_record.coord_tag
+      (Log_record.encode (Log_record.Coordinator record))
+  in
+  t.index <- (txid, (idx, record)) :: t.index
+
+let find t txid =
+  List.find_opt (fun (tx, _) -> Txid.equal tx txid) t.index |> Option.map snd
+
+let decide t ~txid status =
+  match find t txid with
+  | None -> invalid_arg "Coord_log.decide: unknown transaction"
+  | Some (idx, record) ->
+    let record = { record with Log_record.status } in
+    Volume.log_overwrite t.vol idx ~tag:Log_record.coord_tag
+      (Log_record.encode (Log_record.Coordinator record));
+    t.index <-
+      (txid, (idx, record))
+      :: List.filter (fun (tx, _) -> not (Txid.equal tx txid)) t.index
+
+let finished t ~txid =
+  match find t txid with
+  | None -> ()
+  | Some (idx, _) ->
+    Volume.log_delete t.vol idx;
+    t.index <- List.filter (fun (tx, _) -> not (Txid.equal tx txid)) t.index
+
+let outcome t txid = Option.map (fun (_, r) -> r.Log_record.status) (find t txid)
+
+let scan t =
+  t.index <- [];
+  let records =
+    List.filter_map
+      (fun (idx, tag, payload) ->
+        if tag <> Log_record.coord_tag then None
+        else
+          match Log_record.decode payload with
+          | Some (Log_record.Coordinator c) -> Some (idx, c)
+          | Some (Log_record.Prepare _) | None -> None)
+      (Volume.log_records t.vol)
+  in
+  List.iter
+    (fun ((idx : int), (c : Log_record.coordinator)) ->
+      (* One read I/O per surviving record examined at reboot. *)
+      let (_ : Bytes.t) = Volume.read_page t.vol 0 in
+      t.index <- (c.Log_record.txid, (idx, c)) :: t.index)
+    records;
+  List.map snd records
+
+let pending t = List.map (fun (tx, (_, r)) -> (tx, r)) t.index

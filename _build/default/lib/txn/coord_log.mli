@@ -1,0 +1,39 @@
+(** The coordinator log (first log level, §4.2).
+
+    One per site, kept on a volume stored at that site. A record is
+    written with status [Unknown] before any prepare message goes out;
+    overwriting the status to [Committed] is the transaction's commit
+    point; the record is retained until phase-2 processing has finished
+    everywhere (§4.4), then deleted.
+
+    The volatile [index] map is rebuilt by {!scan} after a crash. *)
+
+type t
+
+val create : Volume.t -> t
+val volume : t -> Volume.t
+
+val begin_commit : t -> txid:Txid.t -> files:(File_id.t * int) list -> unit
+(** Write the initial [Unknown] record — one log I/O (Figure 5 step 1).
+    Must run in a fiber. *)
+
+val decide : t -> txid:Txid.t -> Log_record.status -> unit
+(** Overwrite the record's status — the commit (or abort) point, one log
+    I/O (Figure 5 step 4). Must run in a fiber. Raises [Invalid_argument]
+    if no record for the transaction exists. *)
+
+val finished : t -> txid:Txid.t -> unit
+(** Drop the record once all participants acknowledged phase 2 (§4.4). *)
+
+val outcome : t -> Txid.t -> Log_record.status option
+(** What this coordinator knows about the transaction: [None] = no record
+    (either never coordinated here, or already finished — in-doubt
+    participants must abort, the presumed-abort convention). *)
+
+val scan : t -> Log_record.coordinator list
+(** All live coordinator records, for the reboot-time recovery pass
+    (§4.4). Rebuilds the volatile index as a side effect. Charges one read
+    I/O per record. Must run in a fiber. *)
+
+val pending : t -> (Txid.t * Log_record.coordinator) list
+(** Volatile view of live records. *)

@@ -1,0 +1,45 @@
+type status = Unknown | Committed | Aborted
+
+let pp_status ppf = function
+  | Unknown -> Fmt.string ppf "unknown"
+  | Committed -> Fmt.string ppf "committed"
+  | Aborted -> Fmt.string ppf "aborted"
+
+type coordinator = {
+  txid : Txid.t;
+  files : (File_id.t * int) list;
+  status : status;
+}
+
+type prepare = {
+  txid : Txid.t;
+  coordinator_site : int;
+  intentions : Intentions.t list;
+  locked : File_id.t list;
+}
+
+type t = Coordinator of coordinator | Prepare of prepare
+
+let coord_tag = "coord"
+let prepare_tag = "prep"
+let magic = "TLOG1:"
+
+let encode t = magic ^ Marshal.to_string t []
+
+let decode s =
+  let mlen = String.length magic in
+  if String.length s > mlen && String.sub s 0 mlen = magic then
+    try Some (Marshal.from_string s mlen : t) with Failure _ -> None
+  else None
+
+let pp ppf = function
+  | Coordinator c ->
+    Fmt.pf ppf "@[<h>coord %a %a [%a]@]" Txid.pp c.txid pp_status c.status
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (fid, site) ->
+            Fmt.pf ppf "%a@%d" File_id.pp fid site))
+      c.files
+  | Prepare p ->
+    Fmt.pf ppf "@[<h>prepare %a coord@%d %d file(s)@]" Txid.pp p.txid
+      p.coordinator_site
+      (List.length p.intentions)

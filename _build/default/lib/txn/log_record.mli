@@ -1,0 +1,36 @@
+(** Durable log record formats for the two outer log levels of §4.2.
+
+    The third level — per-file shadow pages — is not a log record: it is
+    the flushed pages themselves plus the intentions lists embedded in the
+    prepare records. *)
+
+type status = Unknown | Committed | Aborted
+
+val pp_status : status Fmt.t
+
+type coordinator = {
+  txid : Txid.t;
+  files : (File_id.t * int) list;  (** every file used, with its storage site *)
+  status : status;  (** flipping this to [Committed] {e is} the commit point *)
+}
+
+type prepare = {
+  txid : Txid.t;
+  coordinator_site : int;
+      (** where to ask for the outcome if this site reboots while in doubt *)
+  intentions : Intentions.t list;
+      (** one per modified file stored on this record's volume *)
+  locked : File_id.t list;
+      (** files this transaction had locked here (lock list summary) *)
+}
+
+type t = Coordinator of coordinator | Prepare of prepare
+
+val coord_tag : string
+val prepare_tag : string
+(** Tags used in {!Locus_disk.Volume.log_append} so recovery can scan by
+    record kind. *)
+
+val encode : t -> string
+val decode : string -> t option
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/util/byte_range.ml: Fmt Int List

@@ -1,0 +1,1 @@
+lib/util/range_set.ml: Byte_range Fmt List

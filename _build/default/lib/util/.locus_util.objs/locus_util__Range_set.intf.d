@@ -1,0 +1,1 @@
+lib/util/range_set.mli: Byte_range Fmt

@@ -1,0 +1,32 @@
+type t = { lo : int; hi : int }
+
+let v ~lo ~hi =
+  if lo < 0 then invalid_arg "Byte_range.v: negative lo";
+  if hi <= lo then invalid_arg "Byte_range.v: empty or inverted range";
+  { lo; hi }
+
+let of_pos_len ~pos ~len = v ~lo:pos ~hi:(pos + len)
+let lo r = r.lo
+let hi r = r.hi
+let len r = r.hi - r.lo
+let mem b r = r.lo <= b && b < r.hi
+let overlaps a b = a.lo < b.hi && b.lo < a.hi
+let adjacent_or_overlapping a b = a.lo <= b.hi && b.lo <= a.hi
+let subsumes outer inner = outer.lo <= inner.lo && inner.hi <= outer.hi
+
+let inter a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo < hi then Some { lo; hi } else None
+
+let hull a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let diff a b =
+  let left = if a.lo < b.lo then [ { lo = a.lo; hi = min a.hi b.lo } ] else []
+  and right = if b.hi < a.hi then [ { lo = max a.lo b.hi; hi = a.hi } ] else [] in
+  List.filter (fun r -> r.lo < r.hi) (left @ right)
+
+let compare a b =
+  match Int.compare a.lo b.lo with 0 -> Int.compare a.hi b.hi | c -> c
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let pp ppf r = Fmt.pf ppf "[%d,%d)" r.lo r.hi

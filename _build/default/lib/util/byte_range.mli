@@ -1,0 +1,50 @@
+(** Half-open byte ranges [\[lo, hi)] used for record-level locking and
+    record commit bookkeeping.
+
+    A range is never empty: [lo < hi] is an invariant enforced by the
+    constructors. The empty case is represented by [option] at the points
+    where it can arise (e.g. {!inter}). *)
+
+type t = private { lo : int; hi : int }
+
+val v : lo:int -> hi:int -> t
+(** [v ~lo ~hi] is the range [\[lo, hi)]. Raises [Invalid_argument] if
+    [lo < 0] or [hi <= lo]. *)
+
+val of_pos_len : pos:int -> len:int -> t
+(** [of_pos_len ~pos ~len] is [v ~lo:pos ~hi:(pos + len)]. *)
+
+val lo : t -> int
+val hi : t -> int
+
+val len : t -> int
+(** [len r] is the number of bytes covered by [r]. *)
+
+val mem : int -> t -> bool
+(** [mem b r] is [true] iff byte offset [b] lies inside [r]. *)
+
+val overlaps : t -> t -> bool
+(** [overlaps a b] is [true] iff [a] and [b] share at least one byte. *)
+
+val adjacent_or_overlapping : t -> t -> bool
+(** Like {!overlaps} but also [true] when the ranges abut exactly. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes outer inner] is [true] iff every byte of [inner] is in
+    [outer]. *)
+
+val inter : t -> t -> t option
+(** [inter a b] is the common sub-range of [a] and [b], if any. *)
+
+val hull : t -> t -> t
+(** [hull a b] is the smallest range covering both [a] and [b]. *)
+
+val diff : t -> t -> t list
+(** [diff a b] is the portion of [a] not covered by [b]: zero, one or two
+    ranges, in ascending order. *)
+
+val compare : t -> t -> int
+(** Order by [lo], then by [hi]. *)
+
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,69 @@
+(* Hash table + recency counter. [find]/[put] bump a logical clock; eviction
+   scans for the minimum stamp. Capacities here are tens of entries, so the
+   O(n) eviction scan is simpler than a linked list and plenty fast. *)
+
+type ('k, 'v) entry = { value : 'v; mutable stamp : int }
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) entry) Hashtbl.t;
+  mutable clock : int;
+}
+
+let create ?(capacity = 64) () =
+  if capacity <= 0 then invalid_arg "Lru.create: non-positive capacity";
+  { capacity; table = Hashtbl.create capacity; clock = 0 }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some e ->
+    e.stamp <- tick t;
+    Some e.value
+
+let peek t k = Option.map (fun e -> e.value) (Hashtbl.find_opt t.table k)
+let mem t k = Hashtbl.mem t.table k
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.stamp <= e.stamp -> acc
+        | _ -> Some (k, e))
+      t.table None
+  in
+  match victim with
+  | None -> None
+  | Some (k, e) ->
+    Hashtbl.remove t.table k;
+    Some (k, e.value)
+
+let put t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+    Hashtbl.replace t.table k { value = v; stamp = tick t };
+    ignore e;
+    None
+  | None ->
+    let evicted = if Hashtbl.length t.table >= t.capacity then evict_lru t else None in
+    Hashtbl.replace t.table k { value = v; stamp = tick t };
+    evicted
+
+let remove t k = Hashtbl.remove t.table k
+
+let filter_inplace t f =
+  let doomed =
+    Hashtbl.fold (fun k e acc -> if f k e.value then acc else k :: acc) t.table []
+  in
+  List.iter (Hashtbl.remove t.table) doomed
+
+let iter t f = Hashtbl.iter (fun k e -> f k e.value) t.table
+let clear t = Hashtbl.reset t.table

@@ -1,0 +1,28 @@
+(** Bounded LRU map, used for the per-site buffer cache (the paper's
+    differencing commit relies on an LRU buffer pool keeping clean page
+    copies, §6.3). *)
+
+type ('k, 'v) t
+
+val create : ?capacity:int -> unit -> ('k, 'v) t
+(** [capacity] defaults to 64 entries. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Marks the entry most-recently-used. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Does not affect recency. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val put : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Insert or replace. Returns the evicted least-recently-used binding if
+    the cache was full. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+val filter_inplace : ('k, 'v) t -> ('k -> 'v -> bool) -> unit
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,63 @@
+(* Invariant: ranges are sorted by [lo], pairwise disjoint, and separated by
+   at least one byte (adjacent ranges are coalesced on [add]). *)
+
+type t = Byte_range.t list
+
+let empty = []
+let is_empty s = s = []
+let of_range r = [ r ]
+let ranges s = s
+let fold f s acc = List.fold_left (fun acc r -> f r acc) acc s
+let iter f s = List.iter f s
+let cardinal s = List.fold_left (fun n r -> n + Byte_range.len r) 0 s
+let equal a b = List.equal Byte_range.equal a b
+
+let add r s =
+  (* Walk the sorted list; absorb everything adjacent-or-overlapping into a
+     growing hull. *)
+  let rec go acc cur = function
+    | [] -> List.rev (cur :: acc)
+    | x :: rest ->
+      if Byte_range.adjacent_or_overlapping cur x then
+        go acc (Byte_range.hull cur x) rest
+      else if Byte_range.hi cur < Byte_range.lo x then
+        List.rev_append acc (cur :: x :: rest)
+      else go (x :: acc) cur rest
+  in
+  go [] r s
+
+let of_list rs = List.fold_left (fun s r -> add r s) empty rs
+
+let remove r s =
+  List.concat_map
+    (fun x -> if Byte_range.overlaps x r then Byte_range.diff x r else [ x ])
+    s
+
+let mem b s = List.exists (Byte_range.mem b) s
+let overlaps r s = List.exists (Byte_range.overlaps r) s
+
+let subsumes s r =
+  (* Bytes of [r] not covered by any range of [s]. *)
+  let uncovered =
+    List.fold_left
+      (fun missing x ->
+        List.concat_map
+          (fun m -> if Byte_range.overlaps m x then Byte_range.diff m x else [ m ])
+          missing)
+      [ r ] s
+  in
+  uncovered = []
+
+let union a b = List.fold_left (fun s r -> add r s) a b
+
+let inter a b =
+  let pieces =
+    List.concat_map
+      (fun ra -> List.filter_map (fun rb -> Byte_range.inter ra rb) b)
+      a
+  in
+  of_list pieces
+
+let diff a b = List.fold_left (fun s r -> remove r s) a b
+let disjoint a b = is_empty (inter a b)
+let pp ppf s = Fmt.(list ~sep:(any " ") Byte_range.pp) ppf s

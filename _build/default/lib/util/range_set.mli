@@ -1,0 +1,41 @@
+(** Sets of byte offsets represented as sorted, disjoint, non-adjacent
+    {!Byte_range.t} values.
+
+    Used to track which byte ranges of a page were modified by a given
+    transaction (for the page-differencing record commit of Figure 4) and
+    which ranges of a file a transaction has retained locks on. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val of_range : Byte_range.t -> t
+val of_list : Byte_range.t list -> t
+
+val add : Byte_range.t -> t -> t
+(** [add r s] unions [r] into [s], coalescing adjacent ranges. *)
+
+val remove : Byte_range.t -> t -> t
+(** [remove r s] subtracts [r] from [s], possibly splitting ranges. *)
+
+val mem : int -> t -> bool
+val overlaps : Byte_range.t -> t -> bool
+
+val subsumes : t -> Byte_range.t -> bool
+(** [subsumes s r] is [true] iff every byte of [r] is covered by [s]. *)
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+val disjoint : t -> t -> bool
+
+val ranges : t -> Byte_range.t list
+(** Ascending, disjoint, non-adjacent. *)
+
+val cardinal : t -> int
+(** Total number of bytes covered. *)
+
+val fold : (Byte_range.t -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (Byte_range.t -> unit) -> t -> unit
+val equal : t -> t -> bool
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/wal/opcount.ml: Float Fmt

@@ -1,0 +1,1 @@
+lib/wal/opcount.mli: Fmt

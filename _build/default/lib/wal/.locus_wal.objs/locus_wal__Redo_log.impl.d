@@ -1,0 +1,1 @@
+lib/wal/redo_log.ml: Array Bytes File_id Hashtbl Int List Marshal String Volume

@@ -1,0 +1,1 @@
+lib/wal/redo_log.mli: Bytes File_id Volume

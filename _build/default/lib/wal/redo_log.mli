@@ -1,0 +1,50 @@
+(** An executable write-ahead (redo) logging commit engine over the same
+    simulated volumes — the baseline mechanism §6 compares shadow paging
+    against.
+
+    Writes are buffered per owner; commit forces the buffered record
+    images into the volume log (one I/O per log page, the commit record
+    piggybacked on the last), applies them to the in-memory page images,
+    and defers the in-place data page writes to {!checkpoint}. Recovery
+    replays the log over the on-disk pages.
+
+    This is deliberately a compact engine: it exists so the E5 experiment
+    can run the {e same} workload under both mechanisms and count real
+    I/Os, and so tests can crash it mid-stream and check redo recovery. *)
+
+type t
+
+val create : Volume.t -> t
+val volume : t -> Volume.t
+
+val create_file : t -> File_id.t
+(** Allocate a file (durable inode write). Must run in a fiber. *)
+
+val write : t -> File_id.t -> owner:string -> pos:int -> Bytes.t -> unit
+(** Buffer a record image for [owner]. No I/O. *)
+
+val read : t -> File_id.t -> pos:int -> len:int -> Bytes.t
+(** Committed contents overlaid with all owners' buffered writes. *)
+
+val read_committed : t -> File_id.t -> pos:int -> len:int -> Bytes.t
+
+val commit : t -> owner:string -> int
+(** Force the owner's buffered records to the log and apply them to the
+    committed in-memory images; returns the number of log I/Os charged.
+    Must run in a fiber. *)
+
+val abort : t -> owner:string -> unit
+(** Drop the owner's buffered records. *)
+
+val checkpoint : t -> int
+(** Write every dirty data page in place and truncate the log; returns the
+    number of page I/Os. Must run in a fiber. *)
+
+val dirty_pages : t -> int
+
+val crash : t -> unit
+(** Lose all volatile state (buffers, in-memory images, dirty set). *)
+
+val recover : t -> int
+(** Rebuild the in-memory images from the on-disk pages and replay the
+    log; returns the number of records replayed. Must run in a fiber. *)

@@ -1,0 +1,1 @@
+test/test_access_matrix.ml: Alcotest Bytes Engine Locus_core

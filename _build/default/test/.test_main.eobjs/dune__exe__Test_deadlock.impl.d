@@ -1,0 +1,1 @@
+test/test_deadlock.ml: Alcotest Byte_range Engine File_id List Locus_core Locus_deadlock Locus_lock Owner Pid Printf QCheck QCheck_alcotest String Txid

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Array Bytes Costs Engine Locus_disk Option

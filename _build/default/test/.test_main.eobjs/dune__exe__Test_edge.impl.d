@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Bytes Engine List Locus_core Locus_disk Locus_fs Locus_txn Option Printf String

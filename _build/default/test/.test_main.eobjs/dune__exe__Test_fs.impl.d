@@ -1,0 +1,1 @@
+test/test_fs.ml: Alcotest Array Byte_range Bytes Engine Gen Hashtbl List Locus_disk Locus_fs Option Owner Pid Printf QCheck QCheck_alcotest Stats String Txid

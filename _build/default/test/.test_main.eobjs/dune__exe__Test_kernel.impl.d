@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bytes Engine File_id Int List Locus_core Locus_disk Locus_fs Option Owner Printf String

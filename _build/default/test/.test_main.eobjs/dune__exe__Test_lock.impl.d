@@ -1,0 +1,1 @@
+test/test_lock.ml: Alcotest Byte_range File_id Hashtbl List Locus_lock Option Owner Pid QCheck QCheck_alcotest Txid

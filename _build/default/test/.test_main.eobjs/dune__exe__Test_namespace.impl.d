@@ -1,0 +1,1 @@
+test/test_namespace.ml: Alcotest Bytes Engine List Locus_core Option Printf String

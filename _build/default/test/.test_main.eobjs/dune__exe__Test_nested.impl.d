@@ -1,0 +1,1 @@
+test/test_nested.ml: Alcotest Bytes Char Engine List Locus_nested Option QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Costs Engine List Locus_net Stats

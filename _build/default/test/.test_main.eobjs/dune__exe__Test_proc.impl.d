@@ -1,0 +1,1 @@
+test/test_proc.ml: Alcotest Bytes File_id List Locus_core Locus_proc Option Owner Pid Printf Prng Txid

@@ -1,0 +1,1 @@
+test/test_props.ml: Array Bytes Engine List Locus_core Locus_net Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Bytes Engine Locus_core Locus_lock Locus_net Locus_txn Option

@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Byte_range Bytes Engine File_id List Locus_core Locus_disk Locus_fs Locus_lock Option Owner Printf Prng String Txid

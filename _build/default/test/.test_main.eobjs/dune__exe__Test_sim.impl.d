@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Costs Engine Fun List Locus_core Pqueue Printf Prng QCheck QCheck_alcotest Stats String Trace

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Bytes Engine List Locus_core Option Printf Prng String Txid

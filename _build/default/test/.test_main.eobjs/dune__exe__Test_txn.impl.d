@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Bytes Engine File_id List Locus_disk Locus_fs Locus_txn Option Owner Pid Txid

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Byte_range List Lru QCheck QCheck_alcotest Range_set

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Bytes Engine Locus_disk Locus_wal Option

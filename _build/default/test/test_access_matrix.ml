@@ -1,0 +1,102 @@
+(* Figure 1, exercised end-to-end: what can a second party actually DO
+   while a first party holds each kind of access? Six combinations of
+   (holder mode) x (other party's read / write), through the full kernel
+   stack with real processes. *)
+
+module L = Locus_core.Locus
+module Api = L.Api
+module K = L.Kernel
+module M = L.Mode
+
+(* Holder takes [mode] on a record at site 1 and parks; the prober (an
+   independent process) attempts a read and a write with ~no waiting and
+   reports what succeeded quickly. *)
+let probe ~holder_mode =
+  let sim = L.make ~n_sites:2 () in
+  let cl = sim.L.cluster in
+  let read_ok = ref None and write_ok = ref None in
+  let e = K.engine cl in
+  let held = Engine.Ivar.create () in
+  let release = Engine.Ivar.create () in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"holder" (fun env ->
+         let c = Api.creat env "/m" ~vid:1 in
+         Api.write_string env c "base";
+         Api.commit_file env c;
+         (match holder_mode with
+         | `Unlocked ->
+           (* Conventional access: reads/writes with no lock held. The
+              "holder" just parks without any lock. *)
+           ()
+         | `Shared | `Exclusive ->
+           Api.begin_trans env;
+           Api.seek env c ~pos:0;
+           (match
+              Api.lock env c ~len:4
+                ~mode:(if holder_mode = `Shared then M.Shared else M.Exclusive)
+                ()
+            with
+           | Api.Granted -> ()
+           | Api.Conflict _ -> Alcotest.fail "holder lock"));
+         Engine.fill e held ();
+         Engine.await release;
+         if Api.in_transaction env then ignore (Api.end_trans env);
+         Api.close env c));
+  ignore
+    (Api.spawn_process cl ~site:1 ~name:"prober" (fun env ->
+         Engine.await held;
+         let c = Api.open_file env "/m" in
+         let t0 = Engine.now e in
+         (* A conventional read: blocks only against Exclusive. We give it
+            a short budget: if it hasn't finished quickly it was queued. *)
+         let r =
+           Api.fork env (fun q ->
+               let qc = Api.open_file q "/m" in
+               ignore (Api.pread q qc ~pos:0 ~len:4);
+               read_ok := Some (Engine.now e - t0 < 200_000);
+               Api.close q qc)
+         in
+         Engine.sleep 300_000;
+         let t1 = Engine.now e in
+         let w =
+           Api.fork env (fun q ->
+               let qc = Api.open_file q "/m" in
+               Api.pwrite q qc ~pos:0 (Bytes.of_string "wwww");
+               write_ok := Some (Engine.now e - t1 < 200_000);
+               Api.close q qc)
+         in
+         Engine.sleep 300_000;
+         Engine.fill e release ();
+         Api.wait_pid env r;
+         Api.wait_pid env w;
+         Api.close env c));
+  L.run sim;
+  (!read_ok, !write_ok)
+
+let test_unlocked_holder () =
+  (* Figure 1 row "Unix": conventional sharing — both allowed. *)
+  let r, w = probe ~holder_mode:`Unlocked in
+  Alcotest.(check (option bool)) "read allowed" (Some true) r;
+  Alcotest.(check (option bool)) "write allowed" (Some true) w
+
+let test_shared_holder () =
+  (* Row "Shared": others read, writers wait. *)
+  let r, w = probe ~holder_mode:`Shared in
+  Alcotest.(check (option bool)) "read allowed" (Some true) r;
+  Alcotest.(check (option bool)) "write delayed until release" (Some false) w
+
+let test_exclusive_holder () =
+  (* Row "Exclusive": nothing until release. *)
+  let r, w = probe ~holder_mode:`Exclusive in
+  Alcotest.(check (option bool)) "read delayed" (Some false) r;
+  Alcotest.(check (option bool)) "write delayed" (Some false) w
+
+let suite =
+  [
+    ( "access_matrix",
+      [
+        Alcotest.test_case "unlocked holder (unix row)" `Quick test_unlocked_holder;
+        Alcotest.test_case "shared holder" `Quick test_shared_holder;
+        Alcotest.test_case "exclusive holder" `Quick test_exclusive_holder;
+      ] );
+  ]

@@ -1,0 +1,213 @@
+(* Wait-for graphs: cycle detection and victim selection. *)
+
+module W = Locus_deadlock.Wfg
+module LT = Locus_lock.Lock_table
+module M = Locus_lock.Mode
+
+let tx n = Owner.Transaction (Txid.make ~site:0 ~incarnation:1 ~seq:n)
+let proc n = Owner.Process (Pid.make ~origin:0 ~num:n)
+let owner = Alcotest.testable Owner.pp Owner.equal
+
+let test_acyclic () =
+  let g = W.create () in
+  W.add_edge g ~waiter:(tx 1) ~blocker:(tx 2);
+  W.add_edge g ~waiter:(tx 2) ~blocker:(tx 3);
+  Alcotest.(check (option (list owner))) "no cycle" None (W.find_cycle g);
+  Alcotest.(check (list owner)) "no victims" [] (W.victims g)
+
+let test_two_cycle () =
+  let g = W.create () in
+  W.add_edge g ~waiter:(tx 1) ~blocker:(tx 2);
+  W.add_edge g ~waiter:(tx 2) ~blocker:(tx 1);
+  (match W.find_cycle g with
+  | Some cycle -> Alcotest.(check int) "length 2" 2 (List.length cycle)
+  | None -> Alcotest.fail "cycle expected");
+  (* Victim: the youngest transaction (largest seq). *)
+  Alcotest.(check (list owner)) "youngest dies" [ tx 2 ] (W.victims g)
+
+let test_three_cycle () =
+  let g = W.create () in
+  W.add_edge g ~waiter:(tx 1) ~blocker:(tx 2);
+  W.add_edge g ~waiter:(tx 2) ~blocker:(tx 3);
+  W.add_edge g ~waiter:(tx 3) ~blocker:(tx 1);
+  match W.find_cycle g with
+  | Some cycle -> Alcotest.(check int) "length 3" 3 (List.length cycle)
+  | None -> Alcotest.fail "cycle expected"
+
+let test_two_independent_cycles () =
+  let g = W.create () in
+  W.add_edge g ~waiter:(tx 1) ~blocker:(tx 2);
+  W.add_edge g ~waiter:(tx 2) ~blocker:(tx 1);
+  W.add_edge g ~waiter:(tx 5) ~blocker:(tx 6);
+  W.add_edge g ~waiter:(tx 6) ~blocker:(tx 5);
+  Alcotest.(check int) "two victims" 2 (List.length (W.victims g))
+
+let test_prefers_transactions () =
+  let g = W.create () in
+  W.add_edge g ~waiter:(proc 1) ~blocker:(tx 9);
+  W.add_edge g ~waiter:(tx 9) ~blocker:(proc 1);
+  Alcotest.(check (list owner)) "transaction chosen over process" [ tx 9 ]
+    (W.victims g)
+
+let test_self_wait_excluded () =
+  (* Same-owner edges can't arise from the lock table, but guard anyway. *)
+  let g = W.create () in
+  W.add_edge g ~waiter:(tx 1) ~blocker:(tx 1);
+  match W.find_cycle g with
+  | Some [ o ] -> Alcotest.check owner "self" (tx 1) o
+  | _ -> Alcotest.fail "self loop should be a 1-cycle"
+
+let test_from_lock_tables () =
+  (* Build a real deadlock through two lock tables. *)
+  let fa = File_id.make ~vid:1 ~ino:1 and fb = File_id.make ~vid:1 ~ino:2 in
+  let p = Pid.make ~origin:0 ~num:1 in
+  let ta = LT.create fa and tb = LT.create fb in
+  let r = Byte_range.v ~lo:0 ~hi:10 in
+  ignore (LT.request ta ~owner:(tx 1) ~pid:p ~mode:M.Exclusive ~range:r ~non_transaction:false);
+  ignore (LT.request tb ~owner:(tx 2) ~pid:p ~mode:M.Exclusive ~range:r ~non_transaction:false);
+  ignore (LT.enqueue ta ~owner:(tx 2) ~pid:p ~mode:M.Exclusive ~range:r ~non_transaction:false ~notify:(fun _ -> ()));
+  ignore (LT.enqueue tb ~owner:(tx 1) ~pid:p ~mode:M.Exclusive ~range:r ~non_transaction:false ~notify:(fun _ -> ()));
+  let g = W.of_tables [ ta; tb ] in
+  (match W.find_cycle g with
+  | Some c -> Alcotest.(check int) "deadlock found" 2 (List.length c)
+  | None -> Alcotest.fail "deadlock expected");
+  Alcotest.(check int) "edges" 2 (List.length (W.edges g))
+
+let test_deterministic () =
+  let build () =
+    let g = W.create () in
+    W.add_edge g ~waiter:(tx 3) ~blocker:(tx 1);
+    W.add_edge g ~waiter:(tx 1) ~blocker:(tx 2);
+    W.add_edge g ~waiter:(tx 2) ~blocker:(tx 3);
+    W.add_edge g ~waiter:(tx 2) ~blocker:(tx 4);
+    g
+  in
+  Alcotest.(check (list owner)) "same victims every time"
+    (W.victims (build ())) (W.victims (build ()))
+
+let prop_victims_break_all_cycles =
+  QCheck.Test.make ~name:"victim removal leaves graph acyclic" ~count:200
+    QCheck.(small_list (pair (int_bound 6) (int_bound 6)))
+    (fun edges ->
+      let g = W.create () in
+      List.iter
+        (fun (a, b) -> if a <> b then W.add_edge g ~waiter:(tx a) ~blocker:(tx b))
+        edges;
+      let victims = W.victims g in
+      List.iter (W.remove g) victims;
+      W.find_cycle g = None)
+
+let suite =
+  [
+    ( "deadlock.wfg",
+      [
+        Alcotest.test_case "acyclic" `Quick test_acyclic;
+        Alcotest.test_case "2-cycle" `Quick test_two_cycle;
+        Alcotest.test_case "3-cycle" `Quick test_three_cycle;
+        Alcotest.test_case "independent cycles" `Quick test_two_independent_cycles;
+        Alcotest.test_case "prefers transactions" `Quick test_prefers_transactions;
+        Alcotest.test_case "self wait" `Quick test_self_wait_excluded;
+        Alcotest.test_case "from lock tables" `Quick test_from_lock_tables;
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        QCheck_alcotest.to_alcotest prop_victims_break_all_cycles;
+      ] );
+  ]
+
+(* Appended: victim-selection policies (Detector). *)
+
+module D = Locus_deadlock.Detector
+
+let mk_cycle_tables () =
+  (* tx1 (old, many locks) and tx5 (young, one lock) deadlock. *)
+  let fa = File_id.make ~vid:1 ~ino:10 and fb = File_id.make ~vid:1 ~ino:11 in
+  let p = Pid.make ~origin:0 ~num:1 in
+  let ta = LT.create fa and tb = LT.create fb in
+  let r = Byte_range.v ~lo:0 ~hi:10 in
+  let r2 = Byte_range.v ~lo:20 ~hi:30 in
+  ignore (LT.request ta ~owner:(tx 1) ~pid:p ~mode:M.Exclusive ~range:r ~non_transaction:false);
+  ignore (LT.request ta ~owner:(tx 1) ~pid:p ~mode:M.Exclusive ~range:r2 ~non_transaction:false);
+  ignore (LT.request tb ~owner:(tx 5) ~pid:p ~mode:M.Exclusive ~range:r ~non_transaction:false);
+  ignore (LT.enqueue ta ~owner:(tx 5) ~pid:p ~mode:M.Exclusive ~range:r ~non_transaction:false ~notify:(fun _ -> ()));
+  ignore (LT.enqueue tb ~owner:(tx 1) ~pid:p ~mode:M.Exclusive ~range:r ~non_transaction:false ~notify:(fun _ -> ()));
+  [ ta; tb ]
+
+let test_policy_youngest () =
+  Alcotest.(check (list owner)) "youngest dies" [ tx 5 ]
+    (D.victims D.Youngest_transaction (mk_cycle_tables ()))
+
+let test_policy_oldest () =
+  Alcotest.(check (list owner)) "oldest dies" [ tx 1 ]
+    (D.victims D.Oldest_transaction (mk_cycle_tables ()))
+
+let test_policy_fewest_locks () =
+  (* tx1 holds 2 locks, tx5 holds 1: fewest-locks kills tx5. *)
+  Alcotest.(check (list owner)) "fewest locks dies" [ tx 5 ]
+    (D.victims D.Fewest_locks (mk_cycle_tables ()))
+
+let test_scan_report () =
+  (match D.scan_report (mk_cycle_tables ()) with
+  | `Deadlocked [ cycle ] -> Alcotest.(check int) "one 2-cycle" 2 (List.length cycle)
+  | `Deadlocked _ -> Alcotest.fail "expected one cycle"
+  | `No_deadlock -> Alcotest.fail "expected deadlock");
+  match D.scan_report [ LT.create (File_id.make ~vid:1 ~ino:99) ] with
+  | `No_deadlock -> ()
+  | `Deadlocked _ -> Alcotest.fail "empty table deadlocked?"
+
+let test_policy_in_kernel () =
+  (* End-to-end: with Oldest_transaction, the first (older) transaction of
+     an induced 2-cycle gets aborted. *)
+  let module L = Locus_core.Locus in
+  let module Api = L.Api in
+  let module K = L.Kernel in
+  let config =
+    { (K.Config.default ~n_sites:2) with
+      K.Config.deadlock_policy = D.Oldest_transaction }
+  in
+  let first_committed = ref None in
+  let sim = L.make ~config ~n_sites:2 () in
+  ignore
+    (Api.spawn_process sim.Locus_core.Locus.cluster ~site:0 (fun env ->
+         let c = Api.creat env "/r" ~vid:1 in
+         Api.write_string env c (String.make 128 'i');
+         Api.commit_file env c;
+         let mk i delay pos1 pos2 outcome =
+           Api.fork env ~name:(Printf.sprintf "t%d" i) (fun w ->
+               Engine.sleep delay;
+               Api.begin_trans w;
+               Api.seek w c ~pos:pos1;
+               (match Api.lock w c ~len:64 ~mode:L.Mode.Exclusive () with
+               | Api.Granted -> ()
+               | Api.Conflict _ -> ());
+               Engine.sleep 50_000;
+               Api.seek w c ~pos:pos2;
+               (match Api.lock w c ~len:64 ~mode:L.Mode.Exclusive () with
+               | Api.Granted -> ()
+               | Api.Conflict _ -> ());
+               outcome := Some (Api.end_trans w))
+         in
+         let o1 = ref None and o2 = ref None in
+         let p1 = mk 1 0 0 64 o1 in
+         let p2 = mk 2 1_000 64 0 o2 in
+         Api.wait_pid env p1;
+         Api.wait_pid env p2;
+         (* Under Oldest_transaction, t1 (started first -> older txid) is
+            the victim: only t2 reports an outcome. *)
+         first_committed := (match (!o1, !o2) with
+           | None, Some L.Kernel.Committed -> Some true
+           | _ -> Some false)));
+  L.run sim;
+  Alcotest.(check (option bool)) "older aborted, younger committed" (Some true)
+    !first_committed
+
+let suite =
+  suite
+  @ [
+      ( "deadlock.detector",
+        [
+          Alcotest.test_case "youngest policy" `Quick test_policy_youngest;
+          Alcotest.test_case "oldest policy" `Quick test_policy_oldest;
+          Alcotest.test_case "fewest locks policy" `Quick test_policy_fewest_locks;
+          Alcotest.test_case "scan report" `Quick test_scan_report;
+          Alcotest.test_case "policy in kernel" `Quick test_policy_in_kernel;
+        ] );
+    ]

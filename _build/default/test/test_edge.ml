@@ -1,0 +1,190 @@
+(* Edge-case system tests: append rollback, replica failover, in-doubt
+   data protection, upgrade deadlocks. *)
+
+module L = Locus_core.Locus
+module Api = L.Api
+module K = L.Kernel
+module M = L.Mode
+module LR = Locus_txn.Log_record
+
+let test_append_abort_rolls_back_eof () =
+  let offsets = ref [] in
+  ignore
+    (L.simulate ~n_sites:2 (fun cl ->
+         ignore
+           (Api.spawn_process cl ~site:0 (fun env ->
+                let c = Api.creat env "/log" ~vid:1 in
+                Api.close env c;
+                let append_then outcome =
+                  let runner =
+                    Api.fork env (fun w ->
+                        let lc = Api.open_file w "/log" in
+                        Api.set_append w lc true;
+                        Api.begin_trans w;
+                        (match Api.lock w lc ~len:32 ~mode:M.Exclusive () with
+                        | Api.Granted -> offsets := Api.pos w lc :: !offsets
+                        | Api.Conflict _ -> Alcotest.fail "append lock");
+                        Api.write_string w lc (String.make 32 'e');
+                        (match outcome with
+                        | `Commit -> ignore (Api.end_trans w)
+                        | `Abort -> Api.abort_trans w);
+                        Api.close w lc)
+                  in
+                  Api.wait_pid env runner
+                in
+                append_then `Abort;
+                (* The aborted append must not leave a hole: the next
+                   appender lands at offset 0 again. *)
+                append_then `Commit;
+                append_then `Commit;
+                let c = Api.open_file env "/log" in
+                Alcotest.(check int) "two surviving entries" 64 (Api.size env c);
+                Api.close env c))));
+  Alcotest.(check (list int)) "offsets: 0 (aborted), 0, 32" [ 0; 0; 32 ]
+    (List.rev !offsets)
+
+let test_replica_failover_serves_reads () =
+  let config =
+    { (K.Config.default ~n_sites:3) with
+      K.Config.volumes = [ (0, [ 0 ]); (1, [ 1; 2 ]) ] }
+  in
+  let sim = L.make ~config ~n_sites:3 () in
+  let cl = sim.L.cluster in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"writer" (fun env ->
+         let c = Api.creat env "/repl" ~vid:1 in
+         Api.begin_trans env;
+         Api.write_string env c "survives-failover";
+         ignore (Api.end_trans env);
+         Api.close env c));
+  L.run sim;
+  (* Primary (site 1) dies; the replica at site 2 takes over. *)
+  K.crash_site cl 1;
+  let seen = ref "" in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"reader" (fun env ->
+         let c = Api.open_file env "/repl" in
+         seen := Bytes.to_string (Api.pread env c ~pos:0 ~len:17);
+         Api.close env c));
+  L.run sim;
+  let fid = Option.get (K.lookup cl "/repl") in
+  Alcotest.(check int) "primary re-elected to 2" 2 (K.storage_site cl fid);
+  Alcotest.(check string) "replica serves committed data" "survives-failover" !seen
+
+let test_in_doubt_data_stays_locked () =
+  (* Participant reboots holding a prepared-but-undecided update while the
+     coordinator is down: reads of that record must wait for the outcome
+     (and then see the committed value), not observe the old value. *)
+  let sim = L.make ~n_sites:3 () in
+  let cl = sim.L.cluster in
+  (K.hooks cl).K.on_decided <-
+    (fun _txid status ->
+      if status = LR.Committed then begin
+        K.crash_site cl 2;
+        K.crash_site cl 0;
+        Engine.schedule ~delay:1_000_000 (K.engine cl) (fun () ->
+            K.restart_site cl 2);
+        Engine.schedule ~delay:15_000_000 (K.engine cl) (fun () ->
+            K.restart_site cl 0)
+      end);
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"client" (fun env ->
+         let a = Api.creat env "/a" ~vid:1 in
+         let b = Api.creat env "/b" ~vid:2 in
+         Api.write_string env b "old-value!";
+         Api.commit_file env b;
+         Api.begin_trans env;
+         Api.write_string env a "AAAA";
+         Api.pwrite env b ~pos:0 (Bytes.of_string "new-value!");
+         ignore (Api.end_trans env)));
+  (* A reader at the surviving site 1 tries the record while site 2 is in
+     doubt (coordinator still down): it must block and eventually see the
+     committed value. *)
+  ignore
+    (Api.spawn_process cl ~site:1 ~name:"reader" (fun env ->
+         Engine.sleep 4_000_000;
+         let c = Api.open_file env "/b" in
+         let v = Bytes.to_string (Api.pread env c ~pos:0 ~len:10) in
+         Alcotest.(check string) "read waited for the outcome" "new-value!" v;
+         let e = K.engine cl in
+         Alcotest.(check bool) "read completed only after coordinator reboot"
+           true
+           (Engine.now e > 15_000_000);
+         Api.close env c));
+  L.run sim;
+  Alcotest.(check string) "durable" "new-value!"
+    (K.read_committed_oracle cl (Option.get (K.lookup cl "/b")))
+
+let test_upgrade_deadlock_resolved () =
+  (* Two transactions share-lock the same record, then both upgrade to
+     exclusive: a classic conversion deadlock; one must die. *)
+  let outcomes = ref [] in
+  let sim = L.make ~n_sites:2 () in
+  ignore
+    (Api.spawn_process sim.L.cluster ~site:0 (fun env ->
+         let c = Api.creat env "/r" ~vid:1 in
+         Api.write_string env c "datum";
+         Api.commit_file env c;
+         let upgrader i =
+           Api.fork env ~name:(Printf.sprintf "u%d" i) (fun w ->
+               Api.begin_trans w;
+               Api.seek w c ~pos:0;
+               (match Api.lock w c ~len:5 ~mode:M.Shared () with
+               | Api.Granted -> ()
+               | Api.Conflict _ -> ());
+               Engine.sleep 30_000;
+               Api.seek w c ~pos:0;
+               (match Api.lock w c ~len:5 ~mode:M.Exclusive () with
+               | Api.Granted -> ()
+               | Api.Conflict _ -> ());
+               outcomes := Api.end_trans w :: !outcomes)
+         in
+         let p1 = upgrader 1 and p2 = upgrader 2 in
+         Api.wait_pid env p1;
+         Api.wait_pid env p2));
+  L.run sim;
+  let st = L.Engine.stats sim.L.engine in
+  Alcotest.(check int) "one victim" 1 (L.Stats.get st "deadlock.victims");
+  Alcotest.(check bool) "survivor committed" true
+    (List.mem K.Committed !outcomes)
+
+let test_read_only_transaction_cheap () =
+  (* A transaction that only reads writes no data pages and no prepare
+     log: just the two coordinator-log I/Os. *)
+  let sim = L.make ~n_sites:2 () in
+  let cl = sim.L.cluster in
+  ignore
+    (Api.spawn_process cl ~site:0 (fun env ->
+         let c = Api.creat env "/r" ~vid:1 in
+         Api.write_string env c "stuff";
+         Api.commit_file env c;
+         Engine.sleep 100_000;
+         let k1 = K.kernel cl 1 in
+         let vol1 = Option.get (Locus_fs.Filestore.volume (K.filestore k1) ~vid:1) in
+         Locus_disk.Volume.reset_io_counters vol1;
+         Api.begin_trans env;
+         ignore (Api.pread env c ~pos:0 ~len:5);
+         (match Api.end_trans env with
+         | K.Committed -> ()
+         | K.Aborted -> Alcotest.fail "read-only txn aborted");
+         Alcotest.(check int) "no data-volume writes" 0
+           (Locus_disk.Volume.io_writes vol1);
+         Alcotest.(check int) "no prepare log" 0
+           (Locus_disk.Volume.io_log_writes vol1)));
+  L.run sim
+
+let suite =
+  [
+    ( "edge",
+      [
+        Alcotest.test_case "append abort rolls back EOF" `Quick
+          test_append_abort_rolls_back_eof;
+        Alcotest.test_case "replica failover" `Quick
+          test_replica_failover_serves_reads;
+        Alcotest.test_case "in-doubt data locked" `Quick
+          test_in_doubt_data_stays_locked;
+        Alcotest.test_case "upgrade deadlock" `Quick test_upgrade_deadlock_resolved;
+        Alcotest.test_case "read-only txn cheap" `Quick
+          test_read_only_transaction_cheap;
+      ] );
+  ]

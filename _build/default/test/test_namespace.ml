@@ -1,0 +1,208 @@
+(* Name mapping through real directory files (§3.2, §3.4). *)
+
+module L = Locus_core.Locus
+module Api = L.Api
+module K = L.Kernel
+module M = L.Mode
+
+let scenario ?(n_sites = 3) ?(site = 0) f =
+  L.simulate ~n_sites (fun cl -> ignore (Api.spawn_process cl ~site (f cl)))
+
+let test_create_and_open_nested () =
+  let read_back = ref "" in
+  ignore
+    (scenario (fun _cl env ->
+         let c = Api.creat env "/db/tables/accounts" ~vid:1 in
+         Api.write_string env c "hello";
+         Api.commit_file env c;
+         Api.close env c;
+         let c2 = Api.open_file env "/db/tables/accounts" in
+         read_back := Bytes.to_string (Api.pread env c2 ~pos:0 ~len:5);
+         Api.close env c2));
+  Alcotest.(check string) "nested path round trip" "hello" !read_back
+
+let test_open_missing_fails () =
+  let failed = ref false in
+  ignore
+    (scenario (fun _cl env ->
+         (try ignore (Api.open_file env "/no/such/file")
+          with Api.Error _ -> failed := true)));
+  Alcotest.(check bool) "missing path raises" true !failed
+
+let test_duplicate_create_fails () =
+  let second = ref None in
+  ignore
+    (scenario (fun _cl env ->
+         let c = Api.creat env "/dup" ~vid:1 in
+         Api.close env c;
+         (try ignore (Api.creat env "/dup" ~vid:1)
+          with Api.Error _ -> second := Some `Raised)));
+  Alcotest.(check bool) "duplicate create raises" true (!second = Some `Raised)
+
+(* §3.4's example: concurrent transactions creating the same name — one
+   must fail immediately, even though neither has reached its commit
+   point. *)
+let test_concurrent_same_name_create () =
+  let results = ref [] in
+  ignore
+    (scenario (fun _cl env ->
+         let maker i site =
+           Api.fork env ~site ~name:(Printf.sprintf "mk%d" i) (fun m ->
+               Api.begin_trans m;
+               (try
+                  let c = Api.creat m "/contested" ~vid:1 in
+                  Api.write_string m c (Printf.sprintf "winner%d" i);
+                  results := `Created :: !results;
+                  ignore (Api.end_trans m);
+                  Api.close m c
+                with Api.Error _ ->
+                  results := `Failed :: !results;
+                  Api.abort_trans m))
+         in
+         let a = maker 1 1 and b = maker 2 2 in
+         Api.wait_pid env a;
+         Api.wait_pid env b));
+  let created = List.length (List.filter (( = ) `Created) !results) in
+  let failed = List.length (List.filter (( = ) `Failed) !results) in
+  Alcotest.(check int) "exactly one creator wins" 1 created;
+  Alcotest.(check int) "the other fails pre-commit" 1 failed
+
+(* Directory updates are visible and durable immediately, and directory
+   locks are not retained by the enclosing transaction (§3.4): a second
+   transaction can create a sibling file while the first transaction is
+   still open. *)
+let test_directory_not_locked_by_transaction () =
+  let sibling_ok = ref false in
+  ignore
+    (scenario (fun _cl env ->
+         Api.begin_trans env;
+         let c = Api.creat env "/shared/a" ~vid:1 in
+         Api.write_string env c "uncommitted";
+         (* Transaction still open; an independent process creates a
+            sibling in the same directory without blocking. *)
+         let p =
+           Api.spawn_process (Api.cluster env) ~site:1 (fun q ->
+               try
+                 let qc = Api.creat q "/shared/b" ~vid:1 in
+                 sibling_ok := true;
+                 Api.close q qc
+               with Api.Error _ -> ())
+         in
+         Api.wait_pid env p;
+         ignore (Api.end_trans env)));
+  Alcotest.(check bool) "sibling created mid-transaction" true !sibling_ok
+
+(* File creation is explicitly visible even if the creating transaction
+   aborts (§3.4: some actions should be visible during execution). *)
+let test_creation_survives_abort () =
+  let visible = ref false in
+  ignore
+    (scenario (fun _cl env ->
+         Api.begin_trans env;
+         let c = Api.creat env "/persistent-name" ~vid:1 in
+         Api.write_string env c "rolled-back-data";
+         Api.abort_trans env;
+         Api.close env c;
+         (* The name exists; the data does not. *)
+         let c2 = Api.open_file env "/persistent-name" in
+         visible := true;
+         Alcotest.(check int) "aborted data gone" 0 (Api.size env c2);
+         Api.close env c2));
+  Alcotest.(check bool) "name visible after abort" true !visible
+
+let test_name_cache_cheapens_reopen () =
+  let first = ref 0 and second = ref 0 in
+  ignore
+    (scenario ~n_sites:2 (fun cl env ->
+         let c = Api.creat env "/x/y/z" ~vid:1 in
+         Api.close env c;
+         let e = K.engine cl in
+         (* A different process pays the full resolution walk once... *)
+         let p =
+           Api.spawn_process cl ~site:1 (fun q ->
+               let t0 = Engine.now e in
+               let c1 = Api.open_file q "/x/y/z" in
+               first := Engine.now e - t0;
+               Api.close q c1;
+               let t1 = Engine.now e in
+               let c2 = Api.open_file q "/x/y/z" in
+               second := Engine.now e - t1;
+               Api.close q c2)
+         in
+         Api.wait_pid env p));
+  Alcotest.(check bool) "first resolution costs more" true (!first > !second);
+  Alcotest.(check bool) "both nonzero" true (!first > 0 && !second > 0)
+
+let test_root_listing_via_oracle () =
+  let sim =
+    scenario (fun _cl env ->
+        let a = Api.creat env "/one" ~vid:1 in
+        Api.close env a;
+        let b = Api.creat env "/two" ~vid:2 in
+        Api.close env b)
+  in
+  let root = Option.get (K.lookup sim.L.cluster "/") in
+  let contents = K.read_committed_oracle sim.L.cluster root in
+  Alcotest.(check int) "two 64-byte entries" 128 (String.length contents);
+  Alcotest.(check bool) "names present" true
+    (let s = contents in
+     let has n =
+       let rec find i =
+         i + String.length n <= String.length s
+         && (String.sub s i (String.length n) = n || find (i + 1))
+       in
+       find 0
+     in
+     has "one" && has "two")
+
+let suite =
+  [
+    ( "namespace",
+      [
+        Alcotest.test_case "nested create/open" `Quick test_create_and_open_nested;
+        Alcotest.test_case "missing path" `Quick test_open_missing_fails;
+        Alcotest.test_case "duplicate create" `Quick test_duplicate_create_fails;
+        Alcotest.test_case "concurrent same-name create (§3.4)" `Quick
+          test_concurrent_same_name_create;
+        Alcotest.test_case "directory not transaction-locked" `Quick
+          test_directory_not_locked_by_transaction;
+        Alcotest.test_case "creation survives abort" `Quick
+          test_creation_survives_abort;
+        Alcotest.test_case "name cache" `Quick test_name_cache_cheapens_reopen;
+        Alcotest.test_case "root listing" `Quick test_root_listing_via_oracle;
+      ] );
+  ]
+
+(* Appended: mkdir / readdir. *)
+
+let test_mkdir_readdir () =
+  let names = ref [] and root = ref [] in
+  ignore
+    (scenario (fun _cl env ->
+         Api.mkdir env "/dir" ~vid:1;
+         let a = Api.creat env "/dir/alpha" ~vid:1 in
+         Api.close env a;
+         let b = Api.creat env "/dir/beta" ~vid:2 in
+         Api.close env b;
+         Api.mkdir env "/dir/sub" ~vid:1;
+         names := Api.readdir env "/dir";
+         root := Api.readdir env "/"));
+  Alcotest.(check (list string)) "entries in order" [ "alpha"; "beta"; "sub" ] !names;
+  Alcotest.(check (list string)) "root lists dir" [ "dir" ] !root
+
+let test_readdir_missing () =
+  let raised = ref false in
+  ignore
+    (scenario (fun _cl env ->
+         try ignore (Api.readdir env "/nope") with Api.Error _ -> raised := true));
+  Alcotest.(check bool) "raises" true !raised
+
+let suite =
+  suite
+  @ [
+      ( "namespace.dirs",
+        [
+          Alcotest.test_case "mkdir/readdir" `Quick test_mkdir_readdir;
+          Alcotest.test_case "readdir missing" `Quick test_readdir_missing;
+        ] );
+    ]

@@ -1,0 +1,244 @@
+(* The reconstructed previous facility ([Mueller83] baseline): version
+   stacks and the process-based fully-nested transaction semantics. *)
+
+module VS = Locus_nested.Version_stack
+module OF = Locus_nested.Old_facility
+module E = Engine
+
+(* {1 Version stacks} *)
+
+let s_of b = Bytes.to_string b
+
+let test_vs_basic () =
+  let v = VS.create () in
+  Alcotest.(check int) "empty" 0 (VS.depth v);
+  VS.push v;
+  VS.write v ~pos:0 (Bytes.of_string "hello");
+  Alcotest.(check string) "frame read" "hello" (s_of (VS.read v ~pos:0 ~len:5));
+  Alcotest.(check string) "base clean" "\000" (s_of (VS.committed v ~pos:0 ~len:1));
+  VS.commit_top v;
+  Alcotest.(check string) "merged to base" "hello" (s_of (VS.committed v ~pos:0 ~len:5));
+  Alcotest.(check int) "size" 5 (VS.size v)
+
+let test_vs_nested_commit_abort () =
+  let v = VS.create () in
+  VS.push v;
+  VS.write v ~pos:0 (Bytes.of_string "outer-");
+  VS.push v;
+  VS.write v ~pos:6 (Bytes.of_string "inner");
+  Alcotest.(check string) "stacked read" "outer-inner" (s_of (VS.read v ~pos:0 ~len:11));
+  VS.abort_top v;
+  Alcotest.(check string) "inner aborted" "outer-\000\000\000\000\000"
+    (s_of (VS.read v ~pos:0 ~len:11));
+  VS.push v;
+  VS.write v ~pos:6 (Bytes.of_string "redo!");
+  VS.commit_top v;
+  Alcotest.(check string) "inner redone into parent" "outer-redo!"
+    (s_of (VS.read v ~pos:0 ~len:11));
+  Alcotest.(check string) "still not durable" "\000" (s_of (VS.committed v ~pos:0 ~len:1));
+  VS.commit_top v;
+  Alcotest.(check string) "durable" "outer-redo!" (s_of (VS.committed v ~pos:0 ~len:11))
+
+let test_vs_overwrite_shadowing () =
+  let v = VS.create () in
+  VS.push v;
+  VS.write v ~pos:0 (Bytes.of_string "AAAA");
+  VS.push v;
+  VS.write v ~pos:2 (Bytes.of_string "bb");
+  Alcotest.(check string) "inner shadows" "AAbb" (s_of (VS.read v ~pos:0 ~len:4));
+  VS.abort_top v;
+  Alcotest.(check string) "outer restored" "AAAA" (s_of (VS.read v ~pos:0 ~len:4))
+
+let test_vs_frame_bytes () =
+  let v = VS.create () in
+  VS.push v;
+  VS.write v ~pos:0 (Bytes.of_string "12345678");
+  VS.push v;
+  VS.write v ~pos:100 (Bytes.of_string "12");
+  Alcotest.(check int) "bookkeeping bytes" 10 (VS.frame_bytes v)
+
+let prop_vs_matches_model =
+  (* Compare against a naive model: a stack of byte-array overlays. *)
+  QCheck.Test.make ~name:"version stack matches overlay model" ~count:200
+    QCheck.(
+      small_list
+        (oneof
+           [
+             map (fun (p, len) -> `Write (p mod 64, 1 + (len mod 16)))
+               (pair small_nat small_nat);
+             always `Push;
+             always `Commit;
+             always `Abort;
+           ]))
+    (fun ops ->
+      let v = VS.create () in
+      let model_base = Bytes.make 128 '\000' in
+      let model_frames = ref [] in
+      let seq = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push ->
+            VS.push v;
+            model_frames := Bytes.make 128 '\255' :: !model_frames
+            (* 255 = "unwritten" marker *)
+          | `Write (pos, len) ->
+            (match !model_frames with
+            | [] -> ()
+            | top :: _ ->
+              incr seq;
+              let ch = Char.chr (Char.code 'a' + (!seq mod 26)) in
+              let data = Bytes.make len ch in
+              VS.write v ~pos data;
+              Bytes.blit data 0 top pos len)
+          | `Commit -> (
+            match !model_frames with
+            | [] -> ()
+            | top :: rest ->
+              VS.commit_top v;
+              let target = match rest with [] -> model_base | parent :: _ -> parent in
+              for i = 0 to 127 do
+                if Bytes.get top i <> '\255' then Bytes.set target i (Bytes.get top i)
+              done;
+              model_frames := rest)
+          | `Abort -> (
+            match !model_frames with
+            | [] -> ()
+            | _ :: rest ->
+              VS.abort_top v;
+              model_frames := rest))
+        ops;
+      (* Compare the visible read at every position. *)
+      let visible = VS.read v ~pos:0 ~len:128 in
+      let expect = Bytes.copy model_base in
+      List.iter
+        (fun frame ->
+          for i = 0 to 127 do
+            if Bytes.get frame i <> '\255' then Bytes.set expect i (Bytes.get frame i)
+          done)
+        (List.rev !model_frames);
+      Bytes.equal visible expect)
+
+(* {1 The old facility} *)
+
+let with_fac f =
+  let e = E.create () in
+  let fac = OF.create e in
+  let result = ref None in
+  ignore (E.spawn e (fun () -> result := Some (f fac)));
+  E.run e;
+  Option.get !result
+
+let test_of_commit () =
+  with_fac (fun fac ->
+      let f = OF.create_file fac "/t" in
+      let o =
+        OF.run_transaction fac (fun txn ->
+            OF.write txn f ~pos:0 (Bytes.of_string "payload"))
+      in
+      Alcotest.(check bool) "committed" true (o = OF.Committed);
+      Alcotest.(check string) "durable" "payload" (OF.committed_contents fac f);
+      Alcotest.(check bool) "io charged" true (OF.io_count fac > 0))
+
+let test_of_abort () =
+  with_fac (fun fac ->
+      let f = OF.create_file fac "/t" in
+      let o =
+        OF.run_transaction fac (fun txn ->
+            OF.write txn f ~pos:0 (Bytes.of_string "doomed!");
+            OF.abort txn)
+      in
+      Alcotest.(check bool) "aborted" true (o = OF.Aborted);
+      Alcotest.(check string) "nothing durable" "" (OF.committed_contents fac f))
+
+let test_of_subtransaction_partial_abort () =
+  (* The old facility's selling point: an aborted subtransaction loses
+     only its own work. *)
+  with_fac (fun fac ->
+      let f = OF.create_file fac "/t" in
+      let o =
+        OF.run_transaction fac (fun txn ->
+            OF.write txn f ~pos:0 (Bytes.of_string "keep");
+            let sub =
+              OF.subtransaction txn (fun sub ->
+                  OF.write sub f ~pos:4 (Bytes.of_string "DROP");
+                  OF.abort sub)
+            in
+            Alcotest.(check bool) "sub aborted" true (sub = OF.Aborted);
+            let sub2 =
+              OF.subtransaction txn (fun sub ->
+                  OF.write sub f ~pos:4 (Bytes.of_string "good"))
+            in
+            Alcotest.(check bool) "sub2 committed" true (sub2 = OF.Committed))
+      in
+      Alcotest.(check bool) "outer committed" true (o = OF.Committed);
+      Alcotest.(check string) "only surviving writes" "keepgood"
+        (OF.committed_contents fac f))
+
+let test_of_whole_file_serialization () =
+  (* Two concurrent transactions on DISJOINT records still serialize:
+     whole-file locking (the §7.1 complaint). *)
+  let e = E.create () in
+  let fac = OF.create e in
+  let overlap = ref false in
+  let active = ref 0 in
+  ignore
+    (E.spawn e (fun () ->
+         let f = OF.create_file fac "/t" in
+         let worker pos =
+           ignore
+             (E.spawn e (fun () ->
+                  ignore
+                    (OF.run_transaction fac (fun txn ->
+                         (* The whole-file lock is taken at first access:
+                            count holders only after it. *)
+                         OF.write txn f ~pos (Bytes.of_string "xxxx");
+                         incr active;
+                         if !active > 1 then overlap := true;
+                         E.sleep 10_000;
+                         decr active))))
+         in
+         worker 0;
+         worker 100));
+  E.run e;
+  Alcotest.(check bool) "never concurrent" false !overlap
+
+let test_of_process_cost () =
+  (* Every (sub)transaction pays a process creation. *)
+  let e = E.create () in
+  let fac = OF.create e in
+  ignore
+    (E.spawn e (fun () ->
+         let f = OF.create_file fac "/t" in
+         ignore
+           (OF.run_transaction fac (fun txn ->
+                OF.write txn f ~pos:0 (Bytes.of_string "x");
+                ignore (OF.subtransaction txn (fun sub ->
+                    OF.write sub f ~pos:1 (Bytes.of_string "y")));
+                ignore (OF.subtransaction txn (fun sub ->
+                    OF.write sub f ~pos:2 (Bytes.of_string "z")))))));
+  E.run e;
+  Alcotest.(check int) "three heavyweight processes" 3
+    (Stats.get (E.stats e) "nested.processes")
+
+let suite =
+  [
+    ( "nested.version_stack",
+      [
+        Alcotest.test_case "basic" `Quick test_vs_basic;
+        Alcotest.test_case "nested commit/abort" `Quick test_vs_nested_commit_abort;
+        Alcotest.test_case "shadowing" `Quick test_vs_overwrite_shadowing;
+        Alcotest.test_case "frame bytes" `Quick test_vs_frame_bytes;
+        QCheck_alcotest.to_alcotest prop_vs_matches_model;
+      ] );
+    ( "nested.old_facility",
+      [
+        Alcotest.test_case "commit" `Quick test_of_commit;
+        Alcotest.test_case "abort" `Quick test_of_abort;
+        Alcotest.test_case "subtransaction partial abort" `Quick
+          test_of_subtransaction_partial_abort;
+        Alcotest.test_case "whole-file serialization" `Quick
+          test_of_whole_file_serialization;
+        Alcotest.test_case "process cost" `Quick test_of_process_cost;
+      ] );
+  ]

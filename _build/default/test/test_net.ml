@@ -1,0 +1,173 @@
+(* Transport: rpc, latency model, one-way sends, crash, restart,
+   partition, incarnation fencing. *)
+
+module E = Engine
+module T = Locus_net.Transport
+
+type msg = Echo of int | Slow of int
+type resp = Val of int
+
+let with_net ?(n_sites = 3) f =
+  let e = E.create () in
+  let net = T.create e ~n_sites in
+  List.iter
+    (fun s ->
+      T.set_handler net s (fun ~src:_ m ->
+          match m with
+          | Echo n -> Val (n + (100 * s))
+          | Slow n ->
+            E.sleep 50_000;
+            Val n))
+    (T.sites net);
+  f e net;
+  E.run e
+
+let test_rpc_roundtrip () =
+  let got = ref None and t_done = ref 0 in
+  with_net (fun e net ->
+      ignore
+        (E.spawn e (fun () ->
+             got := Some (T.rpc net ~src:0 ~dst:1 (Echo 5));
+             t_done := E.now e)));
+  (match !got with
+  | Some (Ok (Val 105)) -> ()
+  | _ -> Alcotest.fail "bad rpc result");
+  (* Round trip: two one-way latencies plus CPU at both ends. *)
+  let c = Costs.default in
+  Alcotest.(check bool) "latency >= 2 one-way" true (!t_done >= 2 * c.Costs.msg_latency_us)
+
+let test_local_rpc_no_wire () =
+  let e = E.create () in
+  let net = T.create e ~n_sites:2 in
+  T.set_handler net 0 (fun ~src:_ (Echo n | Slow n) -> Val n);
+  let got = ref None in
+  ignore (E.spawn e (fun () -> got := Some (T.rpc net ~src:0 ~dst:0 (Echo 9))));
+  E.run e;
+  (match !got with Some (Ok (Val 9)) -> () | _ -> Alcotest.fail "local rpc");
+  Alcotest.(check int) "no messages counted" 0 (Stats.get (E.stats e) "net.msg")
+
+let test_rpc_counts_messages () =
+  let e = E.create () in
+  let net = T.create e ~n_sites:2 in
+  T.set_handler net 1 (fun ~src:_ (Echo n | Slow n) -> Val n);
+  ignore (E.spawn e (fun () -> ignore (T.rpc net ~src:0 ~dst:1 (Echo 1))));
+  E.run e;
+  Alcotest.(check int) "request + reply" 2 (Stats.get (E.stats e) "net.msg")
+
+let test_no_handler () =
+  let e = E.create () in
+  let net = T.create e ~n_sites:2 in
+  let got = ref None in
+  ignore (E.spawn e (fun () -> got := Some (T.rpc net ~src:0 ~dst:0 (Echo 1))));
+  E.run e;
+  match !got with
+  | Some (Error T.No_handler) -> ()
+  | _ -> Alcotest.fail "expected No_handler"
+
+let test_crash_drops_messages () =
+  let got = ref None in
+  with_net (fun e net ->
+      ignore (E.spawn e (fun () -> got := Some (T.rpc net ~src:0 ~dst:1 (Slow 3))));
+      (* Crash the server mid-service: its handler fiber dies and the
+         reply never arrives. *)
+      ignore
+        (E.spawn e (fun () ->
+             E.sleep 20_000;
+             T.crash net 1)));
+  match !got with
+  | Some (Error T.Timeout) -> ()
+  | _ -> Alcotest.fail "expected timeout after crash"
+
+let test_crash_watchers () =
+  let crashed = ref [] and restarted = ref [] and topo = ref 0 in
+  let e = E.create () in
+  let net = T.create e ~n_sites:3 in
+  T.on_crash net (fun s -> crashed := s :: !crashed);
+  T.on_restart net (fun s -> restarted := s :: !restarted);
+  T.on_topology_change net (fun () -> incr topo);
+  T.crash net 2;
+  T.crash net 2 (* idempotent *);
+  T.restart net 2;
+  Alcotest.(check (list int)) "crashed" [ 2 ] !crashed;
+  Alcotest.(check (list int)) "restarted" [ 2 ] !restarted;
+  Alcotest.(check int) "topology events" 2 !topo;
+  Alcotest.(check bool) "up again" true (T.site_up net 2)
+
+let test_partition () =
+  let e = E.create () in
+  let net = T.create e ~n_sites:4 in
+  T.partition net [ [ 0; 1 ]; [ 2; 3 ] ];
+  Alcotest.(check bool) "same group" true (T.reachable net 0 1);
+  Alcotest.(check bool) "cross group" false (T.reachable net 1 2);
+  Alcotest.(check bool) "self" true (T.reachable net 2 2);
+  T.heal net;
+  Alcotest.(check bool) "healed" true (T.reachable net 1 2)
+
+let test_partition_blocks_rpc () =
+  let got = ref None in
+  with_net (fun e net ->
+      T.partition net [ [ 0 ]; [ 1; 2 ] ];
+      ignore (E.spawn e (fun () -> got := Some (T.rpc net ~src:0 ~dst:1 (Echo 1)))));
+  match !got with
+  | Some (Error T.Timeout) -> ()
+  | _ -> Alcotest.fail "expected timeout across partition"
+
+let test_successive_partitions_disjoint () =
+  let e = E.create () in
+  let net = T.create e ~n_sites:4 in
+  T.partition net [ [ 0; 1 ] ];
+  T.partition net [ [ 2; 3 ] ];
+  (* Groups from different calls must not merge. *)
+  Alcotest.(check bool) "0-1" true (T.reachable net 0 1);
+  Alcotest.(check bool) "2-3" true (T.reachable net 2 3);
+  Alcotest.(check bool) "1-2 separated" false (T.reachable net 1 2)
+
+let test_incarnation_fencing () =
+  (* A message in flight to a site that crashes and instantly reboots must
+     not be delivered to the new incarnation. *)
+  let served = ref 0 in
+  let e = E.create () in
+  let net = T.create e ~n_sites:2 in
+  T.set_handler net 1 (fun ~src:_ (Echo n | Slow n) ->
+      incr served;
+      Val n);
+  ignore (E.spawn e (fun () -> ignore (T.rpc net ~src:0 ~dst:1 (Echo 1))));
+  ignore
+    (E.spawn e (fun () ->
+         (* Crash + restart while the request is on the wire (the sender
+            charges ~1.5 ms of CPU before the wire, one-way is 6.5 ms). *)
+         E.sleep 4_000;
+         T.crash net 1;
+         T.restart net 1));
+  E.run e;
+  Alcotest.(check int) "stale message dropped" 0 !served
+
+let test_send_one_way () =
+  let served = ref 0 in
+  let e = E.create () in
+  let net = T.create e ~n_sites:2 in
+  T.set_handler net 1 (fun ~src:_ (Echo n | Slow n) ->
+      served := !served + n;
+      Val n);
+  T.send net ~src:0 ~dst:1 (Echo 7);
+  E.run e;
+  Alcotest.(check int) "delivered" 7 !served
+
+let suite =
+  [
+    ( "net.transport",
+      [
+        Alcotest.test_case "rpc roundtrip" `Quick test_rpc_roundtrip;
+        Alcotest.test_case "local rpc skips wire" `Quick test_local_rpc_no_wire;
+        Alcotest.test_case "message counting" `Quick test_rpc_counts_messages;
+        Alcotest.test_case "no handler" `Quick test_no_handler;
+        Alcotest.test_case "crash drops messages" `Quick test_crash_drops_messages;
+        Alcotest.test_case "crash watchers" `Quick test_crash_watchers;
+        Alcotest.test_case "partition" `Quick test_partition;
+        Alcotest.test_case "partition blocks rpc" `Quick test_partition_blocks_rpc;
+        Alcotest.test_case "successive partitions" `Quick
+          test_successive_partitions_disjoint;
+        Alcotest.test_case "incarnation fencing" `Quick test_incarnation_fencing;
+        Alcotest.test_case "one-way send" `Quick test_send_one_way;
+      ] );
+  ]

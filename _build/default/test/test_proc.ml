@@ -1,0 +1,132 @@
+(* Process records and per-site tables. *)
+
+module P = Locus_proc.Process
+module PT = Locus_proc.Proc_table
+
+let fid n = File_id.make ~vid:1 ~ino:n
+
+let test_create_defaults () =
+  let pid = Pid.make ~origin:0 ~num:1 in
+  let p = P.create ~pid ~site:0 ~parent:None in
+  Alcotest.(check bool) "not in txn" false (P.in_transaction p);
+  Alcotest.(check bool) "owner is process" true
+    (P.owner p = Owner.Process pid);
+  Alcotest.(check int) "no nesting" 0 p.P.nesting;
+  Alcotest.(check (list int)) "no channels" []
+    (List.map (fun c -> c.P.chan) p.P.channels)
+
+let test_channels () =
+  let p = P.create ~pid:(Pid.make ~origin:0 ~num:1) ~site:0 ~parent:None in
+  let c1 = P.add_channel p (fid 1) in
+  let c2 = P.add_channel p (fid 2) in
+  Alcotest.(check bool) "distinct" true (c1 <> c2);
+  (match P.channel p c1 with
+  | Some ch ->
+    Alcotest.(check int) "pos starts 0" 0 ch.P.pos;
+    Alcotest.(check bool) "fid" true (File_id.equal ch.P.fid (fid 1))
+  | None -> Alcotest.fail "channel missing");
+  P.close_channel p c1;
+  Alcotest.(check bool) "closed" true (P.channel p c1 = None);
+  Alcotest.(check bool) "other open" true (P.channel p c2 <> None)
+
+let test_fork_inherits () =
+  let pid = Pid.make ~origin:0 ~num:1 in
+  let p = P.create ~pid ~site:0 ~parent:None in
+  p.P.txid <- Some (Txid.make ~site:0 ~incarnation:1 ~seq:9);
+  p.P.nesting <- 2;
+  let c = P.add_channel p (fid 1) in
+  (Option.get (P.channel p c)).P.pos <- 123;
+  P.note_file_use p (fid 1);
+  let child = P.fork_child p ~pid:(Pid.make ~origin:0 ~num:2) ~site:1 in
+  Alcotest.(check bool) "txn inherited" true (P.in_transaction child);
+  Alcotest.(check int) "nesting inherited" 2 child.P.nesting;
+  (match P.channel child c with
+  | Some ch -> Alcotest.(check int) "position copied" 123 ch.P.pos
+  | None -> Alcotest.fail "channel not inherited");
+  (* Channel state is copied, not shared. *)
+  (Option.get (P.channel child c)).P.pos <- 999;
+  Alcotest.(check int) "parent pos unchanged" 123 (Option.get (P.channel p c)).P.pos;
+  Alcotest.(check bool) "file list NOT inherited" true
+    (File_id.Set.is_empty child.P.file_list);
+  Alcotest.(check bool) "child not top-level" false child.P.top_level
+
+let test_proc_table () =
+  let t = PT.create ~site:3 in
+  let pid1 = PT.alloc_pid t and pid2 = PT.alloc_pid t in
+  Alcotest.(check bool) "pids distinct" false (Pid.equal pid1 pid2);
+  Alcotest.(check int) "origin site" 3 pid1.Pid.origin;
+  let p1 = P.create ~pid:pid1 ~site:3 ~parent:None in
+  PT.insert t p1;
+  Alcotest.check_raises "double insert"
+    (Invalid_argument "Proc_table.insert: pid already present") (fun () ->
+      PT.insert t p1);
+  Alcotest.(check bool) "find" true (PT.find t pid1 <> None);
+  Alcotest.(check bool) "mem" true (PT.mem t pid1);
+  Alcotest.(check int) "count" 1 (List.length (PT.processes t));
+  PT.remove t pid1;
+  Alcotest.(check bool) "removed" false (PT.mem t pid1)
+
+let test_members_of () =
+  let t = PT.create ~site:0 in
+  let txid = Txid.make ~site:0 ~incarnation:1 ~seq:1 in
+  let mk in_txn =
+    let p = P.create ~pid:(PT.alloc_pid t) ~site:0 ~parent:None in
+    if in_txn then p.P.txid <- Some txid;
+    PT.insert t p;
+    p
+  in
+  let _m1 = mk true and _m2 = mk true and _other = mk false in
+  Alcotest.(check int) "two members" 2 (List.length (PT.members_of t txid));
+  PT.clear t;
+  Alcotest.(check int) "cleared" 0 (List.length (PT.processes t))
+
+(* Whole-system determinism: the same seed yields the same virtual end
+   time, the same stats, and the same committed bytes. *)
+let test_determinism () =
+  let module L = Locus_core.Locus in
+  let module Api = L.Api in
+  let run () =
+    let sim = L.make ~seed:2024 ~n_sites:3 () in
+    ignore
+      (Api.spawn_process sim.L.cluster ~site:0 (fun env ->
+           let c = Api.creat env "/d" ~vid:1 in
+           let prng = Prng.create ~seed:5 in
+           let workers =
+             List.init 6 (fun i ->
+                 Api.fork env ~site:(i mod 3) (fun w ->
+                     Api.begin_trans w;
+                     let pos = Prng.int prng 8 * 16 in
+                     Api.seek w c ~pos;
+                     (match Api.lock w c ~len:16 ~mode:L.Mode.Exclusive () with
+                     | Api.Granted -> ()
+                     | Api.Conflict _ -> ());
+                     Api.pwrite w c ~pos (Bytes.of_string (Printf.sprintf "%-16d" i));
+                     ignore (Api.end_trans w)))
+           in
+           List.iter (Api.wait_pid env) workers));
+    L.run sim;
+    let oracle =
+      L.Kernel.read_committed_oracle sim.L.cluster
+        (Option.get (L.Kernel.lookup sim.L.cluster "/d"))
+    in
+    (L.Engine.now sim.L.engine, oracle,
+     L.Stats.get (L.Engine.stats sim.L.engine) "net.msg")
+  in
+  let t1, o1, m1 = run () in
+  let t2, o2, m2 = run () in
+  Alcotest.(check int) "same end time" t1 t2;
+  Alcotest.(check string) "same committed bytes" o1 o2;
+  Alcotest.(check int) "same message count" m1 m2
+
+let suite =
+  [
+    ( "proc",
+      [
+        Alcotest.test_case "defaults" `Quick test_create_defaults;
+        Alcotest.test_case "channels" `Quick test_channels;
+        Alcotest.test_case "fork inherits" `Quick test_fork_inherits;
+        Alcotest.test_case "table" `Quick test_proc_table;
+        Alcotest.test_case "members_of" `Quick test_members_of;
+        Alcotest.test_case "whole-system determinism" `Quick test_determinism;
+      ] );
+  ]

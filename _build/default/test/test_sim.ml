@@ -1,0 +1,285 @@
+(* Engine, Prng, Pqueue, Stats, Costs. *)
+
+module E = Engine
+
+let test_prng_determinism () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_bounds () =
+  let p = Prng.create ~seed:99 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int p 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_in p ~lo:5 ~hi:9 in
+    if v < 5 || v > 9 then Alcotest.failf "int_in out of range: %d" v
+  done
+
+let test_prng_split () =
+  let p = Prng.create ~seed:1 in
+  let q = Prng.split p in
+  Alcotest.(check bool) "independent" true (Prng.bits64 p <> Prng.bits64 q)
+
+let test_pqueue_order () =
+  let q = Pqueue.create () in
+  Pqueue.push q ~time:5 ~seq:1 "e";
+  Pqueue.push q ~time:1 ~seq:2 "a";
+  Pqueue.push q ~time:1 ~seq:3 "b";
+  Pqueue.push q ~time:3 ~seq:4 "c";
+  let order = ref [] in
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (_, _, v) ->
+      order := v :: !order;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "time then seq" [ "a"; "b"; "c"; "e" ]
+    (List.rev !order)
+
+let prop_pqueue_sorted =
+  QCheck.Test.make ~name:"pqueue pops sorted" ~count:300
+    QCheck.(list (pair (int_bound 1000) (int_bound 1000)))
+    (fun items ->
+      let q = Pqueue.create () in
+      List.iteri (fun i (t, _) -> Pqueue.push q ~time:t ~seq:i ()) items;
+      let rec drain last =
+        match Pqueue.pop q with
+        | None -> true
+        | Some (t, _, ()) -> t >= last && drain t
+      in
+      drain min_int)
+
+let test_sleep_ordering () =
+  let order = ref [] in
+  let e =
+    E.run_fn (fun t ->
+        ignore
+          (E.spawn t (fun () ->
+               E.sleep 10;
+               order := "b" :: !order));
+        ignore
+          (E.spawn t (fun () ->
+               E.sleep 5;
+               order := "a" :: !order)))
+  in
+  Alcotest.(check (list string)) "virtual order" [ "a"; "b" ] (List.rev !order);
+  Alcotest.(check int) "clock" 10 (E.now e)
+
+let test_ivar () =
+  let got = ref 0 in
+  ignore
+    (E.run_fn (fun t ->
+         let iv = E.Ivar.create () in
+         ignore
+           (E.spawn t (fun () ->
+                let v = E.await iv in
+                got := v));
+         ignore
+           (E.spawn t (fun () ->
+                E.sleep 100;
+                E.fill t iv 42))));
+  Alcotest.(check int) "ivar value" 42 !got
+
+let test_ivar_immediate () =
+  let got = ref 0 in
+  ignore
+    (E.run_fn (fun t ->
+         let iv = E.Ivar.create () in
+         E.fill t iv 7;
+         ignore (E.spawn t (fun () -> got := E.await iv))));
+  Alcotest.(check int) "full ivar returns immediately" 7 !got
+
+let test_await_timeout () =
+  let r1 = ref None and r2 = ref None and tend = ref 0 in
+  let e =
+    E.run_fn (fun t ->
+        let never = E.Ivar.create () in
+        let soon = E.Ivar.create () in
+        ignore (E.spawn t (fun () -> r1 := E.await_timeout never ~timeout:50));
+        ignore (E.spawn t (fun () -> r2 := E.await_timeout soon ~timeout:5000));
+        ignore
+          (E.spawn t (fun () ->
+               E.sleep 20;
+               E.fill t soon "yes")))
+  in
+  tend := E.now e;
+  Alcotest.(check (option unit)) "timed out" None !r1;
+  Alcotest.(check (option string)) "delivered" (Some "yes") !r2;
+  (* The satisfied await's 5000us timer must not stretch virtual time. *)
+  Alcotest.(check int) "clock stops at 50" 50 !tend
+
+let test_kill () =
+  let reached = ref false in
+  ignore
+    (E.run_fn (fun t ->
+         let f =
+           E.spawn ~site:3 t (fun () ->
+               E.sleep 100;
+               reached := true)
+         in
+         ignore f;
+         ignore (E.spawn t (fun () -> E.kill_site t 3))));
+  Alcotest.(check bool) "killed before resume" false !reached
+
+let test_kill_unwinds () =
+  let cleaned = ref false in
+  ignore
+    (E.run_fn (fun t ->
+         let f =
+           E.spawn ~site:1 t (fun () ->
+               Fun.protect
+                 (fun () -> E.sleep 1000)
+                 ~finally:(fun () -> cleaned := true))
+         in
+         ignore f;
+         ignore
+           (E.spawn t (fun () ->
+                E.sleep 10;
+                E.kill_site t 1))));
+  Alcotest.(check bool) "finally ran on kill" true !cleaned
+
+let test_exception_propagates () =
+  Alcotest.check_raises "fiber exception reaches run" (Failure "boom") (fun () ->
+      ignore (E.run_fn (fun t -> ignore (E.spawn t (fun () -> failwith "boom")))))
+
+let test_consume_charges () =
+  let e =
+    E.run_fn (fun t -> ignore (E.spawn t (fun () -> E.consume t ~instr:750)))
+  in
+  (* 750 instructions at 2 us each = 1.5 ms — the paper's lock cost. *)
+  Alcotest.(check int) "1.5ms" 1500 (E.now e);
+  Alcotest.(check int) "counter" 750 (Stats.get (E.stats e) "cpu.instr")
+
+let test_run_until () =
+  let t = E.create () in
+  ignore (E.spawn t (fun () -> E.sleep 1000));
+  E.run ~until:300 t;
+  Alcotest.(check int) "paused at until" 300 (E.now t);
+  E.run t;
+  Alcotest.(check int) "completes" 1000 (E.now t)
+
+let test_stats_summary () =
+  let s = Stats.create () in
+  List.iter (Stats.sample s "lat") [ 5; 1; 9; 3; 7 ];
+  match Stats.summary s "lat" with
+  | None -> Alcotest.fail "no summary"
+  | Some sum ->
+    Alcotest.(check int) "n" 5 sum.Stats.Summary.n;
+    Alcotest.(check int) "min" 1 sum.Stats.Summary.min;
+    Alcotest.(check int) "max" 9 sum.Stats.Summary.max;
+    Alcotest.(check int) "p50" 5 sum.Stats.Summary.p50
+
+let test_costs () =
+  let c = Costs.default in
+  Alcotest.(check int) "750 instr = 1.5ms" 1500 (Costs.instr_us c 750);
+  Alcotest.(check bool) "disk io >= latency" true
+    (Costs.disk_io_us c ~bytes:1024 >= c.Costs.disk_latency_us);
+  Alcotest.(check bool) "copy scales" true
+    (Costs.copy_instr c ~bytes:4096 > Costs.copy_instr c ~bytes:1024)
+
+let suite =
+  [
+    ( "sim.prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_prng_determinism;
+        Alcotest.test_case "bounds" `Quick test_prng_bounds;
+        Alcotest.test_case "split" `Quick test_prng_split;
+      ] );
+    ( "sim.pqueue",
+      [
+        Alcotest.test_case "order" `Quick test_pqueue_order;
+        QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "sleep ordering" `Quick test_sleep_ordering;
+        Alcotest.test_case "ivar" `Quick test_ivar;
+        Alcotest.test_case "ivar immediate" `Quick test_ivar_immediate;
+        Alcotest.test_case "await timeout" `Quick test_await_timeout;
+        Alcotest.test_case "kill" `Quick test_kill;
+        Alcotest.test_case "kill unwinds" `Quick test_kill_unwinds;
+        Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+        Alcotest.test_case "consume" `Quick test_consume_charges;
+        Alcotest.test_case "run until" `Quick test_run_until;
+      ] );
+    ( "sim.stats",
+      [
+        Alcotest.test_case "summary" `Quick test_stats_summary;
+        Alcotest.test_case "costs" `Quick test_costs;
+      ] );
+  ]
+
+(* Appended: trace ring. *)
+
+let test_trace_ring () =
+  let t = Trace.create ~capacity:4 () in
+  Alcotest.(check (list string)) "disabled records nothing"
+    []
+    (List.map (fun e -> e.Trace.text) (Trace.events t));
+  Trace.emit t ~at:1 ~cat:Trace.User ~site:0 "dropped";
+  Trace.enable t;
+  for i = 1 to 6 do
+    Trace.emit t ~at:i ~cat:Trace.User ~site:0 (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check (list string)) "keeps most recent, oldest first"
+    [ "e3"; "e4"; "e5"; "e6" ]
+    (List.map (fun e -> e.Trace.text) (Trace.events t));
+  Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.events t))
+
+let test_trace_category_filter () =
+  let t = Trace.create () in
+  Trace.enable ~categories:[ Trace.Lock ] t;
+  Trace.emit t ~at:1 ~cat:Trace.Lock ~site:0 "kept";
+  Trace.emit t ~at:2 ~cat:Trace.Net ~site:0 "filtered";
+  Alcotest.(check (list string)) "filtered" [ "kept" ]
+    (List.map (fun e -> e.Trace.text) (Trace.events t));
+  Alcotest.(check bool) "enabled query" true (Trace.enabled t Trace.Lock);
+  Alcotest.(check bool) "disabled query" false (Trace.enabled t Trace.Net)
+
+let test_trace_from_kernel () =
+  let module L = Locus_core.Locus in
+  let module Api = L.Api in
+  let sim = L.make ~n_sites:2 () in
+  Trace.enable (Engine.trace sim.L.engine);
+  ignore
+    (Api.spawn_process sim.L.cluster ~site:0 (fun env ->
+         let c = Api.creat env "/t" ~vid:1 in
+         Api.begin_trans env;
+         Api.write_string env c "x";
+         ignore (Api.end_trans env)));
+  L.run sim;
+  let events = Trace.events (Engine.trace sim.L.engine) in
+  let has cat needle =
+    List.exists
+      (fun e ->
+        e.Trace.cat = cat
+        &&
+        let rec find i =
+          i + String.length needle <= String.length e.Trace.text
+          && (String.sub e.Trace.text i (String.length needle) = needle || find (i + 1))
+        in
+        find 0)
+      events
+  in
+  Alcotest.(check bool) "2pc begin traced" true (has Trace.Txn "2pc begin");
+  Alcotest.(check bool) "decide traced" true (has Trace.Txn "2pc decide");
+  Alcotest.(check bool) "lock grant traced" true (has Trace.Lock "grant");
+  Alcotest.(check bool) "messages traced" true (has Trace.Net "prepare")
+
+let suite =
+  suite
+  @ [
+      ( "sim.trace",
+        [
+          Alcotest.test_case "ring" `Quick test_trace_ring;
+          Alcotest.test_case "category filter" `Quick test_trace_category_filter;
+          Alcotest.test_case "kernel integration" `Quick test_trace_from_kernel;
+        ] );
+    ]

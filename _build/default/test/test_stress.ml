@@ -1,0 +1,143 @@
+(* Long mixed-workload stress runs: transfers + migrations + crashes +
+   deadlocks, all at once, checking global invariants at the end. Also
+   exercises the Kinfo snapshot interface. *)
+
+module L = Locus_core.Locus
+module Api = L.Api
+module K = L.Kernel
+module M = L.Mode
+
+let n_accounts = 16
+let rec_len = 16
+let initial = 500
+
+let read_bal env c a =
+  int_of_string (String.trim (Bytes.to_string (Api.pread env c ~pos:(a * rec_len) ~len:rec_len)))
+
+let write_bal env c a v =
+  Api.pwrite env c ~pos:(a * rec_len) (Bytes.of_string (Printf.sprintf "%-*d" rec_len v))
+
+let test_mixed_stress () =
+  let sim = L.make ~seed:77 ~n_sites:3 () in
+  let cl = sim.L.cluster in
+  let committed_deltas = ref [] in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"setup" (fun env ->
+         let c = Api.creat env "/s/accts" ~vid:1 in
+         for a = 0 to n_accounts - 1 do
+           write_bal env c a initial
+         done;
+         Api.close env c;
+         let worker i =
+           Api.fork env ~site:(i mod 3) ~name:(Printf.sprintf "w%d" i) (fun tenv ->
+               let prng = Prng.create ~seed:(900 + i) in
+               for _ = 1 to 4 do
+                 let from_a = Prng.int prng n_accounts in
+                 let to_a = Prng.int prng n_accounts in
+                 let amount = 1 + Prng.int prng 50 in
+                 let moved = ref 0 in
+                 let t =
+                   Api.fork tenv ~name:"t" (fun w ->
+                       let c = Api.open_file w "/s/accts" in
+                       Api.begin_trans w;
+                       (* Occasionally wander mid-transaction. *)
+                       if Prng.int prng 4 = 0 then
+                         Api.migrate w (Prng.int prng 3);
+                       Api.seek w c ~pos:(from_a * rec_len);
+                       (match Api.lock w c ~len:rec_len ~mode:M.Exclusive () with
+                       | Api.Granted -> ()
+                       | Api.Conflict _ -> ());
+                       if to_a <> from_a then begin
+                         Api.seek w c ~pos:(to_a * rec_len);
+                         match Api.lock w c ~len:rec_len ~mode:M.Exclusive () with
+                         | Api.Granted -> ()
+                         | Api.Conflict _ -> ()
+                       end;
+                       let src = read_bal w c from_a in
+                       let amt = min src amount in
+                       if amt > 0 && to_a <> from_a then begin
+                         write_bal w c from_a (src - amt);
+                         write_bal w c to_a (read_bal w c to_a + amt)
+                       end;
+                       (match Api.end_trans w with
+                       | K.Committed -> if to_a <> from_a then moved := amt
+                       | K.Aborted -> ());
+                       Api.close w c)
+                 in
+                 Api.wait_pid tenv t;
+                 if !moved <> 0 then committed_deltas := !moved :: !committed_deltas
+               done)
+         in
+         let pids = List.init 9 worker in
+         List.iter (Api.wait_pid env) pids));
+  (* Chaos: crash and reboot site 2 twice while the workload runs. Site 2
+     hosts no data (vid 1 is at site 1), so only processes and commit
+     coordination are disturbed. *)
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"chaos" (fun _ ->
+         Engine.sleep 1_500_000;
+         K.crash_site cl 2;
+         Engine.sleep 1_000_000;
+         K.restart_site cl 2;
+         Engine.sleep 3_000_000;
+         K.crash_site cl 2;
+         Engine.sleep 1_000_000;
+         K.restart_site cl 2));
+  L.run sim;
+  let s = K.read_committed_oracle cl (Option.get (K.lookup cl "/s/accts")) in
+  let total = ref 0 in
+  for a = 0 to n_accounts - 1 do
+    total := !total + int_of_string (String.trim (String.sub s (a * rec_len) rec_len))
+  done;
+  Alcotest.(check int) "money conserved through chaos" (n_accounts * initial) !total;
+  (* No transaction left running, no lock left behind, nothing in doubt. *)
+  Alcotest.(check (list string)) "no active transactions" []
+    (List.map Txid.to_string (K.active_transactions cl));
+  List.iter
+    (fun snap ->
+      if snap.Locus_core.Kinfo.up then begin
+        Alcotest.(check int)
+          (Printf.sprintf "no leftover locks at site %d" snap.Locus_core.Kinfo.site)
+          0
+          (List.length snap.Locus_core.Kinfo.locks);
+        Alcotest.(check (list string)) "nothing in doubt" []
+          (List.map Txid.to_string snap.Locus_core.Kinfo.in_doubt)
+      end)
+    (Locus_core.Kinfo.snapshot cl)
+
+let test_kinfo_reflects_state () =
+  let sim = L.make ~n_sites:2 () in
+  let cl = sim.L.cluster in
+  let checked = ref false in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"holder" (fun env ->
+         let c = Api.creat env "/k" ~vid:1 in
+         Api.write_string env c "xxxx";
+         Api.commit_file env c;
+         Api.begin_trans env;
+         Api.seek env c ~pos:0;
+         (match Api.lock env c ~len:4 ~mode:M.Exclusive () with
+         | Api.Granted -> ()
+         | Api.Conflict _ -> ());
+         (* Snapshot while the lock is held and the txn is active. *)
+         let snaps = Locus_core.Kinfo.snapshot cl in
+         let s0 = List.nth snaps 0 and s1 = List.nth snaps 1 in
+         Alcotest.(check int) "txn registered at home site" 1
+           (List.length s0.Locus_core.Kinfo.active_txns);
+         Alcotest.(check int) "lock visible at storage site" 1
+           (List.length s1.Locus_core.Kinfo.locks);
+         Alcotest.(check bool) "process listed" true
+           (List.length s0.Locus_core.Kinfo.processes >= 1);
+         checked := true;
+         ignore (Api.end_trans env)));
+  L.run sim;
+  Alcotest.(check bool) "assertions ran" true !checked
+
+let suite =
+  [
+    ( "stress",
+      [
+        Alcotest.test_case "mixed workload with chaos" `Quick test_mixed_stress;
+        Alcotest.test_case "kinfo snapshot" `Quick test_kinfo_reflects_state;
+      ] );
+  ]

@@ -1,0 +1,168 @@
+(* The write-ahead-log baseline and the operation-counting model. *)
+
+module E = Engine
+module V = Locus_disk.Volume
+module R = Locus_wal.Redo_log
+module O = Locus_wal.Opcount
+
+let in_sim f =
+  let e = E.create () in
+  let result = ref None in
+  ignore (E.spawn e (fun () -> result := Some (f e)));
+  E.run e;
+  Option.get !result
+
+let with_wal f =
+  in_sim (fun e ->
+      let vol = V.create e ~vid:1 ~page_size:64 () in
+      f e (R.create vol) vol)
+
+let test_write_commit_read () =
+  with_wal (fun _e w _vol ->
+      let f = R.create_file w in
+      R.write w f ~owner:"t1" ~pos:0 (Bytes.of_string "hello");
+      Alcotest.(check string) "buffered visible" "hello"
+        (Bytes.to_string (R.read w f ~pos:0 ~len:5));
+      Alcotest.(check string) "not committed" "\000"
+        (Bytes.to_string (R.read_committed w f ~pos:0 ~len:1));
+      let ios = R.commit w ~owner:"t1" in
+      Alcotest.(check int) "one log page" 1 ios;
+      Alcotest.(check string) "committed" "hello"
+        (Bytes.to_string (R.read_committed w f ~pos:0 ~len:5)))
+
+let test_abort () =
+  with_wal (fun _e w _vol ->
+      let f = R.create_file w in
+      R.write w f ~owner:"t1" ~pos:0 (Bytes.of_string "nope");
+      R.abort w ~owner:"t1";
+      Alcotest.(check int) "commit after abort writes nothing" 0 (R.commit w ~owner:"t1");
+      Alcotest.(check string) "clean" "\000"
+        (Bytes.to_string (R.read w f ~pos:0 ~len:1)))
+
+let test_big_commit_spans_log_pages () =
+  with_wal (fun _e w _vol ->
+      let f = R.create_file w in
+      (* 200 bytes of records over 64-byte log pages: > 1 forced page. *)
+      for i = 0 to 4 do
+        R.write w f ~owner:"t1" ~pos:(i * 40) (Bytes.make 40 'x')
+      done;
+      let ios = R.commit w ~owner:"t1" in
+      Alcotest.(check bool) "multiple log pages" true (ios >= 3))
+
+let test_checkpoint_and_recover () =
+  with_wal (fun _e w _vol ->
+      let f = R.create_file w in
+      R.write w f ~owner:"t1" ~pos:0 (Bytes.of_string "alpha");
+      ignore (R.commit w ~owner:"t1");
+      Alcotest.(check bool) "dirty pages pending" true (R.dirty_pages w > 0);
+      let ios = R.checkpoint w in
+      Alcotest.(check bool) "checkpoint wrote" true (ios > 0);
+      Alcotest.(check int) "clean" 0 (R.dirty_pages w);
+      (* Crash after checkpoint: data must come back from the pages. *)
+      R.crash w;
+      ignore (R.recover w);
+      Alcotest.(check string) "from pages" "alpha"
+        (Bytes.to_string (R.read_committed w f ~pos:0 ~len:5)))
+
+let test_crash_before_checkpoint_replays_log () =
+  with_wal (fun _e w _vol ->
+      let f = R.create_file w in
+      R.write w f ~owner:"t1" ~pos:0 (Bytes.of_string "logged");
+      ignore (R.commit w ~owner:"t1");
+      (* No checkpoint: only the log holds the data. *)
+      R.crash w;
+      let replayed = R.recover w in
+      Alcotest.(check bool) "records replayed" true (replayed > 0);
+      Alcotest.(check string) "redone" "logged"
+        (Bytes.to_string (R.read_committed w f ~pos:0 ~len:6)))
+
+let test_uncommitted_lost_on_crash () =
+  with_wal (fun _e w _vol ->
+      let f = R.create_file w in
+      R.write w f ~owner:"t1" ~pos:0 (Bytes.of_string "gone");
+      R.crash w;
+      ignore (R.recover w);
+      Alcotest.(check string) "atomic" "\000"
+        (Bytes.to_string (R.read_committed w f ~pos:0 ~len:1)))
+
+let test_two_owners_independent () =
+  with_wal (fun _e w _vol ->
+      let f = R.create_file w in
+      R.write w f ~owner:"a" ~pos:0 (Bytes.of_string "AA");
+      R.write w f ~owner:"b" ~pos:10 (Bytes.of_string "BB");
+      ignore (R.commit w ~owner:"a");
+      R.abort w ~owner:"b";
+      Alcotest.(check string) "a committed" "AA"
+        (Bytes.to_string (R.read_committed w f ~pos:0 ~len:2));
+      Alcotest.(check string) "b dropped" "\000\000"
+        (Bytes.to_string (R.read_committed w f ~pos:10 ~len:2)))
+
+(* {1 Opcount model} *)
+
+let test_opcount_figure5_shape () =
+  (* A one-record, one-file, one-volume transaction: the paper's Figure 5
+     counts 3 foreground I/Os + commit mark + 1 deferred = 5 total. *)
+  let b = O.shadow O.default_params in
+  Alcotest.(check int) "foreground 4" 4 b.O.foreground;
+  Alcotest.(check int) "deferred 1" 1 b.O.deferred;
+  Alcotest.(check int) "total 5" 5 b.O.total
+
+let test_opcount_multi_volume () =
+  let p = { O.default_params with O.files = 3; volumes = 3; records_per_txn = 3 } in
+  let b = O.shadow p in
+  (* One prepare log per volume (Figure 5 discussion). *)
+  Alcotest.(check int) "log writes" (1 + 3 + 1) b.O.log_writes;
+  Alcotest.(check int) "inodes deferred" 3 b.O.inode_writes
+
+let test_opcount_small_records_favor_wal () =
+  let p = { O.default_params with O.record_size = 32; records_per_txn = 8;
+            placement = O.Random_within 64 } in
+  Alcotest.(check bool) "logging wins on small scattered records" true
+    ((O.wal p).O.foreground < (O.shadow p).O.foreground)
+
+let test_opcount_large_records_competitive () =
+  let p = { O.default_params with O.record_size = 1024; records_per_txn = 4 } in
+  let s = O.shadow p and w = O.wal p in
+  (* Whole-page records: logging writes the data twice (log then in
+     place), shadow paging once plus bookkeeping — totals are comparable,
+     which is §6's claim. *)
+  Alcotest.(check bool) "totals within 2x" true
+    (s.O.total <= 2 * w.O.total && w.O.total <= 2 * s.O.total)
+
+let test_opcount_crossover_exists () =
+  match O.crossover_record_size () with
+  | Some size -> Alcotest.(check bool) "within a page" true (size <= 1024)
+  | None -> Alcotest.fail "expected a crossover for packed records"
+
+let test_pages_touched () =
+  let p = { O.default_params with O.record_size = 100; records_per_txn = 10 } in
+  Alcotest.(check int) "sequential packing" 1
+    (O.pages_touched { p with O.record_size = 10; records_per_txn = 10 });
+  Alcotest.(check bool) "random spreads" true
+    (O.pages_touched { p with O.placement = O.Random_within 100 }
+    > O.pages_touched p)
+
+let suite =
+  [
+    ( "wal.redo_log",
+      [
+        Alcotest.test_case "write/commit/read" `Quick test_write_commit_read;
+        Alcotest.test_case "abort" `Quick test_abort;
+        Alcotest.test_case "big commit" `Quick test_big_commit_spans_log_pages;
+        Alcotest.test_case "checkpoint+recover" `Quick test_checkpoint_and_recover;
+        Alcotest.test_case "log replay" `Quick test_crash_before_checkpoint_replays_log;
+        Alcotest.test_case "uncommitted lost" `Quick test_uncommitted_lost_on_crash;
+        Alcotest.test_case "two owners" `Quick test_two_owners_independent;
+      ] );
+    ( "wal.opcount",
+      [
+        Alcotest.test_case "figure 5 shape" `Quick test_opcount_figure5_shape;
+        Alcotest.test_case "multi volume" `Quick test_opcount_multi_volume;
+        Alcotest.test_case "small records favor wal" `Quick
+          test_opcount_small_records_favor_wal;
+        Alcotest.test_case "large records competitive" `Quick
+          test_opcount_large_records_competitive;
+        Alcotest.test_case "crossover" `Quick test_opcount_crossover_exists;
+        Alcotest.test_case "pages touched" `Quick test_pages_touched;
+      ] );
+  ]
