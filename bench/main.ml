@@ -19,6 +19,7 @@ let experiments =
     ("e10", "\xc2\xa73.1: deadlock detection", Exp_failure.e10);
     ("e12", "\xc2\xa71: concurrency scaling with sites", Exp_scaling.e12);
     ("e13", "\xc2\xa77.1: old nested facility vs BeginTrans/EndTrans", Exp_baseline.e13);
+    ("e14", "Locus_check: schedule exploration throughput", Exp_check.e14);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

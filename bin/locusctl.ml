@@ -372,6 +372,103 @@ let dc_cmd =
     (Cmd.info "dc" ~doc:"DebitCredit (TPC-A style) throughput run.")
     Term.(const dc $ seed_arg $ sites_arg $ terminals $ txns)
 
+(* {1 check / explore: the Locus_check harness} *)
+
+module Ck = Locus_check
+
+let check_config sites txns ops records crash_every =
+  {
+    Ck.Explore.sites = max 2 sites;
+    txns;
+    ops;
+    records;
+    crash_every;
+  }
+
+let txns_arg =
+  Arg.(value & opt int 4 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per workload.")
+
+let ops_arg =
+  Arg.(value & opt int 4 & info [ "ops" ] ~docv:"N" ~doc:"Operations per transaction.")
+
+let records_arg =
+  Arg.(value & opt int 4 & info [ "records" ] ~docv:"N" ~doc:"Shared records.")
+
+let crash_every_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "crash-every" ] ~docv:"K"
+        ~doc:"Inject a site crash + reboot on every K-th seed.")
+
+let check seed sites txns ops records crash_every =
+  let cfg = check_config sites txns ops records crash_every in
+  let spec, hist, report = Ck.Explore.run_seed cfg seed in
+  Fmt.pr "workload (seed %d):@.%a@." seed Ck.Workload.pp spec;
+  Fmt.pr "@.history: %d events@." (Ck.History.length hist);
+  Fmt.pr "%a@." Ck.Checker.pp report;
+  if not (Ck.Checker.ok report) then exit 1
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run one generated workload and check its history for serializability.")
+    Term.(
+      const check $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
+      $ crash_every_arg)
+
+let explore seed sites txns ops records crash_every n_seeds break_locks =
+  let cfg = check_config sites txns ops records crash_every in
+  if break_locks then begin
+    Fmt.pr "!! breaking the shared/exclusive compatibility rule (Figure 1)@.";
+    M.test_break_shared_exclusive := true
+  end;
+  Fun.protect ~finally:(fun () -> M.test_break_shared_exclusive := false)
+  @@ fun () ->
+  let t0 = Sys.time () in
+  let result =
+    Ck.Explore.sweep ~config:cfg ~seeds:(Ck.Explore.seeds ~n:n_seeds ~from:seed) ()
+  in
+  let dt = Sys.time () -. t0 in
+  Fmt.pr
+    "checked %d schedules (%d events) in %.2fs cpu = %.1f schedules/s@."
+    result.Ck.Explore.checked result.Ck.Explore.events dt
+    (float_of_int result.Ck.Explore.checked /. Float.max dt 1e-9);
+  Fmt.pr "permitted (§3.4) violations: %d@." result.Ck.Explore.permitted;
+  match result.Ck.Explore.failures with
+  | [] -> Fmt.pr "no unpermitted serializability violations.@."
+  | f :: _ as fs ->
+    Fmt.pr "@.%d FAILING SEED(S): %a@." (List.length fs)
+      (Fmt.list ~sep:Fmt.sp Fmt.int)
+      (List.map (fun f -> f.Ck.Explore.f_seed) fs);
+    Fmt.pr "@.first failure (seed %d):@.%a@." f.Ck.Explore.f_seed
+      Ck.Checker.pp f.Ck.Explore.f_report;
+    let small = Ck.Explore.shrink_failure cfg f in
+    Fmt.pr "@.shrunk reproducer (%d txns):@.%a@."
+      (List.length small.Ck.Workload.txns)
+      Ck.Workload.pp small;
+    exit 1
+
+let explore_cmd =
+  let n_seeds =
+    Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc:"Seeds to sweep.")
+  in
+  let break_locks =
+    Arg.(
+      value & flag
+      & info [ "break-locks" ]
+          ~doc:
+            "Self-test: break the lock compatibility matrix and verify the \
+             checker catches the resulting violations.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Sweep many seeds, checking every schedule for serializability; on \
+          failure, shrink the workload to a minimal reproducer.")
+    Term.(
+      const explore $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
+      $ crash_every_arg $ n_seeds $ break_locks)
+
 (* {1 stats} *)
 
 let cluster_info _seed sites =
@@ -400,4 +497,4 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "locusctl" ~version:"1.0" ~doc)
-          [ bank_cmd; chaos_cmd; deadlock_cmd; dc_cmd; stats_cmd ]))
+          [ bank_cmd; chaos_cmd; deadlock_cmd; dc_cmd; check_cmd; explore_cmd; stats_cmd ]))

@@ -1,0 +1,354 @@
+module Obs = Locus_core.Obs
+
+type violation =
+  | Dirty_read of {
+      reader : Txid.t;
+      writer : Owner.t;
+      fid : File_id.t;
+      range : Byte_range.t;
+      at : int;
+    }
+  | Cycle of Txid.t list
+
+type classified = { violation : violation; permitted : bool }
+
+type report = {
+  committed : Txid.t list;
+  aborted : Txid.t list;
+  unresolved : Txid.t list;
+  reads_checked : int;
+  edges : (Txid.t * Txid.t) list;
+  violations : classified list;
+}
+
+(* One recorded write, with a status that evolves as the chronological
+   scan passes the owner's commit / abort events. *)
+type wstatus = Pending | Wcommitted | Waborted
+
+type wrec = {
+  w_owner : Owner.t;
+  w_range : Byte_range.t;
+  w_relaxed : bool;
+  mutable w_status : wstatus;
+}
+
+(* A transaction's data access, kept for conflict-graph construction. *)
+type op = {
+  o_idx : int;
+  o_txid : Txid.t;
+  o_write : bool;
+  o_range : Byte_range.t;
+  o_relaxed : bool;
+}
+
+type dirty_candidate = {
+  d_reader : Txid.t;
+  d_reader_relaxed : bool;
+  d_writer : Owner.t;
+  d_writer_relaxed : bool;
+  d_fid : File_id.t;
+  d_range : Byte_range.t;
+  d_at : int;
+}
+
+module Tx_tbl = Hashtbl
+module Edge_key = struct
+  type t = Txid.t * Txid.t
+end
+
+(* Tarjan's strongly-connected components over txid nodes. *)
+let sccs ~nodes ~succ =
+  let index = Tx_tbl.create 16 in
+  let lowlink = Tx_tbl.create 16 in
+  let on_stack = Tx_tbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    Tx_tbl.replace index v !counter;
+    Tx_tbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Tx_tbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Tx_tbl.mem index w) then begin
+          strongconnect w;
+          Tx_tbl.replace lowlink v
+            (min (Tx_tbl.find lowlink v) (Tx_tbl.find lowlink w))
+        end
+        else if Tx_tbl.find_opt on_stack w = Some true then
+          Tx_tbl.replace lowlink v
+            (min (Tx_tbl.find lowlink v) (Tx_tbl.find index w)))
+      (succ v);
+    if Tx_tbl.find lowlink v = Tx_tbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+            stack := rest;
+            Tx_tbl.replace on_stack w false;
+            if Txid.equal w v then w :: acc else pop (w :: acc)
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun v -> if not (Tx_tbl.mem index v) then strongconnect v) nodes;
+  !out
+
+let check history =
+  let events = Array.of_list (History.events history) in
+  let n = Array.length events in
+  (* Transaction bookkeeping: first Begin / first outcome win, so the
+     duplicate outcome events that recovery replay can emit are harmless. *)
+  let begun : (Txid.t, int) Tx_tbl.t = Tx_tbl.create 16 in
+  let outcomes : (Txid.t, [ `Committed | `Aborted ] * int) Tx_tbl.t =
+    Tx_tbl.create 16
+  in
+  (* Active §3.4 non-transaction locks, per (owner, file). *)
+  let nt : (Owner.t * File_id.t, Range_set.t ref) Tx_tbl.t =
+    Tx_tbl.create 16
+  in
+  (* Writes per file, newest first; also indexed by owner and by
+     (owner, file) so outcome events can update statuses. *)
+  let writes : (File_id.t, wrec list ref) Tx_tbl.t = Tx_tbl.create 16 in
+  let by_owner : (Owner.t, wrec list ref) Tx_tbl.t = Tx_tbl.create 16 in
+  let by_owner_file : (Owner.t * File_id.t, wrec list ref) Tx_tbl.t =
+    Tx_tbl.create 16
+  in
+  let ops : (File_id.t, op list ref) Tx_tbl.t = Tx_tbl.create 16 in
+  let dirty = ref [] in
+  let reads_checked = ref 0 in
+  let push tbl key v =
+    match Tx_tbl.find_opt tbl key with
+    | Some r -> r := v :: !r
+    | None -> Tx_tbl.replace tbl key (ref [ v ])
+  in
+  let nt_set owner fid =
+    match Tx_tbl.find_opt nt (owner, fid) with
+    | Some r -> !r
+    | None -> Range_set.empty
+  in
+  let relaxed owner fid range =
+    match owner with
+    | Owner.Process _ -> true
+    | Owner.Transaction _ -> Range_set.overlaps range (nt_set owner fid)
+  in
+  let settle status = function
+    | Owner.Transaction _ as o -> (
+        (* all files of the owner settle at the transaction outcome *)
+        match Tx_tbl.find_opt by_owner o with
+        | None -> ()
+        | Some l ->
+            List.iter
+              (fun w -> if w.w_status = Pending then w.w_status <- status)
+              !l)
+    | Owner.Process _ -> ()
+  in
+  let settle_file status owner fid =
+    match Tx_tbl.find_opt by_owner_file (owner, fid) with
+    | None -> ()
+    | Some l ->
+        List.iter
+          (fun w -> if w.w_status = Pending then w.w_status <- status)
+          !l
+  in
+  let record_op i owner fid range ~write ~relaxed =
+    match owner with
+    | Owner.Transaction txid ->
+        push ops fid
+          { o_idx = i; o_txid = txid; o_write = write; o_range = range;
+            o_relaxed = relaxed }
+    | Owner.Process _ -> ()
+  in
+  for i = 0 to n - 1 do
+    let { Obs.at; ev; _ } = events.(i) in
+    match ev with
+    | Obs.Begin { txid; _ } ->
+        if not (Tx_tbl.mem begun txid) then Tx_tbl.replace begun txid i
+    | Obs.Commit { txid } ->
+        if not (Tx_tbl.mem outcomes txid) then begin
+          Tx_tbl.replace outcomes txid (`Committed, i);
+          settle Wcommitted (Owner.Transaction txid)
+        end
+    | Obs.Abort { txid } ->
+        if not (Tx_tbl.mem outcomes txid) then begin
+          Tx_tbl.replace outcomes txid (`Aborted, i);
+          settle Waborted (Owner.Transaction txid)
+        end
+    | Obs.File_commit { owner; fid } -> settle_file Wcommitted owner fid
+    | Obs.File_abort { owner; fid } -> settle_file Waborted owner fid
+    | Obs.Lock { owner; fid; range; non_transaction; _ } ->
+        if non_transaction then begin
+          (match Tx_tbl.find_opt nt (owner, fid) with
+          | Some r -> r := Range_set.add range !r
+          | None -> Tx_tbl.replace nt (owner, fid) (ref (Range_set.of_range range)))
+        end
+    | Obs.Unlock { owner; fid; range; _ } -> (
+        match Tx_tbl.find_opt nt (owner, fid) with
+        | Some r -> r := Range_set.remove range !r
+        | None -> ())
+    | Obs.Write { owner; fid; range; _ } ->
+        let rlx = relaxed owner fid range in
+        let w =
+          { w_owner = owner; w_range = range; w_relaxed = rlx;
+            w_status = Pending }
+        in
+        push writes fid w;
+        push by_owner owner w;
+        push by_owner_file (owner, fid) w;
+        record_op i owner fid range ~write:true ~relaxed:rlx
+    | Obs.Read { owner; fid; range; _ } ->
+        incr reads_checked;
+        let rlx = relaxed owner fid range in
+        record_op i owner fid range ~write:false ~relaxed:rlx;
+        (* Who does this read observe? Walk this file's writes newest
+           first, exactly mirroring the filestore's overlay: live
+           (committed or still-pending) writes shadow older data;
+           aborted ones were discarded. Uncovered bytes come from the
+           committed base image. *)
+        (match owner with
+        | Owner.Process _ -> ()
+        | Owner.Transaction reader ->
+            let remaining = ref (Range_set.of_range range) in
+            let wl =
+              match Tx_tbl.find_opt writes fid with Some r -> !r | None -> []
+            in
+            List.iter
+              (fun w ->
+                if not (Range_set.is_empty !remaining)
+                   && w.w_status <> Waborted
+                then begin
+                  let cover =
+                    Range_set.inter !remaining (Range_set.of_range w.w_range)
+                  in
+                  if not (Range_set.is_empty cover) then begin
+                    remaining := Range_set.diff !remaining cover;
+                    if w.w_status = Pending
+                       && not (Owner.equal w.w_owner owner)
+                    then
+                      dirty :=
+                        { d_reader = reader; d_reader_relaxed = rlx;
+                          d_writer = w.w_owner; d_writer_relaxed = w.w_relaxed;
+                          d_fid = fid;
+                          d_range = List.hd (Range_set.ranges cover);
+                          d_at = at }
+                        :: !dirty
+                  end
+                end)
+              wl)
+  done;
+  let committed, aborted =
+    Tx_tbl.fold
+      (fun txid _ (c, a) ->
+        match Tx_tbl.find_opt outcomes txid with
+        | Some (`Committed, _) -> (txid :: c, a)
+        | Some (`Aborted, _) -> (c, txid :: a)
+        | None -> (c, a))
+      begun ([], [])
+  in
+  let unresolved =
+    Tx_tbl.fold
+      (fun txid _ acc ->
+        if Tx_tbl.mem outcomes txid then acc else txid :: acc)
+      begun []
+  in
+  let committed = List.sort Txid.compare committed in
+  let aborted = List.sort Txid.compare aborted in
+  let unresolved = List.sort Txid.compare unresolved in
+  let is_committed txid =
+    match Tx_tbl.find_opt outcomes txid with
+    | Some (`Committed, _) -> true
+    | _ -> false
+  in
+  (* Dirty reads: only reads by transactions that went on to commit are
+     violations — an aborted reader's results were discarded with it. *)
+  let dirty_violations =
+    List.rev_map
+      (fun d ->
+        let writer_process =
+          match d.d_writer with Owner.Process _ -> true | _ -> false
+        in
+        { violation =
+            Dirty_read
+              { reader = d.d_reader; writer = d.d_writer; fid = d.d_fid;
+                range = d.d_range; at = d.d_at };
+          permitted =
+            d.d_reader_relaxed || d.d_writer_relaxed || writer_process })
+      (List.filter (fun d -> is_committed d.d_reader) !dirty)
+  in
+  (* Conflict graph over committed transactions: an edge a -> b for every
+     pair of overlapping accesses to the same file, at least one a write,
+     with a's access first. An edge is strict unless every generating pair
+     involved a §3.4-relaxed access. *)
+  let edge_tbl : (Edge_key.t, bool ref) Tx_tbl.t = Tx_tbl.create 16 in
+  Tx_tbl.iter
+    (fun _fid opsr ->
+      let arr = Array.of_list !opsr in
+      Array.sort (fun a b -> compare a.o_idx b.o_idx) arr;
+      let m = Array.length arr in
+      for x = 0 to m - 1 do
+        for y = x + 1 to m - 1 do
+          let a = arr.(x) and b = arr.(y) in
+          if (a.o_write || b.o_write)
+             && (not (Txid.equal a.o_txid b.o_txid))
+             && Byte_range.overlaps a.o_range b.o_range
+             && is_committed a.o_txid && is_committed b.o_txid
+          then begin
+            let strict = (not a.o_relaxed) && not b.o_relaxed in
+            match Tx_tbl.find_opt edge_tbl (a.o_txid, b.o_txid) with
+            | Some s -> s := !s || strict
+            | None -> Tx_tbl.replace edge_tbl (a.o_txid, b.o_txid) (ref strict)
+          end
+        done
+      done)
+    ops;
+  let edges = Tx_tbl.fold (fun k _ acc -> k :: acc) edge_tbl [] in
+  let succ_of pred v =
+    Tx_tbl.fold
+      (fun (a, b) s acc -> if Txid.equal a v && pred !s then b :: acc else acc)
+      edge_tbl []
+  in
+  let cycles_of pred =
+    sccs ~nodes:committed ~succ:(succ_of pred)
+    |> List.filter (fun scc -> List.length scc > 1)
+    |> List.map (List.sort Txid.compare)
+  in
+  let strict_cycles = cycles_of (fun s -> s) in
+  let all_cycles = cycles_of (fun _ -> true) in
+  let cycle_violations =
+    List.map (fun c -> { violation = Cycle c; permitted = false })
+      strict_cycles
+    @ (all_cycles
+      |> List.filter (fun c ->
+             not (List.exists (fun s -> List.equal Txid.equal s c) strict_cycles))
+      |> List.map (fun c -> { violation = Cycle c; permitted = true }))
+  in
+  { committed; aborted; unresolved;
+    reads_checked = !reads_checked;
+    edges;
+    violations = dirty_violations @ cycle_violations }
+
+let unpermitted r = List.filter (fun c -> not c.permitted) r.violations
+let permitted r = List.filter (fun c -> c.permitted) r.violations
+let ok r = unpermitted r = []
+
+let pp_violation ppf = function
+  | Dirty_read { reader; writer; fid; range; at } ->
+      Fmt.pf ppf "dirty read: %a read %a %a from uncommitted %a at t=%d"
+        Txid.pp reader File_id.pp fid Byte_range.pp range Owner.pp writer at
+  | Cycle txids ->
+      Fmt.pf ppf "conflict cycle: %a" (Fmt.list ~sep:Fmt.sp Txid.pp) txids
+
+let pp_classified ppf c =
+  Fmt.pf ppf "[%s] %a"
+    (if c.permitted then "permitted" else "VIOLATION")
+    pp_violation c.violation
+
+let pp ppf r =
+  Fmt.pf ppf
+    "@[<v>committed=%d aborted=%d unresolved=%d reads=%d edges=%d@,%a@]"
+    (List.length r.committed) (List.length r.aborted)
+    (List.length r.unresolved) r.reads_checked (List.length r.edges)
+    (Fmt.list ~sep:Fmt.cut pp_classified)
+    r.violations

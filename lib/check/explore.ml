@@ -1,0 +1,73 @@
+type config = {
+  sites : int;
+  txns : int;
+  ops : int;
+  records : int;
+  crash_every : int option;
+}
+
+let default_config =
+  { sites = 2; txns = 4; ops = 4; records = 4; crash_every = None }
+
+type failure = { f_seed : int; f_spec : Workload.spec; f_report : Checker.report }
+
+type result = {
+  checked : int;
+  events : int;
+  permitted : int;
+  failures : failure list;
+}
+
+let crash_for cfg seed =
+  match cfg.crash_every with
+  | Some k when k > 0 && seed mod k = 0 ->
+      Some
+        {
+          Workload.victim = seed / k mod cfg.sites;
+          after_decides = 1 + (seed mod 3);
+          restart_delay = 2_000_000;
+        }
+  | Some _ | None -> None
+
+let run_seed cfg seed =
+  let spec =
+    Workload.gen ~seed ~sites:cfg.sites ~txns:cfg.txns ~ops:cfg.ops
+      ~records:cfg.records ()
+  in
+  let hist, _sim = Workload.run ?crash:(crash_for cfg seed) ~seed spec in
+  (spec, hist, Checker.check hist)
+
+let sweep ?(config = default_config) ?progress ~seeds () =
+  List.fold_left
+    (fun acc seed ->
+      let spec, hist, report = run_seed config seed in
+      (match progress with Some f -> f seed report | None -> ());
+      let acc =
+        {
+          acc with
+          checked = acc.checked + 1;
+          events = acc.events + History.length hist;
+          permitted = acc.permitted + List.length (Checker.permitted report);
+        }
+      in
+      if Checker.ok report then acc
+      else
+        {
+          acc with
+          failures =
+            { f_seed = seed; f_spec = spec; f_report = report } :: acc.failures;
+        })
+    { checked = 0; events = 0; permitted = 0; failures = [] }
+    seeds
+  |> fun r -> { r with failures = List.rev r.failures }
+
+let seeds ~n ~from = List.init n (fun i -> from + i)
+
+let shrink_failure cfg f =
+  let fails spec =
+    let hist, _ =
+      Workload.run ?crash:(crash_for cfg f.f_seed) ~seed:f.f_seed spec
+    in
+    not (Checker.ok (Checker.check hist))
+  in
+  Shrink.minimize ~fails f.f_spec

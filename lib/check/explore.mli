@@ -1,0 +1,43 @@
+(** Multi-seed schedule exploration.
+
+    The engine is deterministic, so each seed names one exact
+    interleaving; sweeping seeds re-runs the same kind of workload
+    across many schedules (optionally with crash injection at 2PC
+    decision points) and checks every resulting history for
+    serializability. A failing seed is a reproducer by construction. *)
+
+type config = {
+  sites : int;
+  txns : int;
+  ops : int;
+  records : int;
+  crash_every : int option;
+      (** inject a site crash + reboot on every k-th seed *)
+}
+
+val default_config : config
+
+type failure = { f_seed : int; f_spec : Workload.spec; f_report : Checker.report }
+
+type result = {
+  checked : int;
+  events : int;  (** total observation events across all runs *)
+  permitted : int;  (** §3.4-permitted violations seen (informational) *)
+  failures : failure list;  (** seeds with unpermitted violations *)
+}
+
+val seeds : n:int -> from:int -> int list
+
+val run_seed : config -> int -> Workload.spec * History.t * Checker.report
+(** Generate, execute and check the workload for one seed. *)
+
+val sweep :
+  ?config:config ->
+  ?progress:(int -> Checker.report -> unit) ->
+  seeds:int list ->
+  unit ->
+  result
+
+val shrink_failure : config -> failure -> Workload.spec
+(** Minimize a failing workload (re-running under the same seed and
+    crash plan) with {!Shrink.minimize}. *)

@@ -1,0 +1,49 @@
+let remove_chunk l start size =
+  List.filteri (fun i _ -> i < start || i >= start + size) l
+
+(* Greedy delta-debugging on one list: repeatedly drop the largest chunk
+   whose removal keeps [fails] true, halving the chunk size on failure. *)
+let shrink_list fails l0 =
+  let rec go l size =
+    if size < 1 then l
+    else
+      let n = List.length l in
+      let rec attempt start =
+        if start >= n then go l (size / 2)
+        else
+          let cand = remove_chunk l start size in
+          if cand <> [] && fails cand then
+            go cand (max 1 (min size (List.length cand / 2)))
+          else attempt (start + size)
+      in
+      attempt 0
+  in
+  go l0 (max 1 (List.length l0 / 2))
+
+let minimize ~fails spec =
+  if not (fails spec) then spec
+  else begin
+    (* First drop whole transactions... *)
+    let txns =
+      shrink_list
+        (fun txns -> fails { spec with Workload.txns })
+        spec.Workload.txns
+    in
+    let spec = { spec with Workload.txns } in
+    (* ...then thin each surviving transaction's op list. *)
+    let rec thin acc = function
+      | [] -> List.rev acc
+      | t :: rest ->
+          let ops =
+            shrink_list
+              (fun ops ->
+                let txns =
+                  List.rev_append acc ({ t with Workload.ops } :: rest)
+                in
+                fails { spec with Workload.txns = txns })
+              t.Workload.ops
+          in
+          thin ({ t with Workload.ops } :: acc) rest
+    in
+    { spec with Workload.txns = thin [] spec.Workload.txns }
+  end

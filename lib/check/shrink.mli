@@ -1,0 +1,12 @@
+(** Greedy workload minimization.
+
+    Given a failing workload and a (re-runnable, deterministic) failure
+    predicate, repeatedly remove transactions — then individual ops —
+    while the failure persists. Not a full ddmin: chunks are tried left
+    to right with halving sizes, which is enough to cut the generated
+    bank workloads down to the 2–3 transactions that actually race. *)
+
+val minimize : fails:(Workload.spec -> bool) -> Workload.spec -> Workload.spec
+(** [minimize ~fails spec] returns a locally minimal spec on which
+    [fails] still holds. If [fails spec] is already [false], [spec] is
+    returned unchanged. *)

@@ -1,0 +1,104 @@
+module L = Locus_core.Locus
+module Api = Locus_core.Api
+module K = Locus_core.Kernel
+
+type op = Op_read of int | Op_update of int
+type txn_spec = { site : int; ops : op list }
+type spec = { n_sites : int; n_records : int; txns : txn_spec list }
+
+type crash = { victim : int; after_decides : int; restart_delay : int }
+
+let rec_len = 16
+let path = "/check/records"
+
+let gen ~seed ?(sites = 2) ?(txns = 4) ?(ops = 4) ?(records = 4) () =
+  let sites = max 1 sites
+  and txns = max 0 txns
+  and ops = max 0 ops
+  and records = max 1 records in
+  let rng = Prng.create ~seed in
+  let txns =
+    List.init txns (fun _ ->
+        let site = Prng.int rng sites in
+        let ops =
+          List.init ops (fun _ ->
+              let r = Prng.int rng records in
+              if Prng.bool rng then Op_read r else Op_update r)
+        in
+        { site; ops })
+  in
+  { n_sites = sites; n_records = records; txns }
+
+let pp_op ppf = function
+  | Op_read r -> Fmt.pf ppf "r%d" r
+  | Op_update r -> Fmt.pf ppf "u%d" r
+
+let pp_txn_spec ppf t =
+  Fmt.pf ppf "@[site %d: %a@]" t.site (Fmt.list ~sep:Fmt.sp pp_op) t.ops
+
+let pp ppf s =
+  Fmt.pf ppf "@[<v>%d sites, %d records@,%a@]" s.n_sites s.n_records
+    (Fmt.list ~sep:Fmt.cut pp_txn_spec)
+    s.txns
+
+let encode v = Printf.sprintf "%016d" v
+let decode b = int_of_string (String.trim (Bytes.to_string b))
+
+let run_txn env t =
+  let c = Api.open_file env path in
+  Api.begin_trans env;
+  List.iter
+    (fun op ->
+      match op with
+      | Op_read r ->
+          Api.seek env c ~pos:(r * rec_len);
+          ignore (Api.lock env c ~len:rec_len ~mode:Mode.Shared ());
+          ignore (Api.pread env c ~pos:(r * rec_len) ~len:rec_len)
+      | Op_update r ->
+          let pos = r * rec_len in
+          Api.seek env c ~pos;
+          ignore (Api.lock env c ~len:rec_len ~mode:Mode.Exclusive ());
+          let v = decode (Api.pread env c ~pos ~len:rec_len) in
+          Api.pwrite env c ~pos (Bytes.of_string (encode (v + 1))))
+    t.ops;
+  ignore (Api.end_trans env);
+  Api.close env c
+
+let install_crash cl crash =
+  let decides = ref 0 in
+  (K.hooks cl).K.on_decided <-
+    (fun _txid _status ->
+      incr decides;
+      if !decides = crash.after_decides then begin
+        K.crash_site cl crash.victim;
+        Engine.schedule ~delay:crash.restart_delay (K.engine cl) (fun () ->
+            K.restart_site cl crash.victim)
+      end)
+
+let run ?crash ?(seed = 0) spec =
+  let sim = L.make ~seed ~n_sites:spec.n_sites () in
+  let hist = History.create () in
+  History.attach hist sim.L.cluster;
+  (match crash with
+  | Some c -> install_crash sim.L.cluster c
+  | None -> ());
+  ignore
+    (Api.spawn_process sim.L.cluster ~site:0 ~name:"wl-driver" (fun env ->
+         let c = Api.creat env path ~vid:1 in
+         let init = Buffer.create (spec.n_records * rec_len) in
+         for _ = 1 to spec.n_records do
+           Buffer.add_string init (encode 0)
+         done;
+         Api.write_string env c (Buffer.contents init);
+         Api.close env c;
+         let pids =
+           List.mapi
+             (fun i t ->
+               Api.fork env ~site:t.site
+                 ~name:(Printf.sprintf "wl-txn-%d" i)
+                 (fun env -> run_txn env t))
+             spec.txns
+         in
+         List.iter (fun pid -> Api.wait_pid env pid) pids));
+  L.run sim;
+  (hist, sim)

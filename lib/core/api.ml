@@ -599,6 +599,17 @@ let read env c ~len =
     Stats.incr (stats env) "prefetch.hits";
     Engine.consume (engine env)
       ~instr:((costs env).Costs.lock_cache_instr + Costs.copy_instr (costs env) ~bytes:len);
+    (* Prefetch hits bypass the storage site, so the history event must
+       come from here or cached reads would vanish from the record. *)
+    Kernel.observe env.cl ~site:(site env)
+      (Obs.Read
+         {
+           owner = owner env;
+           pid = pid env;
+           fid;
+           range = Byte_range.of_pos_len ~pos:ch.Process.pos ~len;
+           data = Bytes.to_string b;
+         });
     ch.Process.pos <- ch.Process.pos + len;
     b
   | None -> (
@@ -742,6 +753,8 @@ let begin_trans env =
       Txn_state.start (Kernel.txns env.k) ~txid ~top_pid:p.Process.pid
     in
     Kernel.register_transaction env.cl txid ~top:p.Process.pid ~site:(site env);
+    Kernel.observe env.cl ~site:(site env)
+      (Obs.Begin { txid; pid = p.Process.pid });
     Stats.incr (stats env) "txn.begun"
   end;
   p.Process.nesting <- p.Process.nesting + 1

@@ -104,6 +104,7 @@ and cluster = {
   txn_tops : (Txid.t, Pid.t) Hashtbl.t;
   txn_members : (Txid.t, (Pid.t * Site.t) list ref) Hashtbl.t;
   hooks : hooks;
+  mutable observer : Obs.sink option;  (* history recorder (Locus_check) *)
 }
 
 (* Marshalled migration payload (§4.1): the process record plus, for a
@@ -128,6 +129,17 @@ let stats k = Engine.stats k.engine
 
 let tr k cat fmt =
   Trace.emitf (Engine.trace k.engine) ~at:(Engine.now k.engine) ~cat ~site:k.site fmt
+
+(* {1 History observation (Locus_check)} *)
+
+let set_observer cl sink = cl.observer <- sink
+
+let observe cl ~site ev =
+  match cl.observer with
+  | None -> ()
+  | Some sink -> sink { Obs.at = Engine.now cl.c_engine; site; ev }
+
+let obs k ev = observe k.cl ~site:k.site ev
 
 let alloc_txid k =
   k.txseq <- k.txseq + 1;
@@ -270,12 +282,16 @@ let ensure_authority_home k fid =
 let grant_lock k ~fid ~owner ~pid ~mode ~range ~non_transaction ~wait =
   Engine.consume k.engine ~instr:(costs k).Costs.lock_request_instr;
   Stats.incr (stats k) "lock.requests";
+  let obs_granted () =
+    obs k (Obs.Lock { owner; pid; fid; range; mode; non_transaction })
+  in
   let table = ensure_table k fid in
   match Lock_table.request table ~owner ~pid ~mode ~range ~non_transaction with
   | `Granted ->
     apply_rule2 k table fid ~owner ~range;
     tr k Trace.Lock "grant %a %a %a %a" File_id.pp fid Owner.pp owner Mode.pp mode
       Byte_range.pp range;
+    obs_granted ();
     `Granted
   | `Conflict owners ->
     tr k Trace.Lock "conflict %a %a blocked by %a" File_id.pp fid Owner.pp owner
@@ -294,6 +310,7 @@ let grant_lock k ~fid ~owner ~pid ~mode ~range ~non_transaction ~wait =
         with
         | Some true ->
           apply_rule2 k table fid ~owner ~range;
+          obs_granted ();
           `Granted
         | Some false -> `Cancelled
         | None ->
@@ -375,13 +392,18 @@ let ss_read k ~fid ~reader ~pid ~pos ~len =
   else begin
     ensure_authority_home k fid;
     let range = Byte_range.of_pos_len ~pos ~len in
-    match reader with
-    | Owner.Transaction _ ->
-      ensure_txn_lock k ~fid ~owner:reader ~pid ~range ~write:false;
-      Filestore.read k.store fid ~pos ~len
-    | Owner.Process _ ->
-      with_momentary k ~fid ~owner:reader ~pid ~range ~write:false (fun () ->
-          Filestore.read k.store fid ~pos ~len)
+    let data =
+      match reader with
+      | Owner.Transaction _ ->
+        ensure_txn_lock k ~fid ~owner:reader ~pid ~range ~write:false;
+        Filestore.read k.store fid ~pos ~len
+      | Owner.Process _ ->
+        with_momentary k ~fid ~owner:reader ~pid ~range ~write:false (fun () ->
+            Filestore.read k.store fid ~pos ~len)
+    in
+    obs k
+      (Obs.Read { owner = reader; pid; fid; range; data = Bytes.to_string data });
+    data
   end
 
 let ss_write k ~fid ~owner ~pid ~pos ~data =
@@ -389,7 +411,7 @@ let ss_write k ~fid ~owner ~pid ~pos ~data =
   if len > 0 then begin
     ensure_authority_home k fid;
     let range = Byte_range.of_pos_len ~pos ~len in
-    match owner with
+    (match owner with
     | Owner.Transaction _ ->
       ensure_txn_lock k ~fid ~owner ~pid ~range ~write:true;
       (* Rule 2 may apply even when the lock was acquired earlier. *)
@@ -401,7 +423,8 @@ let ss_write k ~fid ~owner ~pid ~pos ~data =
              writers' uncommitted bytes (§5: uncommitted changes are
              visible and may be committed by anyone). *)
           Filestore.adopt k.store fid ~range ~new_owner:owner;
-          Filestore.write k.store fid ~owner ~pos data)
+          Filestore.write k.store fid ~owner ~pos data));
+    obs k (Obs.Write { owner; pid; fid; range; data = Bytes.to_string data })
   end
 
 (* Atomic lock-and-extend at end of file (§3.2): retry with a fresh EOF
@@ -665,7 +688,8 @@ let rec abort_member k ~txid ~pid ~spare =
       | Some txn -> txn.Txn_state.phase <- Txn_state.Aborting
       | None -> ());
       Txn_state.remove k.txns txid;
-      registry_remove_txn cl txid
+      registry_remove_txn cl txid;
+      obs k (Obs.Abort { txid })
     end
     else registry_remove_member cl txid pid;
     if (not is_spared) && not parked_top then begin
@@ -699,7 +723,8 @@ let abort_transaction cl ?spare ~src txid =
           if Transport.reachable cl.net src dst then
             ignore (rpc cl ~src ~dst (Msg.Abort_phase2 { txid; files = [] })))
         (Transport.sites cl.net);
-      registry_remove_txn cl txid)
+      registry_remove_txn cl txid;
+      observe cl ~site:src (Obs.Abort { txid }))
 
 (* Local sweep used by Abort_phase2: roll back everything this site holds
    for the transaction, prepared or not. *)
@@ -753,7 +778,10 @@ let commit_transaction k (txn : Txn_state.txn) =
       (List.map (fun (fid, _) -> (fid, storage_site cl fid)) txn.Txn_state.file_list)
   in
   let outcome =
-    if files = [] then Committed
+    if files = [] then begin
+      obs k (Obs.Commit { txid });
+      Committed
+    end
     else begin
       let by_site =
         List.fold_left
@@ -797,6 +825,10 @@ let commit_transaction k (txn : Txn_state.txn) =
       (* Step 4: writing the mark is the commit (or abort) point. *)
       Coord_log.decide k.coord ~txid status;
       tr k Trace.Txn "2pc decide %a %a" Txid.pp txid Log_record.pp_status status;
+      (* The outcome event must be recorded at the decision point itself,
+         before any injected crash, or the checker would misclassify a
+         durably committed transaction as unresolved. *)
+      obs k (if all_prepared then Obs.Commit { txid } else Obs.Abort { txid });
       cl.hooks.on_decided txid status;
       let phase2 () =
         let all_acked = ref true in
@@ -911,7 +943,8 @@ let ss_proc_exit_cleanup k ~pid ~fids =
       if Filestore.is_open k.store fid then begin
         if Filestore.modified_by k.store fid owner <> [] then begin
           let (_ : Intentions.t) = Filestore.commit k.store fid ~owner in
-          propagate_replicas k fid
+          propagate_replicas k fid;
+          obs k (Obs.File_commit { owner; fid })
         end;
         Filestore.close_file k.store fid
       end)
@@ -959,7 +992,8 @@ let handle k ~src msg =
           && Filestore.modified_by k.store fid owner <> []
         then begin
           let (_ : Intentions.t) = Filestore.commit k.store fid ~owner in
-          propagate_replicas k fid
+          propagate_replicas k fid;
+          obs k (Obs.File_commit { owner; fid })
         end;
         Filestore.close_file k.store fid;
         R_ok
@@ -1013,19 +1047,24 @@ let handle k ~src msg =
           (match owner with
           | Owner.Transaction _ ->
             Lock_table.unlock table ~owner:(Owner.Process pid) ~pid ~range
-          | Owner.Process _ -> ())
+          | Owner.Process _ -> ());
+          obs k (Obs.Unlock { owner; pid; fid; range })
         | None -> ());
         R_ok)
       | Commit_file { fid; owner } ->
         if Filestore.is_open k.store fid && Filestore.modified_by k.store fid owner <> []
         then begin
           let (_ : Intentions.t) = Filestore.commit k.store fid ~owner in
-          propagate_replicas k fid
+          propagate_replicas k fid;
+          obs k (Obs.File_commit { owner; fid })
         end;
         R_ok
       | Abort_file { fid; owner } ->
         ensure_authority_home k fid;
-        if Filestore.is_open k.store fid then Filestore.abort k.store fid ~owner;
+        if Filestore.is_open k.store fid then begin
+          Filestore.abort k.store fid ~owner;
+          obs k (Obs.File_abort { owner; fid })
+        end;
         (match lock_table k fid with
         | Some table ->
           Lock_table.cancel_owner table owner;
@@ -1188,6 +1227,10 @@ let recover k =
       (if c.Log_record.status = Log_record.Unknown then
          Coord_log.decide k.coord ~txid Log_record.Aborted);
       let committed = c.Log_record.status = Log_record.Committed in
+      (* Replayed decision: re-announce the outcome (the checker keeps the
+         first outcome event per transaction, so duplicates are harmless,
+         and a crash before the decision point leaves only this one). *)
+      obs k (if committed then Obs.Commit { txid } else Obs.Abort { txid });
       let all_acked = ref true in
       List.iter
         (fun (s, r) ->
@@ -1338,7 +1381,12 @@ let topology_sweep k =
                in
                if unreachable then begin
                  Stats.incr (stats k) "txn.storage_site_aborts";
-                 ss_abort2 k ~txid ~files:[]
+                 ss_abort2 k ~txid ~files:[];
+                 (* Unprepared + home lost = the transaction can never
+                    commit (a prepare here would now vote no): record the
+                    abort so the checker knows its writes were discarded
+                    before any later reader was granted the freed locks. *)
+                 obs k (Obs.Abort { txid })
                end
              end)
            foreign_txids))
@@ -1376,6 +1424,7 @@ let make engine cfg =
       txn_tops = Hashtbl.create 32;
       txn_members = Hashtbl.create 32;
       hooks = no_hooks ();
+      observer = None;
     }
   in
   List.iter

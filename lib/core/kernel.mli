@@ -199,6 +199,18 @@ type hooks = {
 val hooks : cluster -> hooks
 (** Mutable; install crash injections at exact protocol points. *)
 
+(** {1 History observation (Locus_check)} *)
+
+val set_observer : cluster -> Obs.sink option -> unit
+(** Install (or remove) the per-cluster event sink. The kernel and the
+    Api layer feed it one {!Obs.record} per begin / read / write / lock /
+    unlock / outcome / file-commit action; [None] (the default) makes
+    every emission point a cheap no-op. *)
+
+val observe : cluster -> site:Site.t -> Obs.event -> unit
+(** Emit an event to the installed observer (no-op without one). Exposed
+    for the Api layer and for tests that fabricate histories. *)
+
 (** {1 Introspection for tests and benches} *)
 
 val read_committed_oracle : cluster -> File_id.t -> string

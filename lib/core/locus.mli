@@ -23,6 +23,7 @@ module Stats = Locus_sim.Stats
 module Api = Api
 module Kernel = Kernel
 module Msg = Msg
+module Obs = Obs
 module Mode = Locus_lock.Mode
 
 type sim = { engine : Engine.t; cluster : Kernel.cluster }

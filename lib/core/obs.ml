@@ -1,0 +1,50 @@
+type access = {
+  owner : Owner.t;
+  pid : Pid.t;
+  fid : File_id.t;
+  range : Byte_range.t;
+  data : string;
+}
+
+type event =
+  | Begin of { txid : Txid.t; pid : Pid.t }
+  | Read of access
+  | Write of access
+  | Lock of {
+      owner : Owner.t;
+      pid : Pid.t;
+      fid : File_id.t;
+      range : Byte_range.t;
+      mode : Mode.t;
+      non_transaction : bool;
+    }
+  | Unlock of { owner : Owner.t; pid : Pid.t; fid : File_id.t; range : Byte_range.t }
+  | Commit of { txid : Txid.t }
+  | Abort of { txid : Txid.t }
+  | File_commit of { owner : Owner.t; fid : File_id.t }
+  | File_abort of { owner : Owner.t; fid : File_id.t }
+
+type record = { at : int; site : int; ev : event }
+
+type sink = record -> unit
+
+let pp_event ppf = function
+  | Begin { txid; pid } -> Fmt.pf ppf "begin %a %a" Txid.pp txid Pid.pp pid
+  | Read a ->
+    Fmt.pf ppf "read %a %a %a" Owner.pp a.owner File_id.pp a.fid Byte_range.pp a.range
+  | Write a ->
+    Fmt.pf ppf "write %a %a %a" Owner.pp a.owner File_id.pp a.fid Byte_range.pp a.range
+  | Lock { owner; fid; range; mode; non_transaction; _ } ->
+    Fmt.pf ppf "lock %a %a %a %a%s" Owner.pp owner File_id.pp fid Mode.pp mode
+      Byte_range.pp range
+      (if non_transaction then " non-txn" else "")
+  | Unlock { owner; fid; range; _ } ->
+    Fmt.pf ppf "unlock %a %a %a" Owner.pp owner File_id.pp fid Byte_range.pp range
+  | Commit { txid } -> Fmt.pf ppf "commit %a" Txid.pp txid
+  | Abort { txid } -> Fmt.pf ppf "abort %a" Txid.pp txid
+  | File_commit { owner; fid } ->
+    Fmt.pf ppf "file-commit %a %a" Owner.pp owner File_id.pp fid
+  | File_abort { owner; fid } ->
+    Fmt.pf ppf "file-abort %a %a" Owner.pp owner File_id.pp fid
+
+let pp ppf r = Fmt.pf ppf "%8d us site%-2d %a" r.at r.site pp_event r.ev

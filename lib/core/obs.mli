@@ -1,0 +1,48 @@
+(** Observable execution events for the serializability checker.
+
+    The kernel and the syscall layer emit one {!record} per protocol-level
+    action — begin / read / write / lock / unlock / commit / abort, plus
+    the conventional per-file commit and abort of non-transaction work —
+    to an optional per-cluster {!sink} (see [Kernel.set_observer]).
+
+    Unlike {!Locus_sim.Trace} this is not a debugging ring of strings: the
+    events carry the typed identities (owner, file, byte range, payload)
+    that [Locus_check] needs to rebuild conflict graphs, so they must not
+    be truncated or sampled. With no sink installed the cost is one
+    [option] test per event site. *)
+
+type access = {
+  owner : Owner.t;  (** the transaction or the process itself *)
+  pid : Pid.t;  (** issuing process *)
+  fid : File_id.t;
+  range : Byte_range.t;
+  data : string;  (** bytes read or written *)
+}
+
+type event =
+  | Begin of { txid : Txid.t; pid : Pid.t }
+  | Read of access
+  | Write of access
+  | Lock of {
+      owner : Owner.t;
+      pid : Pid.t;
+      fid : File_id.t;
+      range : Byte_range.t;
+      mode : Mode.t;
+      non_transaction : bool;  (** a §3.4 serializability-exception lock *)
+    }
+  | Unlock of { owner : Owner.t; pid : Pid.t; fid : File_id.t; range : Byte_range.t }
+  | Commit of { txid : Txid.t }  (** the commit mark is durable (§4.2 step 4) *)
+  | Abort of { txid : Txid.t }
+  | File_commit of { owner : Owner.t; fid : File_id.t }
+      (** non-transaction commit: close / commit_file / process exit *)
+  | File_abort of { owner : Owner.t; fid : File_id.t }
+
+type record = { at : int; site : int; ev : event }
+(** [at] is virtual time; global order within a run is the emission
+    order (the simulation is single-threaded). *)
+
+type sink = record -> unit
+
+val pp_event : event Fmt.t
+val pp : record Fmt.t

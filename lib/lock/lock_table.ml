@@ -47,12 +47,25 @@ let conflicts_with_locks t ~owner ~mode ~range =
 
 (* Split the owner's existing coverage out of [range], then add the new
    lock: one request extends, contracts, upgrades or downgrades in a single
-   operation (§3.2). *)
+   operation (§3.2). Exception: a transaction's re-lock never weakens
+   protection it already holds (§3.3 rule 1 — all locks are kept until
+   commit), so an exclusively-covered range stays exclusive when later
+   re-requested shared; otherwise the transaction's uncommitted writes
+   would become readable by others before commit. *)
 let install t ~owner ~pid ~mode ~range ~non_transaction =
+  let keep_stronger l =
+    Owner.is_transaction owner
+    && (not l.non_transaction)
+    && Mode.stronger l.mode mode
+  in
   let keep =
     List.concat_map
       (fun l ->
-        if Owner.equal l.owner owner && Byte_range.overlaps l.range range then
+        if
+          Owner.equal l.owner owner
+          && Byte_range.overlaps l.range range
+          && not (keep_stronger l)
+        then
           List.map (fun r -> { l with range = r }) (Byte_range.diff l.range range)
         else [ l ])
       t.locks

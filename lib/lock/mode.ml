@@ -12,10 +12,18 @@ let to_string = function
 
 let pp ppf m = Fmt.string ppf (to_string m)
 
+(* Mutation switch for the serializability checker's self-test
+   (test_check.ml / `locusctl explore --break-locks`): when set, shared
+   and exclusive locks wrongly coexist, which must surface as dirty reads
+   and conflict cycles in `Locus_check`. Never set outside those tests. *)
+let test_break_shared_exclusive = ref false
+
 (* Figure 1: rows are the holder's mode, columns the other party's. *)
 let access held other =
   match (held, other) with
   | Unix_access, Unix_access -> `Read_write
+  | (Shared, Exclusive | Exclusive, Shared) when !test_break_shared_exclusive ->
+    `Read
   | Unix_access, Shared -> `Read
   | Shared, Unix_access -> `Read
   | Shared, Shared -> `Read
@@ -24,6 +32,9 @@ let access held other =
     `None
 
 let compatible held requested = access held requested <> `None
+
+let strength = function Unix_access -> 0 | Shared -> 1 | Exclusive -> 2
+let stronger a b = strength a > strength b
 let allows_read_by_other = function Unix_access | Shared -> true | Exclusive -> false
 let allows_write_by_other = function Unix_access -> true | Shared | Exclusive -> false
 

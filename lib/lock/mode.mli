@@ -19,6 +19,10 @@ val compatible : t -> t -> bool
     may a lock in mode [requested] coexist with a {e different} owner's
     lock in mode [held]? *)
 
+val stronger : t -> t -> bool
+(** [stronger a b] — does [a] grant strictly more protection than [b]?
+    [Exclusive > Shared > Unix_access]. *)
+
 val access : t -> t -> [ `Read_write | `Read | `None ]
 (** The full Figure 1 cell: what access a holder of the first mode retains
     alongside a holder of the second. *)
@@ -31,3 +35,9 @@ val allows_write_by_other : t -> bool
 
 val figure_1 : (t * (t * [ `Read_write | `Read | `None ]) list) list
 (** The complete matrix, row-major, for the E1 reproduction. *)
+
+val test_break_shared_exclusive : bool ref
+(** Checker self-test only: while [true], shared and exclusive locks are
+    (wrongly) mutually compatible — an injected Figure-1 bug that
+    [Locus_check] must catch as unpermitted serializability violations.
+    Leave [false] everywhere else. *)

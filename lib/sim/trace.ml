@@ -52,10 +52,15 @@ let emit t ~at ~cat ~site text =
     t.count <- min (t.count + 1) t.capacity
   end
 
+(* A sink that consumes the format arguments without rendering anything:
+   the disabled-category path must not pay for [kasprintf]. *)
+let null_formatter =
+  Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
 let emitf t ~at ~cat ~site fmt =
-  Format.kasprintf
-    (fun s -> if enabled t cat then emit t ~at ~cat ~site s)
-    fmt
+  if enabled t cat then
+    Format.kasprintf (fun s -> emit t ~at ~cat ~site s) fmt
+  else Format.ikfprintf (fun _ -> ()) null_formatter fmt
 
 let events t =
   let out = ref [] in

@@ -1,0 +1,206 @@
+(* Locus_check: history recorder, serializability checker, schedule
+   explorer and workload shrinker. *)
+
+module Ck = Locus_check
+module Obs = Locus_core.Obs
+module M = Locus_lock.Mode
+module L = Locus_core.Locus
+module Api = L.Api
+
+let txid n = Txid.make ~site:0 ~incarnation:1 ~seq:n
+let p n = Pid.make ~origin:0 ~num:n
+let fid = File_id.make ~vid:1 ~ino:7
+let br lo hi = Byte_range.v ~lo ~hi
+let ev at e = { Obs.at; site = 0; ev = e }
+let acc owner pd range = { Obs.owner; pid = pd; fid; range; data = "" }
+
+(* {1 Recorder} *)
+
+let test_recorder_attach () =
+  let sim = L.make ~seed:1 ~n_sites:2 () in
+  let h = Ck.History.create () in
+  Ck.History.attach h sim.L.cluster;
+  ignore
+    (Api.spawn_process sim.L.cluster ~site:0 (fun env ->
+         let c = Api.creat env "/t" ~vid:1 in
+         Api.begin_trans env;
+         Api.write_string env c "hello";
+         ignore (Api.end_trans env);
+         Api.close env c));
+  L.run sim;
+  let evs = Ck.History.events h in
+  let has pr = List.exists (fun r -> pr r.Obs.ev) evs in
+  Alcotest.(check bool) "nonempty" true (Ck.History.length h > 0);
+  Alcotest.(check bool) "begin observed" true
+    (has (function Obs.Begin _ -> true | _ -> false));
+  Alcotest.(check bool) "write observed" true
+    (has (function Obs.Write _ -> true | _ -> false));
+  Alcotest.(check bool) "commit observed" true
+    (has (function Obs.Commit _ -> true | _ -> false))
+
+(* {1 Checker on live histories} *)
+
+let test_serializable_sweep () =
+  let module E = Ck.Explore in
+  let r = E.sweep ~seeds:(E.seeds ~n:25 ~from:0) () in
+  Alcotest.(check int) "all seeds checked" 25 r.E.checked;
+  Alcotest.(check int) "no unpermitted violations" 0 (List.length r.E.failures);
+  Alcotest.(check bool) "events observed" true (r.E.events > 0)
+
+let test_crashy_sweep () =
+  let module E = Ck.Explore in
+  let cfg = { E.default_config with E.sites = 3; crash_every = Some 3 } in
+  let r = E.sweep ~config:cfg ~seeds:(E.seeds ~n:12 ~from:40) () in
+  Alcotest.(check int) "all seeds checked" 12 r.E.checked;
+  Alcotest.(check int) "no unpermitted violations" 0 (List.length r.E.failures)
+
+(* {1 Checker on fabricated histories} *)
+
+let test_dirty_read_detected () =
+  let t1 = txid 1 and t2 = txid 2 in
+  let o1 = Owner.Transaction t1 and o2 = Owner.Transaction t2 in
+  let h =
+    Ck.History.of_events
+      [
+        ev 0 (Obs.Begin { txid = t1; pid = p 1 });
+        ev 1 (Obs.Begin { txid = t2; pid = p 2 });
+        ev 2 (Obs.Write (acc o1 (p 1) (br 0 16)));
+        ev 3 (Obs.Read (acc o2 (p 2) (br 0 16)));
+        ev 4 (Obs.Commit { txid = t1 });
+        ev 5 (Obs.Commit { txid = t2 });
+      ]
+  in
+  let r = Ck.Checker.check h in
+  Alcotest.(check bool) "not ok" false (Ck.Checker.ok r);
+  Alcotest.(check bool) "dirty read reported" true
+    (List.exists
+       (fun c ->
+         match c.Ck.Checker.violation with
+         | Ck.Checker.Dirty_read _ -> not c.Ck.Checker.permitted
+         | Ck.Checker.Cycle _ -> false)
+       r.Ck.Checker.violations)
+
+let test_cycle_detected () =
+  (* Two committed transactions with RW conflicts in both directions:
+     no dirty read anywhere, yet not serializable. *)
+  let t1 = txid 1 and t2 = txid 2 in
+  let o1 = Owner.Transaction t1 and o2 = Owner.Transaction t2 in
+  let h =
+    Ck.History.of_events
+      [
+        ev 0 (Obs.Begin { txid = t1; pid = p 1 });
+        ev 1 (Obs.Begin { txid = t2; pid = p 2 });
+        ev 2 (Obs.Read (acc o1 (p 1) (br 0 16)));
+        ev 3 (Obs.Read (acc o2 (p 2) (br 16 32)));
+        ev 4 (Obs.Write (acc o2 (p 2) (br 0 16)));
+        ev 5 (Obs.Write (acc o1 (p 1) (br 16 32)));
+        ev 6 (Obs.Commit { txid = t1 });
+        ev 7 (Obs.Commit { txid = t2 });
+      ]
+  in
+  let r = Ck.Checker.check h in
+  Alcotest.(check bool) "not ok" false (Ck.Checker.ok r);
+  Alcotest.(check bool) "unpermitted cycle reported" true
+    (List.exists
+       (fun c ->
+         match c.Ck.Checker.violation with
+         | Ck.Checker.Cycle _ -> not c.Ck.Checker.permitted
+         | Ck.Checker.Dirty_read _ -> false)
+       r.Ck.Checker.violations)
+
+let test_non_transaction_lock_permitted () =
+  (* §3.4: a write made under a non-transaction lock may be seen by
+     others before commit — a violation of serializability the paper
+     deliberately permits (directories). The checker must classify it
+     as permitted, not flag the run. *)
+  let t1 = txid 1 and t2 = txid 2 in
+  let o1 = Owner.Transaction t1 and o2 = Owner.Transaction t2 in
+  let h =
+    Ck.History.of_events
+      [
+        ev 0 (Obs.Begin { txid = t1; pid = p 1 });
+        ev 1 (Obs.Begin { txid = t2; pid = p 2 });
+        ev 2
+          (Obs.Lock
+             {
+               owner = o1;
+               pid = p 1;
+               fid;
+               range = br 0 16;
+               mode = M.Exclusive;
+               non_transaction = true;
+             });
+        ev 3 (Obs.Write (acc o1 (p 1) (br 0 16)));
+        ev 4 (Obs.Read (acc o2 (p 2) (br 0 16)));
+        ev 5 (Obs.Commit { txid = t2 });
+        ev 6 (Obs.Commit { txid = t1 });
+      ]
+  in
+  let r = Ck.Checker.check h in
+  Alcotest.(check bool) "run passes" true (Ck.Checker.ok r);
+  Alcotest.(check int) "no unpermitted" 0 (List.length (Ck.Checker.unpermitted r));
+  Alcotest.(check bool) "the dirty read is reported as permitted" true
+    (List.exists
+       (fun c ->
+         match c.Ck.Checker.violation with
+         | Ck.Checker.Dirty_read _ -> c.Ck.Checker.permitted
+         | Ck.Checker.Cycle _ -> false)
+       (Ck.Checker.permitted r))
+
+let test_process_writer_permitted () =
+  (* Uncommitted data left visible by a plain process (§3.3): permitted. *)
+  let t2 = txid 2 in
+  let o1 = Owner.Process (p 1) and o2 = Owner.Transaction t2 in
+  let h =
+    Ck.History.of_events
+      [
+        ev 0 (Obs.Begin { txid = t2; pid = p 2 });
+        ev 1 (Obs.Write (acc o1 (p 1) (br 0 16)));
+        ev 2 (Obs.Read (acc o2 (p 2) (br 0 16)));
+        ev 3 (Obs.Commit { txid = t2 });
+      ]
+  in
+  let r = Ck.Checker.check h in
+  Alcotest.(check bool) "run passes" true (Ck.Checker.ok r);
+  Alcotest.(check int) "permitted dirty read" 1
+    (List.length (Ck.Checker.permitted r))
+
+(* {1 Explorer + shrinker self-test} *)
+
+let test_broken_matrix_caught () =
+  M.test_break_shared_exclusive := true;
+  Fun.protect ~finally:(fun () -> M.test_break_shared_exclusive := false)
+  @@ fun () ->
+  let module E = Ck.Explore in
+  let r = E.sweep ~seeds:(E.seeds ~n:10 ~from:0) () in
+  match r.E.failures with
+  | [] -> Alcotest.fail "injected Figure-1 bug not caught"
+  | f :: _ ->
+    let small = E.shrink_failure E.default_config f in
+    Alcotest.(check bool) "shrunk to <= 3 transactions" true
+      (List.length small.Ck.Workload.txns <= 3);
+    let hist, _ = Ck.Workload.run ~seed:f.E.f_seed small in
+    Alcotest.(check bool) "shrunk reproducer still fails" false
+      (Ck.Checker.ok (Ck.Checker.check hist))
+
+let suite =
+  [
+    ( "check.recorder",
+      [ Alcotest.test_case "captures kernel events" `Quick test_recorder_attach ] );
+    ( "check.checker",
+      [
+        Alcotest.test_case "serializable sweep passes" `Quick test_serializable_sweep;
+        Alcotest.test_case "crash-injected sweep passes" `Quick test_crashy_sweep;
+        Alcotest.test_case "dirty read detected" `Quick test_dirty_read_detected;
+        Alcotest.test_case "conflict cycle detected" `Quick test_cycle_detected;
+        Alcotest.test_case "non-transaction lock permitted (3.4)" `Quick
+          test_non_transaction_lock_permitted;
+        Alcotest.test_case "process writer permitted" `Quick
+          test_process_writer_permitted;
+      ] );
+    ( "check.explorer",
+      [
+        Alcotest.test_case "broken lock matrix caught and shrunk" `Quick
+          test_broken_matrix_caught;
+      ] );
+  ]

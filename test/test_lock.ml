@@ -86,11 +86,21 @@ let test_upgrade_downgrade () =
     (LT.owner_covers t ~owner:(tx 1) ~range:(br 0 10) ~write:true);
   Alcotest.(check bool) "read still covered everywhere" true
     (LT.owner_covers t ~owner:(tx 1) ~range:(br 0 10) ~write:false);
-  (* Downgrade everything back to shared. *)
+  (* A transaction cannot weaken protection it holds (§3.3 rule 1):
+     re-locking everything shared leaves the middle exclusive — otherwise
+     its uncommitted write there would become readable before commit. *)
   ignore (LT.request t ~owner:(tx 1) ~pid:p1 ~mode:M.Shared ~range:(br 0 10)
             ~non_transaction:false);
-  Alcotest.(check bool) "downgraded" false
-    (LT.owner_covers t ~owner:(tx 1) ~range:(br 4 6) ~write:true)
+  Alcotest.(check bool) "txn downgrade refused" true
+    (LT.owner_covers t ~owner:(tx 1) ~range:(br 4 6) ~write:true);
+  (* A non-transaction process has no commit point and may downgrade. *)
+  let t2 = LT.create fid in
+  ignore (LT.request t2 ~owner:(proc p1) ~pid:p1 ~mode:M.Exclusive
+            ~range:(br 0 10) ~non_transaction:false);
+  ignore (LT.request t2 ~owner:(proc p1) ~pid:p1 ~mode:M.Shared
+            ~range:(br 0 10) ~non_transaction:false);
+  Alcotest.(check bool) "process downgraded" false
+    (LT.owner_covers t2 ~owner:(proc p1) ~range:(br 0 10) ~write:true)
 
 let test_unix_mode_rejected () =
   let t = LT.create fid in
@@ -373,6 +383,11 @@ module Model = struct
     done;
     if !ok then
       for b = lo to hi - 1 do
+        (* Transactions never weaken held protection (§3.3 rule 1). *)
+        let held_excl =
+          List.exists (fun (o, e) -> Owner.equal o owner && e) (entries m b)
+        in
+        let excl = excl || (Owner.is_transaction owner && held_excl) in
         Hashtbl.replace m b
           ((owner, excl)
           :: List.filter (fun (o, _) -> not (Owner.equal o owner)) (entries m b))

@@ -273,6 +273,20 @@ let test_trace_from_kernel () =
   Alcotest.(check bool) "lock grant traced" true (has Trace.Lock "grant");
   Alcotest.(check bool) "messages traced" true (has Trace.Net "prepare")
 
+let test_emitf_lazy () =
+  let t = Trace.create () in
+  Trace.enable ~categories:[ Trace.Lock ] t;
+  let forced = ref 0 in
+  let spy ppf =
+    incr forced;
+    Fmt.string ppf "x"
+  in
+  Trace.emitf t ~at:1 ~cat:Trace.Net ~site:0 "spy %t" spy;
+  Alcotest.(check int) "disabled category: args never rendered" 0 !forced;
+  Trace.emitf t ~at:2 ~cat:Trace.Lock ~site:0 "spy %t" spy;
+  Alcotest.(check int) "enabled category renders" 1 !forced;
+  Alcotest.(check int) "one event recorded" 1 (List.length (Trace.events t))
+
 let suite =
   suite
   @ [
@@ -280,6 +294,7 @@ let suite =
         [
           Alcotest.test_case "ring" `Quick test_trace_ring;
           Alcotest.test_case "category filter" `Quick test_trace_category_filter;
+          Alcotest.test_case "emitf lazy when disabled" `Quick test_emitf_lazy;
           Alcotest.test_case "kernel integration" `Quick test_trace_from_kernel;
         ] );
     ]
