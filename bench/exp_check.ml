@@ -28,8 +28,12 @@ let e14 () =
       sweep_rate ~label:"3 sites, 8 txns x 4 ops"
         ~config:{ base with Ck.Explore.sites = 3; txns = 8 }
         ~n_seeds:100 ~from:0;
-      sweep_rate ~label:"3 sites, 4 txns, crash every 5"
-        ~config:{ base with Ck.Explore.sites = 3; crash_every = Some 5 }
+      sweep_rate ~label:"3 sites, 4 txns, fault every 5"
+        ~config:{ base with Ck.Explore.sites = 3; fault_every = Some 5 }
+        ~n_seeds:100 ~from:0;
+      sweep_rate ~label:"3 sites, 2 replicas, fault every 5"
+        ~config:
+          { base with Ck.Explore.sites = 3; replicas = 2; fault_every = Some 5 }
         ~n_seeds:100 ~from:0;
       sweep_rate ~label:"2 sites, 16 txns x 8 ops"
         ~config:{ base with Ck.Explore.txns = 16; ops = 8; records = 8 }

@@ -54,10 +54,12 @@ let e4 () =
       ("remote, overlap", 0, true, "16 ms / 124 ms");
     ]
   in
+  let metrics = ref [] in
   let rows =
     List.map
       (fun (name, site, overlap, paper) ->
         let service, latency = measure_commit ~requester_site:site ~overlap () in
+        metrics := Jsonout.single ~label:name ~latency_us:latency :: !metrics;
         [
           name;
           Printf.sprintf "%s (%d inst)" (Tables.msf (instr_to_ms service)) service;
@@ -70,6 +72,7 @@ let e4 () =
     ~title:"E4 / Figure 6: measured commit performance (requesting site)"
     ~columns:[ "case"; "service time"; "latency"; "paper svc/lat" ]
     rows;
+  Jsonout.write ~exp:"e4" (List.rev !metrics);
   Tables.paper
     "overlap adds a moderate service-time cost locally and ~27 ms of latency \
      (the extra merged-page write); remote commits offload service to the \

@@ -15,6 +15,7 @@ let updates = 4
 let makespan ~n_sites =
   let sim = fresh ~n_sites () in
   let out = ref 0 in
+  let lats = ref [] in
   run_proc sim ~site:0 (fun env ->
       (* One data file per site/volume; setup closes everything so the
          forked terminals inherit no channels. *)
@@ -30,6 +31,8 @@ let makespan ~n_sites =
       let terminal t =
         Api.fork env ~site:(t mod n_sites) ~name:(Printf.sprintf "t%d" t)
           (fun w ->
+            let e = K.engine (Api.cluster w) in
+            let t_begin = L.Engine.now e in
             let prng = Prng.create ~seed:(500 + t) in
             (* Site-local records (the locality the paper's environment
                assumes), locked in ascending order so the measurement is
@@ -49,20 +52,27 @@ let makespan ~n_sites =
                 Api.pwrite w c ~pos (Bytes.make 64 'u'))
               positions;
             ignore (Api.end_trans w);
+            lats := (L.Engine.now e - t_begin) :: !lats;
             Api.close w c)
       in
       let pids = List.init terminals terminal in
       List.iter (Api.wait_pid env) pids;
       out := L.Engine.now e - t0);
-  !out
+  (!out, !lats)
 
 let e12 () =
   let base = ref 0 in
+  let metrics = ref [] in
   let rows =
     List.map
       (fun n_sites ->
-        let m = makespan ~n_sites in
+        let m, lats = makespan ~n_sites in
         if n_sites = 1 then base := m;
+        metrics :=
+          Jsonout.metric
+            ~label:(Printf.sprintf "%d sites" n_sites)
+            ~span_us:m lats
+          :: !metrics;
         [
           Tables.i n_sites;
           Tables.ms m;
@@ -78,6 +88,7 @@ let e12 () =
        growing cluster"
     ~columns:[ "sites"; "makespan"; "throughput"; "speedup vs 1 site" ]
     rows;
+  Jsonout.write ~exp:"e12" (List.rev !metrics);
   Tables.paper
     "an environment of many relatively small machines performs by achieving \
      considerable concurrency of data access and update — hence fine-grain \

@@ -1,0 +1,82 @@
+(* Machine-readable experiment results. An experiment that calls [write]
+   drops a BENCH_<exp>.json in the working directory with throughput and
+   virtual-latency percentiles per measured case, so CI and scripts can
+   trend results without scraping the human tables. The JSON is
+   hand-formatted: the harness deliberately carries no serialization
+   dependency. *)
+
+type metric = {
+  label : string;
+  ops_per_sec : float;  (** throughput in operations per virtual second *)
+  p50_us : int;  (** median virtual latency, microseconds *)
+  p99_us : int;
+  samples : int;
+}
+
+let percentile latencies p =
+  match List.sort Int.compare latencies with
+  | [] -> 0
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (Float.round (p *. float_of_int (n - 1) /. 100.)) in
+    List.nth sorted (max 0 (min (n - 1) rank))
+
+(* A metric from raw per-operation virtual latencies plus the virtual
+   wall time the batch spanned (concurrent operations overlap, so
+   throughput comes from the span, not the latency sum). *)
+let metric ~label ~span_us latencies =
+  let samples = List.length latencies in
+  let ops_per_sec =
+    if span_us <= 0 then 0.
+    else float_of_int samples /. (float_of_int span_us /. 1_000_000.)
+  in
+  {
+    label;
+    ops_per_sec;
+    p50_us = percentile latencies 50.;
+    p99_us = percentile latencies 99.;
+    samples;
+  }
+
+(* A metric from one measured operation (e.g. the single-shot paper
+   reproductions): percentiles collapse to the one latency. *)
+let single ~label ~latency_us =
+  {
+    label;
+    ops_per_sec =
+      (if latency_us <= 0 then 0. else 1_000_000. /. float_of_int latency_us);
+    p50_us = latency_us;
+    p99_us = latency_us;
+    samples = 1;
+  }
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write ~exp metrics =
+  let file = Printf.sprintf "BENCH_%s.json" exp in
+  Out_channel.with_open_text file (fun oc ->
+      let pf fmt = Printf.fprintf oc fmt in
+      pf "{\n  \"experiment\": \"%s\",\n  \"metrics\": [\n" (escape exp);
+      List.iteri
+        (fun i m ->
+          pf
+            "    {\"label\": \"%s\", \"ops_per_sec\": %.2f, \
+             \"p50_virtual_us\": %d, \"p99_virtual_us\": %d, \"samples\": \
+             %d}%s\n"
+            (escape m.label) m.ops_per_sec m.p50_us m.p99_us m.samples
+            (if i = List.length metrics - 1 then "" else ","))
+        metrics;
+      pf "  ]\n}\n");
+  Fmt.pr "(wrote %s)@." file

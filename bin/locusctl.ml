@@ -29,6 +29,9 @@ let print_summary sim =
       "deadlock.victims"; "proc.forks"; "proc.migrations"; "merge.retries";
       "disk.io.read"; "disk.io.write"; "disk.io.log"; "net.msg"; "cache.hit";
       "cache.miss"; "recovery.replayed_commit"; "recovery.replayed_abort";
+      "replica.propagate"; "replica.propagate_miss"; "replica.apply";
+      "replica.gaps"; "replica.reconciled"; "replica.reconcile_passes";
+      "replica.failover_reads"; "replica.local_reads";
     ]
 
 let seed_arg =
@@ -376,13 +379,14 @@ let dc_cmd =
 
 module Ck = Locus_check
 
-let check_config sites txns ops records crash_every =
+let check_config sites txns ops records replicas fault_every =
   {
     Ck.Explore.sites = max 2 sites;
     txns;
     ops;
     records;
-    crash_every;
+    replicas = max 1 replicas;
+    fault_every;
   }
 
 let txns_arg =
@@ -394,14 +398,24 @@ let ops_arg =
 let records_arg =
   Arg.(value & opt int 4 & info [ "records" ] ~docv:"N" ~doc:"Shared records.")
 
-let crash_every_arg =
+let fault_every_arg =
   Arg.(
     value & opt (some int) None
-    & info [ "crash-every" ] ~docv:"K"
-        ~doc:"Inject a site crash + reboot on every K-th seed.")
+    & info [ "fault-every"; "crash-every" ] ~docv:"K"
+        ~doc:
+          "Inject a fault on every K-th seed, alternating site crash + \
+           reboot with network partition + heal.")
 
-let check seed sites txns ops records crash_every =
-  let cfg = check_config sites txns ops records crash_every in
+let replicas_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:
+          "Copies per volume (>1 enables primary-copy replication with \
+           commit propagation).")
+
+let check seed sites txns ops records replicas fault_every =
+  let cfg = check_config sites txns ops records replicas fault_every in
   let spec, hist, report = Ck.Explore.run_seed cfg seed in
   Fmt.pr "workload (seed %d):@.%a@." seed Ck.Workload.pp spec;
   Fmt.pr "@.history: %d events@." (Ck.History.length hist);
@@ -414,15 +428,24 @@ let check_cmd =
        ~doc:"Run one generated workload and check its history for serializability.")
     Term.(
       const check $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
-      $ crash_every_arg)
+      $ replicas_arg $ fault_every_arg)
 
-let explore seed sites txns ops records crash_every n_seeds break_locks =
-  let cfg = check_config sites txns ops records crash_every in
+let explore seed sites txns ops records replicas fault_every n_seeds break_locks
+    break_repl =
+  let cfg = check_config sites txns ops records replicas fault_every in
   if break_locks then begin
     Fmt.pr "!! breaking the shared/exclusive compatibility rule (Figure 1)@.";
     M.test_break_shared_exclusive := true
   end;
-  Fun.protect ~finally:(fun () -> M.test_break_shared_exclusive := false)
+  if break_repl then begin
+    Fmt.pr
+      "!! breaking commit propagation (secondaries silently stop receiving \
+       updates)@.";
+    Locus_repl.Flags.drop_propagation := true
+  end;
+  Fun.protect ~finally:(fun () ->
+      M.test_break_shared_exclusive := false;
+      Locus_repl.Flags.drop_propagation := false)
   @@ fun () ->
   let t0 = Sys.time () in
   let result =
@@ -460,6 +483,15 @@ let explore_cmd =
             "Self-test: break the lock compatibility matrix and verify the \
              checker catches the resulting violations.")
   in
+  let break_repl =
+    Arg.(
+      value & flag
+      & info [ "break-repl" ]
+          ~doc:
+            "Self-test: drop commit propagation to secondary copies and \
+             verify the checker flags the resulting stale reads (use with \
+             --replicas >= 2).")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
@@ -467,7 +499,80 @@ let explore_cmd =
           failure, shrink the workload to a minimal reproducer.")
     Term.(
       const explore $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
-      $ crash_every_arg $ n_seeds $ break_locks)
+      $ replicas_arg $ fault_every_arg $ n_seeds $ break_locks $ break_repl)
+
+(* {1 repl-status} *)
+
+let print_replica_status cl =
+  Fmt.pr "@.--- replica status ---@.";
+  List.iter
+    (fun v ->
+      Fmt.pr "vol%d  primary: site %d@." v.K.rv_vid v.K.rv_primary;
+      List.iter
+        (fun h ->
+          Fmt.pr "  site %d: %s%s%s  versions [%s]@." h.K.rh_site
+            (if h.K.rh_alive then "up" else "DOWN")
+            (if h.K.rh_primary then ", primary" else "")
+            (if h.K.rh_fresh then ", fresh" else ", DEGRADED")
+            (String.concat "; "
+               (List.map
+                  (fun (ino, ver) -> Printf.sprintf "ino%d=v%d" ino ver)
+                  h.K.rh_versions)))
+        v.K.rv_hosts)
+    (K.replica_status cl)
+
+let repl_status seed sites replicas updates crash_primary =
+  let sites = max 2 sites in
+  let replicas = max 1 replicas in
+  let config = K.Config.with_replication ~n_sites:sites ~factor:replicas in
+  let sim = L.make ~seed ~config ~n_sites:sites () in
+  let cl = sim.L.cluster in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"repl-driver" (fun env ->
+         let c = Api.creat env "/repl/demo" ~vid:1 in
+         for i = 1 to updates do
+           Api.pwrite env c ~pos:0
+             (Bytes.of_string (Printf.sprintf "update %04d" i));
+           Api.commit_file env c
+         done;
+         Api.close env c;
+         if crash_primary then begin
+           let fid = Option.get (K.lookup cl "/repl/demo") in
+           let p = K.storage_site cl fid in
+           if p <> 0 then begin
+             Fmt.pr "crashing primary site %d of /repl/demo@." p;
+             K.crash_site cl p
+           end
+         end));
+  L.run sim;
+  Fmt.pr "wrote %d committed updates to /repl/demo (vol1)@." updates;
+  print_replica_status cl;
+  print_summary sim
+
+let repl_status_cmd =
+  let updates =
+    Arg.(
+      value & opt int 5
+      & info [ "updates" ] ~docv:"N"
+          ~doc:"Committed updates to write before reporting.")
+  in
+  let crash_primary =
+    Arg.(
+      value & flag
+      & info [ "crash-primary" ]
+          ~doc:
+            "Crash the demo file's primary site after the updates commit, \
+             to show failover state.")
+  in
+  Cmd.v
+    (Cmd.info "repl-status"
+       ~doc:
+         "Run a short replicated workload and print each volume's replica \
+          set: current primary, per-host liveness / freshness and committed \
+          file versions.")
+    Term.(
+      const repl_status $ seed_arg $ sites_arg $ replicas_arg $ updates
+      $ crash_primary)
 
 (* {1 stats} *)
 
@@ -497,4 +602,5 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "locusctl" ~version:"1.0" ~doc)
-          [ bank_cmd; chaos_cmd; deadlock_cmd; dc_cmd; check_cmd; explore_cmd; stats_cmd ]))
+          [ bank_cmd; chaos_cmd; deadlock_cmd; dc_cmd; check_cmd; explore_cmd;
+            repl_status_cmd; stats_cmd ]))

@@ -9,6 +9,13 @@ type violation =
       at : int;
     }
   | Cycle of Txid.t list
+  | Stale_read of {
+      reader : Txid.t;
+      fid : File_id.t;
+      range : Byte_range.t;
+      version : int;
+      at : int;
+    }
 
 type classified = { violation : violation; permitted : bool }
 
@@ -29,6 +36,7 @@ type wrec = {
   w_owner : Owner.t;
   w_range : Byte_range.t;
   w_relaxed : bool;
+  w_data : string;  (* the written bytes, for one-copy staleness checks *)
   mutable w_status : wstatus;
 }
 
@@ -49,6 +57,19 @@ type dirty_candidate = {
   d_fid : File_id.t;
   d_range : Byte_range.t;
   d_at : int;
+}
+
+(* A replica read whose data matches neither the live overlay nor the
+   committed-only overlay of the write history (or that missed the
+   reader's own pending write): the copy served a stale version. *)
+type stale_candidate = {
+  s_reader : Txid.t;
+  s_reader_relaxed : bool;
+  s_degraded : bool;
+  s_fid : File_id.t;
+  s_range : Byte_range.t;
+  s_version : int;
+  s_at : int;
 }
 
 module Tx_tbl = Hashtbl
@@ -118,6 +139,7 @@ let check history =
   in
   let ops : (File_id.t, op list ref) Tx_tbl.t = Tx_tbl.create 16 in
   let dirty = ref [] in
+  let stale = ref [] in
   let reads_checked = ref 0 in
   let push tbl key v =
     match Tx_tbl.find_opt tbl key with
@@ -161,6 +183,57 @@ let check history =
             o_relaxed = relaxed }
     | Owner.Process _ -> ()
   in
+  (* Rebuild what the read range should contain under an overlay of the
+     writes recorded so far (newest shadowing oldest), keeping only the
+     writes [keep] selects. Bytes no kept write ever covered read as
+     zeros, matching the filestore's hole semantics. *)
+  let expected_bytes wl ~range ~keep =
+    let lo = Byte_range.lo range and len = Byte_range.len range in
+    let out = Bytes.make len '\000' in
+    let filled = Array.make len false in
+    List.iter
+      (fun w ->
+        if keep w.w_status then begin
+          let wlo = Byte_range.lo w.w_range in
+          let from = max lo wlo and upto = min (lo + len) (Byte_range.hi w.w_range) in
+          for b = from to upto - 1 do
+            if not filled.(b - lo) then begin
+              filled.(b - lo) <- true;
+              if b - wlo < String.length w.w_data then
+                Bytes.set out (b - lo) w.w_data.[b - wlo]
+            end
+          done
+        end)
+      wl;
+    Bytes.to_string out
+  in
+  (* Walk the file's writes newest first, exactly mirroring the
+     filestore's overlay: live (committed or still-pending) writes shadow
+     older data. Flag every pending non-own write the read observed. *)
+  let observe_pending ~at ~reader ~reader_relaxed ~fid ~range wl =
+    let owner = Owner.Transaction reader in
+    let remaining = ref (Range_set.of_range range) in
+    List.iter
+      (fun w ->
+        if (not (Range_set.is_empty !remaining)) && w.w_status <> Waborted
+        then begin
+          let cover =
+            Range_set.inter !remaining (Range_set.of_range w.w_range)
+          in
+          if not (Range_set.is_empty cover) then begin
+            remaining := Range_set.diff !remaining cover;
+            if w.w_status = Pending && not (Owner.equal w.w_owner owner) then
+              dirty :=
+                { d_reader = reader; d_reader_relaxed = reader_relaxed;
+                  d_writer = w.w_owner; d_writer_relaxed = w.w_relaxed;
+                  d_fid = fid;
+                  d_range = List.hd (Range_set.ranges cover);
+                  d_at = at }
+                :: !dirty
+          end
+        end)
+      wl
+  in
   for i = 0 to n - 1 do
     let { Obs.at; ev; _ } = events.(i) in
     match ev with
@@ -188,11 +261,11 @@ let check history =
         match Tx_tbl.find_opt nt (owner, fid) with
         | Some r -> r := Range_set.remove range !r
         | None -> ())
-    | Obs.Write { owner; fid; range; _ } ->
+    | Obs.Write { owner; fid; range; data; _ } ->
         let rlx = relaxed owner fid range in
         let w =
           { w_owner = owner; w_range = range; w_relaxed = rlx;
-            w_status = Pending }
+            w_data = data; w_status = Pending }
         in
         push writes fid w;
         push by_owner owner w;
@@ -202,41 +275,63 @@ let check history =
         incr reads_checked;
         let rlx = relaxed owner fid range in
         record_op i owner fid range ~write:false ~relaxed:rlx;
-        (* Who does this read observe? Walk this file's writes newest
-           first, exactly mirroring the filestore's overlay: live
-           (committed or still-pending) writes shadow older data;
-           aborted ones were discarded. Uncovered bytes come from the
-           committed base image. *)
+        (* Who does this read observe? Aborted writes were discarded;
+           everything else shadows the committed base image. *)
         (match owner with
         | Owner.Process _ -> ()
         | Owner.Transaction reader ->
-            let remaining = ref (Range_set.of_range range) in
             let wl =
               match Tx_tbl.find_opt writes fid with Some r -> !r | None -> []
             in
-            List.iter
-              (fun w ->
-                if not (Range_set.is_empty !remaining)
-                   && w.w_status <> Waborted
-                then begin
-                  let cover =
-                    Range_set.inter !remaining (Range_set.of_range w.w_range)
-                  in
-                  if not (Range_set.is_empty cover) then begin
-                    remaining := Range_set.diff !remaining cover;
-                    if w.w_status = Pending
-                       && not (Owner.equal w.w_owner owner)
-                    then
-                      dirty :=
-                        { d_reader = reader; d_reader_relaxed = rlx;
-                          d_writer = w.w_owner; d_writer_relaxed = w.w_relaxed;
-                          d_fid = fid;
-                          d_range = List.hd (Range_set.ranges cover);
-                          d_at = at }
-                        :: !dirty
-                  end
-                end)
-              wl)
+            observe_pending ~at ~reader ~reader_relaxed:rlx ~fid ~range wl)
+    | Obs.Replica_read { access = { owner; fid; range; data; _ }; version;
+                         degraded } ->
+        incr reads_checked;
+        let rlx = relaxed owner fid range in
+        record_op i owner fid range ~write:false ~relaxed:rlx;
+        (* One-copy serializability: the bytes a replicated volume served
+           must match either the live overlay (what the primary would
+           serve) or the committed-only overlay (what a fresh secondary
+           serves) — anything else means the copy missed a committed
+           update. A committed-only match is no excuse when the reader
+           itself has a pending overlapping write: that would be a lost
+           read-your-writes. *)
+        (match owner with
+        | Owner.Process _ -> ()
+        | Owner.Transaction reader ->
+            let wl =
+              match Tx_tbl.find_opt writes fid with Some r -> !r | None -> []
+            in
+            let live = expected_bytes wl ~range ~keep:(fun s -> s <> Waborted) in
+            let committed_only =
+              expected_bytes wl ~range ~keep:(fun s -> s = Wcommitted)
+            in
+            if String.equal data live then begin
+              if not (String.equal data committed_only) then
+                (* The read observed someone's pending bytes: exactly the
+                   dirty-read analysis of an unreplicated read. *)
+                observe_pending ~at ~reader ~reader_relaxed:rlx ~fid ~range wl
+            end
+            else begin
+              let own_pending =
+                List.exists
+                  (fun w ->
+                    Owner.equal w.w_owner owner
+                    && w.w_status = Pending
+                    && Byte_range.overlaps w.w_range range)
+                  wl
+              in
+              if String.equal data committed_only && not own_pending then ()
+              else
+                stale :=
+                  { s_reader = reader; s_reader_relaxed = rlx;
+                    s_degraded = degraded; s_fid = fid; s_range = range;
+                    s_version = version; s_at = at }
+                  :: !stale
+            end)
+    | Obs.Propagate _ | Obs.Reconcile _ | Obs.Failover _ ->
+        (* Replication housekeeping: not data accesses. *)
+        ()
   done;
   let committed, aborted =
     Tx_tbl.fold
@@ -276,6 +371,19 @@ let check history =
           permitted =
             d.d_reader_relaxed || d.d_writer_relaxed || writer_process })
       (List.filter (fun d -> is_committed d.d_reader) !dirty)
+  in
+  (* Stale replica reads: §3.4-relaxed readers tolerate them, and a
+     degraded copy answering because the primary is unreachable is the
+     deliberate availability/consistency trade — permitted, flagged. *)
+  let stale_violations =
+    List.rev_map
+      (fun s ->
+        { violation =
+            Stale_read
+              { reader = s.s_reader; fid = s.s_fid; range = s.s_range;
+                version = s.s_version; at = s.s_at };
+          permitted = s.s_reader_relaxed || s.s_degraded })
+      (List.filter (fun s -> is_committed s.s_reader) !stale)
   in
   (* Conflict graph over committed transactions: an edge a -> b for every
      pair of overlapping accesses to the same file, at least one a write,
@@ -327,7 +435,7 @@ let check history =
   { committed; aborted; unresolved;
     reads_checked = !reads_checked;
     edges;
-    violations = dirty_violations @ cycle_violations }
+    violations = dirty_violations @ stale_violations @ cycle_violations }
 
 let unpermitted r = List.filter (fun c -> not c.permitted) r.violations
 let permitted r = List.filter (fun c -> c.permitted) r.violations
@@ -339,6 +447,11 @@ let pp_violation ppf = function
         Txid.pp reader File_id.pp fid Byte_range.pp range Owner.pp writer at
   | Cycle txids ->
       Fmt.pf ppf "conflict cycle: %a" (Fmt.list ~sep:Fmt.sp Txid.pp) txids
+  | Stale_read { reader; fid; range; version; at } ->
+      Fmt.pf ppf
+        "stale replica read: %a read %a %a (copy version %d) missing \
+         committed data at t=%d"
+        Txid.pp reader File_id.pp fid Byte_range.pp range version at
 
 let pp_classified ppf c =
   Fmt.pf ppf "[%s] %a"

@@ -30,6 +30,19 @@ type violation =
           yet committed (or never committed) at the time of the read *)
   | Cycle of Txid.t list
       (** committed transactions forming a conflict-graph cycle *)
+  | Stale_read of {
+      reader : Txid.t;
+      fid : File_id.t;
+      range : Byte_range.t;
+      version : int;  (** the serving copy's committed version *)
+      at : int;
+    }
+      (** one-copy serializability: a replicated volume served bytes that
+          match neither the live overlay nor the newest committed state
+          of the write history — the copy missed a committed update (or
+          the reader's own pending write). Permitted when the reader was
+          §3.4-relaxed or the copy was serving degraded (failover with
+          the primary unreachable). *)
 
 type classified = { violation : violation; permitted : bool }
 

@@ -3,11 +3,12 @@ type config = {
   txns : int;
   ops : int;
   records : int;
-  crash_every : int option;
+  replicas : int;
+  fault_every : int option;
 }
 
 let default_config =
-  { sites = 2; txns = 4; ops = 4; records = 4; crash_every = None }
+  { sites = 2; txns = 4; ops = 4; records = 4; replicas = 1; fault_every = None }
 
 type failure = { f_seed : int; f_spec : Workload.spec; f_report : Checker.report }
 
@@ -18,15 +19,19 @@ type result = {
   failures : failure list;
 }
 
-let crash_for cfg seed =
-  match cfg.crash_every with
+(* Alternate crash and partition injections across the qualifying
+   seeds, so one sweep exercises both the §4.4 recovery path and the
+   replication degrade / reconcile path. *)
+let fault_for cfg seed =
+  match cfg.fault_every with
   | Some k when k > 0 && seed mod k = 0 ->
+      let nth = seed / k in
+      let victim = nth mod cfg.sites
+      and after_decides = 1 + (seed mod 3) in
       Some
-        {
-          Workload.victim = seed / k mod cfg.sites;
-          after_decides = 1 + (seed mod 3);
-          restart_delay = 2_000_000;
-        }
+        (if nth mod 2 = 0 then
+           Workload.Crash { victim; after_decides; restart_delay = 2_000_000 }
+         else Workload.Partition { victim; after_decides; heal_delay = 2_000_000 })
   | Some _ | None -> None
 
 let run_seed cfg seed =
@@ -34,7 +39,9 @@ let run_seed cfg seed =
     Workload.gen ~seed ~sites:cfg.sites ~txns:cfg.txns ~ops:cfg.ops
       ~records:cfg.records ()
   in
-  let hist, _sim = Workload.run ?crash:(crash_for cfg seed) ~seed spec in
+  let hist, _sim =
+    Workload.run ?fault:(fault_for cfg seed) ~replicas:cfg.replicas ~seed spec
+  in
   (spec, hist, Checker.check hist)
 
 let sweep ?(config = default_config) ?progress ~seeds () =
@@ -66,7 +73,9 @@ let seeds ~n ~from = List.init n (fun i -> from + i)
 let shrink_failure cfg f =
   let fails spec =
     let hist, _ =
-      Workload.run ?crash:(crash_for cfg f.f_seed) ~seed:f.f_seed spec
+      Workload.run
+        ?fault:(fault_for cfg f.f_seed)
+        ~replicas:cfg.replicas ~seed:f.f_seed spec
     in
     not (Checker.ok (Checker.check hist))
   in

@@ -11,8 +11,12 @@ type config = {
   txns : int;
   ops : int;
   records : int;
-  crash_every : int option;
-      (** inject a site crash + reboot on every k-th seed *)
+  replicas : int;
+      (** copies per volume (1 = unreplicated; >1 enables primary-copy
+          replication with commit propagation) *)
+  fault_every : int option;
+      (** inject a fault on every k-th seed, alternating site
+          crash + reboot with network partition + heal *)
 }
 
 val default_config : config

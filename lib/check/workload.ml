@@ -1,12 +1,17 @@
 module L = Locus_core.Locus
 module Api = Locus_core.Api
 module K = Locus_core.Kernel
+module Transport = Locus_net.Transport
 
 type op = Op_read of int | Op_update of int
 type txn_spec = { site : int; ops : op list }
 type spec = { n_sites : int; n_records : int; txns : txn_spec list }
 
 type crash = { victim : int; after_decides : int; restart_delay : int }
+
+type fault =
+  | Crash of crash
+  | Partition of { victim : int; after_decides : int; heal_delay : int }
 
 let rec_len = 16
 let path = "/check/records"
@@ -64,23 +69,37 @@ let run_txn env t =
   ignore (Api.end_trans env);
   Api.close env c
 
-let install_crash cl crash =
+let install_fault cl fault =
   let decides = ref 0 in
   (K.hooks cl).K.on_decided <-
     (fun _txid _status ->
       incr decides;
-      if !decides = crash.after_decides then begin
-        K.crash_site cl crash.victim;
-        Engine.schedule ~delay:crash.restart_delay (K.engine cl) (fun () ->
-            K.restart_site cl crash.victim)
-      end)
+      match fault with
+      | Crash c when !decides = c.after_decides ->
+          K.crash_site cl c.victim;
+          Engine.schedule ~delay:c.restart_delay (K.engine cl) (fun () ->
+              K.restart_site cl c.victim)
+      | Partition { victim; after_decides; heal_delay }
+        when !decides = after_decides ->
+          let net = K.transport cl in
+          Transport.partition net [ [ victim ] ];
+          Engine.schedule ~delay:heal_delay (K.engine cl) (fun () ->
+              Transport.heal net)
+      | Crash _ | Partition _ -> ())
 
-let run ?crash ?(seed = 0) spec =
-  let sim = L.make ~seed ~n_sites:spec.n_sites () in
+let run ?fault ?(replicas = 1) ?(seed = 0) spec =
+  let sim =
+    if replicas > 1 then
+      let config =
+        K.Config.with_replication ~n_sites:spec.n_sites ~factor:replicas
+      in
+      L.make ~seed ~config ~n_sites:spec.n_sites ()
+    else L.make ~seed ~n_sites:spec.n_sites ()
+  in
   let hist = History.create () in
   History.attach hist sim.L.cluster;
-  (match crash with
-  | Some c -> install_crash sim.L.cluster c
+  (match fault with
+  | Some f -> install_fault sim.L.cluster f
   | None -> ());
   ignore
     (Api.spawn_process sim.L.cluster ~site:0 ~name:"wl-driver" (fun env ->

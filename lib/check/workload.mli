@@ -19,6 +19,19 @@ type crash = {
   restart_delay : int;  (** virtual microseconds until reboot *)
 }
 
+type fault =
+  | Crash of crash
+  | Partition of {
+      victim : int;  (** site to isolate from everyone else *)
+      after_decides : int;  (** partition at the Nth 2PC decide event *)
+      heal_delay : int;  (** virtual microseconds until the partition heals *)
+    }
+      (** Failure injected mid-run at a 2PC decision point: either a
+          crash + reboot or a network partition + heal. Partitions
+          exercise the replication degrade / reconcile path — the
+          isolated site's replicas go stale, serve degraded reads, and
+          must catch up after the heal. *)
+
 val rec_len : int
 (** Bytes per record. *)
 
@@ -34,11 +47,19 @@ val gen :
     ops over 4 records — small enough to conflict constantly). *)
 
 val run :
-  ?crash:crash -> ?seed:int -> spec -> History.t * Locus_core.Locus.sim
+  ?fault:fault ->
+  ?replicas:int ->
+  ?seed:int ->
+  spec ->
+  History.t * Locus_core.Locus.sim
 (** Execute the workload in a fresh simulated cluster with a recorder
     attached; returns the complete history and the drained simulation.
     [seed] also perturbs engine event ordering, so the same [spec] under
-    different seeds explores different schedules. *)
+    different seeds explores different schedules. [replicas > 1] hosts
+    every volume at that many sites
+    ({!Locus_core.Kernel.Config.with_replication}), so commits propagate
+    and reads may be served by secondary copies — the checker's
+    one-copy-serializability rules then apply. *)
 
 val pp : spec Fmt.t
 val pp_txn_spec : txn_spec Fmt.t

@@ -22,6 +22,10 @@ type env = {
      expensive distributed step done once per file (§3.2); bindings never
      change (no rename/unlink in this system), so entries stay valid. *)
   name_cache : (string, File_id.t) Hashtbl.t;
+  (* Files this process has written and not yet committed (or aborted).
+     Such reads must see our own pending bytes, which only the primary's
+     overlay holds — they are never served from a local secondary copy. *)
+  written_fids : (File_id.t, unit) Hashtbl.t;
 }
 
 let pid env = env.proc.Process.pid
@@ -43,6 +47,28 @@ let owner env = Process.owner env.proc
 let rpc_storage env fid msg =
   let dst = Kernel.storage_site env.cl fid in
   Kernel.rpc env.cl ~src:(site env) ~dst msg
+
+(* A reachable replica host when a partition hides the current primary;
+   [None] when the primary is reachable (or nothing else is). Election
+   only moves the primary off a {e crashed} site — a partitioned one
+   stays primary for its own side, so read-side failover has to route
+   around it explicitly (§5.2). *)
+let reachable_secondary env fid =
+  let s = site env in
+  let net = Kernel.transport env.cl in
+  let primary = Kernel.storage_site env.cl fid in
+  if Transport.reachable net s primary then None
+  else
+    List.find_opt
+      (fun h -> h <> primary && Transport.reachable net s h)
+      (Kernel.replica_sites env.cl fid)
+
+(* Storage-site rpc for operations a secondary can also serve (open /
+   close bookkeeping): prefer the primary, fail over across a partition. *)
+let rpc_storage_or_replica env fid msg =
+  match reachable_secondary env fid with
+  | Some dst -> Kernel.rpc env.cl ~src:(site env) ~dst msg
+  | None -> rpc_storage env fid msg
 
 (* Lock operations go to the current lock authority (§5.2 delegation):
    start from the hint, follow redirects, fall back to the storage site. *)
@@ -91,6 +117,7 @@ let run_process cl k0 proc fiber_ref f =
       lock_cache = Hashtbl.create 8;
       page_cache = Hashtbl.create 8;
       name_cache = Hashtbl.create 8;
+      written_fids = Hashtbl.create 8;
     }
   in
   (match !fiber_ref with
@@ -491,7 +518,7 @@ let open_file env path =
   match resolve_path env path with
   | None -> raise (Error (Printf.sprintf "open: no such file %s" path))
   | Some fid -> (
-    match rpc_storage env fid (Msg.Open { fid }) with
+    match rpc_storage_or_replica env fid (Msg.Open { fid }) with
     | Msg.R_ok ->
       note_use env fid;
       Process.add_channel env.proc fid
@@ -502,10 +529,10 @@ let close env c =
   let ch = chan_exn env c in
   let commit_on_close = not (in_transaction env) in
   (match
-     rpc_storage env ch.Process.fid
+     rpc_storage_or_replica env ch.Process.fid
        (Msg.Close { fid = ch.Process.fid; owner = owner env; commit_on_close })
    with
-  | Msg.R_ok -> ()
+  | Msg.R_ok -> if commit_on_close then Hashtbl.remove env.written_fids ch.Process.fid
   | r -> raise (Error (Fmt.str "close: %a" Msg.pp_reply r)));
   Hashtbl.remove env.lock_cache c;
   Hashtbl.remove env.page_cache c;
@@ -589,6 +616,69 @@ let patch_cached_pages env c ~pos data =
         entries
   end
 
+(* §5.2 replication: serve a read from the local copy of a replicated
+   volume when this site hosts a secondary. Process readers always
+   qualify (conventional access is relaxed); a transaction reader only
+   under a covering cached Shared lock with no overlapping Exclusive one
+   — the shared lock, held at the primary, fences out concurrent
+   committers, and synchronous phase-2 propagation then makes the local
+   committed copy one-copy fresh. Our own pending writes live only in
+   the primary's overlay, so any file we wrote goes there. *)
+let replica_read_rpc env fid ~dst ~pos ~len =
+  match
+    Kernel.rpc env.cl ~src:(site env) ~dst
+      (Msg.Replica_read { fid; reader = owner env; pid = pid env; pos; len })
+  with
+  | Msg.R_data b -> Some b
+  | _ -> None
+
+let local_replica_read env c fid ~pos ~len =
+  let s = site env in
+  let hosts = Kernel.replica_sites env.cl fid in
+  if len <= 0 || List.length hosts < 2 || Hashtbl.mem env.written_fids fid then
+    None
+  else
+    match reachable_secondary env fid with
+    | Some h ->
+      (* The primary is on the far side of a partition: fail the read
+         over to a reachable copy. The serving site flags the data as
+         degraded, which is exactly the §3.4-style staleness the checker
+         permits. *)
+      replica_read_rpc env fid ~dst:h ~pos ~len
+    | None when (not (List.mem s hosts)) || Kernel.storage_site env.cl fid = s
+      ->
+      None
+    | None -> begin
+    let want = Byte_range.of_pos_len ~pos ~len in
+    let eligible =
+      match owner env with
+      | Owner.Process _ -> true
+      | Owner.Transaction _ -> (
+        match Hashtbl.find_opt env.lock_cache c with
+        | None -> false
+        | Some locks ->
+          List.exists
+            (fun (r, m) ->
+              Mode.equal m Mode.Shared && Byte_range.subsumes r want)
+            locks
+          && not
+               (List.exists
+                  (fun (r, m) ->
+                    Mode.equal m Mode.Exclusive && Byte_range.overlaps r want)
+                  locks))
+    in
+    if not eligible then None
+    else begin
+      match replica_read_rpc env fid ~dst:s ~pos ~len with
+      | Some b ->
+        Stats.incr (stats env) "replica.local_reads";
+        Some b
+      | None ->
+        (* Degraded copy bounced us (or refused): use the primary. *)
+        None
+    end
+  end
+
 let read env c ~len =
   syscall env;
   let ch = chan_exn env c in
@@ -613,16 +703,21 @@ let read env c ~len =
     ch.Process.pos <- ch.Process.pos + len;
     b
   | None -> (
-    if len > 0 then
-      validate_access env c fid (Byte_range.of_pos_len ~pos:ch.Process.pos ~len);
-    match
-      rpc_storage env fid
-        (Msg.Read { fid; reader = owner env; pid = pid env; pos = ch.Process.pos; len })
-    with
-    | Msg.R_data b ->
+    match local_replica_read env c fid ~pos:ch.Process.pos ~len with
+    | Some b ->
       ch.Process.pos <- ch.Process.pos + len;
       b
-    | r -> raise (Error (Fmt.str "read: %a" Msg.pp_reply r)))
+    | None -> (
+      if len > 0 then
+        validate_access env c fid (Byte_range.of_pos_len ~pos:ch.Process.pos ~len);
+      match
+        rpc_storage env fid
+          (Msg.Read { fid; reader = owner env; pid = pid env; pos = ch.Process.pos; len })
+      with
+      | Msg.R_data b ->
+        ch.Process.pos <- ch.Process.pos + len;
+        b
+      | r -> raise (Error (Fmt.str "read: %a" Msg.pp_reply r))))
 
 let write env c data =
   syscall env;
@@ -633,10 +728,14 @@ let write env c data =
   if len > 0 then
     validate_access env c fid (Byte_range.of_pos_len ~pos:ch.Process.pos ~len);
   match
-    rpc_storage env fid
+    (* Failover routing reaches the takeover copy when a partition hides
+       the primary — which then refuses the update with a clear degraded
+       error rather than letting the write time out. *)
+    rpc_storage_or_replica env fid
       (Msg.Write { fid; owner = owner env; pid = pid env; pos = ch.Process.pos; data })
   with
   | Msg.R_ok ->
+    Hashtbl.replace env.written_fids fid ();
     patch_cached_pages env c ~pos:ch.Process.pos data;
     ch.Process.pos <- ch.Process.pos + len
   | r -> raise (Error (Fmt.str "write: %a" Msg.pp_reply r))
@@ -659,7 +758,7 @@ let commit_file env c =
       rpc_storage env ch.Process.fid
         (Msg.Commit_file { fid = ch.Process.fid; owner = owner env })
     with
-    | Msg.R_ok -> ()
+    | Msg.R_ok -> Hashtbl.remove env.written_fids ch.Process.fid
     | r -> raise (Error (Fmt.str "commit_file: %a" Msg.pp_reply r))
   end
 
@@ -670,7 +769,7 @@ let abort_updates env c =
     rpc_storage env ch.Process.fid
       (Msg.Abort_file { fid = ch.Process.fid; owner = owner env })
   with
-  | Msg.R_ok -> ()
+  | Msg.R_ok -> Hashtbl.remove env.written_fids ch.Process.fid
   | r -> raise (Error (Fmt.str "abort_updates: %a" Msg.pp_reply r))
 
 (* {1 Record locking} *)

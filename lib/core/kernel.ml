@@ -47,6 +47,9 @@ module Config = struct
       deadlock_policy = Locus_deadlock.Detector.Youngest_transaction;
       rpc_timeout_us = 30_000_000;
     }
+
+  let with_replication ~n_sites ~factor =
+    { (default ~n_sites) with volumes = Placement.volumes ~n_sites ~factor }
 end
 
 (* Failure-injection hooks: invoked synchronously at the protocol points
@@ -72,6 +75,9 @@ type t = {
   mutable incarnation : int;
   mutable txseq : int;
   mutable coord_ready : bool;  (* coordinator-log recovery pass done *)
+  mutable recovered : bool;  (* full recovery (incl. in-doubt resolution) done *)
+  repl : Status.t;  (* freshness of hosted replicated volumes *)
+  known_primary : (int, Site.t) Hashtbl.t;  (* per-vid, to spot takeovers *)
   cache : Cache.t;
   store : Filestore.t;
   locks : (File_id.t, Lock_table.t) Hashtbl.t;
@@ -387,6 +393,22 @@ let ensure_txn_lock k ~fid ~owner ~pid ~range ~write =
 
 (* {1 Storage-site operations (run at the file's storage site)} *)
 
+(* A degraded copy must not originate new versions: two sites both
+   bumping a file to version [n] with different contents could never be
+   reconciled. Reads stay available (flagged degraded); updates wait for
+   reconciliation. *)
+let ensure_writable_vid k vid =
+  match Hashtbl.find_opt k.cl.vol_hosts vid with
+  | Some hosts when List.length hosts > 1 ->
+    if Status.state k.repl vid = Status.Degraded then
+      raise
+        (Denied
+           (Printf.sprintf
+              "vol%d replica degraded: updates refused until reconciled" vid))
+  | Some _ | None -> ()
+
+let ensure_writable k fid = ensure_writable_vid k fid.File_id.vid
+
 let ss_read k ~fid ~reader ~pid ~pos ~len =
   if len <= 0 then Bytes.create 0
   else begin
@@ -401,8 +423,20 @@ let ss_read k ~fid ~reader ~pid ~pos ~len =
         with_momentary k ~fid ~owner:reader ~pid ~range ~write:false (fun () ->
             Filestore.read k.store fid ~pos ~len)
     in
-    obs k
-      (Obs.Read { owner = reader; pid; fid; range; data = Bytes.to_string data });
+    let access =
+      { Obs.owner = reader; pid; fid; range; data = Bytes.to_string data }
+    in
+    (if List.length (replica_sites k.cl fid) > 1 then
+       (* Replicated volume: record the serving version so the checker
+          can compare copies (one-copy serializability). *)
+       obs k
+         (Obs.Replica_read
+            {
+              access;
+              version = Filestore.committed_version k.store fid;
+              degraded = Status.state k.repl fid.File_id.vid = Status.Degraded;
+            })
+     else obs k (Obs.Read access));
     data
   end
 
@@ -410,6 +444,7 @@ let ss_write k ~fid ~owner ~pid ~pos ~data =
   let len = Bytes.length data in
   if len > 0 then begin
     ensure_authority_home k fid;
+    ensure_writable k fid;
     let range = Byte_range.of_pos_len ~pos ~len in
     (match owner with
     | Owner.Transaction _ ->
@@ -452,48 +487,258 @@ let ss_lock_append k ~fid ~owner ~pid ~len ~mode ~non_transaction =
   in
   attempt 0
 
-(* Propagate a file's committed state to the other hosts of its volume
-   (§5.2 replication: commit propagation from the primary update site). *)
-let propagate_replicas k fid =
-  if k.cl.cfg.Config.replica_sync then begin
+(* {1 Replication (§5.2)}
+
+   Every volume has one primary update site (its storage site) plus any
+   number of secondaries. All locking and all updates go through the
+   primary; each commit bumps the file's version number there, and the
+   committed pages propagate to the secondaries as versioned deltas
+   during phase 2, before the transaction's locks are released — so a
+   lock-covered read served by a secondary is one-copy fresh. The
+   version numbers make missed propagation detectable: a delta that is
+   not exactly the next version triggers a snapshot pull, and partitions
+   or restarts mark whole volume copies degraded until a reconciliation
+   pass has caught them up from their co-hosts. *)
+
+let hosted_replicated_vids k =
+  List.filter_map
+    (fun (vid, hosts) ->
+      if List.mem k.site hosts && List.length hosts > 1 then Some vid else None)
+    k.cl.cfg.Config.volumes
+
+(* Full versioned snapshot of the committed copy, for pulls and for
+   propagating freshly created files. *)
+let replica_snapshot k fid =
+  let version = Filestore.committed_version k.store fid in
+  let size = Filestore.committed_size k.store fid in
+  let pages =
+    List.filter_map
+      (fun i ->
+        Option.map (fun b -> (i, b)) (Filestore.committed_page k.store fid i))
+      (Filestore.committed_page_indices k.store fid)
+  in
+  Update.full ~fid ~version ~size pages
+
+(* Propagate a file's newly committed version to the other hosts of its
+   volume (§5.2 commit propagation from the primary update site).
+   [indices] narrows the payload to the pages one commit touched; without
+   it a full snapshot is sent. [initial] marks the create-time seeding of
+   the version-1 file, which even the [Flags.drop_propagation] self-test
+   fault lets through — the simulated breakage is "commits stop reaching
+   existing copies", not "the file never replicates at all" (the latter
+   would make every secondary read fail over to the primary and hide the
+   staleness the checker is supposed to catch). *)
+let propagate_replicas k ?indices ?(initial = false) fid =
+  if
+    k.cl.cfg.Config.replica_sync
+    && ((not !Flags.drop_propagation) || initial)
+    && Filestore.file_exists k.store fid
+  then begin
     let others = List.filter (fun s -> s <> k.site) (replica_sites k.cl fid) in
-    if others <> [] && Filestore.file_exists k.store fid then begin
-      let size = Filestore.committed_size k.store fid in
-      let psz = k.cl.cfg.Config.page_size in
-      let n_pages = (size + psz - 1) / psz in
-      let pages =
-        List.init n_pages (fun i ->
-            (i, Filestore.read_committed k.store fid ~pos:(i * psz) ~len:psz))
+    if others <> [] then begin
+      let u =
+        match indices with
+        | None -> replica_snapshot k fid
+        | Some idxs ->
+          let version = Filestore.committed_version k.store fid in
+          let size = Filestore.committed_size k.store fid in
+          let pages =
+            List.filter_map
+              (fun i ->
+                Option.map
+                  (fun b -> (i, b))
+                  (Filestore.committed_page k.store fid i))
+              (List.sort_uniq Int.compare idxs)
+          in
+          Update.delta ~fid ~version ~size pages
       in
       List.iter
         (fun dst ->
-          Transport.send k.cl.net ~src:k.site ~dst
-            (Msg.Replica_sync { fid; size; pages }))
+          if Transport.reachable k.cl.net k.site dst then begin
+            match
+              Transport.rpc_retry ~attempts:3 ~backoff_us:200_000 k.cl.net
+                ~src:k.site ~dst
+                (Msg.Replica_commit { update = u })
+            with
+            | Ok Msg.R_ok ->
+              obs k (Obs.Propagate { fid; version = u.Update.version; dst });
+              Stats.incr (stats k) "replica.propagate"
+            | Ok _ | Error _ ->
+              (* The secondary missed this version; it catches up in its
+                 reconciliation pass after the next topology event. *)
+              Stats.incr (stats k) "replica.propagate_miss"
+          end)
         others
     end
   end
 
-let ss_replica_sync k ~fid ~size ~pages =
-  match Filestore.volume k.store ~vid:fid.File_id.vid with
-  | None -> ()
-  | Some vol ->
-    let ino = fid.File_id.ino in
-    let existing =
-      if Volume.inode_exists vol ino then Volume.read_inode_nosim vol ino
-      else { Volume.ino; size = 0; pages = [||]; version = 0 }
+(* Reconciliation: pull every committed version this copy is missing
+   from the reachable co-hosts. The copy becomes fresh again only once a
+   full pass has seen answers from all of them — a partial pass cannot
+   rule out a missed update hiding at the unreachable host. Generation
+   guards let a newer degrade event supersede a running reconciler. *)
+let rec reconcile k ~vid ~gen tries =
+  let cl = k.cl in
+  let live () =
+    k.alive
+    && Status.generation k.repl vid = gen
+    && Status.state k.repl vid = Status.Degraded
+  in
+  let retry () =
+    (* Bounded: a copy that cannot reconcile (co-host down for good)
+       just stays degraded until the next topology event re-triggers
+       us — an unbounded loop would keep the simulation from draining. *)
+    if tries < 120 then begin
+      Engine.sleep 500_000;
+      if live () then reconcile k ~vid ~gen (tries + 1)
+    end
+    else Stats.incr (stats k) "replica.reconcile_gave_up"
+  in
+  if live () then begin
+    if not k.recovered then retry ()
+      (* Our own recovery may still be applying in-doubt commits; a pass
+         now could go fresh while missing them. *)
+    else begin
+      let others =
+        match Hashtbl.find_opt cl.vol_hosts vid with
+        | Some hosts -> List.filter (fun s -> s <> k.site) hosts
+        | None -> []
+      in
+      let complete = ref true in
+      List.iter
+        (fun h ->
+          if not (Transport.reachable cl.net k.site h) then complete := false
+          else begin
+            match rpc cl ~src:k.site ~dst:h (Msg.Replica_versions { vid }) with
+            | Msg.R_versions vs ->
+              List.iter
+                (fun (ino, v) ->
+                  let fid = File_id.make ~vid ~ino in
+                  if v > Filestore.committed_version k.store fid then begin
+                    match rpc cl ~src:k.site ~dst:h (Msg.Replica_pull { fid }) with
+                    | Msg.R_update u ->
+                      if
+                        Filestore.install_replica k.store fid
+                          ~version:u.Update.version ~size:u.Update.size
+                          ~full:true ~pages:u.Update.pages
+                      then begin
+                        obs k
+                          (Obs.Reconcile
+                             { fid; version = u.Update.version; src = h });
+                        Stats.incr (stats k) "replica.reconciled"
+                      end
+                    | _ -> complete := false
+                  end)
+                vs
+            | _ -> complete := false
+          end)
+        others;
+      if !complete && live () then begin
+        Status.refresh k.repl vid;
+        tr k Trace.Recovery "replica vol%d reconciled, fresh again" vid;
+        Stats.incr (stats k) "replica.reconcile_passes"
+      end
+      else retry ()
+    end
+  end
+
+let mark_degraded k vid =
+  if k.alive then begin
+    let gen = Status.degrade k.repl vid in
+    ignore
+      (Engine.spawn
+         ~name:(Printf.sprintf "reconcile@%d" k.site)
+         ~site:k.site k.engine
+         (fun () -> reconcile k ~vid ~gen 0))
+  end
+
+(* Apply a propagated commit at a secondary. Exactly-next versions (and
+   full snapshots) install; duplicates are ignored; a gap means we missed
+   a delta and triggers an immediate snapshot pull from the sender. *)
+let ss_replica_commit k ~src (u : Update.t) =
+  let fid = u.Update.fid in
+  let vid = fid.File_id.vid in
+  if Filestore.volume k.store ~vid = None then Msg.R_err "volume not hosted"
+  else begin
+    let local = Filestore.committed_version k.store fid in
+    if u.Update.version <= local then Msg.R_ok (* duplicate retransmission *)
+    else if u.Update.full || u.Update.version = local + 1 then begin
+      ignore
+        (Filestore.install_replica k.store fid ~version:u.Update.version
+           ~size:u.Update.size ~full:u.Update.full ~pages:u.Update.pages);
+      Stats.incr (stats k) "replica.apply";
+      Msg.R_ok
+    end
+    else begin
+      Stats.incr (stats k) "replica.gaps";
+      match rpc k.cl ~src:k.site ~dst:src (Msg.Replica_pull { fid }) with
+      | Msg.R_update u' ->
+        if
+          Filestore.install_replica k.store fid ~version:u'.Update.version
+            ~size:u'.Update.size ~full:true ~pages:u'.Update.pages
+        then obs k (Obs.Reconcile { fid; version = u'.Update.version; src });
+        Msg.R_ok
+      | _ ->
+        (* Cannot fill the gap right now: the whole copy is suspect. *)
+        mark_degraded k vid;
+        Msg.R_ok
+    end
+  end
+
+let ss_replica_pull k ~fid =
+  if not k.recovered then Msg.R_retry
+  else if not (Filestore.file_exists k.store fid) then Msg.R_err "not found"
+  else Msg.R_update (replica_snapshot k fid)
+
+let ss_replica_versions k ~vid =
+  if not k.recovered then Msg.R_retry
+  else
+    match Filestore.volume k.store ~vid with
+    | None -> Msg.R_err "volume not hosted"
+    | Some vol ->
+      Msg.R_versions
+        (List.map
+           (fun ino -> (ino, Volume.inode_version_nosim vol ino))
+           (Volume.inode_numbers vol))
+
+(* Serve a read from the local (secondary) copy's committed state. A
+   fresh copy answers directly — synchronous propagation before lock
+   release makes that one-copy fresh under the client's lock. A degraded
+   copy bounces the client to the primary while one is reachable, and
+   otherwise serves the best it has, flagged as failover. *)
+let ss_replica_read k ~fid ~reader ~pid ~pos ~len =
+  let vid = fid.File_id.vid in
+  if not (List.mem k.site (replica_sites k.cl fid)) then
+    Msg.R_err "not a replica host"
+  else if len <= 0 then Msg.R_data (Bytes.create 0)
+  else begin
+    let serve ~degraded =
+      let data = Filestore.read_committed_any k.store fid ~pos ~len in
+      let range = Byte_range.of_pos_len ~pos ~len in
+      obs k
+        (Obs.Replica_read
+           {
+             access =
+               { owner = reader; pid; fid; range; data = Bytes.to_string data };
+             version = Filestore.committed_version k.store fid;
+             degraded;
+           });
+      Stats.incr (stats k)
+        (if degraded then "replica.reads_degraded" else "replica.reads");
+      Msg.R_data data
     in
-    let max_index = List.fold_left (fun acc (i, _) -> max acc i) (-1) pages in
-    let slots = Array.make (max (max_index + 1) (Array.length existing.Volume.pages)) (-1) in
-    Array.blit existing.Volume.pages 0 slots 0 (Array.length existing.Volume.pages);
-    List.iter
-      (fun (index, data) ->
-        let slot = if slots.(index) = -1 then Volume.alloc_page vol else slots.(index) in
-        Volume.write_page vol slot data;
-        Cache.put k.cache vol slot data;
-        slots.(index) <- slot)
-      pages;
-    Volume.write_inode vol { Volume.ino; size; pages = slots; version = 0 };
-    Stats.incr (stats k) "replica.sync"
+    if Status.state k.repl vid = Status.Fresh then serve ~degraded:false
+    else begin
+      let primary = storage_site k.cl fid in
+      if primary <> k.site && Transport.reachable k.cl.net k.site primary then
+        Msg.R_retry
+      else begin
+        obs k (Obs.Failover { vid; fid });
+        Stats.incr (stats k) "replica.failover_reads";
+        serve ~degraded:true
+      end
+    end
+  end
 
 (* {1 Lock-control migration (§5.2)}
 
@@ -758,8 +1003,18 @@ let ss_commit2 k ~txid ~files =
   let owner = Owner.Transaction txid in
   List.iter (ensure_authority_home k) files;
   let prepared = Participant.prepared_files k.participant txid in
+  let intentions = Participant.prepared_intentions k.participant txid in
   Participant.commit k.participant ~txid;
-  List.iter (propagate_replicas k) prepared;
+  (* Push each file's new committed version to its secondaries before
+     releasing the locks: a lock-covered read at a secondary is then
+     guaranteed one-copy fresh. The intentions name exactly the pages
+     this commit touched, so the propagated delta stays small. *)
+  List.iter
+    (fun (it : Intentions.t) ->
+      propagate_replicas k
+        ~indices:(Intentions.page_indices it)
+        it.Intentions.fid)
+    intentions;
   List.iter
     (fun fid ->
       match lock_table k fid with
@@ -838,15 +1093,13 @@ let commit_transaction k (txn : Txn_state.txn) =
               if all_prepared then Msg.Commit_phase2 { txid; files = fs }
               else Msg.Abort_phase2 { txid; files = fs }
             in
-            let rec push tries =
-              match rpc cl ~src:k.site ~dst:s msg with
-              | Msg.R_ok -> ()
-              | _ when tries < 10 ->
-                Engine.sleep 2_000_000;
-                push (tries + 1)
-              | _ -> all_acked := false
-            in
-            push 0)
+            match
+              Transport.rpc_retry ~attempts:8 ~backoff_us:2_000_000
+                ~retry_if:(fun r -> r <> Msg.R_ok)
+                cl.net ~src:k.site ~dst:s msg
+            with
+            | Ok Msg.R_ok -> ()
+            | Ok _ | Error _ -> all_acked := false)
           by_site;
         (* The coordinator log is retained until commit/abort processing
            has completed everywhere (§4.4). *)
@@ -942,9 +1195,16 @@ let ss_proc_exit_cleanup k ~pid ~fids =
       | None -> ());
       if Filestore.is_open k.store fid then begin
         if Filestore.modified_by k.store fid owner <> [] then begin
-          let (_ : Intentions.t) = Filestore.commit k.store fid ~owner in
-          propagate_replicas k fid;
-          obs k (Obs.File_commit { owner; fid })
+          match ensure_writable k fid with
+          | () ->
+            let it = Filestore.commit k.store fid ~owner in
+            propagate_replicas k ~indices:(Intentions.page_indices it) fid;
+            obs k (Obs.File_commit { owner; fid })
+          | exception Denied _ ->
+            (* Degraded copy: the exiting process's uncommitted bytes
+               cannot become a new version — discard them. *)
+            Filestore.abort k.store fid ~owner;
+            obs k (Obs.File_abort { owner; fid })
         end;
         Filestore.close_file k.store fid
       end)
@@ -991,8 +1251,9 @@ let handle k ~src msg =
           && Filestore.is_open k.store fid
           && Filestore.modified_by k.store fid owner <> []
         then begin
-          let (_ : Intentions.t) = Filestore.commit k.store fid ~owner in
-          propagate_replicas k fid;
+          ensure_writable k fid;
+          let it = Filestore.commit k.store fid ~owner in
+          propagate_replicas k ~indices:(Intentions.page_indices it) fid;
           obs k (Obs.File_commit { owner; fid })
         end;
         Filestore.close_file k.store fid;
@@ -1054,8 +1315,9 @@ let handle k ~src msg =
       | Commit_file { fid; owner } ->
         if Filestore.is_open k.store fid && Filestore.modified_by k.store fid owner <> []
         then begin
-          let (_ : Intentions.t) = Filestore.commit k.store fid ~owner in
-          propagate_replicas k fid;
+          ensure_writable k fid;
+          let it = Filestore.commit k.store fid ~owner in
+          propagate_replicas k ~indices:(Intentions.page_indices it) fid;
           obs k (Obs.File_commit { owner; fid })
         end;
         R_ok
@@ -1072,7 +1334,13 @@ let handle k ~src msg =
         | None -> ());
         R_ok
       | File_size { fid } -> R_int (Filestore.size k.store fid)
-      | Create_file { vid } -> R_fid (Filestore.create_file k.store ~vid)
+      | Create_file { vid } ->
+        ensure_writable_vid k vid;
+        let fid = Filestore.create_file k.store ~vid in
+        (* Seed the secondaries with the (empty) version-1 file so later
+           per-commit deltas apply without a gap. *)
+        propagate_replicas k ~initial:true fid;
+        R_fid fid
       | Member_join { top; txid } -> (
         match Proc_table.find k.procs top with
         | Some p when p.Process.status <> Process.In_transit -> (
@@ -1111,7 +1379,11 @@ let handle k ~src msg =
         (* The lock state must be home before we log it with the data. *)
         List.iter (recall_locks k) files;
         let vote =
-          try Participant.prepare k.participant ~txid ~coordinator_site ~files
+          try
+            (* A degraded primary cannot version the updates correctly
+               yet: vote no rather than risk a divergent history. *)
+            List.iter (ensure_writable k) files;
+            Participant.prepare k.participant ~txid ~coordinator_site ~files
           with _ -> false
         in
         k.cl.hooks.on_participant_prepared k.site txid vote;
@@ -1132,9 +1404,11 @@ let handle k ~src msg =
         match Proc_table.find k.procs pid with
         | Some p -> R_found (p.Process.status <> Process.In_transit)
         | None -> R_found false)
-      | Replica_sync { fid; size; pages } ->
-        ss_replica_sync k ~fid ~size ~pages;
-        R_ok
+      | Replica_commit { update } -> ss_replica_commit k ~src update
+      | Replica_pull { fid } -> ss_replica_pull k ~fid
+      | Replica_versions { vid } -> ss_replica_versions k ~vid
+      | Replica_read { fid; reader; pid; pos; len } ->
+        ss_replica_read k ~fid ~reader ~pid ~pos ~len
       | Delegate_locks { fid; payload } ->
         Hashtbl.replace k.locks fid
           (Lock_table.restore fid (unmarshal_locks payload));
@@ -1164,6 +1438,9 @@ let handle k ~src msg =
 let kernel_crash k =
   tr k Trace.Recovery "crash";
   k.alive <- false;
+  k.recovered <- false;
+  Status.clear k.repl;
+  Hashtbl.reset k.known_primary;
   Filestore.crash k.store;
   Cache.clear k.cache;
   Proc_table.clear k.procs;
@@ -1238,15 +1515,13 @@ let recover k =
             if committed then Msg.Commit_phase2 { txid; files = !r }
             else Msg.Abort_phase2 { txid; files = !r }
           in
-          let rec push tries =
-            match rpc cl ~src:k.site ~dst:s msg with
-            | Msg.R_ok -> ()
-            | _ when tries < 5 ->
-              Engine.sleep 2_000_000;
-              push (tries + 1)
-            | _ -> all_acked := false
-          in
-          push 0)
+          match
+            Transport.rpc_retry ~attempts:5 ~backoff_us:2_000_000
+              ~retry_if:(fun r -> r <> Msg.R_ok)
+              cl.net ~src:k.site ~dst:s msg
+          with
+          | Ok Msg.R_ok -> ()
+          | Ok _ | Error _ -> all_acked := false)
         by_site;
       if !all_acked then Coord_log.finished k.coord ~txid;
       Stats.incr (stats k)
@@ -1277,14 +1552,25 @@ let recover k =
         end
       in
       ask 0)
-    in_doubt
+    in_doubt;
+  (* Only now may co-hosts reconcile against us: every in-doubt commit
+     has been applied (and propagated) or aborted. *)
+  k.recovered <- true
 
 let kernel_restart k =
   k.alive <- true;
   k.incarnation <- k.incarnation + 1;
   k.coord_ready <- false;
+  k.recovered <- false;
   k.txseq <- 0;
   k.coord <- Coord_log.create (Coord_log.volume k.coord);
+  (* Whatever propagation we missed while down is invisible to us:
+     every replicated copy is suspect until reconciled. The topology
+     watcher (which runs right after the restart watchers) spawns the
+     reconcilers. *)
+  List.iter
+    (fun vid -> ignore (Status.degrade k.repl vid))
+    (hosted_replicated_vids k);
   ignore
     (Engine.spawn ~name:(Printf.sprintf "recovery@%d" k.site) ~site:k.site k.engine
        (fun () -> recover k))
@@ -1391,6 +1677,34 @@ let topology_sweep k =
              end)
            foreign_txids))
 
+(* Replica freshness on a topology change. A secondary that lost sight
+   of a co-host (or whose primary moved) may have missed propagation and
+   degrades until reconciled. A site that just became primary degrades
+   too: the old primary may have committed versions it never saw. A
+   primary that stayed primary keeps serving — it authored every version,
+   so it cannot be stale, and the secondaries cannot advance without it. *)
+let replica_topology_mark k =
+  let cl = k.cl in
+  List.iter
+    (fun vid ->
+      let p = storage_site cl (File_id.make ~vid ~ino:0) in
+      let prev = Hashtbl.find_opt k.known_primary vid in
+      Hashtbl.replace k.known_primary vid p;
+      let degraded_now = Status.state k.repl vid = Status.Degraded in
+      let any_lost =
+        match Hashtbl.find_opt cl.vol_hosts vid with
+        | Some hosts ->
+          List.exists
+            (fun h -> h <> k.site && not (Transport.reachable cl.net k.site h))
+            hosts
+        | None -> false
+      in
+      if p <> k.site then begin
+        if any_lost || prev <> Some p || degraded_now then mark_degraded k vid
+      end
+      else if prev <> Some k.site || degraded_now then mark_degraded k vid)
+    (hosted_replicated_vids k)
+
 (* {1 Construction} *)
 
 let make engine cfg =
@@ -1453,6 +1767,11 @@ let make engine cfg =
       | vid :: _ -> Option.get (Filestore.volume store ~vid)
       | [] -> assert false
     in
+    let known_primary = Hashtbl.create 8 in
+    List.iter
+      (fun (vid, hosts) ->
+        if List.mem s hosts then Hashtbl.replace known_primary vid (List.hd hosts))
+      cfg.Config.volumes;
     {
       site = s;
       engine;
@@ -1460,6 +1779,9 @@ let make engine cfg =
       incarnation = 1;
       txseq = 0;
       coord_ready = true;
+      recovered = true;
+      repl = Status.create ();
+      known_primary;
       cache;
       store;
       locks = Hashtbl.create 32;
@@ -1482,7 +1804,13 @@ let make engine cfg =
   Transport.on_crash net (fun s -> kernel_crash cl.ks.(s));
   Transport.on_restart net (fun s -> kernel_restart cl.ks.(s));
   Transport.on_topology_change net (fun () ->
-      Array.iter (fun k -> if k.alive then topology_sweep k) cl.ks);
+      Array.iter
+        (fun k ->
+          if k.alive then begin
+            topology_sweep k;
+            replica_topology_mark k
+          end)
+        cl.ks);
   cl
 
 let crash_site cl s = Transport.crash cl.net s
@@ -1518,3 +1846,50 @@ let active_transactions cl =
          if k.alive then
            List.map (fun (t : Txn_state.txn) -> t.Txn_state.txid) (Txn_state.active k.txns)
          else [])
+
+(* {1 Replication introspection} *)
+
+type replica_host_status = {
+  rh_site : int;
+  rh_alive : bool;
+  rh_fresh : bool;
+  rh_primary : bool;
+  rh_versions : (int * int) list;  (* (ino, committed version) *)
+}
+
+type replica_volume_status = {
+  rv_vid : int;
+  rv_primary : int;
+  rv_hosts : replica_host_status list;
+}
+
+let replica_fresh cl ~site:s ~vid = Status.fresh cl.ks.(s).repl vid
+
+let replica_status cl =
+  Hashtbl.fold (fun vid hosts acc -> (vid, hosts) :: acc) cl.vol_hosts []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map (fun (vid, hosts) ->
+         let primary = storage_site cl (File_id.make ~vid ~ino:0) in
+         let rv_hosts =
+           List.map
+             (fun s ->
+               let k = cl.ks.(s) in
+               let rh_versions =
+                 match Filestore.volume k.store ~vid with
+                 | None -> []
+                 | Some vol ->
+                   Volume.inode_numbers vol
+                   |> List.map (fun ino ->
+                          (ino, Volume.inode_version_nosim vol ino))
+                   |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+               in
+               {
+                 rh_site = s;
+                 rh_alive = k.alive;
+                 rh_fresh = Status.fresh k.repl vid;
+                 rh_primary = s = primary;
+                 rh_versions;
+               })
+             hosts
+         in
+         { rv_vid = vid; rv_primary = primary; rv_hosts })

@@ -57,6 +57,11 @@ module Config : sig
   val default : n_sites:int -> t
   (** One volume per site ([vid = site]), 1 KiB pages, paper-faithful
       knobs. *)
+
+  val with_replication : n_sites:int -> factor:int -> t
+  (** Like {!default} but every volume is hosted at [factor] consecutive
+      sites ({!Locus_repl.Placement.volumes}): primary-copy replication
+      with commit propagation. [factor] is clamped to [1..n_sites]. *)
 end
 
 val make : Engine.t -> Config.t -> cluster
@@ -218,3 +223,27 @@ val read_committed_oracle : cluster -> File_id.t -> string
     accounting. Test oracle only. *)
 
 val active_transactions : cluster -> Txid.t list
+
+(** {1 Replication introspection} *)
+
+type replica_host_status = {
+  rh_site : int;
+  rh_alive : bool;
+  rh_fresh : bool;  (** not degraded (reconciliation pending) *)
+  rh_primary : bool;
+  rh_versions : (int * int) list;  (** (ino, committed version), sorted *)
+}
+
+type replica_volume_status = {
+  rv_vid : int;
+  rv_primary : int;  (** current primary update site *)
+  rv_hosts : replica_host_status list;
+}
+
+val replica_status : cluster -> replica_volume_status list
+(** Per-volume replica-set state, bypassing all cost accounting: current
+    primary, per-host liveness/freshness and committed file versions.
+    Drives [locusctl repl-status] and the replication tests. *)
+
+val replica_fresh : cluster -> site:Site.t -> vid:int -> bool
+(** Is the copy of [vid] at [site] fresh (not degraded)? *)

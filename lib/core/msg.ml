@@ -39,7 +39,16 @@ type t =
   | Abort_tree of { txid : Txid.t; pid : Pid.t; spare : Pid.t option }
   | Query_outcome of { txid : Txid.t }
   | Find_process of { pid : Pid.t }
-  | Replica_sync of { fid : File_id.t; size : int; pages : (int * Bytes.t) list }
+  | Replica_commit of { update : Update.t }
+  | Replica_pull of { fid : File_id.t }
+  | Replica_versions of { vid : int }
+  | Replica_read of {
+      fid : File_id.t;
+      reader : Owner.t;
+      pid : Pid.t;
+      pos : int;
+      len : int;
+    }
   | Delegate_locks of { fid : File_id.t; payload : string }
   | Recall_locks of { fid : File_id.t }
   | Ping
@@ -59,6 +68,8 @@ type reply =
   | R_vote of bool
   | R_outcome of Log_record.status option
   | R_found of bool
+  | R_update of Update.t
+  | R_versions of (int * int) list
 
 let pp ppf = function
   | Open { fid } -> Fmt.pf ppf "open %a" File_id.pp fid
@@ -89,7 +100,11 @@ let pp ppf = function
   | Abort_tree { txid; pid; _ } -> Fmt.pf ppf "abort-tree %a %a" Txid.pp txid Pid.pp pid
   | Query_outcome { txid } -> Fmt.pf ppf "query-outcome %a" Txid.pp txid
   | Find_process { pid } -> Fmt.pf ppf "find-process %a" Pid.pp pid
-  | Replica_sync { fid; _ } -> Fmt.pf ppf "replica-sync %a" File_id.pp fid
+  | Replica_commit { update } -> Fmt.pf ppf "replica-commit %a" Update.pp update
+  | Replica_pull { fid } -> Fmt.pf ppf "replica-pull %a" File_id.pp fid
+  | Replica_versions { vid } -> Fmt.pf ppf "replica-versions vol%d" vid
+  | Replica_read { fid; pos; len; _ } ->
+    Fmt.pf ppf "replica-read %a@%d+%d" File_id.pp fid pos len
   | Delegate_locks { fid; _ } -> Fmt.pf ppf "delegate-locks %a" File_id.pp fid
   | Recall_locks { fid } -> Fmt.pf ppf "recall-locks %a" File_id.pp fid
   | Ping -> Fmt.string ppf "ping"
@@ -110,3 +125,5 @@ let pp_reply ppf = function
   | R_outcome o ->
     Fmt.pf ppf "outcome(%a)" Fmt.(option ~none:(any "none") Log_record.pp_status) o
   | R_found b -> Fmt.pf ppf "found(%b)" b
+  | R_update u -> Fmt.pf ppf "update(%a)" Update.pp u
+  | R_versions vs -> Fmt.pf ppf "versions(%d)" (List.length vs)

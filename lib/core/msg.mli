@@ -49,7 +49,28 @@ type t =
           (§4.3); [spare]'s fiber is not killed (it issued the abort) *)
   | Query_outcome of { txid : Txid.t }
   | Find_process of { pid : Pid.t }
-  | Replica_sync of { fid : File_id.t; size : int; pages : (int * Bytes.t) list }
+  | Replica_commit of { update : Update.t }
+      (** phase-2 propagation from the primary copy: a versioned delta of
+          the pages one commit touched (§4.2 / §5.2). The secondary applies
+          it if it is exactly the next version, ignores duplicates, and
+          pulls a full snapshot on a gap. *)
+  | Replica_pull of { fid : File_id.t }
+      (** reconciliation: ask a co-host for a full versioned snapshot of
+          its committed copy; answered with [R_update] *)
+  | Replica_versions of { vid : int }
+      (** reconciliation: ask a co-host for (ino, committed version) of
+          every file on its copy of the volume; answered with
+          [R_versions], or [R_retry] while the host is still recovering *)
+  | Replica_read of {
+      fid : File_id.t;
+      reader : Owner.t;
+      pid : Pid.t;
+      pos : int;
+      len : int;
+    }
+      (** serve committed bytes from a local secondary copy; answered with
+          [R_data], or [R_retry] when the copy is degraded and the primary
+          is still reachable (caller should go there instead) *)
   | Delegate_locks of { fid : File_id.t; payload : string }
       (** home storage site hands lock management for [fid] to the target
           site (§5.2 lock-control migration); payload = marshalled lock list *)
@@ -77,6 +98,10 @@ type reply =
   | R_vote of bool
   | R_outcome of Log_record.status option
   | R_found of bool
+  | R_update of Update.t
+      (** full versioned snapshot of a committed replica (reconciliation) *)
+  | R_versions of (int * int) list
+      (** [(ino, committed version)] for every file of a volume copy *)
 
 val pp : t Fmt.t
 val pp_reply : reply Fmt.t

@@ -23,6 +23,10 @@ type event =
   | Abort of { txid : Txid.t }
   | File_commit of { owner : Owner.t; fid : File_id.t }
   | File_abort of { owner : Owner.t; fid : File_id.t }
+  | Replica_read of { access : access; version : int; degraded : bool }
+  | Propagate of { fid : File_id.t; version : int; dst : int }
+  | Reconcile of { fid : File_id.t; version : int; src : int }
+  | Failover of { vid : int; fid : File_id.t }
 
 type record = { at : int; site : int; ev : event }
 
@@ -46,5 +50,14 @@ let pp_event ppf = function
     Fmt.pf ppf "file-commit %a %a" Owner.pp owner File_id.pp fid
   | File_abort { owner; fid } ->
     Fmt.pf ppf "file-abort %a %a" Owner.pp owner File_id.pp fid
+  | Replica_read { access = a; version; degraded } ->
+    Fmt.pf ppf "replica-read %a %a %a v%d%s" Owner.pp a.owner File_id.pp a.fid
+      Byte_range.pp a.range version
+      (if degraded then " degraded" else "")
+  | Propagate { fid; version; dst } ->
+    Fmt.pf ppf "propagate %a v%d -> site%d" File_id.pp fid version dst
+  | Reconcile { fid; version; src } ->
+    Fmt.pf ppf "reconcile %a v%d <- site%d" File_id.pp fid version src
+  | Failover { vid; fid } -> Fmt.pf ppf "failover vol%d %a" vid File_id.pp fid
 
 let pp ppf r = Fmt.pf ppf "%8d us site%-2d %a" r.at r.site pp_event r.ev

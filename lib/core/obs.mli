@@ -37,6 +37,19 @@ type event =
   | File_commit of { owner : Owner.t; fid : File_id.t }
       (** non-transaction commit: close / commit_file / process exit *)
   | File_abort of { owner : Owner.t; fid : File_id.t }
+  | Replica_read of { access : access; version : int; degraded : bool }
+      (** a read served from a replicated volume: emitted at the serving
+          site with the serving copy's committed version. [degraded] marks
+          failover service from a copy that may have missed updates
+          (primary unreachable / reconciliation pending); the checker
+          treats staleness of degraded reads as permitted. *)
+  | Propagate of { fid : File_id.t; version : int; dst : int }
+      (** primary pushed the versioned committed update to secondary [dst] *)
+  | Reconcile of { fid : File_id.t; version : int; src : int }
+      (** reconciliation pulled [fid] up to [version] from co-host [src] *)
+  | Failover of { vid : int; fid : File_id.t }
+      (** a degraded copy served a read because the primary was
+          unreachable *)
 
 type record = { at : int; site : int; ev : event }
 (** [at] is virtual time; global order within a run is the emission

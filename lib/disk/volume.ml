@@ -115,6 +115,19 @@ let write_inode t inode =
   Hashtbl.replace t.inodes inode.ino
     { inode with pages = Array.copy inode.pages; version = prev_version + 1 }
 
+(* Install an inode at exactly [inode.version] — no auto-bump. Used when a
+   secondary replica mirrors the primary's committed state: the version
+   number is the primary's commit counter and must survive verbatim so
+   version arithmetic (dup / next / gap) stays meaningful. *)
+let install_inode t inode =
+  t.writes <- t.writes + 1;
+  io t ~kind:"write" ~bytes:t.page_size;
+  t.next_inode <- max t.next_inode (inode.ino + 1);
+  Hashtbl.replace t.inodes inode.ino { inode with pages = Array.copy inode.pages }
+
+let inode_version_nosim t ino =
+  match Hashtbl.find_opt t.inodes ino with Some i -> i.version | None -> 0
+
 let inode_numbers t =
   Hashtbl.fold (fun ino _ acc -> ino :: acc) t.inodes [] |> List.sort Int.compare
 

@@ -68,6 +68,16 @@ val write_inode : t -> inode -> unit
     point of the single-file commit mechanism (§4). The stored inode gets
     a fresh [version]. *)
 
+val install_inode : t -> inode -> unit
+(** Blocking atomic overwrite that stores the inode at exactly
+    [inode.version] (no auto-bump). Replica propagation uses this so a
+    secondary's inode version mirrors the primary's commit counter;
+    everything else should use {!write_inode}. *)
+
+val inode_version_nosim : t -> int -> int
+(** Current stored version of an inode, 0 if the inode is free. No I/O
+    charge — replica version comparisons charge explicitly. *)
+
 val read_inode_nosim : t -> int -> inode
 val inode_numbers : t -> int list
 (** All allocated inode numbers, ascending (no I/O charge — recovery scans

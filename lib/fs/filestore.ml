@@ -221,6 +221,59 @@ let read_committed t fid ~pos ~len =
       Bytes.blit content page_lo out buf_off (page_hi - page_lo));
   out
 
+(* Committed state accessors that work whether or not the file is open
+   in-core — replica propagation and reconciliation run at storage sites
+   where no client ever opened the file. *)
+let committed_inode_opt t fid =
+  match Hashtbl.find_opt t.files fid with
+  | Some f -> Some f.inode
+  | None ->
+    let vol = vol_exn t fid in
+    if Volume.inode_exists vol fid.File_id.ino then
+      Some (Volume.read_inode_nosim vol fid.File_id.ino)
+    else None
+
+let committed_version t fid =
+  match committed_inode_opt t fid with
+  | Some i -> i.Volume.version
+  | None -> 0
+
+let committed_page_indices t fid =
+  match committed_inode_opt t fid with
+  | None -> []
+  | Some inode ->
+    let acc = ref [] in
+    Array.iteri
+      (fun i slot -> if slot <> -1 then acc := i :: !acc)
+      inode.Volume.pages;
+    List.rev !acc
+
+let committed_page t fid index =
+  match committed_inode_opt t fid with
+  | None -> None
+  | Some inode -> (
+    match committed_slot inode index with
+    | -1 -> None
+    | slot -> Some (Cache.read t.cache (vol_exn t fid) slot))
+
+let read_committed_any t fid ~pos ~len =
+  if pos < 0 || len < 0 then
+    invalid_arg "Filestore.read_committed_any: negative pos/len";
+  let vol = vol_exn t fid in
+  let inode =
+    match committed_inode_opt t fid with
+    | Some i -> i
+    | None -> raise Not_found
+  in
+  let page_size = Volume.page_size vol in
+  Engine.consume t.engine
+    ~instr:((costs t).Costs.rw_base_instr + Costs.copy_instr (costs t) ~bytes:len);
+  let out = Bytes.make len '\000' in
+  iter_pages ~page_size ~pos ~len (fun ~index ~page_lo ~page_hi ~buf_off ->
+      let content = committed_page_content t vol inode index in
+      Bytes.blit content page_lo out buf_off (page_hi - page_lo));
+  out
+
 let owner_ranges ps owner =
   match List.assoc_opt owner (List.map (fun (o, r) -> (o, r)) ps.mods) with
   | Some r -> r
@@ -561,6 +614,60 @@ let commit t fid ~owner =
   let it = prepare t fid ~owner in
   commit_prepared t it;
   it
+
+(* Install a versioned committed update pushed (or pulled) from the
+   primary copy. Only ever moves forward: anything at or below the local
+   version is a duplicate and is ignored. The inode is stored with the
+   primary's version verbatim so version arithmetic keeps working. *)
+let install_replica_locked t fid ~version ~size ~full ~pages =
+  let vol = vol_exn t fid in
+  let cur =
+    match committed_inode_opt t fid with
+    | Some i -> i
+    | None -> { Volume.ino = fid.File_id.ino; size = 0; pages = [||]; version = 0 }
+  in
+  if version <= cur.Volume.version then false
+  else begin
+    let max_index = List.fold_left (fun acc (i, _) -> max acc i) (-1) pages in
+    let slots =
+      if full then Array.make (max_index + 1) (-1)
+      else begin
+        let n = max (Array.length cur.Volume.pages) (max_index + 1) in
+        let a = Array.make n (-1) in
+        Array.blit cur.Volume.pages 0 a 0 (Array.length cur.Volume.pages);
+        a
+      end
+    in
+    List.iter
+      (fun (index, content) ->
+        let prev =
+          if index < Array.length cur.Volume.pages then cur.Volume.pages.(index)
+          else -1
+        in
+        let slot = if prev = -1 then Volume.alloc_page vol else prev in
+        Volume.write_page vol slot content;
+        Cache.put t.cache vol slot content;
+        slots.(index) <- slot)
+      pages;
+    if full then
+      (* Slots of the old copy that the snapshot did not carry over. *)
+      Array.iteri
+        (fun i s ->
+          if s <> -1 && (i > max_index || slots.(i) <> s) then
+            Volume.free_page vol s)
+        cur.Volume.pages;
+    Volume.install_inode vol
+      { Volume.ino = fid.File_id.ino; size; pages = slots; version };
+    (match Hashtbl.find_opt t.files fid with
+    | Some f -> f.inode <- Volume.read_inode_nosim vol fid.File_id.ino
+    | None -> ());
+    Stats.incr (stats t) "replica.install";
+    true
+  end
+
+let install_replica t fid ~version ~size ~full ~pages =
+  with_gate t fid (fun () ->
+      install_replica_locked t fid ~version ~size ~full ~pages)
 
 let prepared_intentions t fid =
   match Hashtbl.find_opt t.files fid with None -> [] | Some f -> f.prepared

@@ -117,6 +117,40 @@ val commit : t -> File_id.t -> owner:Owner.t -> Intentions.t
 val has_uncommitted : t -> File_id.t -> bool
 val prepared_intentions : t -> File_id.t -> Intentions.t list
 
+(** {1 Replica support (must run in a fiber)}
+
+    Committed-state accessors and the versioned install used by the
+    replication layer. Unlike {!read}/{!read_committed} these work whether
+    or not the file is open in-core: secondary copies are served and
+    refreshed at storage sites where no client ever opened the file. *)
+
+val committed_version : t -> File_id.t -> int
+(** The file's per-commit version number (the committed inode's version;
+    every commit bumps it by exactly one). 0 if the file does not exist
+    locally. *)
+
+val committed_page_indices : t -> File_id.t -> int list
+(** Logical indices of all non-hole committed pages, ascending. *)
+
+val committed_page : t -> File_id.t -> int -> Bytes.t option
+(** Committed content of one logical page ([None] for holes / absent
+    files). Reads through the buffer cache (possible I/O). *)
+
+val read_committed_any : t -> File_id.t -> pos:int -> len:int -> Bytes.t
+(** Committed contents, working from the on-volume inode when the file is
+    not open in-core. Raises [Not_found] if the file does not exist
+    locally. *)
+
+val install_replica :
+  t -> File_id.t -> version:int -> size:int -> full:bool ->
+  pages:(int * Bytes.t) list -> bool
+(** Install a versioned committed update from the primary copy: write the
+    pages, atomically overwrite the inode carrying the primary's version
+    verbatim. [full] means [pages] is a complete snapshot (local pages it
+    does not mention are dropped); otherwise it overlays the local copy.
+    Returns [false] (and does nothing) when [version] is not newer than
+    the local copy. Serialized against commits on the same file. *)
+
 (** {1 Failure} *)
 
 val crash : t -> unit

@@ -144,6 +144,25 @@ let rpc t ~src ~dst req =
     | None -> Error Timeout
   end
 
+(* Bounded retry with exponential backoff (capped at 16x the initial
+   backoff). Transport errors always retry; [retry_if] lets callers also
+   retry on application-level replies (e.g. a site that answered but is
+   still recovering). *)
+let rpc_retry ?(attempts = 5) ?(backoff_us = 100_000) ?(retry_if = fun _ -> false)
+    t ~src ~dst req =
+  let attempts = max 1 attempts in
+  let cap = backoff_us * 16 in
+  let rec go n backoff =
+    let r = rpc t ~src ~dst req in
+    let again = match r with Error _ -> true | Ok resp -> retry_if resp in
+    if again && n < attempts then begin
+      Engine.sleep backoff;
+      go (n + 1) (min cap (backoff * 2))
+    end
+    else r
+  in
+  go 1 backoff_us
+
 let send t ~src ~dst req =
   if src = dst then begin
     match (state t dst).handler with

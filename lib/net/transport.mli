@@ -46,6 +46,26 @@ val rpc :
     site still goes through the handler but skips the wire (no latency, no
     message counters) — matching the paper's local/remote asymmetry. *)
 
+val rpc_retry :
+  ?attempts:int ->
+  ?backoff_us:int ->
+  ?retry_if:('resp -> bool) ->
+  ('req, 'resp) t ->
+  src:Site.t ->
+  dst:Site.t ->
+  'req ->
+  ('resp, error) result
+(** [rpc_retry t ~src ~dst req] is {!rpc} wrapped in a bounded
+    retry-with-backoff loop: up to [attempts] tries (default 5), sleeping
+    [backoff_us] virtual microseconds before the second try (default
+    100 ms) and doubling after each failure, capped at 16x the initial
+    backoff. Transport errors (timeout, no handler) always retry;
+    [retry_if resp] (default: never) marks application-level replies that
+    should also be retried, e.g. a "still recovering" answer. Returns the
+    last result when attempts are exhausted. Used for phase-2 commit
+    notifications so a single dropped message doesn't strand a participant
+    until the next recovery pass (§4.2). *)
+
 val send : ('req, 'resp) t -> src:Site.t -> dst:Site.t -> 'req -> unit
 (** One-way, best-effort message (used for asynchronous phase-2 commit
     messages, §4.2). The reply, if any, is discarded. Never blocks. *)

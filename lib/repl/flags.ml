@@ -1,0 +1,8 @@
+(* Fault-injection switches for the replication layer (self-tests only). *)
+
+(* When set, the primary commits and bumps versions but silently drops
+   phase-2 propagation to secondaries. Secondaries then serve stale data
+   without being marked degraded — which the one-copy-serializability
+   checker must catch. Used by `locusctl explore --break-repl` and the CI
+   self-test; reset it when done. *)
+let drop_propagation = ref false

@@ -1,0 +1,7 @@
+(** Fault-injection switches for replication self-tests. *)
+
+val drop_propagation : bool ref
+(** When true, the primary silently skips phase-2 replica propagation
+    (versions still advance), leaving secondaries stale and unaware. The
+    checker's one-copy-serializability pass must flag the resulting stale
+    reads; used by [locusctl explore --break-repl] and CI. Default false. *)

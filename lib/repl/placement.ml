@@ -1,0 +1,21 @@
+(* Replica placement: volume [v]'s copies live on [factor] consecutive
+   sites starting at site [v mod n_sites]. The first host is the primary
+   (the paper's "primary copy" / current synchronization site, §5.2); the
+   rest are secondaries. Consecutive placement keeps every site hosting
+   the same number of volumes, so read fan-out spreads evenly. *)
+
+let volumes ~n_sites ~factor =
+  if n_sites <= 0 then invalid_arg "Placement.volumes: need at least one site";
+  let factor = max 1 (min factor n_sites) in
+  List.init n_sites (fun v ->
+      (v, List.init factor (fun j -> (v + j) mod n_sites)))
+
+let primary hosts =
+  match hosts with
+  | [] -> invalid_arg "Placement.primary: empty replica set"
+  | p :: _ -> p
+
+let secondaries hosts =
+  match hosts with
+  | [] -> invalid_arg "Placement.secondaries: empty replica set"
+  | _ :: rest -> rest

@@ -1,0 +1,17 @@
+(** Replica placement for replicated volumes.
+
+    Each volume has one primary copy plus [factor - 1] secondary copies on
+    distinct sites. All locking and writes go through the primary; reads
+    may be served by any reachable replica (§5.2 primary-copy model). *)
+
+val volumes : n_sites:int -> factor:int -> (int * Site.t list) list
+(** [volumes ~n_sites ~factor] builds a volume table suitable for
+    [Kernel.Config.volumes]: one volume per site, volume [v] hosted by
+    [factor] consecutive sites starting at [v]. The first host of each
+    list is the primary. [factor] is clamped to [1 .. n_sites]. *)
+
+val primary : Site.t list -> Site.t
+(** First host of a replica set. Raises [Invalid_argument] on []. *)
+
+val secondaries : Site.t list -> Site.t list
+(** All hosts but the primary. Raises [Invalid_argument] on []. *)

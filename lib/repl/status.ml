@@ -1,0 +1,44 @@
+(* Per-site freshness of hosted replicas.
+
+   A replica is [Fresh] until a topology change or local restart suggests
+   it may have missed committed updates; it is then [Degraded] until a
+   reconciliation pass confirms it has pulled every missed version from
+   all co-hosts. A degraded replica still serves reads (marked degraded,
+   which the one-copy-serializability checker treats as a permitted
+   relaxed access) but refuses writes, file creation, and prepare votes,
+   so divergent version histories can never be created. *)
+
+type state = Fresh | Degraded
+
+type t = {
+  states : (int, state * int) Hashtbl.t;
+      (* vid -> state, generation; absent = Fresh, gen 0 *)
+}
+
+let create () = { states = Hashtbl.create 7 }
+
+let state t vid =
+  match Hashtbl.find_opt t.states vid with Some (s, _) -> s | None -> Fresh
+
+let fresh t vid = state t vid = Fresh
+
+let generation t vid =
+  match Hashtbl.find_opt t.states vid with Some (_, g) -> g | None -> 0
+
+let degrade t vid =
+  let g = generation t vid + 1 in
+  Hashtbl.replace t.states vid (Degraded, g);
+  g
+
+let refresh t vid = Hashtbl.replace t.states vid (Fresh, generation t vid)
+let clear t = Hashtbl.reset t.states
+
+let degraded t =
+  Hashtbl.fold
+    (fun vid (s, _) acc -> if s = Degraded then vid :: acc else acc)
+    t.states []
+  |> List.sort compare
+
+let pp_state ppf = function
+  | Fresh -> Fmt.string ppf "fresh"
+  | Degraded -> Fmt.string ppf "degraded"

@@ -1,0 +1,37 @@
+(** Per-site freshness tracking for hosted replicas.
+
+    Tracks, for each replicated volume a site hosts, whether the local
+    copy is known current ([Fresh]) or may have missed committed updates
+    ([Degraded]): after a partition, a co-host crash, or a local restart.
+    Degraded replicas serve reads flagged as degraded and refuse updates
+    until a reconciliation pass completes. *)
+
+type state = Fresh | Degraded
+
+type t
+
+val create : unit -> t
+
+val state : t -> int -> state
+(** Freshness of the local copy of volume [vid] (Fresh if never degraded). *)
+
+val fresh : t -> int -> bool
+
+val degrade : t -> int -> int
+(** Mark [vid] degraded and return a new reconciliation generation; any
+    reconciler for [vid] started under an older generation should give
+    up. *)
+
+val refresh : t -> int -> unit
+(** Mark [vid] fresh again (reconciliation completed). *)
+
+val generation : t -> int -> int
+(** Current reconciliation generation of [vid]. *)
+
+val clear : t -> unit
+(** Forget all state (site crash: freshness is re-established on restart). *)
+
+val degraded : t -> int list
+(** Sorted list of degraded volume ids. *)
+
+val pp_state : state Fmt.t

@@ -1,0 +1,23 @@
+(* A versioned committed-state update for one file replica.
+
+   [version] is the file's per-commit version number: the primary's inode
+   version after the commit that produced this update. A delta carries
+   only the pages that commit touched; a full update carries every
+   non-hole page and can be installed over any older replica state. *)
+
+type t = {
+  fid : File_id.t;
+  version : int;
+  size : int;
+  full : bool;
+  pages : (int * Bytes.t) list;
+}
+
+let delta ~fid ~version ~size pages = { fid; version; size; full = false; pages }
+let full ~fid ~version ~size pages = { fid; version; size; full = true; pages }
+
+let pp ppf u =
+  Fmt.pf ppf "@[%a v%d size=%d %s{%a}@]" File_id.pp u.fid u.version u.size
+    (if u.full then "full" else "delta")
+    (Fmt.list ~sep:Fmt.comma (fun ppf (i, _) -> Fmt.int ppf i))
+    u.pages

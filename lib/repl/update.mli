@@ -1,0 +1,23 @@
+(** Versioned committed-state updates propagated from a file's primary
+    copy to its secondaries.
+
+    Every commit at the primary bumps the file's inode version by exactly
+    one, so a secondary can tell a duplicate (version <= local), the next
+    update in sequence (version = local + 1), or a gap that requires a
+    full pull from the primary. *)
+
+type t = {
+  fid : File_id.t;
+  version : int;  (** primary's committed inode version after the commit *)
+  size : int;  (** committed file size at [version] *)
+  full : bool;  (** full snapshot (installable over any older state) *)
+  pages : (int * Bytes.t) list;  (** page index -> committed page content *)
+}
+
+val delta : fid:File_id.t -> version:int -> size:int -> (int * Bytes.t) list -> t
+(** Pages touched by one commit; apply only at exactly [version - 1]. *)
+
+val full : fid:File_id.t -> version:int -> size:int -> (int * Bytes.t) list -> t
+(** Every non-hole committed page; installable over any older version. *)
+
+val pp : t Fmt.t

@@ -49,8 +49,17 @@ let test_serializable_sweep () =
 
 let test_crashy_sweep () =
   let module E = Ck.Explore in
-  let cfg = { E.default_config with E.sites = 3; crash_every = Some 3 } in
+  let cfg = { E.default_config with E.sites = 3; fault_every = Some 3 } in
   let r = E.sweep ~config:cfg ~seeds:(E.seeds ~n:12 ~from:40) () in
+  Alcotest.(check int) "all seeds checked" 12 r.E.checked;
+  Alcotest.(check int) "no unpermitted violations" 0 (List.length r.E.failures)
+
+let test_replicated_sweep () =
+  let module E = Ck.Explore in
+  let cfg =
+    { E.default_config with E.sites = 3; replicas = 2; fault_every = Some 4 }
+  in
+  let r = E.sweep ~config:cfg ~seeds:(E.seeds ~n:12 ~from:80) () in
   Alcotest.(check int) "all seeds checked" 12 r.E.checked;
   Alcotest.(check int) "no unpermitted violations" 0 (List.length r.E.failures)
 
@@ -77,7 +86,7 @@ let test_dirty_read_detected () =
        (fun c ->
          match c.Ck.Checker.violation with
          | Ck.Checker.Dirty_read _ -> not c.Ck.Checker.permitted
-         | Ck.Checker.Cycle _ -> false)
+         | Ck.Checker.Cycle _ | Ck.Checker.Stale_read _ -> false)
        r.Ck.Checker.violations)
 
 let test_cycle_detected () =
@@ -105,7 +114,7 @@ let test_cycle_detected () =
        (fun c ->
          match c.Ck.Checker.violation with
          | Ck.Checker.Cycle _ -> not c.Ck.Checker.permitted
-         | Ck.Checker.Dirty_read _ -> false)
+         | Ck.Checker.Dirty_read _ | Ck.Checker.Stale_read _ -> false)
        r.Ck.Checker.violations)
 
 let test_non_transaction_lock_permitted () =
@@ -144,7 +153,7 @@ let test_non_transaction_lock_permitted () =
        (fun c ->
          match c.Ck.Checker.violation with
          | Ck.Checker.Dirty_read _ -> c.Ck.Checker.permitted
-         | Ck.Checker.Cycle _ -> false)
+         | Ck.Checker.Cycle _ | Ck.Checker.Stale_read _ -> false)
        (Ck.Checker.permitted r))
 
 let test_process_writer_permitted () =
@@ -191,6 +200,8 @@ let suite =
       [
         Alcotest.test_case "serializable sweep passes" `Quick test_serializable_sweep;
         Alcotest.test_case "crash-injected sweep passes" `Quick test_crashy_sweep;
+        Alcotest.test_case "replicated faulty sweep passes" `Quick
+          test_replicated_sweep;
         Alcotest.test_case "dirty read detected" `Quick test_dirty_read_detected;
         Alcotest.test_case "conflict cycle detected" `Quick test_cycle_detected;
         Alcotest.test_case "non-transaction lock permitted (3.4)" `Quick

@@ -408,8 +408,10 @@ let test_replica_propagation () =
   let vol2 = Option.get (Locus_fs.Filestore.volume (K.filestore k2) ~vid:1) in
   let inode = Locus_disk.Volume.read_inode_nosim vol2 fid.File_id.ino in
   Alcotest.(check int) "replica size" 8 inode.Locus_disk.Volume.size;
-  Alcotest.(check bool) "replica sync happened" true
-    (L.Stats.get (L.Engine.stats sim.L.engine) "replica.sync" > 0)
+  (* Versions track the primary: create = v1, the commit = v2. *)
+  Alcotest.(check int) "replica version" 2 inode.Locus_disk.Volume.version;
+  Alcotest.(check bool) "replica apply happened" true
+    (L.Stats.get (L.Engine.stats sim.L.engine) "replica.apply" > 0)
 
 let test_close_commits_non_transaction_writes () =
   let sim =

@@ -142,6 +142,78 @@ let test_incarnation_fencing () =
   E.run e;
   Alcotest.(check int) "stale message dropped" 0 !served
 
+(* {1 rpc_retry} *)
+
+let test_retry_transient_reply () =
+  (* The handler answers "busy" (Val 0) twice, then the real value; the
+     retry loop must keep going past application-level refusals. *)
+  let calls = ref 0 and got = ref None in
+  let e = E.create () in
+  let net = T.create e ~n_sites:2 in
+  T.set_handler net 1 (fun ~src:_ (Echo n | Slow n) ->
+      incr calls;
+      if !calls <= 2 then Val 0 else Val n);
+  ignore
+    (E.spawn e (fun () ->
+         got :=
+           Some
+             (T.rpc_retry ~attempts:5 ~backoff_us:1_000
+                ~retry_if:(fun (Val v) -> v = 0)
+                net ~src:0 ~dst:1 (Echo 9))));
+  E.run e;
+  (match !got with
+  | Some (Ok (Val 9)) -> ()
+  | _ -> Alcotest.fail "expected the third reply");
+  Alcotest.(check int) "three calls" 3 !calls
+
+let test_retry_exhausts_attempts () =
+  let calls = ref 0 and got = ref None in
+  let e = E.create () in
+  let net = T.create e ~n_sites:2 in
+  T.set_handler net 1 (fun ~src:_ (Echo _ | Slow _) ->
+      incr calls;
+      Val 0);
+  ignore
+    (E.spawn e (fun () ->
+         got :=
+           Some
+             (T.rpc_retry ~attempts:3 ~backoff_us:1_000
+                ~retry_if:(fun (Val v) -> v = 0)
+                net ~src:0 ~dst:1 (Echo 9))));
+  E.run e;
+  (match !got with
+  | Some (Ok (Val 0)) -> () (* the last reply is surfaced *)
+  | _ -> Alcotest.fail "expected last busy reply");
+  Alcotest.(check int) "bounded attempts" 3 !calls
+
+let test_retry_rides_out_crash () =
+  (* Server down for the first tries; the backoff outlives the outage, so
+     the rpc eventually lands — the §4.2 phase-2 use case. *)
+  let got = ref None in
+  let e = E.create () in
+  let net = T.create e ~n_sites:2 in
+  T.set_handler net 1 (fun ~src:_ (Echo n | Slow n) -> Val n);
+  T.crash net 1;
+  ignore
+    (E.spawn e (fun () ->
+         got :=
+           Some
+             (T.rpc_retry ~attempts:8 ~backoff_us:500_000 net ~src:0 ~dst:1
+                (Echo 4))));
+  ignore
+    (E.spawn e (fun () ->
+         E.sleep 2_000_000;
+         T.restart net 1));
+  E.run e;
+  match !got with
+  | Some (Ok (Val 4)) -> ()
+  | r ->
+    Alcotest.failf "expected success after restart, got %s"
+      (match r with
+      | None -> "nothing"
+      | Some (Ok (Val v)) -> Printf.sprintf "Val %d" v
+      | Some (Error _) -> "transport error")
+
 let test_send_one_way () =
   let served = ref 0 in
   let e = E.create () in
@@ -168,6 +240,11 @@ let suite =
         Alcotest.test_case "successive partitions" `Quick
           test_successive_partitions_disjoint;
         Alcotest.test_case "incarnation fencing" `Quick test_incarnation_fencing;
+        Alcotest.test_case "retry past transient reply" `Quick
+          test_retry_transient_reply;
+        Alcotest.test_case "retry bounded" `Quick test_retry_exhausts_attempts;
+        Alcotest.test_case "retry rides out crash" `Quick
+          test_retry_rides_out_crash;
         Alcotest.test_case "one-way send" `Quick test_send_one_way;
       ] );
   ]

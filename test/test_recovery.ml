@@ -326,6 +326,50 @@ let test_all_sites_crash_and_reboot () =
   Alcotest.(check bool) "whole-cluster reboot converges" true
     (check_atomic sim.L.cluster = `Committed)
 
+(* {1 Partition (not crash) during an in-flight 2PC} *)
+
+module T = Locus_net.Transport
+
+let test_partition_between_prepare_and_decide () =
+  (* The wire between coordinator (site 0) and one participant (site 2)
+     breaks right after the participant's yes-vote, and heals later. No
+     site loses state — this is purely a connectivity hole in the middle
+     of the protocol. Whatever the coordinator decides (commit if it got
+     the vote in time, abort via the §4.3 topology sweep otherwise), both
+     storage sites must converge to the same outcome after the heal. *)
+  let sim, _ =
+    run_2pc_scenario ~inject:(fun cl ->
+        (K.hooks cl).K.on_participant_prepared <-
+          (fun site _txid _vote ->
+            if site = 2 then begin
+              (K.hooks cl).K.on_participant_prepared <- (fun _ _ _ -> ());
+              T.partition (K.transport cl) [ [ 0; 1 ]; [ 2 ] ];
+              Engine.schedule ~delay:5_000_000 (K.engine cl) (fun () ->
+                  T.heal (K.transport cl))
+            end))
+  in
+  ignore (check_atomic sim.L.cluster)
+
+let test_partition_between_decide_and_phase2 () =
+  (* The commit mark is durable at the coordinator, then the participant
+     becomes unreachable before phase 2 lands. The phase-2 retry loop
+     outlives the partition, so after the heal the participant learns the
+     commit without needing a reboot. *)
+  let sim, outcome =
+    run_2pc_scenario ~inject:(fun cl ->
+        (K.hooks cl).K.on_decided <-
+          (fun _txid status ->
+            if status = LR.Committed then begin
+              T.partition (K.transport cl) [ [ 0; 1 ]; [ 2 ] ];
+              Engine.schedule ~delay:5_000_000 (K.engine cl) (fun () ->
+                  T.heal (K.transport cl))
+            end))
+  in
+  Alcotest.(check bool) "client saw commit" true (outcome = Some K.Committed);
+  Alcotest.(check bool) "committed on both sides of the healed partition"
+    true
+    (check_atomic sim.L.cluster = `Committed)
+
 let suite =
   suite
   @ [
@@ -337,5 +381,9 @@ let suite =
             test_coordinator_crash_loop;
           Alcotest.test_case "whole-cluster power failure" `Quick
             test_all_sites_crash_and_reboot;
+          Alcotest.test_case "partition between prepare and decide" `Quick
+            test_partition_between_prepare_and_decide;
+          Alcotest.test_case "partition between decide and phase 2" `Quick
+            test_partition_between_decide_and_phase2;
         ] );
     ]
