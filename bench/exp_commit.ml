@@ -9,9 +9,11 @@ open Harness
    commit operation itself). [overlap] parks another owner's uncommitted
    record on the same data page first, forcing the Figure 4(b)
    differencing path. *)
-let measure_commit ?(page_size = 1024) ?(record_bytes = 100) ~requester_site ~overlap () =
+let measure_commit ?(page_size = 1024) ?(record_bytes = 100) ?(phases = false)
+    ~requester_site ~overlap () =
   let config = { (K.Config.default ~n_sites:2) with K.Config.page_size } in
   let sim = fresh ~config ~n_sites:2 () in
+  let otr = if phases then Some (with_otrace sim) else None in
   let out = ref None in
   ignore
     (Api.spawn_process sim.L.cluster ~site:1 ~name:"other" (fun env ->
@@ -43,7 +45,11 @@ let measure_commit ?(page_size = 1024) ?(record_bytes = 100) ~requester_site ~ov
          out := Some (service, latency);
          Api.close env c));
   L.run sim;
-  Option.get !out
+  let service, latency = Option.get !out in
+  let breakdown =
+    match otr with None -> [] | Some o -> phase_breakdown o
+  in
+  (service, latency, breakdown)
 
 let e4 () =
   let cases =
@@ -58,8 +64,11 @@ let e4 () =
   let rows =
     List.map
       (fun (name, site, overlap, paper) ->
-        let service, latency = measure_commit ~requester_site:site ~overlap () in
-        metrics := Jsonout.single ~label:name ~latency_us:latency :: !metrics;
+        let service, latency, phases =
+          measure_commit ~phases:true ~requester_site:site ~overlap ()
+        in
+        metrics :=
+          Jsonout.single ~phases ~label:name ~latency_us:latency () :: !metrics;
         [
           name;
           Printf.sprintf "%s (%d inst)" (Tables.msf (instr_to_ms service)) service;
@@ -85,10 +94,10 @@ let e6 () =
         (* "A substantial portion of the page" is copied (footnote 11):
            the measured record covers ~60% of it. *)
         let record_bytes = page_size * 6 / 10 in
-        let s_no, l_no =
+        let s_no, l_no, _ =
           measure_commit ~page_size ~record_bytes ~requester_site:1 ~overlap:false ()
         in
-        let s_ov, l_ov =
+        let s_ov, l_ov, _ =
           measure_commit ~page_size ~record_bytes ~requester_site:1 ~overlap:true ()
         in
         [

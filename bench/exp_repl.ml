@@ -49,6 +49,7 @@ let read_fanout ~factor =
 let commit_cost ~factor =
   let config = K.Config.with_replication ~n_sites ~factor in
   let sim = fresh ~config ~n_sites () in
+  let otr = with_otrace sim in
   let lats = ref [] in
   (* Commit at the file's primary site so the measured latency is pure
      commit + propagation, with no client/primary wire in front. *)
@@ -62,7 +63,7 @@ let commit_cost ~factor =
         lats := (L.Engine.now e - t) :: !lats
       done;
       Api.close env c);
-  !lats
+  (!lats, phase_breakdown otr)
 
 let e15 () =
   let metrics = ref [] in
@@ -98,10 +99,10 @@ let e15 () =
   let commit_rows =
     List.map
       (fun factor ->
-        let lats = commit_cost ~factor in
+        let lats, phases = commit_cost ~factor in
         let span = List.fold_left ( + ) 0 lats in
         let m =
-          Jsonout.metric
+          Jsonout.metric ~phases
             ~label:(Printf.sprintf "commits, %d copies" factor)
             ~span_us:span lats
         in

@@ -36,6 +36,36 @@ let reset_io sim =
         (Locus_fs.Filestore.volumes (K.filestore k)))
     (K.kernels sim.L.cluster)
 
+(* Install a span collector on a fresh sim; harvest its per-phase
+   histograms with [phase_breakdown] after the run. Spans consume no
+   virtual time, so measured latencies are identical with or without it. *)
+let with_otrace sim =
+  let otr = L.Otrace.create (K.engine sim.L.cluster) in
+  K.set_otracer sim.L.cluster (Some otr);
+  otr
+
+(* The commit-path phases worth a column in BENCH_<exp>.json. *)
+let bench_phases =
+  [
+    "lock.wait"; "coord_log.write"; "2pc.prepare"; "prepare.force";
+    "2pc.votes"; "commit.force"; "2pc.phase2"; "phase2.apply";
+    "replica.propagate"; "lock.release"; "commit-file"; "replica-commit";
+  ]
+
+let phase_breakdown otr =
+  List.filter_map
+    (fun (name, h) ->
+      if List.mem name bench_phases && L.Stats.Hist.count h > 0 then
+        Some
+          {
+            Jsonout.ph_name = name;
+            ph_count = L.Stats.Hist.count h;
+            ph_total_us = L.Stats.Hist.total h;
+            ph_p50_us = L.Stats.Hist.quantile h 50;
+          }
+      else None)
+    (L.Otrace.phases otr)
+
 let cpu_instr sim = L.Stats.get (stats sim) "cpu.instr"
 
 let cpu_instr_site sim s =

@@ -5,12 +5,22 @@
    hand-formatted: the harness deliberately carries no serialization
    dependency. *)
 
+(* One row of a per-phase commit-latency breakdown, harvested from the
+   span collector's bounded histograms (Otrace.phases). *)
+type phase = {
+  ph_name : string;
+  ph_count : int;
+  ph_total_us : int;  (** summed virtual time inside the phase *)
+  ph_p50_us : int;
+}
+
 type metric = {
   label : string;
   ops_per_sec : float;  (** throughput in operations per virtual second *)
   p50_us : int;  (** median virtual latency, microseconds *)
   p99_us : int;
   samples : int;
+  phases : phase list;  (** optional per-phase breakdown; often empty *)
 }
 
 let percentile latencies p =
@@ -24,7 +34,7 @@ let percentile latencies p =
 (* A metric from raw per-operation virtual latencies plus the virtual
    wall time the batch spanned (concurrent operations overlap, so
    throughput comes from the span, not the latency sum). *)
-let metric ~label ~span_us latencies =
+let metric ?(phases = []) ~label ~span_us latencies =
   let samples = List.length latencies in
   let ops_per_sec =
     if span_us <= 0 then 0.
@@ -36,11 +46,12 @@ let metric ~label ~span_us latencies =
     p50_us = percentile latencies 50.;
     p99_us = percentile latencies 99.;
     samples;
+    phases;
   }
 
 (* A metric from one measured operation (e.g. the single-shot paper
    reproductions): percentiles collapse to the one latency. *)
-let single ~label ~latency_us =
+let single ?(phases = []) ~label ~latency_us () =
   {
     label;
     ops_per_sec =
@@ -48,6 +59,7 @@ let single ~label ~latency_us =
     p50_us = latency_us;
     p99_us = latency_us;
     samples = 1;
+    phases;
   }
 
 let escape s =
@@ -73,10 +85,22 @@ let write ~exp metrics =
         (fun i m ->
           pf
             "    {\"label\": \"%s\", \"ops_per_sec\": %.2f, \
-             \"p50_virtual_us\": %d, \"p99_virtual_us\": %d, \"samples\": \
-             %d}%s\n"
-            (escape m.label) m.ops_per_sec m.p50_us m.p99_us m.samples
-            (if i = List.length metrics - 1 then "" else ","))
+             \"p50_virtual_us\": %d, \"p99_virtual_us\": %d, \"samples\": %d"
+            (escape m.label) m.ops_per_sec m.p50_us m.p99_us m.samples;
+          (match m.phases with
+          | [] -> ()
+          | phases ->
+            pf ",\n     \"phases\": [\n";
+            List.iteri
+              (fun j p ->
+                pf
+                  "       {\"name\": \"%s\", \"count\": %d, \
+                   \"total_virtual_us\": %d, \"p50_virtual_us\": %d}%s\n"
+                  (escape p.ph_name) p.ph_count p.ph_total_us p.ph_p50_us
+                  (if j = List.length phases - 1 then "" else ","))
+              phases;
+            pf "     ]");
+          pf "}%s\n" (if i = List.length metrics - 1 then "" else ","))
         metrics;
       pf "  ]\n}\n");
   Fmt.pr "(wrote %s)@." file

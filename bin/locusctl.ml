@@ -62,9 +62,13 @@ let setup_trace sim = function
 let dump_trace sim = function
   | None -> ()
   | Some _ ->
-    Fmt.pr "@.--- trace (most recent %d events) ---@."
-      (List.length (Trace.events (L.Engine.trace sim.L.engine)));
-    Fmt.pr "%a" Trace.dump (L.Engine.trace sim.L.engine)
+    let tr = L.Engine.trace sim.L.engine in
+    Fmt.pr "@.--- trace (most recent %d events%s) ---@."
+      (List.length (Trace.events tr))
+      (match Trace.dropped tr with
+      | 0 -> ""
+      | n -> Printf.sprintf ", %d older dropped" n);
+    Fmt.pr "%a" Trace.dump tr
 
 let sites_arg =
   Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N" ~doc:"Number of sites.")
@@ -574,6 +578,107 @@ let repl_status_cmd =
       const repl_status $ seed_arg $ sites_arg $ replicas_arg $ updates
       $ crash_primary)
 
+(* {1 trace-export / metrics: causal span tracing} *)
+
+(* A small deterministic distributed scenario built to exercise every span
+   kind: two volumes replicated across sites 1/2 (factor 2), two workers at
+   site 0 whose transactions contend on the same record so the second one
+   blocks (lock.wait), commit through distributed 2PC (prepare / votes /
+   commit force / phase-2 apply / replica propagation / lock release). *)
+let span_workload seed =
+  let sites = 3 in
+  let config = K.Config.with_replication ~n_sites:sites ~factor:2 in
+  let sim = L.make ~seed ~config ~n_sites:sites () in
+  let cl = sim.L.cluster in
+  let otr = L.Otrace.create (K.engine cl) in
+  K.set_otracer cl (Some otr);
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"span-setup" (fun env ->
+         let mk path vid =
+           let c = Api.creat env path ~vid in
+           Api.pwrite env c ~pos:0 (Bytes.make 128 '.');
+           Api.commit_file env c;
+           Api.close env c
+         in
+         mk "/span/a" 1;
+         mk "/span/b" 2;
+         let worker i delay =
+           Api.fork env ~site:0 ~name:(Printf.sprintf "span-w%d" i) (fun w ->
+               Engine.sleep delay;
+               Api.begin_trans w;
+               let update path v =
+                 let c = Api.open_file w path in
+                 Api.seek w c ~pos:0;
+                 (match Api.lock w c ~len:64 ~mode:M.Exclusive () with
+                 | Api.Granted -> ()
+                 | Api.Conflict _ -> ());
+                 Api.pwrite w c ~pos:0
+                   (Bytes.of_string (Printf.sprintf "%-64d" v));
+                 c
+               in
+               let ca = update "/span/a" i in
+               let cb = update "/span/b" (i * 7) in
+               Engine.sleep 5_000;
+               ignore (Api.end_trans w);
+               Api.close w ca;
+               Api.close w cb)
+         in
+         let w1 = worker 1 0 in
+         let w2 = worker 2 20_000 in
+         Api.wait_pid env w1;
+         Api.wait_pid env w2));
+  L.run sim;
+  (sim, otr)
+
+let out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "out"; "o" ] ~docv:"FILE"
+        ~doc:"Write the JSON to FILE instead of stdout.")
+
+let with_out out f =
+  match out with
+  | None -> f Fmt.stdout
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        let ppf = Format.formatter_of_out_channel oc in
+        f ppf;
+        Format.pp_print_flush ppf ())
+
+let trace_export seed out =
+  let sim, otr = span_workload seed in
+  with_out out (fun ppf ->
+      L.Otrace.export_chrome ~extra:[ ("seed", string_of_int seed) ] otr ppf);
+  Fmt.epr "trace-export: %d spans (%d dropped), virtual time %.2f s@."
+    (L.Otrace.span_count otr) (L.Otrace.dropped otr)
+    (float_of_int (L.Engine.now sim.L.engine) /. 1_000_000.)
+
+let trace_export_cmd =
+  Cmd.v
+    (Cmd.info "trace-export"
+       ~doc:
+         "Run a deterministic distributed transaction scenario with the span \
+          collector installed and export the causal span trees as Chrome \
+          trace-event JSON (chrome://tracing, Perfetto).")
+    Term.(const trace_export $ seed_arg $ out_arg)
+
+let metrics seed out =
+  let sim, otr = span_workload seed in
+  let stats = L.Engine.stats sim.L.engine in
+  with_out out (fun ppf -> L.Otrace.export_metrics otr stats ppf);
+  Fmt.epr "metrics: %d spans across %d phases@."
+    (L.Otrace.span_count otr)
+    (List.length (L.Otrace.phases otr))
+
+let metrics_cmd =
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run the trace-export scenario and emit machine-readable JSON \
+          metrics: per-phase latency histograms, the lock-contention \
+          profile, the abort-reason taxonomy, and all counters.")
+    Term.(const metrics $ seed_arg $ out_arg)
+
 (* {1 stats} *)
 
 let cluster_info _seed sites =
@@ -603,4 +708,4 @@ let () =
        (Cmd.group
           (Cmd.info "locusctl" ~version:"1.0" ~doc)
           [ bank_cmd; chaos_cmd; deadlock_cmd; dc_cmd; check_cmd; explore_cmd;
-            repl_status_cmd; stats_cmd ]))
+            repl_status_cmd; trace_export_cmd; metrics_cmd; stats_cmd ]))

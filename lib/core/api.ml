@@ -1,5 +1,6 @@
 module Process = Locus_proc.Process
 module Proc_table = Locus_proc.Proc_table
+module Otrace = Locus_otrace.Otrace
 
 exception Error of string
 exception Process_failure of string
@@ -26,6 +27,11 @@ type env = {
      Such reads must see our own pending bytes, which only the primary's
      overlay holds — they are never served from a local secondary copy. *)
   written_fids : (File_id.t, unit) Hashtbl.t;
+  (* Root span of the process's current top-level transaction, opened by
+     [begin_trans] and closed at commit / abort / process exit. While
+     open it sits at the bottom of the fiber's ambient span stack, so
+     every syscall span of the transaction groups under one tree. *)
+  mutable txn_span : Otrace.span option;
 }
 
 let pid env = env.proc.Process.pid
@@ -36,6 +42,30 @@ let engine env = Kernel.engine env.cl
 let costs env = Engine.costs (engine env)
 let stats env = Engine.stats (engine env)
 let syscall env = Engine.consume (engine env) ~instr:(costs env).Costs.syscall_instr
+
+(* Run a syscall body inside a span when a collector is installed — the
+   same single option test as [Kernel.observe], so the common no-collector
+   case costs nothing. *)
+let with_syscall env name f =
+  match Kernel.otracer env.cl with
+  | None -> f ()
+  | Some otr -> Otrace.with_span otr ~site:(site env) ~cat:"syscall" name f
+
+let open_txn_span env txid =
+  match Kernel.otracer env.cl with
+  | None -> ()
+  | Some otr ->
+    env.txn_span <-
+      Some
+        (Otrace.start otr ~site:(site env) ~cat:"txn" "txn"
+           ~args:[ ("txid", Fmt.str "%a" Txid.pp txid) ])
+
+let close_txn_span env outcome =
+  match (env.txn_span, Kernel.otracer env.cl) with
+  | Some sp, Some otr ->
+    env.txn_span <- None;
+    Otrace.finish otr sp ~args:[ ("outcome", outcome) ]
+  | (Some _ | None), _ -> env.txn_span <- None
 
 let chan_exn env c =
   match Process.channel env.proc c with
@@ -101,6 +131,7 @@ let finish_process env =
        transaction. *)
     Kernel.abort_transaction env.cl ~spare:p.Process.pid ~src txid
   | Some _ | None -> ());
+  close_txn_span env "process-exit";
   Kernel.member_exit env.cl ~src p;
   p.Process.status <- Process.Exited;
   Proc_table.remove (Kernel.procs env.k) p.Process.pid;
@@ -118,6 +149,7 @@ let run_process cl k0 proc fiber_ref f =
       page_cache = Hashtbl.create 8;
       name_cache = Hashtbl.create 8;
       written_fids = Hashtbl.create 8;
+      txn_span = None;
     }
   in
   (match !fiber_ref with
@@ -153,12 +185,14 @@ let spawn_process cl ~site:s ?(name = "proc") f =
 let exit_of cl pid = Kernel.exit_ivar cl pid
 
 let wait_pid env target =
+  with_syscall env "sys.wait" @@ fun () ->
   syscall env;
   Engine.await (Kernel.exit_ivar env.cl target)
 
 let fail _env msg = raise (Process_failure msg)
 
 let fork env ?site:dst_opt ?(name = "child") f =
+  with_syscall env "sys.fork" @@ fun () ->
   syscall env;
   Engine.consume (engine env) ~instr:(costs env).Costs.fork_instr;
   let dst = Option.value dst_opt ~default:(site env) in
@@ -235,6 +269,7 @@ let fork env ?site:dst_opt ?(name = "child") f =
   child_pid
 
 let migrate env dst =
+  with_syscall env "sys.migrate" @@ fun () ->
   syscall env;
   if dst <> site env then begin
     Engine.consume (engine env) ~instr:(costs env).Costs.migrate_instr;
@@ -464,6 +499,7 @@ let resolve_path env path =
     found
 
 let mkdir env path ~vid =
+  with_syscall env "sys.mkdir" @@ fun () ->
   syscall env;
   let parent, leaf = resolve_parent env path ~mkdirs:true in
   let fid = create_node env ~vid in
@@ -477,6 +513,7 @@ let mkdir env path ~vid =
   Hashtbl.replace env.name_cache path fid
 
 let readdir env path =
+  with_syscall env "sys.readdir" @@ fun () ->
   syscall env;
   let fid =
     if path = "/" then Kernel.root_dir env.cl ~src:(site env)
@@ -493,6 +530,7 @@ let readdir env path =
 (* {1 Files} *)
 
 let creat env path ~vid =
+  with_syscall env "sys.creat" @@ fun () ->
   syscall env;
   let parent, leaf = resolve_parent env path ~mkdirs:true in
   let fid = create_node env ~vid in
@@ -512,6 +550,7 @@ let creat env path ~vid =
   Process.add_channel env.proc fid
 
 let open_file env path =
+  with_syscall env "sys.open" @@ fun () ->
   syscall env;
   (* Name mapping — the once-per-file distributed step (§3.2): walk the
      directory files, then cache the binding. *)
@@ -525,6 +564,7 @@ let open_file env path =
     | r -> raise (Error (Fmt.str "open: %a" Msg.pp_reply r)))
 
 let close env c =
+  with_syscall env "sys.close" @@ fun () ->
   syscall env;
   let ch = chan_exn env c in
   let commit_on_close = not (in_transaction env) in
@@ -546,6 +586,7 @@ let seek env c ~pos =
 let pos env c = (chan_exn env c).Process.pos
 
 let size env c =
+  with_syscall env "sys.size" @@ fun () ->
   syscall env;
   let ch = chan_exn env c in
   match rpc_storage env ch.Process.fid (Msg.File_size { fid = ch.Process.fid }) with
@@ -680,6 +721,7 @@ let local_replica_read env c fid ~pos ~len =
   end
 
 let read env c ~len =
+  with_syscall env "sys.read" @@ fun () ->
   syscall env;
   let ch = chan_exn env c in
   let fid = ch.Process.fid in
@@ -720,6 +762,7 @@ let read env c ~len =
       | r -> raise (Error (Fmt.str "read: %a" Msg.pp_reply r))))
 
 let write env c data =
+  with_syscall env "sys.write" @@ fun () ->
   syscall env;
   let ch = chan_exn env c in
   let fid = ch.Process.fid in
@@ -751,6 +794,7 @@ let pwrite env c ~pos data =
 let write_string env c s = write env c (Bytes.of_string s)
 
 let commit_file env c =
+  with_syscall env "sys.commit_file" @@ fun () ->
   syscall env;
   if not (in_transaction env) then begin
     let ch = chan_exn env c in
@@ -763,6 +807,7 @@ let commit_file env c =
   end
 
 let abort_updates env c =
+  with_syscall env "sys.abort_updates" @@ fun () ->
   syscall env;
   let ch = chan_exn env c in
   match
@@ -788,6 +833,7 @@ let uncache_range env c range =
       (List.filter (fun (r, _) -> not (Byte_range.overlaps r range)) locks)
 
 let lock env c ~len ~mode ?(non_transaction = false) ?(wait = true) () =
+  with_syscall env "sys.lock" @@ fun () ->
   syscall env;
   let ch = chan_exn env c in
   let fid = ch.Process.fid in
@@ -825,6 +871,7 @@ let lock env c ~len ~mode ?(non_transaction = false) ?(wait = true) () =
   end
 
 let unlock env c ~len =
+  with_syscall env "sys.unlock" @@ fun () ->
   syscall env;
   let ch = chan_exn env c in
   let fid = ch.Process.fid in
@@ -845,6 +892,7 @@ let begin_trans env =
   let p = env.proc in
   if p.Process.nesting = 0 && p.Process.txid = None then begin
     let txid = Kernel.alloc_txid env.k in
+    open_txn_span env txid;
     p.Process.txid <- Some txid;
     p.Process.top_level <- true;
     p.Process.file_list <- File_id.Set.empty;
@@ -863,6 +911,7 @@ let own_files_with_sites env =
   |> List.map (fun fid -> (fid, Kernel.storage_site env.cl fid))
 
 let end_trans env =
+  with_syscall env "sys.end_trans" @@ fun () ->
   syscall env;
   let p = env.proc in
   if p.Process.nesting <= 0 then raise (Error "end_trans: not in a transaction");
@@ -876,6 +925,10 @@ let end_trans env =
       | None -> raise (Error "end_trans: no transaction id")
     in
     let finish outcome =
+      close_txn_span env
+        (match outcome with
+        | Kernel.Committed -> "committed"
+        | Kernel.Aborted -> "aborted");
       p.Process.txid <- None;
       p.Process.top_level <- false;
       Hashtbl.reset env.lock_cache;
@@ -901,12 +954,14 @@ let end_trans env =
   end
 
 let abort_trans env =
+  with_syscall env "sys.abort_trans" @@ fun () ->
   syscall env;
   let p = env.proc in
   match p.Process.txid with
   | None -> raise (Error "abort_trans: not in a transaction")
   | Some txid ->
     Kernel.abort_transaction env.cl ~spare:p.Process.pid ~src:(site env) txid;
+    close_txn_span env "aborted";
     p.Process.txid <- None;
     p.Process.nesting <- 0;
     p.Process.top_level <- false;

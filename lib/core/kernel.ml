@@ -1,6 +1,7 @@
 module Wfg = Locus_deadlock.Wfg
 module Process = Locus_proc.Process
 module Proc_table = Locus_proc.Proc_table
+module Otrace = Locus_otrace.Otrace
 
 type outcome = Committed | Aborted
 
@@ -97,7 +98,7 @@ type t = {
 and cluster = {
   cfg : Config.t;
   c_engine : Engine.t;
-  net : (Msg.t, Msg.reply) Transport.t;
+  net : (Msg.env, Msg.reply) Transport.t;
   mutable ks : t array;
   namespace : (string, File_id.t) Hashtbl.t;
   paths : (File_id.t, string) Hashtbl.t;
@@ -111,6 +112,7 @@ and cluster = {
   txn_members : (Txid.t, (Pid.t * Site.t) list ref) Hashtbl.t;
   hooks : hooks;
   mutable observer : Obs.sink option;  (* history recorder (Locus_check) *)
+  mutable otracer : Otrace.t option;  (* causal span collector (Locus_otrace) *)
 }
 
 (* Marshalled migration payload (§4.1): the process record plus, for a
@@ -147,6 +149,27 @@ let observe cl ~site ev =
 
 let obs k ev = observe k.cl ~site:k.site ev
 
+(* {1 Causal span tracing (Locus_otrace)}
+
+   Same zero-overhead discipline as [observe]: a single option test per
+   emission point, and the slow [Some] branch only exists while a
+   collector is installed. *)
+
+let set_otracer cl tr = cl.otracer <- tr
+let otracer cl = cl.otracer
+
+(* The span context to attach to an outgoing message: the innermost open
+   span of the calling fiber, so the server-side span grafts under it. *)
+let wire_ctx cl =
+  match cl.otracer with None -> None | Some tr -> Otrace.current_ctx tr
+
+let envelope cl msg = { Msg.ctx = wire_ctx cl; payload = msg }
+
+let with_span k ?parent ?args ~cat name f =
+  match k.cl.otracer with
+  | None -> f ()
+  | Some tr -> Otrace.with_span ?parent ?args tr ~site:k.site ~cat name f
+
 let alloc_txid k =
   k.txseq <- k.txseq + 1;
   Txid.make ~site:k.site ~incarnation:k.incarnation ~seq:k.txseq
@@ -182,7 +205,7 @@ let exit_ivar cl pid =
     iv
 
 let rpc cl ~src ~dst msg =
-  match Transport.rpc cl.net ~src ~dst msg with
+  match Transport.rpc cl.net ~src ~dst (envelope cl msg) with
   | Ok r -> r
   | Error e -> Msg.R_err (Fmt.str "%a" Transport.pp_error e)
 
@@ -305,6 +328,23 @@ let grant_lock k ~fid ~owner ~pid ~mode ~range ~non_transaction ~wait =
     if not wait then `Conflict owners
     else begin
       Stats.incr (stats k) "lock.waits";
+      let queue_depth = Lock_table.waiting table + 1 in
+      let wait_from = Engine.now k.engine in
+      let wspan =
+        match k.cl.otracer with
+        | None -> None
+        | Some otr ->
+          Some
+            ( otr,
+              Otrace.start otr ~site:k.site ~cat:"lock" "lock.wait"
+                ~args:
+                  [
+                    ("fid", Fmt.str "%a" File_id.pp fid);
+                    ("owner", Fmt.str "%a" Owner.pp owner);
+                    ("range", Fmt.str "%a" Byte_range.pp range);
+                    ("queue", string_of_int queue_depth);
+                  ] )
+      in
       let iv = Engine.Ivar.create () in
       let w =
         Lock_table.enqueue table ~owner ~pid ~mode ~range ~non_transaction
@@ -330,7 +370,30 @@ let grant_lock k ~fid ~owner ~pid ~mode ~range ~non_transaction ~wait =
           end
           else wait_loop (rounds + 1)
       in
-      wait_loop 0
+      (* The waiter may also be killed while parked (site crash, cascade
+         abort): the finally below still closes the span and accounts the
+         wait, so contention during aborts is not invisible. *)
+      let outcome = ref "killed" in
+      Fun.protect
+        (fun () ->
+          let r = wait_loop 0 in
+          (outcome :=
+             match r with
+             | `Granted -> "granted"
+             | `Cancelled -> "cancelled"
+             | `Timeout -> "timeout");
+          r)
+        ~finally:(fun () ->
+          let waited = Engine.now k.engine - wait_from in
+          Stats.hist (stats k) "lock.wait_us" waited;
+          match wspan with
+          | None -> ()
+          | Some (otr, sp) ->
+            Otrace.finish otr sp ~args:[ ("outcome", !outcome) ];
+            Otrace.note_wait otr
+              ~fid:(Fmt.str "%a" File_id.pp fid)
+              ~lo:range.Byte_range.lo ~wait_us:waited ~queue:queue_depth
+              ~blockers:(List.map (Fmt.str "%a" Owner.pp) owners))
     end
 
 (* Ranges of [range] not already covered by [owner]'s locks in a
@@ -554,11 +617,18 @@ let propagate_replicas k ?indices ?(initial = false) fid =
       in
       List.iter
         (fun dst ->
-          if Transport.reachable k.cl.net k.site dst then begin
+          if Transport.reachable k.cl.net k.site dst then
+            with_span k ~cat:"repl" "replica.propagate"
+              ~args:
+                [
+                  ("dst", string_of_int dst);
+                  ("version", string_of_int u.Update.version);
+                ]
+            @@ fun () ->
             match
               Transport.rpc_retry ~attempts:3 ~backoff_us:200_000 k.cl.net
                 ~src:k.site ~dst
-                (Msg.Replica_commit { update = u })
+                (envelope k.cl (Msg.Replica_commit { update = u }))
             with
             | Ok Msg.R_ok ->
               obs k (Obs.Propagate { fid; version = u.Update.version; dst });
@@ -566,8 +636,7 @@ let propagate_replicas k ?indices ?(initial = false) fid =
             | Ok _ | Error _ ->
               (* The secondary missed this version; it catches up in its
                  reconciliation pass after the next topology event. *)
-              Stats.incr (stats k) "replica.propagate_miss"
-          end)
+              Stats.incr (stats k) "replica.propagate_miss")
         others
     end
   end
@@ -947,8 +1016,24 @@ let rec abort_member k ~txid ~pid ~spare =
       Engine.fill k.engine (exit_ivar cl pid) ()
     end
 
-let abort_transaction cl ?spare ~src txid =
+(* Abort-reason taxonomy: first-class counters ([txn.abort.<reason>]), so
+   "why do transactions abort in this workload" is answerable without a
+   span collector installed. *)
+type abort_reason = Deadlock | Orphan | Crash | Degraded_vote | User
+
+let abort_reason_label = function
+  | Deadlock -> "deadlock"
+  | Orphan -> "orphan"
+  | Crash -> "crash"
+  | Degraded_vote -> "degraded_vote"
+  | User -> "user"
+
+let count_abort cl reason =
+  Stats.incr (Engine.stats cl.c_engine) ("txn.abort." ^ abort_reason_label reason)
+
+let abort_transaction cl ?spare ?(reason = User) ~src txid =
   Stats.incr (Engine.stats cl.c_engine) "txn.abort_requests";
+  count_abort cl reason;
   (* Clear any queued lock waits of the dying transaction first, so
      blocked member fibers unwind promptly. *)
   List.iter
@@ -988,6 +1073,7 @@ let ss_abort2 k ~txid ~files =
   in
   let fids = List.sort_uniq File_id.compare (files @ local_fids) in
   Participant.abort k.participant ~txid;
+  with_span k ~cat:"lock" "lock.release" @@ fun () ->
   List.iter
     (fun fid ->
       if Filestore.is_open k.store fid then Filestore.abort k.store fid ~owner;
@@ -1004,7 +1090,8 @@ let ss_commit2 k ~txid ~files =
   List.iter (ensure_authority_home k) files;
   let prepared = Participant.prepared_files k.participant txid in
   let intentions = Participant.prepared_intentions k.participant txid in
-  Participant.commit k.participant ~txid;
+  with_span k ~cat:"txn" "phase2.apply" (fun () ->
+      Participant.commit k.participant ~txid);
   (* Push each file's new committed version to its secondaries before
      releasing the locks: a lock-covered read at a secondary is then
      guaranteed one-copy fresh. The intentions name exactly the pages
@@ -1015,6 +1102,7 @@ let ss_commit2 k ~txid ~files =
         ~indices:(Intentions.page_indices it)
         it.Intentions.fid)
     intentions;
+  with_span k ~cat:"lock" "lock.release" @@ fun () ->
   List.iter
     (fun fid ->
       match lock_table k fid with
@@ -1026,6 +1114,7 @@ let ss_commit2 k ~txid ~files =
 let commit_transaction k (txn : Txn_state.txn) =
   let cl = k.cl in
   let txid = txn.Txn_state.txid in
+  let t0 = Engine.now k.engine in
   txn.Txn_state.phase <- Txn_state.Committing;
   let files =
     List.sort_uniq
@@ -1037,7 +1126,10 @@ let commit_transaction k (txn : Txn_state.txn) =
       obs k (Obs.Commit { txid });
       Committed
     end
-    else begin
+    else
+      with_span k ~cat:"txn" "2pc"
+        ~args:[ ("txid", Fmt.str "%a" Txid.pp txid) ]
+      @@ fun () ->
       let by_site =
         List.fold_left
           (fun acc (fid, s) ->
@@ -1052,15 +1144,23 @@ let commit_transaction k (txn : Txn_state.txn) =
       in
       (* Step 1 (Figure 5): the coordinator log, status unknown. *)
       tr k Trace.Txn "2pc begin %a (%d files)" Txid.pp txid (List.length files);
-      Coord_log.begin_commit k.coord ~txid ~files;
-      cl.hooks.on_coord_log_written txid;
-      (* Steps 2-3 happen at the participants, in parallel. *)
+      with_span k ~cat:"txn" "coord_log.write" (fun () ->
+          Coord_log.begin_commit k.coord ~txid ~files;
+          cl.hooks.on_coord_log_written txid);
+      (* Steps 2-3 happen at the participants, in parallel. The prepare
+         fibers inherit the 2pc span context captured here, so each
+         participant's [prepare] span grafts into this transaction's
+         tree. *)
+      let pctx = wire_ctx cl in
       let votes =
         List.map
           (fun (s, fs) ->
             let iv = Engine.Ivar.create () in
             ignore
               (Engine.spawn ~name:"2pc-prepare" ~site:k.site k.engine (fun () ->
+                   with_span k ?parent:pctx ~cat:"txn" "2pc.prepare"
+                     ~args:[ ("participant", string_of_int s) ]
+                   @@ fun () ->
                    let vote =
                      match
                        rpc cl ~src:k.site ~dst:s
@@ -1073,19 +1173,27 @@ let commit_transaction k (txn : Txn_state.txn) =
             iv)
           by_site
       in
-      let all_prepared = List.for_all (fun iv -> Engine.await iv) votes in
+      let all_prepared =
+        with_span k ~cat:"txn" "2pc.votes" (fun () ->
+            List.for_all (fun iv -> Engine.await iv) votes)
+      in
       let status : Log_record.status =
         if all_prepared then Log_record.Committed else Log_record.Aborted
       in
+      if not all_prepared then count_abort cl Degraded_vote;
       (* Step 4: writing the mark is the commit (or abort) point. *)
-      Coord_log.decide k.coord ~txid status;
+      with_span k ~cat:"txn" "commit.force"
+        ~args:[ ("status", if all_prepared then "committed" else "aborted") ]
+        (fun () -> Coord_log.decide k.coord ~txid status);
       tr k Trace.Txn "2pc decide %a %a" Txid.pp txid Log_record.pp_status status;
       (* The outcome event must be recorded at the decision point itself,
          before any injected crash, or the checker would misclassify a
          durably committed transaction as unresolved. *)
       obs k (if all_prepared then Obs.Commit { txid } else Obs.Abort { txid });
       cl.hooks.on_decided txid status;
+      let p2ctx = wire_ctx cl in
       let phase2 () =
+        with_span k ?parent:p2ctx ~cat:"txn" "2pc.phase2" @@ fun () ->
         let all_acked = ref true in
         List.iter
           (fun (s, fs) ->
@@ -1096,7 +1204,7 @@ let commit_transaction k (txn : Txn_state.txn) =
             match
               Transport.rpc_retry ~attempts:8 ~backoff_us:2_000_000
                 ~retry_if:(fun r -> r <> Msg.R_ok)
-                cl.net ~src:k.site ~dst:s msg
+                cl.net ~src:k.site ~dst:s (envelope cl msg)
             with
             | Ok Msg.R_ok -> ()
             | Ok _ | Error _ -> all_acked := false)
@@ -1109,12 +1217,12 @@ let commit_transaction k (txn : Txn_state.txn) =
         ignore (Engine.spawn ~name:"2pc-phase2" ~site:k.site k.engine phase2)
       else phase2 ();
       if all_prepared then Committed else Aborted
-    end
   in
   txn.Txn_state.phase <- Txn_state.Finished;
   Txn_state.remove k.txns txid;
   Hashtbl.remove k.end_waits txid;
   registry_remove_txn cl txid;
+  Stats.hist (stats k) "txn.commit_us" (Engine.now k.engine - t0);
   Stats.incr (stats k)
     (match outcome with Committed -> "txn.committed" | Aborted -> "txn.aborted");
   outcome
@@ -1223,7 +1331,7 @@ let deadlock_scan cl ~src =
       Trace.emitf (Engine.trace cl.c_engine) ~at:(Engine.now cl.c_engine)
         ~cat:Trace.Lock ~site:src "deadlock victim %a" Owner.pp victim;
       match victim with
-      | Owner.Transaction txid -> abort_transaction cl ~src txid
+      | Owner.Transaction txid -> abort_transaction cl ~reason:Deadlock ~src txid
       | Owner.Process _ ->
         List.iter (fun t -> Lock_table.cancel_owner t victim) (lock_tables cl))
     victims;
@@ -1233,7 +1341,7 @@ let () = deadlock_scan_ref := deadlock_scan
 
 (* {1 The kernel message handler} *)
 
-let handle k ~src msg =
+let handle_msg k ~src msg =
   let open Msg in
   if not k.alive then R_err "site down"
   else begin
@@ -1383,7 +1491,11 @@ let handle k ~src msg =
             (* A degraded primary cannot version the updates correctly
                yet: vote no rather than risk a divergent history. *)
             List.iter (ensure_writable k) files;
-            Participant.prepare k.participant ~txid ~coordinator_site ~files
+            (* Steps 2-3 (Figure 5): flush the dirty pages and force the
+               prepare log — the participant's point of no return. *)
+            with_span k ~cat:"txn" "prepare.force" (fun () ->
+                Participant.prepare k.participant ~txid ~coordinator_site
+                  ~files)
           with _ -> false
         in
         k.cl.hooks.on_participant_prepared k.site txid vote;
@@ -1432,6 +1544,21 @@ let handle k ~src msg =
     | Not_found -> R_err "not found"
     | Invalid_argument m -> R_err m
   end
+
+(* The wire entry point: unwrap the envelope and, when a collector is
+   installed, run the dispatch inside a server-side span parented under
+   the remote caller's span (carried in [env.ctx]) — this is the edge
+   that stitches a transaction's tree across sites. *)
+let handle k ~src (env : Msg.env) =
+  match k.cl.otracer with
+  | None -> handle_msg k ~src env.Msg.payload
+  | Some otr ->
+    if not k.alive then Msg.R_err "site down"
+    else
+      Otrace.with_span ?parent:env.Msg.ctx otr ~site:k.site ~cat:"rpc"
+        ~args:[ ("src", string_of_int src) ]
+        (Msg.label env.Msg.payload)
+        (fun () -> handle_msg k ~src env.Msg.payload)
 
 (* {1 Crash, restart, recovery (§4.3-4.4)} *)
 
@@ -1483,6 +1610,7 @@ let relock_prepared k txid =
     (Participant.prepared_intentions k.participant txid)
 
 let recover k =
+  with_span k ~cat:"recovery" "recovery" @@ fun () ->
   let cl = k.cl in
   tr k Trace.Recovery "recovery starts";
   (* Coordinator pass: finish or abort every transaction in the log. *)
@@ -1518,7 +1646,7 @@ let recover k =
           match
             Transport.rpc_retry ~attempts:5 ~backoff_us:2_000_000
               ~retry_if:(fun r -> r <> Msg.R_ok)
-              cl.net ~src:k.site ~dst:s msg
+              cl.net ~src:k.site ~dst:s (envelope cl msg)
           with
           | Ok Msg.R_ok -> ()
           | Ok _ | Error _ -> all_acked := false)
@@ -1600,7 +1728,8 @@ let topology_sweep k =
                in
                if lost then begin
                  Stats.incr (stats k) "txn.topology_aborts";
-                 abort_transaction cl ~src:k.site txn.Txn_state.txid
+                 abort_transaction cl ~reason:Crash ~src:k.site
+                   txn.Txn_state.txid
                end
              end)
            (Txn_state.active k.txns);
@@ -1667,6 +1796,7 @@ let topology_sweep k =
                in
                if unreachable then begin
                  Stats.incr (stats k) "txn.storage_site_aborts";
+                 count_abort cl Orphan;
                  ss_abort2 k ~txid ~files:[];
                  (* Unprepared + home lost = the transaction can never
                     commit (a prepare here would now vote no): record the
@@ -1739,6 +1869,7 @@ let make engine cfg =
       txn_members = Hashtbl.create 32;
       hooks = no_hooks ();
       observer = None;
+      otracer = None;
     }
   in
   List.iter

@@ -70,7 +70,7 @@ val make : Engine.t -> Config.t -> cluster
 
 val engine : cluster -> Engine.t
 val config : cluster -> Config.t
-val transport : cluster -> (Msg.t, Msg.reply) Transport.t
+val transport : cluster -> (Msg.env, Msg.reply) Transport.t
 val kernel : cluster -> Site.t -> t
 val kernels : cluster -> t list
 val site : t -> Site.t
@@ -174,11 +174,22 @@ val commit_transaction : t -> Txn_state.txn -> outcome
     parallel prepares, decision, asynchronous phase 2 (§4.2). Call from
     the top-level process's fiber once every member has completed. *)
 
-val abort_transaction : cluster -> ?spare:Pid.t -> src:Site.t -> Txid.t -> unit
+type abort_reason = Deadlock | Orphan | Crash | Degraded_vote | User
+(** Why a transaction died — counted as first-class [txn.abort.<reason>]
+    stats counters (the taxonomy exists with or without a span collector).
+    [Degraded_vote] is counted by the 2PC decision path when any
+    participant votes no (degraded replica, denied prepare, or an
+    unreachable site); the others classify {!abort_transaction} calls. *)
+
+val abort_reason_label : abort_reason -> string
+
+val abort_transaction :
+  cluster -> ?spare:Pid.t -> ?reason:abort_reason -> src:Site.t -> Txid.t -> unit
 (** Cascade abort (§4.3): locate the top-level process, roll back every
     member process's files, release locks, kill member fibers (sparing the
     caller's), wake a parked [end_trans] with [Aborted]. Safe to call from
-    any fiber, including a member of the transaction itself. *)
+    any fiber, including a member of the transaction itself. [reason]
+    (default [User]) feeds the abort taxonomy counters. *)
 
 val member_exit : cluster -> src:Site.t -> Locus_proc.Process.t -> unit
 (** Run the member-process exit protocol for a transaction member: merge
@@ -215,6 +226,18 @@ val set_observer : cluster -> Obs.sink option -> unit
 val observe : cluster -> site:Site.t -> Obs.event -> unit
 (** Emit an event to the installed observer (no-op without one). Exposed
     for the Api layer and for tests that fabricate histories. *)
+
+(** {1 Causal span tracing (Locus_otrace)} *)
+
+val set_otracer : cluster -> Locus_otrace.Otrace.t option -> unit
+(** Install (or remove) the cluster's span collector. Like the observer,
+    every emission point is a single option test when absent — no spans,
+    no argument rendering, no overhead. While installed, the kernel opens
+    spans around lock waits, every 2PC phase, replica propagation, lock
+    release, message handling and recovery, and attaches span context to
+    outgoing [Msg] envelopes so trees stitch across sites. *)
+
+val otracer : cluster -> Locus_otrace.Otrace.t option
 
 (** {1 Introspection for tests and benches} *)
 

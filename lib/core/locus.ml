@@ -5,6 +5,7 @@ module Api = Api
 module Kernel = Kernel
 module Msg = Msg
 module Obs = Obs
+module Otrace = Locus_otrace.Otrace
 module Mode = Locus_lock.Mode
 
 type sim = { engine : Engine.t; cluster : Kernel.cluster }

@@ -71,6 +71,42 @@ type reply =
   | R_update of Update.t
   | R_versions of (int * int) list
 
+type env = { ctx : Locus_otrace.Otrace.ctx option; payload : t }
+
+let envelope ?ctx payload = { ctx; payload }
+
+(* Short static name per constructor — used as the server-side span name,
+   so it must be allocation-free and stable across runs. *)
+let label = function
+  | Open _ -> "open"
+  | Close _ -> "close"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Lock _ -> "lock"
+  | Lock_append _ -> "lock-append"
+  | Unlock _ -> "unlock"
+  | Commit_file _ -> "commit-file"
+  | Abort_file _ -> "abort-file"
+  | File_size _ -> "size"
+  | Create_file _ -> "create-file"
+  | Member_join _ -> "member-join"
+  | Merge_file_list _ -> "merge-file-list"
+  | Proc_arrive _ -> "proc-arrive"
+  | Proc_exit_cleanup _ -> "proc-exit"
+  | Prepare _ -> "prepare"
+  | Commit_phase2 _ -> "commit2"
+  | Abort_phase2 _ -> "abort2"
+  | Abort_tree _ -> "abort-tree"
+  | Query_outcome _ -> "query-outcome"
+  | Find_process _ -> "find-process"
+  | Replica_commit _ -> "replica-commit"
+  | Replica_pull _ -> "replica-pull"
+  | Replica_versions _ -> "replica-versions"
+  | Replica_read _ -> "replica-read"
+  | Delegate_locks _ -> "delegate-locks"
+  | Recall_locks _ -> "recall-locks"
+  | Ping -> "ping"
+
 let pp ppf = function
   | Open { fid } -> Fmt.pf ppf "open %a" File_id.pp fid
   | Close { fid; _ } -> Fmt.pf ppf "close %a" File_id.pp fid

@@ -103,5 +103,16 @@ type reply =
   | R_versions of (int * int) list
       (** [(ino, committed version)] for every file of a volume copy *)
 
+type env = { ctx : Locus_otrace.Otrace.ctx option; payload : t }
+(** What actually crosses the wire: the request plus optional causal span
+    context, so a server-side span can parent itself under the remote
+    caller's span and a transaction's tree stitches across sites. *)
+
+val envelope : ?ctx:Locus_otrace.Otrace.ctx -> t -> env
+
+val label : t -> string
+(** Short static constructor name ("prepare", "commit2", ...), used as
+    the server-side span name. *)
+
 val pp : t Fmt.t
 val pp_reply : reply Fmt.t

@@ -59,6 +59,7 @@ let create ?(seed = 42) ?(costs = Costs.default) () =
   }
 
 let now t = t.now
+let current_fiber t = t.current
 let stats t = t.stats
 let trace t = t.trace
 let costs t = t.costs

@@ -32,6 +32,12 @@ end
 
 val create : ?seed:int -> ?costs:Costs.t -> unit -> t
 val now : t -> time
+
+val current_fiber : t -> Fiber.handle option
+(** The fiber currently executing, if control is inside one. Observability
+    layers use this to key ambient per-fiber state (e.g. span stacks)
+    without threading a context argument through every call. *)
+
 val stats : t -> Stats.t
 
 val trace : t -> Trace.t

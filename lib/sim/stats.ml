@@ -1,9 +1,88 @@
+module Hist = struct
+  (* Power-of-two buckets: bucket 0 holds the value 0, bucket [i >= 1]
+     holds values in [2^(i-1), 2^i). 63 buckets cover the whole
+     non-negative [int] range, so memory is bounded no matter how many
+     values are recorded — unlike the unbounded [sample] series. *)
+  let nbuckets = 63
+
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable total : int;
+    mutable vmin : int;
+    mutable vmax : int;
+  }
+
+  let create () =
+    { buckets = Array.make nbuckets 0; count = 0; total = 0; vmin = max_int; vmax = 0 }
+
+  let index v =
+    if v <= 0 then 0
+    else begin
+      (* number of significant bits of v, i.e. floor(log2 v) + 1 *)
+      let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+      min (nbuckets - 1) (bits 0 v)
+    end
+
+  let bucket_lo i = if i = 0 then 0 else 1 lsl (i - 1)
+  let bucket_hi i = 1 lsl i
+
+  let add t v =
+    let v = max 0 v in
+    t.buckets.(index v) <- t.buckets.(index v) + 1;
+    t.count <- t.count + 1;
+    t.total <- t.total + v;
+    if v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v
+
+  let count t = t.count
+  let total t = t.total
+  let min_value t = if t.count = 0 then 0 else t.vmin
+  let max_value t = t.vmax
+  let mean t = if t.count = 0 then 0. else float_of_int t.total /. float_of_int t.count
+
+  let buckets t =
+    let out = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if t.buckets.(i) > 0 then
+        out := (bucket_lo i, bucket_hi i, t.buckets.(i)) :: !out
+    done;
+    !out
+
+  (* Nearest-rank quantile over the buckets: the estimate for percentile
+     [p] is the upper edge (inclusive) of the bucket where the cumulative
+     count reaches ceil(p*n/100), clamped to the observed maximum. *)
+  let quantile t p =
+    if t.count = 0 then 0
+    else begin
+      let rank = max 1 ((p * t.count + 99) / 100) in
+      let rec walk i cum =
+        if i >= nbuckets then t.vmax
+        else
+          let cum = cum + t.buckets.(i) in
+          if cum >= rank then min (bucket_hi i - 1) t.vmax else walk (i + 1) cum
+      in
+      walk 0 0
+    end
+
+  let pp ppf t =
+    Fmt.pf ppf "n=%d mean=%.1f min=%d p50=%d p95=%d p99=%d max=%d" t.count
+      (mean t) (min_value t) (quantile t 50) (quantile t 95) (quantile t 99)
+      t.vmax
+end
+
 type t = {
   counters : (string, int ref) Hashtbl.t;
   series : (string, int list ref) Hashtbl.t;
+  hists : (string, Hist.t) Hashtbl.t;
 }
 
-let create () = { counters = Hashtbl.create 32; series = Hashtbl.create 32 }
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    series = Hashtbl.create 32;
+    hists = Hashtbl.create 32;
+  }
 
 let counter_ref t name =
   match Hashtbl.find_opt t.counters name with
@@ -20,7 +99,8 @@ let reset t name = match Hashtbl.find_opt t.counters name with Some r -> r := 0 
 
 let reset_all t =
   Hashtbl.iter (fun _ r -> r := 0) t.counters;
-  Hashtbl.reset t.series
+  Hashtbl.reset t.series;
+  Hashtbl.reset t.hists
 
 let counters t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
@@ -34,12 +114,35 @@ let sample t name v =
 let samples t name =
   match Hashtbl.find_opt t.series name with Some r -> List.rev !r | None -> []
 
+let hist_ref t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h = Hist.create () in
+    Hashtbl.add t.hists name h;
+    h
+
+let hist t name v = Hist.add (hist_ref t name) v
+let histogram t name = Hashtbl.find_opt t.hists name
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 module Summary = struct
-  type t = { n : int; mean : float; min : int; max : int; p50 : int; p95 : int }
+  type t = {
+    n : int;
+    mean : float;
+    min : int;
+    max : int;
+    p50 : int;
+    p95 : int;
+    p99 : int;
+  }
 
   let pp ppf s =
-    Fmt.pf ppf "n=%d mean=%.1f min=%d p50=%d p95=%d max=%d" s.n s.mean s.min
-      s.p50 s.p95 s.max
+    Fmt.pf ppf "n=%d mean=%.1f min=%d p50=%d p95=%d p99=%d max=%d" s.n s.mean
+      s.min s.p50 s.p95 s.p99 s.max
 end
 
 let summary t name =
@@ -49,7 +152,10 @@ let summary t name =
     let a = Array.of_list xs in
     Array.sort Int.compare a;
     let n = Array.length a in
-    let pct p = a.(min (n - 1) (p * n / 100)) in
+    (* Nearest-rank: the smallest element with at least ceil(p*n/100) of
+       the samples at or below it. (The old [p*n/100] index rounded the
+       rank up by one: p50 of [1;2] answered 2.) *)
+    let pct p = a.(max 0 (((p * n + 99) / 100) - 1)) in
     let total = Array.fold_left ( + ) 0 a in
     Some
       Summary.
@@ -60,6 +166,7 @@ let summary t name =
           max = a.(n - 1);
           p50 = pct 50;
           p95 = pct 95;
+          p99 = pct 99;
         }
 
 let pp ppf t =
@@ -70,4 +177,5 @@ let pp ppf t =
       match summary t k with
       | Some s -> Fmt.pf ppf "%-40s %a@." k Summary.pp s
       | None -> ())
-    (List.sort String.compare names)
+    (List.sort String.compare names);
+  List.iter (fun (k, h) -> Fmt.pf ppf "%-40s %a@." k Hist.pp h) (histograms t)

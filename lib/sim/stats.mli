@@ -1,8 +1,37 @@
-(** Named counters and latency samples gathered during a simulation run.
+(** Named counters, latency samples, and bounded histograms gathered
+    during a simulation run.
 
     The benchmark harness reads these to reproduce the paper's tables:
     disk-I/O counts drive Figure 5, and latency samples drive Figure 6 and
-    the §6.2 locking measurements. *)
+    the §6.2 locking measurements. Hot paths that would otherwise grow an
+    unbounded [sample] series record into log-bucketed {!Hist} histograms
+    instead (fixed memory, O(1) insert). *)
+
+(** Bounded log2-bucketed histogram: bucket 0 holds the value 0, bucket
+    [i >= 1] holds values in [[2^(i-1), 2^i)]. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  (** Record one non-negative value (negatives are clamped to 0). *)
+
+  val count : t -> int
+  val total : t -> int
+  val min_value : t -> int
+  val max_value : t -> int
+  val mean : t -> float
+
+  val buckets : t -> (int * int * int) list
+  (** Non-empty buckets as [(lo, hi_exclusive, count)], ascending. *)
+
+  val quantile : t -> int -> int
+  (** [quantile t p] estimates percentile [p] (nearest-rank over buckets):
+      the inclusive upper edge of the bucket where the cumulative count
+      reaches the rank, clamped to the observed maximum. 0 when empty. *)
+
+  val pp : t Fmt.t
+end
 
 type t
 
@@ -24,18 +53,37 @@ val counters : t -> (string * int) list
 (** {1 Latency / value samples} *)
 
 val sample : t -> string -> int -> unit
-(** Record one sample (e.g. a latency in µs) under [name]. *)
+(** Record one sample (e.g. a latency in µs) under [name]. Unbounded —
+    prefer {!hist} on hot paths. *)
 
 val samples : t -> string -> int list
 (** Samples in recording order; [] if none. *)
 
+(** {1 Histograms} *)
+
+val hist : t -> string -> int -> unit
+(** Record one value into the named bounded histogram. *)
+
+val histogram : t -> string -> Hist.t option
+val histograms : t -> (string * Hist.t) list
+(** All histograms, sorted by name. *)
+
 module Summary : sig
-  type t = { n : int; mean : float; min : int; max : int; p50 : int; p95 : int }
+  type t = {
+    n : int;
+    mean : float;
+    min : int;
+    max : int;
+    p50 : int;
+    p95 : int;
+    p99 : int;
+  }
 
   val pp : t Fmt.t
 end
 
 val summary : t -> string -> Summary.t option
+(** Nearest-rank quantiles over a recorded sample series. *)
 
 val pp : t Fmt.t
-(** Render all counters and sample summaries, for debugging. *)
+(** Render all counters, sample summaries and histograms, for debugging. *)

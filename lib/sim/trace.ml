@@ -30,12 +30,20 @@ type t = {
   ring : event option array;
   mutable next : int;
   mutable count : int;
+  mutable dropped : int;  (* events overwritten after the ring wrapped *)
   mutable active : category list option;  (* None = disabled *)
 }
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create: non-positive capacity";
-  { capacity; ring = Array.make capacity None; next = 0; count = 0; active = None }
+  {
+    capacity;
+    ring = Array.make capacity None;
+    next = 0;
+    count = 0;
+    dropped = 0;
+    active = None;
+  }
 
 let enable ?(categories = [ Net; Disk; Lock; Txn; Proc; Fs; Recovery; User ]) t =
   t.active <- Some categories
@@ -47,10 +55,13 @@ let enabled t cat =
 
 let emit t ~at ~cat ~site text =
   if enabled t cat then begin
+    if t.count = t.capacity then t.dropped <- t.dropped + 1;
     t.ring.(t.next) <- Some { at; cat; site; text };
     t.next <- (t.next + 1) mod t.capacity;
     t.count <- min (t.count + 1) t.capacity
   end
+
+let dropped t = t.dropped
 
 (* A sink that consumes the format arguments without rendering anything:
    the disabled-category path must not pay for [kasprintf]. *)
@@ -73,7 +84,8 @@ let events t =
 let clear t =
   Array.fill t.ring 0 t.capacity None;
   t.next <- 0;
-  t.count <- 0
+  t.count <- 0;
+  t.dropped <- 0
 
 let pp_event ppf e =
   let cat = Fmt.str "%a" pp_category e.cat in
@@ -81,4 +93,10 @@ let pp_event ppf e =
     (float_of_int e.at /. 1000.)
     cat e.site e.text
 
-let dump ppf t = List.iter (fun e -> Fmt.pf ppf "%a@." pp_event e) (events t)
+let dump ppf t =
+  if t.dropped > 0 then
+    Fmt.pf ppf "(truncated: %d earlier event%s dropped by the %d-entry ring)@."
+      t.dropped
+      (if t.dropped = 1 then "" else "s")
+      t.capacity;
+  List.iter (fun e -> Fmt.pf ppf "%a@." pp_event e) (events t)

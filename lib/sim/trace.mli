@@ -37,6 +37,15 @@ val emitf :
 val events : t -> event list
 (** Oldest first; at most [capacity] most recent events. *)
 
+val dropped : t -> int
+(** How many events were overwritten after the ring wrapped — a non-zero
+    value means {!events} is a truncated view, not the full history. *)
+
 val clear : t -> unit
+(** Empty the ring and reset the dropped count. *)
+
 val pp_event : event Fmt.t
+
 val dump : t Fmt.t
+(** Print all retained events, preceded by a truncation banner when any
+    events were dropped. *)

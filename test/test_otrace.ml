@@ -1,0 +1,268 @@
+(* Causal span tracing: cross-site context propagation, tree completeness,
+   determinism, crash/recovery, the lock-contention profile, and the
+   abort-reason taxonomy counters. *)
+
+module L = Locus_core.Locus
+module Api = L.Api
+module K = L.Kernel
+module M = L.Mode
+module O = L.Otrace
+
+(* The canonical distributed scenario: two volumes replicated across
+   sites 1/2, two workers at site 0 contending on the same record so the
+   second blocks until phase 2 of the first commit releases the lock.
+   Exercises every span kind: lock.wait, prepare, commit.force,
+   phase2.apply, replica.propagate, lock.release, rpc, syscall. *)
+let run_workload ?(crash = false) ~seed () =
+  let sites = 3 in
+  let config = K.Config.with_replication ~n_sites:sites ~factor:2 in
+  let sim = L.make ~seed ~config ~n_sites:sites () in
+  let cl = sim.L.cluster in
+  let otr = O.create (K.engine cl) in
+  K.set_otracer cl (Some otr);
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"setup" (fun env ->
+         let mk path vid =
+           let c = Api.creat env path ~vid in
+           Api.pwrite env c ~pos:0 (Bytes.make 128 '.');
+           Api.commit_file env c;
+           Api.close env c
+         in
+         mk "/t/a" 1;
+         mk "/t/b" 2;
+         let worker i delay =
+           Api.fork env ~site:0 ~name:(Printf.sprintf "w%d" i) (fun w ->
+               Engine.sleep delay;
+               Api.begin_trans w;
+               let upd path v =
+                 let c = Api.open_file w path in
+                 Api.seek w c ~pos:0;
+                 (match Api.lock w c ~len:64 ~mode:M.Exclusive () with
+                 | Api.Granted -> ()
+                 | Api.Conflict _ -> ());
+                 Api.pwrite w c ~pos:0
+                   (Bytes.of_string (Printf.sprintf "%-64d" v));
+                 c
+               in
+               let ca = upd "/t/a" i in
+               let cb = upd "/t/b" (10 * i) in
+               Engine.sleep 5_000;
+               ignore (Api.end_trans w);
+               Api.close w ca;
+               Api.close w cb)
+         in
+         let w1 = worker 1 0 in
+         let w2 = worker 2 20_000 in
+         Api.wait_pid env w1;
+         Api.wait_pid env w2));
+  if crash then
+    ignore
+      (Api.spawn_process cl ~site:0 ~name:"chaos" (fun _ ->
+           Engine.sleep 40_000;
+           K.crash_site cl 2;
+           Engine.sleep 400_000;
+           K.restart_site cl 2));
+  L.run sim;
+  (sim, otr)
+
+let names_of spans = List.map (fun (_, _, n, _, _, _, _) -> n) spans
+
+let check_parents_resolve spans =
+  let ids = Hashtbl.create 256 in
+  List.iter (fun (id, _, _, _, _, _, _) -> Hashtbl.replace ids id ()) spans;
+  List.iter
+    (fun (_, parent, name, _, _, _, _) ->
+      match parent with
+      | Some p when not (Hashtbl.mem ids p) ->
+        Alcotest.failf "span %s has unresolved parent %d" name p
+      | Some _ | None -> ())
+    spans
+
+let test_tree_complete () =
+  let _sim, otr = run_workload ~seed:11 () in
+  let spans = O.spans otr in
+  Alcotest.(check int) "ring did not wrap" 0 (O.dropped otr);
+  check_parents_resolve spans;
+  let names = names_of spans in
+  List.iter
+    (fun required ->
+      Alcotest.(check bool) (required ^ " present") true (List.mem required names))
+    [ "txn"; "sys.end_trans"; "2pc"; "coord_log.write"; "2pc.prepare";
+      "prepare"; "prepare.force"; "2pc.votes"; "commit.force"; "2pc.phase2";
+      "phase2.apply"; "replica.propagate"; "replica-commit"; "lock.wait";
+      "lock.release" ];
+  let sites =
+    List.sort_uniq Int.compare (List.map (fun (_, _, _, _, s, _, _) -> s) spans)
+  in
+  Alcotest.(check bool) "spans at >= 2 sites" true (List.length sites >= 2);
+  (* every span closed before the end of virtual time, none inverted *)
+  List.iter
+    (fun (_, _, name, _, _, s, e) ->
+      if e < s then Alcotest.failf "span %s ends before it starts" name)
+    spans
+
+(* A participant's server-side [prepare] span runs at a storage site but
+   must chain — through the envelope ctx and the coordinator's 2PC spans —
+   all the way up to the [txn] root opened at the client site. *)
+let test_cross_site_ancestry () =
+  let _sim, otr = run_workload ~seed:11 () in
+  let spans = O.spans otr in
+  let by_id = Hashtbl.create 256 in
+  List.iter
+    (fun ((id, _, _, _, _, _, _) as sp) -> Hashtbl.replace by_id id sp)
+    spans;
+  let rec root_name (_, parent, name, _, _, _, _) =
+    match parent with
+    | None -> name
+    | Some p -> root_name (Hashtbl.find by_id p)
+  in
+  let remote name =
+    List.filter (fun (_, _, n, _, s, _, _) -> n = name && s <> 0) spans
+  in
+  let prepares = remote "prepare" in
+  Alcotest.(check bool) "remote prepare spans exist" true (prepares <> []);
+  List.iter
+    (fun sp ->
+      Alcotest.(check string) "prepare roots at txn" "txn" (root_name sp))
+    prepares;
+  (* replica propagation crosses a second hop: primary -> secondary. The
+     setup's non-transactional commits also propagate (those root at their
+     syscall), so require that at least one apply chains to a txn root. *)
+  let applies = remote "replica-commit" in
+  Alcotest.(check bool) "replica-commit spans exist" true (applies <> []);
+  Alcotest.(check bool) "some replica apply roots at txn" true
+    (List.exists (fun sp -> root_name sp = "txn") applies)
+
+let test_deterministic () =
+  let _s1, o1 = run_workload ~seed:11 () in
+  let _s2, o2 = run_workload ~seed:11 () in
+  Alcotest.(check int) "same span count" (O.span_count o1) (O.span_count o2);
+  Alcotest.(check bool) "identical span streams" true (O.spans o1 = O.spans o2)
+
+(* Crash a storage site mid-run, restart it: the recovery pass must be
+   spanned, and the surviving forest must still have no dangling parents
+   (retried work after the crash re-parents cleanly). *)
+let test_crash_recovery () =
+  let _sim, otr = run_workload ~crash:true ~seed:13 () in
+  let spans = O.spans otr in
+  check_parents_resolve spans;
+  Alcotest.(check bool) "recovery span present" true
+    (List.mem "recovery" (names_of spans))
+
+let test_contention_profile () =
+  let _sim, otr = run_workload ~seed:11 () in
+  match O.contention otr with
+  | [] -> Alcotest.fail "no contention recorded despite a forced lock wait"
+  | hot :: _ ->
+    Alcotest.(check bool) "at least one wait" true (hot.O.wp_waits >= 1);
+    Alcotest.(check bool) "wait time accounted" true (hot.O.wp_total_wait_us > 0);
+    Alcotest.(check bool) "max <= total" true
+      (hot.O.wp_max_wait_us <= hot.O.wp_total_wait_us);
+    Alcotest.(check bool) "queue depth seen" true (hot.O.wp_max_queue >= 1);
+    Alcotest.(check bool) "blocker named" true (hot.O.wp_blockers <> [])
+
+let test_export_shape () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let sim, otr = run_workload ~seed:11 () in
+  let render f =
+    let buf = Buffer.create 8192 in
+    let ppf = Format.formatter_of_buffer buf in
+    f ppf;
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+  in
+  let chrome = render (fun ppf -> O.export_chrome otr ppf) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("chrome json has " ^ needle) true
+        (contains chrome needle))
+    [ "\"traceEvents\""; "\"ph\": \"X\""; "\"lock.wait\""; "\"otherData\"" ];
+  let metrics =
+    render (fun ppf -> O.export_metrics otr (L.Engine.stats sim.L.engine) ppf)
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("metrics json has " ^ needle) true
+        (contains metrics needle))
+    [ "\"phases\""; "\"lock_contention\""; "\"aborts\""; "\"deadlock\"";
+      "\"counters\"" ]
+
+(* The abort taxonomy is plain Stats counters — it must tick with no
+   collector installed. Two workers lock the same two records in opposite
+   orders; the detector's victim aborts with reason [Deadlock]. *)
+let test_abort_taxonomy () =
+  let sim = L.make ~seed:5 ~n_sites:1 () in
+  let cl = sim.L.cluster in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"main" (fun env ->
+         let c = Api.creat env "/d" ~vid:0 in
+         Api.write_string env c (String.make 128 'i');
+         Api.commit_file env c;
+         let w i =
+           Api.fork env ~name:(Printf.sprintf "w%d" i) (fun w ->
+               Api.begin_trans w;
+               Api.seek w c ~pos:(i * 64);
+               (match Api.lock w c ~len:64 ~mode:M.Exclusive () with
+               | Api.Granted -> ()
+               | Api.Conflict _ -> ());
+               Engine.sleep 30_000;
+               Api.seek w c ~pos:(64 * ((i + 1) mod 2));
+               (match Api.lock w c ~len:64 ~mode:M.Exclusive () with
+               | Api.Granted -> ()
+               | Api.Conflict _ -> ());
+               ignore (Api.end_trans w))
+         in
+         let pids = List.init 2 w in
+         List.iter (Api.wait_pid env) pids));
+  L.run sim;
+  let stats = L.Engine.stats sim.L.engine in
+  Alcotest.(check bool) "deadlock abort counted" true
+    (L.Stats.get stats "txn.abort.deadlock" >= 1);
+  Alcotest.(check int) "no crash aborts" 0 (L.Stats.get stats "txn.abort.crash")
+
+(* A tiny ring forces drops; the exporter must still resolve or promote
+   every surviving span. *)
+let test_ring_bound () =
+  let sites = 3 in
+  let config = K.Config.with_replication ~n_sites:sites ~factor:2 in
+  let sim = L.make ~seed:11 ~config ~n_sites:sites () in
+  let cl = sim.L.cluster in
+  let otr = O.create ~capacity:16 (K.engine cl) in
+  K.set_otracer cl (Some otr);
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"p" (fun env ->
+         let c = Api.creat env "/r" ~vid:1 in
+         for i = 1 to 8 do
+           Api.pwrite env c ~pos:0 (Bytes.of_string (Printf.sprintf "%8d" i));
+           Api.commit_file env c
+         done;
+         Api.close env c));
+  L.run sim;
+  Alcotest.(check int) "ring holds capacity" 16 (O.span_count otr);
+  Alcotest.(check bool) "drops counted" true (O.dropped otr > 0);
+  (* chrome export promotes orphans: every parent id in the file resolves *)
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  O.export_chrome otr ppf;
+  Format.pp_print_flush ppf ();
+  Alcotest.(check bool) "export mentions orphans" true
+    (Buffer.length buf > 0)
+
+let suite =
+  [
+    ( "otrace",
+      [
+        Alcotest.test_case "span tree complete" `Quick test_tree_complete;
+        Alcotest.test_case "cross-site ancestry" `Quick test_cross_site_ancestry;
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "crash + recovery" `Quick test_crash_recovery;
+        Alcotest.test_case "contention profile" `Quick test_contention_profile;
+        Alcotest.test_case "export shape" `Quick test_export_shape;
+        Alcotest.test_case "abort taxonomy" `Quick test_abort_taxonomy;
+        Alcotest.test_case "bounded ring" `Quick test_ring_bound;
+      ] );
+  ]

@@ -287,6 +287,68 @@ let test_emitf_lazy () =
   Alcotest.(check int) "enabled category renders" 1 !forced;
   Alcotest.(check int) "one event recorded" 1 (List.length (Trace.events t))
 
+(* Appended: nearest-rank quantiles, bounded histograms, ring drop count. *)
+
+let test_stats_quantile_nearest_rank () =
+  (* Regression: nearest-rank p50 of [1; 2] is the 1st order statistic (1),
+     not the 2nd — rank = ceil(50 * 2 / 100) = 1. *)
+  let s = Stats.create () in
+  List.iter (Stats.sample s "two") [ 2; 1 ];
+  (match Stats.summary s "two" with
+  | None -> Alcotest.fail "no summary"
+  | Some sum ->
+    Alcotest.(check int) "p50 of [1;2]" 1 sum.Stats.Summary.p50;
+    Alcotest.(check int) "p99 of [1;2]" 2 sum.Stats.Summary.p99);
+  let s2 = Stats.create () in
+  for v = 100 downto 1 do
+    Stats.sample s2 "hundred" v
+  done;
+  match Stats.summary s2 "hundred" with
+  | None -> Alcotest.fail "no summary"
+  | Some sum ->
+    Alcotest.(check int) "p50 of 1..100" 50 sum.Stats.Summary.p50;
+    Alcotest.(check int) "p95 of 1..100" 95 sum.Stats.Summary.p95;
+    Alcotest.(check int) "p99 of 1..100" 99 sum.Stats.Summary.p99
+
+let test_hist_buckets () =
+  let h = Stats.Hist.create () in
+  List.iter (Stats.Hist.add h) [ 0; 1; 2; 3; 4; 8 ];
+  Alcotest.(check int) "count" 6 (Stats.Hist.count h);
+  Alcotest.(check int) "total" 18 (Stats.Hist.total h);
+  Alcotest.(check int) "min" 0 (Stats.Hist.min_value h);
+  Alcotest.(check int) "max" 8 (Stats.Hist.max_value h);
+  Alcotest.(check (list (triple int int int)))
+    "log2 bucket boundaries"
+    [ (0, 1, 1); (1, 2, 1); (2, 4, 2); (4, 8, 1); (8, 16, 1) ]
+    (Stats.Hist.buckets h);
+  (* rank 3 of 6 lands in the [2,4) bucket; upper inclusive edge is 3 *)
+  Alcotest.(check int) "p50" 3 (Stats.Hist.quantile h 50);
+  (* top quantile clamps to the observed maximum, not the bucket edge 15 *)
+  Alcotest.(check int) "p100 clamps to max" 8 (Stats.Hist.quantile h 100)
+
+let test_hist_named () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "absent" true (Stats.histogram s "lat" = None);
+  Stats.hist s "lat" 7;
+  Stats.hist s "lat" 9;
+  match Stats.histogram s "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    Alcotest.(check int) "count" 2 (Stats.Hist.count h);
+    Alcotest.(check int) "one name" 1 (List.length (Stats.histograms s))
+
+let test_trace_dropped () =
+  let t = Trace.create ~capacity:4 () in
+  Trace.enable t;
+  Alcotest.(check int) "fresh ring drops nothing" 0 (Trace.dropped t);
+  for i = 1 to 6 do
+    Trace.emit t ~at:i ~cat:Trace.User ~site:0 (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "still holds capacity" 4 (List.length (Trace.events t));
+  Alcotest.(check int) "two oldest dropped" 2 (Trace.dropped t);
+  Trace.clear t;
+  Alcotest.(check int) "clear resets drop count" 0 (Trace.dropped t)
+
 let suite =
   suite
   @ [
@@ -296,5 +358,12 @@ let suite =
           Alcotest.test_case "category filter" `Quick test_trace_category_filter;
           Alcotest.test_case "emitf lazy when disabled" `Quick test_emitf_lazy;
           Alcotest.test_case "kernel integration" `Quick test_trace_from_kernel;
+          Alcotest.test_case "dropped counter" `Quick test_trace_dropped;
+        ] );
+      ( "sim.stats.quantiles",
+        [
+          Alcotest.test_case "nearest rank" `Quick test_stats_quantile_nearest_rank;
+          Alcotest.test_case "hist buckets" `Quick test_hist_buckets;
+          Alcotest.test_case "named hists" `Quick test_hist_named;
         ] );
     ]
