@@ -21,6 +21,10 @@ type metric = {
   p99_us : int;
   samples : int;
   phases : phase list;  (** optional per-phase breakdown; often empty *)
+  extras : (string * float) list;
+      (** experiment-specific scalar fields, emitted verbatim as extra
+          JSON keys on the metric object (e.g. ["coord_forces"]) so gate
+          scripts can check them with jq; often empty *)
 }
 
 let percentile latencies p =
@@ -34,7 +38,7 @@ let percentile latencies p =
 (* A metric from raw per-operation virtual latencies plus the virtual
    wall time the batch spanned (concurrent operations overlap, so
    throughput comes from the span, not the latency sum). *)
-let metric ?(phases = []) ~label ~span_us latencies =
+let metric ?(phases = []) ?(extras = []) ~label ~span_us latencies =
   let samples = List.length latencies in
   let ops_per_sec =
     if span_us <= 0 then 0.
@@ -47,11 +51,12 @@ let metric ?(phases = []) ~label ~span_us latencies =
     p99_us = percentile latencies 99.;
     samples;
     phases;
+    extras;
   }
 
 (* A metric from one measured operation (e.g. the single-shot paper
    reproductions): percentiles collapse to the one latency. *)
-let single ?(phases = []) ~label ~latency_us () =
+let single ?(phases = []) ?(extras = []) ~label ~latency_us () =
   {
     label;
     ops_per_sec =
@@ -60,6 +65,7 @@ let single ?(phases = []) ~label ~latency_us () =
     p99_us = latency_us;
     samples = 1;
     phases;
+    extras;
   }
 
 let escape s =
@@ -87,6 +93,9 @@ let write ~exp metrics =
             "    {\"label\": \"%s\", \"ops_per_sec\": %.2f, \
              \"p50_virtual_us\": %d, \"p99_virtual_us\": %d, \"samples\": %d"
             (escape m.label) m.ops_per_sec m.p50_us m.p99_us m.samples;
+          List.iter
+            (fun (k, v) -> pf ", \"%s\": %.2f" (escape k) v)
+            m.extras;
           (match m.phases with
           | [] -> ()
           | phases ->

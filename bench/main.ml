@@ -21,6 +21,7 @@ let experiments =
     ("e13", "\xc2\xa77.1: old nested facility vs BeginTrans/EndTrans", Exp_baseline.e13);
     ("e14", "Locus_check: schedule exploration throughput", Exp_check.e14);
     ("e15", "\xc2\xa75.2: replication read fan-out and commit propagation cost", Exp_repl.e15);
+    ("e16", "group commit + RPC batching on the 2PC hot path", Exp_batch.e16);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

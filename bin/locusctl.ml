@@ -24,14 +24,17 @@ let print_summary sim =
       let v = L.Stats.get stats key in
       if v > 0 then Fmt.pr "%-24s %d@." key v)
     [
-      "txn.begun"; "txn.committed"; "txn.aborted"; "2pc.prepares";
-      "lock.requests"; "lock.waits"; "lock.implicit"; "deadlock.scans";
+      "txn.begun"; "txn.committed"; "txn.aborted"; "txn.abort.deadlock";
+      "2pc.prepares"; "lock.requests"; "lock.waits"; "lock.implicit";
+      "lock.piggyback"; "lock.piggyback_reads"; "deadlock.scans";
       "deadlock.victims"; "proc.forks"; "proc.migrations"; "merge.retries";
-      "disk.io.read"; "disk.io.write"; "disk.io.log"; "net.msg"; "cache.hit";
-      "cache.miss"; "recovery.replayed_commit"; "recovery.replayed_abort";
-      "replica.propagate"; "replica.propagate_miss"; "replica.apply";
-      "replica.gaps"; "replica.reconciled"; "replica.reconcile_passes";
-      "replica.failover_reads"; "replica.local_reads";
+      "disk.io.read"; "disk.io.write"; "disk.io.log"; "log.group_forces";
+      "log.forces_saved"; "net.msg"; "net.msg_saved"; "rpc.batches";
+      "rpc.batched"; "cache.hit"; "cache.miss"; "recovery.replayed_commit";
+      "recovery.replayed_abort"; "replica.propagate"; "replica.propagate_miss";
+      "replica.apply"; "replica.gaps"; "replica.reconciled";
+      "replica.reconcile_passes"; "replica.failover_reads";
+      "replica.local_reads";
     ]
 
 let seed_arg =
@@ -245,7 +248,7 @@ let chaos_cmd =
 
 (* {1 deadlock} *)
 
-let deadlock seed sites cycle trace =
+let deadlock seed sites cycle trace expect_resolved =
   let sim = L.make ~seed ~n_sites:sites () in
   setup_trace sim trace;
   ignore
@@ -253,14 +256,21 @@ let deadlock seed sites cycle trace =
          let c = Api.creat env "/r" ~vid:1 in
          Api.write_string env c (String.make (64 * cycle) 'i');
          Api.commit_file env c;
+         (* Spread the cycle across sites so the wait-for edges the
+            detector must assemble are genuinely distributed (§3.1). *)
          let worker i =
-           Api.fork env ~name:(Printf.sprintf "d%d" i) (fun w ->
+           Api.fork env ~site:(i mod sites) ~name:(Printf.sprintf "d%d" i)
+             (fun w ->
                Api.begin_trans w;
                Api.seek w c ~pos:(i * 64);
                (match Api.lock w c ~len:64 ~mode:M.Exclusive () with
                | Api.Granted -> ()
                | Api.Conflict _ -> ());
-               Engine.sleep 30_000;
+               (* Hold long enough that every worker — including ones
+                  forked to remote sites, which pay migration + path
+                  lookup latency first — owns its first record before
+                  anyone asks for its second, so the cycle closes. *)
+               Engine.sleep 500_000;
                Api.seek w c ~pos:(64 * ((i + 1) mod cycle));
                (match Api.lock w c ~len:64 ~mode:M.Exclusive () with
                | Api.Granted -> ()
@@ -273,15 +283,45 @@ let deadlock seed sites cycle trace =
   print_summary sim;
   Fmt.pr "@.--- kernel state (§3.1 interface) ---@.";
   Fmt.pr "%a" Locus_core.Kinfo.pp (Locus_core.Kinfo.snapshot sim.L.cluster);
-  dump_trace sim trace
+  dump_trace sim trace;
+  if expect_resolved then begin
+    let stats = L.Engine.stats sim.L.engine in
+    let get k = L.Stats.get stats k in
+    let check name cond =
+      Fmt.pr "expect %-28s %s@." name (if cond then "ok" else "FAILED");
+      cond
+    in
+    let ok =
+      List.for_all Fun.id
+        [
+          check "deadlock.victims >= 1" (get "deadlock.victims" >= 1);
+          check "txn.abort.deadlock >= 1" (get "txn.abort.deadlock" >= 1);
+          check "txn.committed >= 1" (get "txn.committed" >= 1);
+          check "no survivors stuck"
+            (K.active_transactions sim.L.cluster = []);
+        ]
+    in
+    if not ok then exit 1
+  end
 
 let deadlock_cmd =
   let cycle =
     Arg.(value & opt int 4 & info [ "cycle" ] ~docv:"N" ~doc:"Deadlock cycle size.")
   in
+  let expect_resolved =
+    Arg.(
+      value & flag
+      & info [ "expect-resolved" ]
+          ~doc:
+            "Self-test mode: exit non-zero unless the detector picked at \
+             least one victim (deadlock.victims, txn.abort.deadlock), at \
+             least one survivor committed, and no transaction is left \
+             active.")
+  in
   Cmd.v
     (Cmd.info "deadlock" ~doc:"Induce an N-cycle deadlock and watch the resolver.")
-    Term.(const deadlock $ seed_arg $ sites_arg $ cycle $ trace_arg)
+    Term.(
+      const deadlock $ seed_arg $ sites_arg $ cycle $ trace_arg $ expect_resolved)
 
 (* {1 dc: the DebitCredit workload} *)
 
@@ -383,13 +423,14 @@ let dc_cmd =
 
 module Ck = Locus_check
 
-let check_config sites txns ops records replicas fault_every =
+let check_config sites txns ops records replicas batch_window fault_every =
   {
     Ck.Explore.sites = max 2 sites;
     txns;
     ops;
     records;
     replicas = max 1 replicas;
+    batch_window = max 0 batch_window;
     fault_every;
   }
 
@@ -418,8 +459,19 @@ let replicas_arg =
           "Copies per volume (>1 enables primary-copy replication with \
            commit propagation).")
 
-let check seed sites txns ops records replicas fault_every =
-  let cfg = check_config sites txns ops records replicas fault_every in
+let batch_window_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "batch-window" ] ~docv:"US"
+        ~doc:
+          "Commit-path batching window in virtual microseconds (0 = off): \
+           enables group commit, RPC coalescing and piggybacked \
+           transactional reads for every checked run.")
+
+let check seed sites txns ops records replicas batch_window fault_every =
+  let cfg =
+    check_config sites txns ops records replicas batch_window fault_every
+  in
   let spec, hist, report = Ck.Explore.run_seed cfg seed in
   Fmt.pr "workload (seed %d):@.%a@." seed Ck.Workload.pp spec;
   Fmt.pr "@.history: %d events@." (Ck.History.length hist);
@@ -432,11 +484,13 @@ let check_cmd =
        ~doc:"Run one generated workload and check its history for serializability.")
     Term.(
       const check $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
-      $ replicas_arg $ fault_every_arg)
+      $ replicas_arg $ batch_window_arg $ fault_every_arg)
 
-let explore seed sites txns ops records replicas fault_every n_seeds break_locks
-    break_repl =
-  let cfg = check_config sites txns ops records replicas fault_every in
+let explore seed sites txns ops records replicas batch_window fault_every
+    n_seeds break_locks break_repl =
+  let cfg =
+    check_config sites txns ops records replicas batch_window fault_every
+  in
   if break_locks then begin
     Fmt.pr "!! breaking the shared/exclusive compatibility rule (Figure 1)@.";
     M.test_break_shared_exclusive := true
@@ -503,7 +557,8 @@ let explore_cmd =
           failure, shrink the workload to a minimal reproducer.")
     Term.(
       const explore $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
-      $ replicas_arg $ fault_every_arg $ n_seeds $ break_locks $ break_repl)
+      $ replicas_arg $ batch_window_arg $ fault_every_arg $ n_seeds
+      $ break_locks $ break_repl)
 
 (* {1 repl-status} *)
 

@@ -1,0 +1,11 @@
+(* Fault-injection switch for the batching layer (self-tests only). *)
+
+(* When set, every batching optimisation silently degrades to the
+   unbatched behaviour while the configuration still claims a non-zero
+   window: group-commit batchers flush one force per record, the
+   transport sends one message per request, and lock-read piggybacking
+   falls back to the explicit lock-then-read pair. The CI perf gate must
+   notice the regression in BENCH_e16.json — this is how we prove the
+   gate fires. Used by `bench e16` via LOCUS_BREAK_BATCH=1; reset it
+   when done. *)
+let break_batch = ref false

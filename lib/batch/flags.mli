@@ -1,0 +1,10 @@
+(** Fault-injection switch for batching self-tests. *)
+
+val break_batch : bool ref
+(** When true, every batching optimisation silently degrades to the
+    unbatched behaviour while the configuration still claims a non-zero
+    window: group commit forces once per record, the transport sends one
+    message per request, and lock-read piggybacking falls back to the
+    explicit lock-then-read pair. The CI perf gate must notice the
+    resulting regression in BENCH_e16.json — this proves the gate fires.
+    Used by [bench e16] via [LOCUS_BREAK_BATCH=1]. Default false. *)

@@ -4,11 +4,20 @@ type config = {
   ops : int;
   records : int;
   replicas : int;
+  batch_window : int;
   fault_every : int option;
 }
 
 let default_config =
-  { sites = 2; txns = 4; ops = 4; records = 4; replicas = 1; fault_every = None }
+  {
+    sites = 2;
+    txns = 4;
+    ops = 4;
+    records = 4;
+    replicas = 1;
+    batch_window = 0;
+    fault_every = None;
+  }
 
 type failure = { f_seed : int; f_spec : Workload.spec; f_report : Checker.report }
 
@@ -40,7 +49,8 @@ let run_seed cfg seed =
       ~records:cfg.records ()
   in
   let hist, _sim =
-    Workload.run ?fault:(fault_for cfg seed) ~replicas:cfg.replicas ~seed spec
+    Workload.run ?fault:(fault_for cfg seed) ~replicas:cfg.replicas
+      ~batch_window:cfg.batch_window ~seed spec
   in
   (spec, hist, Checker.check hist)
 
@@ -75,7 +85,8 @@ let shrink_failure cfg f =
     let hist, _ =
       Workload.run
         ?fault:(fault_for cfg f.f_seed)
-        ~replicas:cfg.replicas ~seed:f.f_seed spec
+        ~replicas:cfg.replicas ~batch_window:cfg.batch_window ~seed:f.f_seed
+        spec
     in
     not (Checker.ok (Checker.check hist))
   in

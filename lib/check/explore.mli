@@ -14,6 +14,10 @@ type config = {
   replicas : int;
       (** copies per volume (1 = unreplicated; >1 enables primary-copy
           replication with commit propagation) *)
+  batch_window : int;
+      (** batching window in virtual µs (0 = off): enables group commit +
+          RPC coalescing and piggybacked transactional reads, so the
+          sweep proves 1SR with the commit-path batching live *)
   fault_every : int option;
       (** inject a fault on every k-th seed, alternating site
           crash + reboot with network partition + heal *)

@@ -49,16 +49,22 @@ let pp ppf s =
 let encode v = Printf.sprintf "%016d" v
 let decode b = int_of_string (String.trim (Bytes.to_string b))
 
-let run_txn env t =
+let run_txn ?(piggyback = false) env t =
   let c = Api.open_file env path in
   Api.begin_trans env;
   List.iter
     (fun op ->
       match op with
       | Op_read r ->
-          Api.seek env c ~pos:(r * rec_len);
-          ignore (Api.lock env c ~len:rec_len ~mode:Mode.Shared ());
-          ignore (Api.pread env c ~pos:(r * rec_len) ~len:rec_len)
+          if piggyback then
+            (* Batching runs exercise the one-round-trip §3.3 path: the
+               Shared lock rides on the read message itself. *)
+            ignore (Api.pread_locked env c ~pos:(r * rec_len) ~len:rec_len)
+          else begin
+            Api.seek env c ~pos:(r * rec_len);
+            ignore (Api.lock env c ~len:rec_len ~mode:Mode.Shared ());
+            ignore (Api.pread env c ~pos:(r * rec_len) ~len:rec_len)
+          end
       | Op_update r ->
           let pos = r * rec_len in
           Api.seek env c ~pos;
@@ -87,14 +93,18 @@ let install_fault cl fault =
               Transport.heal net)
       | Crash _ | Partition _ -> ())
 
-let run ?fault ?(replicas = 1) ?(seed = 0) spec =
+let run ?fault ?(replicas = 1) ?(batch_window = 0) ?(seed = 0) spec =
   let sim =
-    if replicas > 1 then
-      let config =
+    let base =
+      if replicas > 1 then
         K.Config.with_replication ~n_sites:spec.n_sites ~factor:replicas
-      in
-      L.make ~seed ~config ~n_sites:spec.n_sites ()
-    else L.make ~seed ~n_sites:spec.n_sites ()
+      else K.Config.default ~n_sites:spec.n_sites
+    in
+    let config =
+      if batch_window > 0 then K.Config.with_batching ~window_us:batch_window base
+      else base
+    in
+    L.make ~seed ~config ~n_sites:spec.n_sites ()
   in
   let hist = History.create () in
   History.attach hist sim.L.cluster;
@@ -115,7 +125,7 @@ let run ?fault ?(replicas = 1) ?(seed = 0) spec =
              (fun i t ->
                Api.fork env ~site:t.site
                  ~name:(Printf.sprintf "wl-txn-%d" i)
-                 (fun env -> run_txn env t))
+                 (fun env -> run_txn ~piggyback:(batch_window > 0) env t))
              spec.txns
          in
          List.iter (fun pid -> Api.wait_pid env pid) pids));

@@ -49,6 +49,7 @@ val gen :
 val run :
   ?fault:fault ->
   ?replicas:int ->
+  ?batch_window:int ->
   ?seed:int ->
   spec ->
   History.t * Locus_core.Locus.sim
@@ -59,7 +60,12 @@ val run :
     every volume at that many sites
     ({!Locus_core.Kernel.Config.with_replication}), so commits propagate
     and reads may be served by secondary copies — the checker's
-    one-copy-serializability rules then apply. *)
+    one-copy-serializability rules then apply. [batch_window > 0]
+    enables the commit-path batching
+    ({!Locus_core.Kernel.Config.with_batching}: group commit + RPC
+    coalescing at that window) and switches transactional reads to the
+    piggybacked {!Locus_core.Api.pread_locked} path, so the explorer
+    proves 1SR with every batching optimisation live. *)
 
 val pp : spec Fmt.t
 val pp_txn_spec : txn_spec Fmt.t

@@ -870,6 +870,57 @@ let lock env c ~len ~mode ?(non_transaction = false) ?(wait = true) () =
     | r -> raise (Error (Fmt.str "lock: %a" Msg.pp_reply r))
   end
 
+(* §3.3 lock-read piggybacking: a transaction's first read of a record
+   normally costs two round trips — an explicit Shared lock, then the
+   read. [read_locked] sends one [Read_locked] message instead: the
+   storage site takes the implicit Shared lock (retained until commit,
+   like any §3.1 implicit grant) and confirms it in the reply, so the
+   client caches the lock exactly as if {!lock} had granted it. Ranges
+   already covered, zero-length reads and conventional (non-transaction)
+   reads take the plain {!read} path; the break-batch self-test fault
+   degrades to the explicit lock-then-read pair it is meant to cost. *)
+let read_locked env c ~len =
+  let ch = chan_exn env c in
+  let pos = ch.Process.pos in
+  let covered =
+    len > 0
+    &&
+    let want = Byte_range.of_pos_len ~pos ~len in
+    match Hashtbl.find_opt env.lock_cache c with
+    | Some locks -> List.exists (fun (r, _) -> Byte_range.subsumes r want) locks
+    | None -> false
+  in
+  if len <= 0 || covered || not (in_transaction env) then read env c ~len
+  else if !Locus_batch.Flags.break_batch then begin
+    ignore (lock env c ~len ~mode:Mode.Shared ());
+    read env c ~len
+  end
+  else
+    with_syscall env "sys.read_locked" @@ fun () ->
+    syscall env;
+    let fid = ch.Process.fid in
+    note_use env fid;
+    let range = Byte_range.of_pos_len ~pos ~len in
+    match
+      rpc_storage env fid
+        (Msg.Read_locked { fid; reader = owner env; pid = pid env; pos; len })
+    with
+    | Msg.R_data_locked b ->
+      cache_lock env c range Mode.Shared;
+      Stats.incr (stats env) "lock.piggyback_reads";
+      ch.Process.pos <- pos + len;
+      b
+    | Msg.R_data b ->
+      (* Served without a retained lock (e.g. rare process-reader race):
+         data is good, but nothing may be cached. *)
+      ch.Process.pos <- pos + len;
+      b
+    | r -> raise (Error (Fmt.str "read_locked: %a" Msg.pp_reply r))
+
+let pread_locked env c ~pos ~len =
+  seek env c ~pos;
+  read_locked env c ~len
+
 let unlock env c ~len =
   with_syscall env "sys.unlock" @@ fun () ->
   syscall env;

@@ -128,6 +128,19 @@ val unlock : env -> int -> len:int -> unit
 (** Unlock [len] bytes at the current position. A transaction retains the
     lock (two-phase locking); a non-transaction releases it. *)
 
+val read_locked : env -> int -> len:int -> Bytes.t
+(** Like {!read}, but inside a transaction the implicit Shared-lock
+    acquisition piggybacks on the read message itself (§3.3): one round
+    trip where an explicit {!lock} followed by {!read} costs two. The
+    storage site retains the lock until commit and confirms it in the
+    reply, so it lands in the requesting-site lock cache exactly as if
+    {!lock} had granted it. Ranges already covered by a cached lock,
+    zero-length reads, and conventional (non-transaction) readers take
+    the plain {!read} path. *)
+
+val pread_locked : env -> int -> pos:int -> len:int -> Bytes.t
+(** {!seek} + {!read_locked}. *)
+
 (** {1 Transactions (§2)} *)
 
 val begin_trans : env -> unit

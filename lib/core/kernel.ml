@@ -28,6 +28,8 @@ module Config = struct
     deadlock_patience_us : int;
     deadlock_policy : Locus_deadlock.Detector.policy;
     rpc_timeout_us : int;
+    group_commit_window_us : int;
+    rpc_batch_window_us : int;
   }
 
   let default ~n_sites =
@@ -46,11 +48,16 @@ module Config = struct
       async_phase2 = true;
       deadlock_patience_us = 3_000_000;
       deadlock_policy = Locus_deadlock.Detector.Youngest_transaction;
-      rpc_timeout_us = 30_000_000;
+      rpc_timeout_us = Transport.default_rpc_timeout_us;
+      group_commit_window_us = 0;
+      rpc_batch_window_us = 0;
     }
 
   let with_replication ~n_sites ~factor =
     { (default ~n_sites) with volumes = Placement.volumes ~n_sites ~factor }
+
+  let with_batching ~window_us cfg =
+    { cfg with group_commit_window_us = window_us; rpc_batch_window_us = window_us }
 end
 
 (* Failure-injection hooks: invoked synchronously at the protocol points
@@ -170,6 +177,25 @@ let with_span k ?parent ?args ~cat name f =
   | None -> f ()
   | Some tr -> Otrace.with_span ?parent ?args tr ~site:k.site ~cat name f
 
+(* Run the thunks concurrently in site-attributed fibers and await them
+   all. Used on the commit hot path when RPC batching is on, so that
+   independent messages for the same destination (e.g. one transaction's
+   replica deltas) are in flight together and can join one batch window —
+   issued sequentially they could never coalesce. *)
+let par_iter k ~name fs =
+  let ivs =
+    List.map
+      (fun f ->
+        let iv = Engine.Ivar.create () in
+        ignore
+          (Engine.spawn ~name ~site:k.site k.engine (fun () ->
+               Fun.protect f ~finally:(fun () ->
+                   ignore (Engine.try_fill k.engine iv ()))));
+        iv)
+      fs
+  in
+  List.iter Engine.await ivs
+
 let alloc_txid k =
   k.txseq <- k.txseq + 1;
   Txid.make ~site:k.site ~incarnation:k.incarnation ~seq:k.txseq
@@ -206,6 +232,16 @@ let exit_ivar cl pid =
 
 let rpc cl ~src ~dst msg =
   match Transport.rpc cl.net ~src ~dst (envelope cl msg) with
+  | Ok r -> r
+  | Error e -> Msg.R_err (Fmt.str "%a" Transport.pp_error e)
+
+(* Commit hot path variant: joins the RPC batch window when
+   [Config.rpc_batch_window_us] is on, identical to {!rpc} otherwise.
+   Only messages that are independent of each other may travel through
+   here (prepares, phase-2 notifications, replica deltas): a batch is
+   processed sequentially at the destination. *)
+let rpc_hot cl ~src ~dst msg =
+  match Transport.rpc_batched cl.net ~src ~dst (envelope cl msg) with
   | Ok r -> r
   | Error e -> Msg.R_err (Fmt.str "%a" Transport.pp_error e)
 
@@ -615,29 +651,36 @@ let propagate_replicas k ?indices ?(initial = false) fid =
           in
           Update.delta ~fid ~version ~size pages
       in
-      List.iter
-        (fun dst ->
-          if Transport.reachable k.cl.net k.site dst then
-            with_span k ~cat:"repl" "replica.propagate"
-              ~args:
-                [
-                  ("dst", string_of_int dst);
-                  ("version", string_of_int u.Update.version);
-                ]
-            @@ fun () ->
-            match
-              Transport.rpc_retry ~attempts:3 ~backoff_us:200_000 k.cl.net
-                ~src:k.site ~dst
-                (envelope k.cl (Msg.Replica_commit { update = u }))
-            with
-            | Ok Msg.R_ok ->
-              obs k (Obs.Propagate { fid; version = u.Update.version; dst });
-              Stats.incr (stats k) "replica.propagate"
-            | Ok _ | Error _ ->
-              (* The secondary missed this version; it catches up in its
-                 reconciliation pass after the next topology event. *)
-              Stats.incr (stats k) "replica.propagate_miss")
-        others
+      let pctx = wire_ctx k.cl in
+      let send dst () =
+        if Transport.reachable k.cl.net k.site dst then
+          with_span k ?parent:pctx ~cat:"repl" "replica.propagate"
+            ~args:
+              [
+                ("dst", string_of_int dst);
+                ("version", string_of_int u.Update.version);
+              ]
+          @@ fun () ->
+          match
+            Transport.rpc_retry_batched ~attempts:3 ~backoff_us:200_000 k.cl.net
+              ~src:k.site ~dst
+              (envelope k.cl (Msg.Replica_commit { update = u }))
+          with
+          | Ok Msg.R_ok ->
+            obs k (Obs.Propagate { fid; version = u.Update.version; dst });
+            Stats.incr (stats k) "replica.propagate";
+            Stats.add (stats k) "replica.propagate_bytes" (Update.bytes u)
+          | Ok _ | Error _ ->
+            (* The secondary missed this version; it catches up in its
+               reconciliation pass after the next topology event. *)
+            Stats.incr (stats k) "replica.propagate_miss"
+      in
+      (* With a batch window on, send to all secondaries concurrently so
+         one commit's deltas (and any concurrent commit's) can coalesce
+         per destination; without one, keep today's sequential order. *)
+      if k.cl.cfg.Config.rpc_batch_window_us > 0 then
+        par_iter k ~name:"repl-send" (List.map send others)
+      else List.iter (fun dst -> send dst ()) others
     end
   end
 
@@ -1095,13 +1138,16 @@ let ss_commit2 k ~txid ~files =
   (* Push each file's new committed version to its secondaries before
      releasing the locks: a lock-covered read at a secondary is then
      guaranteed one-copy fresh. The intentions name exactly the pages
-     this commit touched, so the propagated delta stays small. *)
-  List.iter
-    (fun (it : Intentions.t) ->
-      propagate_replicas k
-        ~indices:(Intentions.page_indices it)
-        it.Intentions.fid)
-    intentions;
+     this commit touched, so the propagated delta stays small. With RPC
+     batching on, the per-file propagations run concurrently so one
+     transaction's deltas for the same secondary share a batched message;
+     either way all must land before the locks release. *)
+  let propagate (it : Intentions.t) () =
+    propagate_replicas k ~indices:(Intentions.page_indices it) it.Intentions.fid
+  in
+  if k.cl.cfg.Config.rpc_batch_window_us > 0 then
+    par_iter k ~name:"repl-commit2" (List.map propagate intentions)
+  else List.iter (fun it -> propagate it ()) intentions;
   with_span k ~cat:"lock" "lock.release" @@ fun () ->
   List.iter
     (fun fid ->
@@ -1163,7 +1209,7 @@ let commit_transaction k (txn : Txn_state.txn) =
                    @@ fun () ->
                    let vote =
                      match
-                       rpc cl ~src:k.site ~dst:s
+                       rpc_hot cl ~src:k.site ~dst:s
                          (Msg.Prepare { txid; coordinator_site = k.site; files = fs })
                      with
                      | Msg.R_vote v -> v
@@ -1202,7 +1248,7 @@ let commit_transaction k (txn : Txn_state.txn) =
               else Msg.Abort_phase2 { txid; files = fs }
             in
             match
-              Transport.rpc_retry ~attempts:8 ~backoff_us:2_000_000
+              Transport.rpc_retry_batched ~attempts:8 ~backoff_us:2_000_000
                 ~retry_if:(fun r -> r <> Msg.R_ok)
                 cl.net ~src:k.site ~dst:s (envelope cl msg)
             with
@@ -1341,7 +1387,7 @@ let () = deadlock_scan_ref := deadlock_scan
 
 (* {1 The kernel message handler} *)
 
-let handle_msg k ~src msg =
+let rec handle_msg k ~src msg =
   let open Msg in
   if not k.alive then R_err "site down"
   else begin
@@ -1368,6 +1414,19 @@ let handle_msg k ~src msg =
         R_ok
       | Read { fid; reader; pid; pos; len } ->
         R_data (ss_read k ~fid ~reader ~pid ~pos ~len)
+      | Read_locked { fid; reader; pid; pos; len } -> (
+        (* The §3.3 implicit Shared lock that [ss_read] acquires for a
+           transaction reader is retained until commit — confirming it
+           in the reply lets the client cache the lock, making the
+           lock-then-read pair one round trip. A conventional process
+           gets plain data: its momentary lock is already gone and must
+           not be cached. *)
+        match reader with
+        | Owner.Transaction _ ->
+          let data = ss_read k ~fid ~reader ~pid ~pos ~len in
+          Stats.incr (stats k) "lock.piggyback";
+          R_data_locked data
+        | Owner.Process _ -> R_data (ss_read k ~fid ~reader ~pid ~pos ~len))
       | Write { fid; owner; pid; pos; data } ->
         ss_write k ~fid ~owner ~pid ~pos ~data;
         R_ok
@@ -1537,6 +1596,35 @@ let handle_msg k ~src msg =
             R_data (Bytes.of_string (marshal_locks (Lock_table.locks table)))
           end
         | Some _ | None -> R_err "not hosted here")
+      | Batch envs ->
+        (* A coalesced wire message: dispatch every member concurrently
+           through the full [handle] edge, so each keeps its own
+           server-side span (parented under its own caller ctx) and its
+           own error isolation, and a batch of prepares can share one
+           group-commit force instead of serializing their awaits.
+           Members are independent by construction — only prepares,
+           phase-2 notifications and replica deltas travel batched. The
+           reply preserves submission order regardless of completion
+           order. *)
+        let results =
+          Array.make (List.length envs) (Msg.R_err "batch member failed")
+        in
+        let ivs =
+          List.mapi
+            (fun i e ->
+              let iv = Engine.Ivar.create () in
+              ignore
+                (Engine.spawn ~name:"batch-member" ~site:k.site k.engine
+                   (fun () ->
+                     Fun.protect
+                       (fun () -> results.(i) <- handle k ~src e)
+                       ~finally:(fun () ->
+                         ignore (Engine.try_fill k.engine iv ()))));
+              iv)
+            envs
+        in
+        List.iter Engine.await ivs;
+        R_batch (Array.to_list results)
     with
     | Denied reason -> R_err reason
     | Filestore.Conflicting_write (_, a, b) ->
@@ -1549,7 +1637,7 @@ let handle_msg k ~src msg =
    installed, run the dispatch inside a server-side span parented under
    the remote caller's span (carried in [env.ctx]) — this is the edge
    that stitches a transaction's tree across sites. *)
-let handle k ~src (env : Msg.env) =
+and handle k ~src (env : Msg.env) =
   match k.cl.otracer with
   | None -> handle_msg k ~src env.Msg.payload
   | Some otr ->
@@ -1568,6 +1656,10 @@ let kernel_crash k =
   k.recovered <- false;
   Status.clear k.repl;
   Hashtbl.reset k.known_primary;
+  (* Records waiting in a group-commit window were never forced: drop
+     them with the crash, atomically with their waiters (the flusher
+     fiber dies with the site). *)
+  List.iter Volume.reset_group_commit (Filestore.volumes k.store);
   Filestore.crash k.store;
   Cache.clear k.cache;
   Proc_table.clear k.procs;
@@ -1889,6 +1981,19 @@ let make engine cfg =
       (fun vid ->
         let vol = Volume.create engine ~vid ~page_size:cfg.Config.page_size () in
         Volume.set_two_write_log vol cfg.Config.two_write_log;
+        if cfg.Config.group_commit_window_us > 0 then begin
+          Volume.set_group_commit vol ~site:s
+            ~window_us:cfg.Config.group_commit_window_us;
+          (* The trace hook reads [cl.otracer] at flush time, so spans
+             appear as soon as a collector is installed. *)
+          Volume.set_group_trace vol (fun ~size f ->
+              match cl.otracer with
+              | None -> f ()
+              | Some otr ->
+                Otrace.with_span otr ~site:s ~cat:"txn"
+                  ~args:[ ("size", string_of_int size) ]
+                  "commit.batch" f)
+        end;
         Filestore.mount store vol)
       hosted;
     let participant = Participant.create store in
@@ -1932,6 +2037,18 @@ let make engine cfg =
   Array.iter
     (fun k -> Transport.set_handler net k.site (fun ~src msg -> handle k ~src msg))
     cl.ks;
+  if cfg.Config.rpc_batch_window_us > 0 then
+    Transport.set_batch net ~window_us:cfg.Config.rpc_batch_window_us
+      ~wrap:(fun envs -> { Msg.ctx = None; payload = Msg.Batch envs })
+      ~unwrap:(function Msg.R_batch rs -> Some rs | _ -> None)
+      ~trace:(fun ~site ~size f ->
+        match cl.otracer with
+        | None -> f ()
+        | Some otr ->
+          Otrace.with_span otr ~site ~cat:"net"
+            ~args:[ ("size", string_of_int size) ]
+            "rpc.batch" f)
+      ();
   Transport.on_crash net (fun s -> kernel_crash cl.ks.(s));
   Transport.on_restart net (fun s -> kernel_restart cl.ks.(s));
   Transport.on_topology_change net (fun () ->

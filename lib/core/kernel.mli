@@ -52,6 +52,20 @@ module Config : sig
     deadlock_policy : Locus_deadlock.Detector.policy;
         (** victim-selection strategy used by the resolution service *)
     rpc_timeout_us : int;
+        (** how long an RPC waits for its reply before the sender treats
+            the destination as unreachable. One knob for the whole stack:
+            it is threaded to the transport, whose default it shares
+            ({!Transport.default_rpc_timeout_us}). *)
+    group_commit_window_us : int;
+        (** group commit: concurrently committing transactions whose log
+            forces land on the same volume within this window share a
+            single force (coordinator log and prepare/redo log alike).
+            [0] (default) = force immediately, today's behaviour. *)
+    rpc_batch_window_us : int;
+        (** RPC coalescing: prepare / phase-2 / replica-delta messages
+            bound for the same site within this window travel as one
+            [Msg.Batch] message with one reply. [0] (default) = one
+            message per request. *)
   }
 
   val default : n_sites:int -> t
@@ -62,6 +76,11 @@ module Config : sig
   (** Like {!default} but every volume is hosted at [factor] consecutive
       sites ({!Locus_repl.Placement.volumes}): primary-copy replication
       with commit propagation. [factor] is clamped to [1..n_sites]. *)
+
+  val with_batching : window_us:int -> t -> t
+  (** Set both batch windows ({!type-t.group_commit_window_us} and
+      {!type-t.rpc_batch_window_us}) to the same value — the usual way to
+      turn the commit-path batching on. *)
 end
 
 val make : Engine.t -> Config.t -> cluster

@@ -52,6 +52,20 @@ type t =
   | Delegate_locks of { fid : File_id.t; payload : string }
   | Recall_locks of { fid : File_id.t }
   | Ping
+  | Read_locked of {
+      fid : File_id.t;
+      reader : Owner.t;
+      pid : Pid.t;
+      pos : int;
+      len : int;
+    }
+      (** Read that piggybacks implicit Shared-lock acquisition on the
+          read RPC itself (one round trip instead of lock-then-read). *)
+  | Batch of env list
+      (** Several requests for the same destination coalesced into one
+          wire message; answered by [R_batch] in the same order. *)
+
+and env = { ctx : Locus_otrace.Otrace.ctx option; payload : t }
 
 type reply =
   | R_ok
@@ -70,8 +84,10 @@ type reply =
   | R_found of bool
   | R_update of Update.t
   | R_versions of (int * int) list
-
-type env = { ctx : Locus_otrace.Otrace.ctx option; payload : t }
+  | R_data_locked of Bytes.t
+      (** Data plus confirmation that an implicit Shared lock is now held
+          at the storage site — the client may cache the lock. *)
+  | R_batch of reply list
 
 let envelope ?ctx payload = { ctx; payload }
 
@@ -106,8 +122,10 @@ let label = function
   | Delegate_locks _ -> "delegate-locks"
   | Recall_locks _ -> "recall-locks"
   | Ping -> "ping"
+  | Read_locked _ -> "read-locked"
+  | Batch _ -> "batch"
 
-let pp ppf = function
+let rec pp ppf = function
   | Open { fid } -> Fmt.pf ppf "open %a" File_id.pp fid
   | Close { fid; _ } -> Fmt.pf ppf "close %a" File_id.pp fid
   | Read { fid; pos; len; _ } -> Fmt.pf ppf "read %a@%d+%d" File_id.pp fid pos len
@@ -144,8 +162,14 @@ let pp ppf = function
   | Delegate_locks { fid; _ } -> Fmt.pf ppf "delegate-locks %a" File_id.pp fid
   | Recall_locks { fid } -> Fmt.pf ppf "recall-locks %a" File_id.pp fid
   | Ping -> Fmt.string ppf "ping"
+  | Read_locked { fid; pos; len; _ } ->
+    Fmt.pf ppf "read-locked %a@%d+%d" File_id.pp fid pos len
+  | Batch envs ->
+    Fmt.pf ppf "batch[%a]"
+      (Fmt.list ~sep:Fmt.semi (fun ppf e -> pp ppf e.payload))
+      envs
 
-let pp_reply ppf = function
+let rec pp_reply ppf = function
   | R_ok -> Fmt.string ppf "ok"
   | R_err e -> Fmt.pf ppf "err(%s)" e
   | R_retry -> Fmt.string ppf "retry"
@@ -163,3 +187,6 @@ let pp_reply ppf = function
   | R_found b -> Fmt.pf ppf "found(%b)" b
   | R_update u -> Fmt.pf ppf "update(%a)" Update.pp u
   | R_versions vs -> Fmt.pf ppf "versions(%d)" (List.length vs)
+  | R_data_locked b -> Fmt.pf ppf "data+locked(%d)" (Bytes.length b)
+  | R_batch rs ->
+    Fmt.pf ppf "batch-reply[%a]" (Fmt.list ~sep:Fmt.semi pp_reply) rs

@@ -79,6 +79,28 @@ type t =
           prepare or data access); delegate replies [R_data] with the
           marshalled locks, or [R_retry] while it has waiters *)
   | Ping
+  | Read_locked of {
+      fid : File_id.t;
+      reader : Owner.t;
+      pid : Pid.t;
+      pos : int;
+      len : int;
+    }
+      (** read with implicit Shared-lock acquisition piggybacked on the
+          read RPC itself — one round trip where lock-then-read costs two
+          (the paper's own suggestion, §3.3). Transaction readers are
+          answered with [R_data_locked] (the lock is retained and may be
+          cached); process readers get a plain [R_data] (their momentary
+          lock is already gone and must not be cached). *)
+  | Batch of env list
+      (** several requests bound for the same destination, coalesced into
+          one wire message by the transport's batch window; processed in
+          order and answered with [R_batch] *)
+
+and env = { ctx : Locus_otrace.Otrace.ctx option; payload : t }
+(** What actually crosses the wire: the request plus optional causal span
+    context, so a server-side span can parent itself under the remote
+    caller's span and a transaction's tree stitches across sites. *)
 
 type reply =
   | R_ok
@@ -102,11 +124,12 @@ type reply =
       (** full versioned snapshot of a committed replica (reconciliation) *)
   | R_versions of (int * int) list
       (** [(ino, committed version)] for every file of a volume copy *)
-
-type env = { ctx : Locus_otrace.Otrace.ctx option; payload : t }
-(** What actually crosses the wire: the request plus optional causal span
-    context, so a server-side span can parent itself under the remote
-    caller's span and a transaction's tree stitches across sites. *)
+  | R_data_locked of Bytes.t
+      (** data plus confirmation that an implicit Shared lock on the read
+          range is now held (and retained) at the storage site — the
+          client may cache it like an explicitly acquired lock *)
+  | R_batch of reply list
+      (** per-request replies for a [Batch], in request order *)
 
 val envelope : ?ctx:Locus_otrace.Otrace.ctx -> t -> env
 

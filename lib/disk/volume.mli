@@ -96,9 +96,44 @@ val log_append : t -> tag:string -> string -> int
     [two_write_log] (below) enabled, charges two I/Os — reproducing the
     uncorrected behaviour of footnote 9 — otherwise one. *)
 
+val log_append_many : t -> tag:string -> string list -> int list
+(** Append several records under a single submission. With group commit
+    enabled the whole group rides one batch member — one shared force with
+    whatever else joined the window; disabled, it degrades to one
+    {!log_append} (one force) per record. The redo log uses this so a
+    multi-page commit record costs one window, not [log_pages] of them. *)
+
 val log_overwrite : t -> int -> tag:string -> string -> unit
 (** Blocking in-place update of a log record (e.g. writing the commit mark
     into a coordinator log, §4.2). One I/O. *)
+
+(** {2 Group commit}
+
+    With a non-zero window, [log_append]/[log_overwrite]/[log_append_many]
+    join a bounded batch window instead of forcing immediately: one shared
+    force covers every record that joined, after which the records install
+    and the submitting fibers resume. Records are never installed before
+    the shared force completes, so a crash inside the window (or during
+    the force) loses the whole batch atomically — exactly the guarantee an
+    unforced redo record already has. Per-flush accounting:
+    ["commit.batch_size"] histogram, ["log.group_forces"] and
+    ["log.forces_saved"] counters. *)
+
+val set_group_commit : t -> site:int -> window_us:int -> unit
+(** Enable (window > 0) or disable (0, the default) group commit. [site]
+    attributes the flusher fiber, so a crash of the hosting site kills the
+    pending batch together with its waiters. *)
+
+val group_commit_window_us : t -> int
+
+val reset_group_commit : t -> unit
+(** Crash path: drop any batch still waiting in the window (its records
+    were never forced, so losing them mirrors the disk's behaviour). *)
+
+val set_group_trace : t -> (size:int -> (unit -> unit) -> unit) -> unit
+(** Observability hook: wraps each group flush (the shared force plus
+    record installation); [size] is the number of batch members. The
+    kernel points this at a ["commit.batch"] tracing span. *)
 
 val log_records : t -> (int * string * string) list
 (** All live [(index, tag, payload)] records, oldest first. No I/O charge:

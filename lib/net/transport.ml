@@ -12,6 +12,15 @@ type ('req, 'resp) site_state = {
   mutable handler : (src:Site.t -> 'req -> 'resp) option;
 }
 
+(* How to pack several requests for one destination into a single wire
+   message and unpack the single reply. The transport is payload-agnostic:
+   the kernel supplies the envelope codec ([Msg.Batch] / [R_batch]). *)
+type ('req, 'resp) batch_cfg = {
+  wrap : 'req list -> 'req;
+  unwrap : 'resp -> 'resp list option;
+  trace : site:Site.t -> size:int -> (unit -> unit) -> unit;
+}
+
 type ('req, 'resp) t = {
   engine : Engine.t;
   latency_us : int;
@@ -21,9 +30,17 @@ type ('req, 'resp) t = {
   mutable crash_watchers : (Site.t -> unit) list;
   mutable restart_watchers : (Site.t -> unit) list;
   mutable topology_watchers : (unit -> unit) list;
+  mutable batch_window_us : int;
+  mutable batch_cfg : ('req, 'resp) batch_cfg option;
+  batchers :
+    ( Site.t * Site.t,
+      ('req * ('resp, error) result Engine.Ivar.t) Locus_batch.Batcher.t )
+    Hashtbl.t;
 }
 
-let create ?latency_us ?(rpc_timeout_us = 500_000) engine ~n_sites =
+let default_rpc_timeout_us = 30_000_000
+
+let create ?latency_us ?(rpc_timeout_us = default_rpc_timeout_us) engine ~n_sites =
   if n_sites <= 0 then invalid_arg "Transport.create: need at least one site";
   let latency_us =
     match latency_us with
@@ -41,6 +58,9 @@ let create ?latency_us ?(rpc_timeout_us = 500_000) engine ~n_sites =
     crash_watchers = [];
     restart_watchers = [];
     topology_watchers = [];
+    batch_window_us = 0;
+    batch_cfg = None;
+    batchers = Hashtbl.create 16;
   }
 
 let engine t = t.engine
@@ -67,6 +87,11 @@ let crash t s =
     st.up <- false;
     st.incarnation <- st.incarnation + 1;
     Engine.kill_site t.engine s;
+    (* Batches forming at the crashed site die with their flusher fibers;
+       drop them eagerly so a restart starts from a clean window. *)
+    Hashtbl.iter
+      (fun (src, _) b -> if src = s then Locus_batch.Batcher.reset b)
+      t.batchers;
     List.iter (fun f -> f s) (List.rev t.crash_watchers);
     notify_topology t
   end
@@ -144,16 +169,76 @@ let rpc t ~src ~dst req =
     | None -> Error Timeout
   end
 
+(* Flush one coalesced batch for a (src, dst) pair. A singleton avoids the
+   envelope entirely; otherwise the requests travel as one wire message
+   whose single reply is fanned back out to the waiters in order. If the
+   reply cannot be unpacked (e.g. the destination answered the whole
+   envelope with an error), every waiter sees the raw reply — errors
+   propagate rather than vanish. *)
+let flush_batch t cfg ~src ~dst items =
+  let give iv r = ignore (Engine.try_fill t.engine iv r) in
+  match items with
+  | [] -> ()
+  | [ (req, iv) ] -> give iv (rpc t ~src ~dst req)
+  | _ ->
+    let n = List.length items in
+    let st = Engine.stats t.engine in
+    Stats.incr st "rpc.batches";
+    Stats.add st "rpc.batched" n;
+    Stats.hist st "rpc.batch_size" n;
+    Stats.add st "net.msg_saved" (2 * (n - 1));
+    cfg.trace ~site:src ~size:n (fun () ->
+        let result = rpc t ~src ~dst (cfg.wrap (List.map fst items)) in
+        match result with
+        | Ok resp -> (
+          match cfg.unwrap resp with
+          | Some resps when List.length resps = n ->
+            List.iter2 (fun (_, iv) r -> give iv (Ok r)) items resps
+          | _ -> List.iter (fun (_, iv) -> give iv result) items)
+        | Error _ -> List.iter (fun (_, iv) -> give iv result) items)
+
+let pair_batcher t ~src ~dst =
+  let key = (src, dst) in
+  let b =
+    match Hashtbl.find_opt t.batchers key with
+    | Some b -> b
+    | None ->
+      let b =
+        Locus_batch.Batcher.create t.engine
+          ~name:(Printf.sprintf "rpcbatch@%d>%d" src dst)
+      in
+      Hashtbl.add t.batchers key b;
+      b
+  in
+  Locus_batch.Batcher.configure b ~site:src ~window_us:t.batch_window_us;
+  b
+
+let set_batch t ~window_us ~wrap ~unwrap ?(trace = fun ~site:_ ~size:_ k -> k ()) ()
+    =
+  t.batch_window_us <- window_us;
+  t.batch_cfg <- Some { wrap; unwrap; trace }
+
+let rpc_batched t ~src ~dst req =
+  match t.batch_cfg with
+  | Some cfg when src <> dst -> (
+    let b = pair_batcher t ~src ~dst in
+    if not (Locus_batch.Batcher.enabled b) then rpc t ~src ~dst req
+    else begin
+      let iv = Engine.Ivar.create () in
+      Locus_batch.Batcher.submit b ~flush:(flush_batch t cfg ~src ~dst) (req, iv);
+      Engine.await iv
+    end)
+  | _ -> rpc t ~src ~dst req
+
 (* Bounded retry with exponential backoff (capped at 16x the initial
    backoff). Transport errors always retry; [retry_if] lets callers also
    retry on application-level replies (e.g. a site that answered but is
    still recovering). *)
-let rpc_retry ?(attempts = 5) ?(backoff_us = 100_000) ?(retry_if = fun _ -> false)
-    t ~src ~dst req =
+let retry_loop ~attempts ~backoff_us ~retry_if call =
   let attempts = max 1 attempts in
   let cap = backoff_us * 16 in
   let rec go n backoff =
-    let r = rpc t ~src ~dst req in
+    let r = call () in
     let again = match r with Error _ -> true | Ok resp -> retry_if resp in
     if again && n < attempts then begin
       Engine.sleep backoff;
@@ -162,6 +247,14 @@ let rpc_retry ?(attempts = 5) ?(backoff_us = 100_000) ?(retry_if = fun _ -> fals
     else r
   in
   go 1 backoff_us
+
+let rpc_retry ?(attempts = 5) ?(backoff_us = 100_000) ?(retry_if = fun _ -> false)
+    t ~src ~dst req =
+  retry_loop ~attempts ~backoff_us ~retry_if (fun () -> rpc t ~src ~dst req)
+
+let rpc_retry_batched ?(attempts = 5) ?(backoff_us = 100_000)
+    ?(retry_if = fun _ -> false) t ~src ~dst req =
+  retry_loop ~attempts ~backoff_us ~retry_if (fun () -> rpc_batched t ~src ~dst req)
 
 let send t ~src ~dst req =
   if src = dst then begin

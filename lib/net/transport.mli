@@ -20,12 +20,17 @@ type error =
 
 val pp_error : error Fmt.t
 
+val default_rpc_timeout_us : int
+(** 30 s of virtual time — the single source of truth for the RPC timeout.
+    [Kernel.Config.default] reads this constant, so the transport default
+    and the kernel default can never drift apart again. *)
+
 val create :
   ?latency_us:int -> ?rpc_timeout_us:int -> Engine.t -> n_sites:int -> ('req, 'resp) t
 (** [create engine ~n_sites] makes a transport for sites [0 .. n_sites-1],
     all up and mutually connected. [latency_us] defaults to the engine cost
-    model's one-way message latency; [rpc_timeout_us] defaults to 500 ms of
-    virtual time. *)
+    model's one-way message latency; [rpc_timeout_us] defaults to
+    {!default_rpc_timeout_us}. *)
 
 val engine : ('req, 'resp) t -> Engine.t
 val n_sites : ('req, 'resp) t -> int
@@ -69,6 +74,54 @@ val rpc_retry :
 val send : ('req, 'resp) t -> src:Site.t -> dst:Site.t -> 'req -> unit
 (** One-way, best-effort message (used for asynchronous phase-2 commit
     messages, §4.2). The reply, if any, is discarded. Never blocks. *)
+
+(** {1 RPC coalescing}
+
+    With batching configured, {!rpc_batched} calls bound for the same
+    destination within a bounded window travel as one wire message with
+    one reply: the transport collects the requests per (src, dst) pair,
+    packs them with the caller-supplied codec, and fans the reply back
+    out in request order. Concurrent 2PC rounds are the intended
+    customers — prepares, phase-2 notifications and replica deltas headed
+    to the same site share a message. Per-flush accounting:
+    ["rpc.batches"], ["rpc.batched"], ["net.msg_saved"] counters and the
+    ["rpc.batch_size"] histogram. *)
+
+val set_batch :
+  ('req, 'resp) t ->
+  window_us:int ->
+  wrap:('req list -> 'req) ->
+  unwrap:('resp -> 'resp list option) ->
+  ?trace:(site:Site.t -> size:int -> (unit -> unit) -> unit) ->
+  unit ->
+  unit
+(** Configure coalescing: [wrap] packs several requests into one
+    (the kernel's [Msg.Batch] envelope), [unwrap] recovers the individual
+    replies from the combined one ([None] if the reply is not an unpacked
+    batch — every waiter then sees the raw reply, so errors propagate).
+    [trace] wraps each multi-request flush for span accounting. A window
+    of [0] disables coalescing. *)
+
+val rpc_batched :
+  ('req, 'resp) t -> src:Site.t -> dst:Site.t -> 'req -> ('resp, error) result
+(** Like {!rpc}, but joins the current batch window for [dst] when
+    coalescing is configured. Falls back to {!rpc} exactly — same timing,
+    same counters — when batching is unconfigured, the window is [0], or
+    [src = dst] (local calls never pay a window). A crash of [src] kills
+    the forming batch together with the fibers awaiting it. *)
+
+val rpc_retry_batched :
+  ?attempts:int ->
+  ?backoff_us:int ->
+  ?retry_if:('resp -> bool) ->
+  ('req, 'resp) t ->
+  src:Site.t ->
+  dst:Site.t ->
+  'req ->
+  ('resp, error) result
+(** {!rpc_retry} over {!rpc_batched}: each attempt (re)joins a batch
+    window. Used for phase-2 notifications and replica propagation so
+    retries coalesce just like first attempts. *)
 
 (** {1 Topology} *)
 

@@ -16,6 +16,11 @@ type t = {
 let delta ~fid ~version ~size pages = { fid; version; size; full = false; pages }
 let full ~fid ~version ~size pages = { fid; version; size; full = true; pages }
 
+(* Payload weight of one update — what actually crosses the wire when
+   phase-2 deltas are coalesced per secondary (the batch envelope's cost
+   is per message, the page bytes are per update regardless). *)
+let bytes u = List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 u.pages
+
 let pp ppf u =
   Fmt.pf ppf "@[%a v%d size=%d %s{%a}@]" File_id.pp u.fid u.version u.size
     (if u.full then "full" else "delta")

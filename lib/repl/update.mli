@@ -20,4 +20,9 @@ val delta : fid:File_id.t -> version:int -> size:int -> (int * Bytes.t) list -> 
 val full : fid:File_id.t -> version:int -> size:int -> (int * Bytes.t) list -> t
 (** Every non-hole committed page; installable over any older version. *)
 
+val bytes : t -> int
+(** Total page payload carried by this update — the per-update wire cost
+    that remains when several updates coalesce into one batched message
+    (the ["replica.propagate_bytes"] counter). *)
+
 val pp : t Fmt.t

@@ -65,6 +65,7 @@ let trace t = t.trace
 let costs t = t.costs
 let prng t = t.prng
 let live_fibers t = Hashtbl.length t.live
+let pending_events t = Pqueue.length t.events
 
 let schedule ?(delay = 0) t f =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";

@@ -66,6 +66,12 @@ val set_site : t -> Fiber.handle -> int -> unit
 
 val live_fibers : t -> int
 
+val pending_events : t -> int
+(** Scheduled events not yet fired, including cancelled ones still queued
+    (a cancelled event is skipped without advancing the clock when
+    popped). Tests use this to prove abandoned timers — e.g. a batch
+    window's {!await_timeout} whose ivar filled first — do not leak. *)
+
 (** {1 Suspension points (must be called from inside a fiber)} *)
 
 val sleep : time -> unit

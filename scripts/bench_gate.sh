@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# CI perf-regression gate for the deterministic benchmarks.
+#
+# Two layers of checks over the BENCH_<exp>.json files the harness drops
+# in the working directory:
+#
+#   1. Baseline comparison: every metric's p50 virtual latency must stay
+#      within TOLERANCE_PCT of the committed bench/baselines/ copy, and
+#      throughput must not fall more than TOLERANCE_PCT below it. The
+#      simulation is deterministic, so drift means the commit changed
+#      the protocol's work — refresh the baseline deliberately (see
+#      HACKING.md) if the change is intended.
+#
+#   2. e16 self-contained ratios: with a non-zero batch window the run
+#      must show >= MIN_FORCE_RATIO fewer coordinator-log forces and
+#      >= MIN_MSG_RATIO fewer per-commit messages than window 0. This is
+#      what makes the gate fire when batching silently stops working
+#      (CI proves it by re-running e16 under LOCUS_BREAK_BATCH=1 and
+#      asserting this script fails).
+#
+# Usage: scripts/bench_gate.sh [exp ...]     (default: e4 e15 e16)
+
+set -u
+
+TOLERANCE_PCT=${TOLERANCE_PCT:-10}
+MIN_FORCE_RATIO=${MIN_FORCE_RATIO:-2.0}
+MIN_MSG_RATIO=${MIN_MSG_RATIO:-1.5}
+BASELINES=${BASELINES:-bench/baselines}
+EXPS=("${@:-e4 e15 e16}")
+[ $# -eq 0 ] && EXPS=(e4 e15 e16)
+
+fail=0
+
+note() { printf '%s\n' "$*"; }
+bad() {
+  printf 'GATE FAIL: %s\n' "$*" >&2
+  fail=1
+}
+
+compare_baseline() {
+  local exp=$1 cur=BENCH_$1.json base=$BASELINES/BENCH_$1.json
+  if [ ! -f "$cur" ]; then
+    bad "$cur missing (did the bench run?)"
+    return
+  fi
+  if [ ! -f "$base" ]; then
+    bad "$base missing (commit a baseline for $exp)"
+    return
+  fi
+  local labels
+  labels=$(jq -r '.metrics[].label' "$base")
+  while IFS= read -r label; do
+    local bp50 cp50 bops cops
+    bp50=$(jq -r --arg l "$label" '.metrics[] | select(.label == $l) | .p50_virtual_us' "$base")
+    cp50=$(jq -r --arg l "$label" '.metrics[] | select(.label == $l) | .p50_virtual_us' "$cur")
+    bops=$(jq -r --arg l "$label" '.metrics[] | select(.label == $l) | .ops_per_sec' "$base")
+    cops=$(jq -r --arg l "$label" '.metrics[] | select(.label == $l) | .ops_per_sec' "$cur")
+    if [ -z "$cp50" ] || [ "$cp50" = "null" ]; then
+      bad "$exp: metric '$label' vanished from $cur"
+      continue
+    fi
+    # p50 latency within +/- tolerance of baseline (0 baseline: must stay 0).
+    if ! jq -n --argjson b "$bp50" --argjson c "$cp50" --argjson t "$TOLERANCE_PCT" \
+        'if $b == 0 then $c == 0 else (($c - $b) | if . < 0 then -. else . end) * 100 <= $t * $b end' \
+        | grep -q true; then
+      bad "$exp '$label': p50 ${cp50}us vs baseline ${bp50}us (>${TOLERANCE_PCT}% drift)"
+    fi
+    # Throughput must not regress below tolerance (improvement is fine).
+    if ! jq -n --argjson b "$bops" --argjson c "$cops" --argjson t "$TOLERANCE_PCT" \
+        '$c * 100 >= $b * (100 - $t)' | grep -q true; then
+      bad "$exp '$label': throughput $cops ops/s vs baseline $bops (-${TOLERANCE_PCT}% floor)"
+    fi
+  done <<<"$labels"
+  note "gate: $exp within ${TOLERANCE_PCT}% of baseline"
+}
+
+check_e16_ratios() {
+  local cur=BENCH_e16.json
+  [ -f "$cur" ] || { bad "$cur missing"; return; }
+  local f0 m0
+  f0=$(jq -r '.metrics[] | select(.window_us == 0) | .coord_forces' "$cur")
+  m0=$(jq -r '.metrics[] | select(.window_us == 0) | .msgs_per_commit' "$cur")
+  local windows
+  windows=$(jq -r '.metrics[] | select(.window_us > 0) | .window_us' "$cur")
+  local any_force=1 any_msg=1
+  while IFS= read -r w; do
+    local fw mw
+    fw=$(jq -r --argjson w "$w" '.metrics[] | select(.window_us == $w) | .coord_forces' "$cur")
+    mw=$(jq -r --argjson w "$w" '.metrics[] | select(.window_us == $w) | .msgs_per_commit' "$cur")
+    if jq -n --argjson b "$f0" --argjson c "$fw" --argjson r "$MIN_FORCE_RATIO" \
+        '$c > 0 and $b >= $r * $c' | grep -q true; then
+      any_force=0
+    fi
+    if jq -n --argjson b "$m0" --argjson c "$mw" --argjson r "$MIN_MSG_RATIO" \
+        '$c > 0 and $b >= $r * $c' | grep -q true; then
+      any_msg=0
+    fi
+    note "gate: e16 window ${w}us: coord forces $fw (window 0: $f0), msgs/commit $mw (window 0: $m0)"
+  done <<<"$windows"
+  [ "$any_force" -eq 0 ] ||
+    bad "e16: no window achieves >= ${MIN_FORCE_RATIO}x fewer coordinator-log forces than window 0"
+  [ "$any_msg" -eq 0 ] ||
+    bad "e16: no window achieves >= ${MIN_MSG_RATIO}x fewer per-commit messages than window 0"
+}
+
+for exp in ${EXPS[@]+"${EXPS[@]}"}; do
+  # Word-split the default "e4 e15 e16" string form.
+  for e in $exp; do
+    compare_baseline "$e"
+    [ "$e" = e16 ] && check_e16_ratios
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "bench gate: FAILED" >&2
+  exit 1
+fi
+echo "bench gate: OK"
