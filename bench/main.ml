@@ -22,6 +22,7 @@ let experiments =
     ("e14", "Locus_check: schedule exploration throughput", Exp_check.e14);
     ("e15", "\xc2\xa75.2: replication read fan-out and commit propagation cost", Exp_repl.e15);
     ("e16", "group commit + RPC batching on the 2PC hot path", Exp_batch.e16);
+    ("e17", "2PC vs Paxos Commit: non-blocking atomic commitment", Exp_pcommit.e17);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

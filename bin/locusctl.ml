@@ -423,7 +423,8 @@ let dc_cmd =
 
 module Ck = Locus_check
 
-let check_config sites txns ops records replicas batch_window fault_every =
+let check_config sites txns ops records replicas batch_window fault_every
+    commit =
   {
     Ck.Explore.sites = max 2 sites;
     txns;
@@ -432,6 +433,7 @@ let check_config sites txns ops records replicas batch_window fault_every =
     replicas = max 1 replicas;
     batch_window = max 0 batch_window;
     fault_every;
+    commit;
   }
 
 let txns_arg =
@@ -468,15 +470,47 @@ let batch_window_arg =
            enables group commit, RPC coalescing and piggybacked \
            transactional reads for every checked run.")
 
-let check seed sites txns ops records replicas batch_window fault_every =
+let commit_arg =
+  Arg.(
+    value
+    & opt (enum [ ("two_phase", `Two_phase); ("paxos", `Paxos) ]) `Two_phase
+    & info [ "commit" ] ~docv:"PROTO"
+        ~doc:
+          "Atomic-commitment protocol: $(b,two_phase) (default) or \
+           $(b,paxos). Under paxos the fault rotation adds permanent \
+           coordinator kills and every run is additionally checked for \
+           liveness (no participant may end the run blocked in-doubt).")
+
+let paxos_f_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "paxos-f" ] ~docv:"F"
+        ~doc:
+          "Faults tolerated by Paxos Commit: 2F+1 acceptor sites per \
+           transaction (requires --sites >= 2F+1). Only meaningful with \
+           --commit paxos.")
+
+let commit_of proto paxos_f : Ck.Workload.commit_protocol =
+  match proto with `Two_phase -> `Two_phase | `Paxos -> `Paxos (max 0 paxos_f)
+
+let pp_blocked =
+  Fmt.list ~sep:Fmt.sp (fun ppf (site, txid) ->
+      Fmt.pf ppf "site%d:%a" site Txid.pp txid)
+
+let check seed sites txns ops records replicas batch_window fault_every commit
+    paxos_f =
   let cfg =
     check_config sites txns ops records replicas batch_window fault_every
+      (commit_of commit paxos_f)
   in
-  let spec, hist, report = Ck.Explore.run_seed cfg seed in
+  let spec, hist, report, blocked = Ck.Explore.run_seed cfg seed in
   Fmt.pr "workload (seed %d):@.%a@." seed Ck.Workload.pp spec;
   Fmt.pr "@.history: %d events@." (Ck.History.length hist);
   Fmt.pr "%a@." Ck.Checker.pp report;
-  if not (Ck.Checker.ok report) then exit 1
+  (match blocked with
+  | [] -> ()
+  | bs -> Fmt.pr "BLOCKED in-doubt participants: %a@." pp_blocked bs);
+  if (not (Ck.Checker.ok report)) || blocked <> [] then exit 1
 
 let check_cmd =
   Cmd.v
@@ -484,12 +518,14 @@ let check_cmd =
        ~doc:"Run one generated workload and check its history for serializability.")
     Term.(
       const check $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
-      $ replicas_arg $ batch_window_arg $ fault_every_arg)
+      $ replicas_arg $ batch_window_arg $ fault_every_arg $ commit_arg
+      $ paxos_f_arg)
 
 let explore seed sites txns ops records replicas batch_window fault_every
-    n_seeds break_locks break_repl =
+    n_seeds break_locks break_repl break_paxos commit paxos_f =
   let cfg =
     check_config sites txns ops records replicas batch_window fault_every
+      (commit_of commit paxos_f)
   in
   if break_locks then begin
     Fmt.pr "!! breaking the shared/exclusive compatibility rule (Figure 1)@.";
@@ -501,9 +537,16 @@ let explore seed sites txns ops records replicas batch_window fault_every
        updates)@.";
     Locus_repl.Flags.drop_propagation := true
   end;
+  if break_paxos then begin
+    Fmt.pr
+      "!! breaking Paxos Commit acceptors (votes acknowledged but never \
+       registered or persisted)@.";
+    Locus_pcommit.Flags.break_paxos := true
+  end;
   Fun.protect ~finally:(fun () ->
       M.test_break_shared_exclusive := false;
-      Locus_repl.Flags.drop_propagation := false)
+      Locus_repl.Flags.drop_propagation := false;
+      Locus_pcommit.Flags.break_paxos := false)
   @@ fun () ->
   let t0 = Sys.time () in
   let result =
@@ -516,13 +559,19 @@ let explore seed sites txns ops records replicas batch_window fault_every
     (float_of_int result.Ck.Explore.checked /. Float.max dt 1e-9);
   Fmt.pr "permitted (§3.4) violations: %d@." result.Ck.Explore.permitted;
   match result.Ck.Explore.failures with
-  | [] -> Fmt.pr "no unpermitted serializability violations.@."
+  | [] ->
+    Fmt.pr "no unpermitted serializability violations, no blocked participants.@."
   | f :: _ as fs ->
     Fmt.pr "@.%d FAILING SEED(S): %a@." (List.length fs)
       (Fmt.list ~sep:Fmt.sp Fmt.int)
       (List.map (fun f -> f.Ck.Explore.f_seed) fs);
     Fmt.pr "@.first failure (seed %d):@.%a@." f.Ck.Explore.f_seed
       Ck.Checker.pp f.Ck.Explore.f_report;
+    (match f.Ck.Explore.f_blocked with
+    | [] -> ()
+    | bs ->
+      Fmt.pr "LIVENESS: participants ended the run blocked in-doubt: %a@."
+        pp_blocked bs);
     let small = Ck.Explore.shrink_failure cfg f in
     Fmt.pr "@.shrunk reproducer (%d txns):@.%a@."
       (List.length small.Ck.Workload.txns)
@@ -550,6 +599,16 @@ let explore_cmd =
              verify the checker flags the resulting stale reads (use with \
              --replicas >= 2).")
   in
+  let break_paxos =
+    Arg.(
+      value & flag
+      & info [ "break-paxos" ]
+          ~doc:
+            "Self-test: acceptors acknowledge Paxos Commit votes without \
+             registering or persisting them, so decisions become unlearnable \
+             after a coordinator kill; verify the liveness check flags the \
+             blocked participants (use with --commit paxos).")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
@@ -558,7 +617,7 @@ let explore_cmd =
     Term.(
       const explore $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
       $ replicas_arg $ batch_window_arg $ fault_every_arg $ n_seeds
-      $ break_locks $ break_repl)
+      $ break_locks $ break_repl $ break_paxos $ commit_arg $ paxos_f_arg)
 
 (* {1 repl-status} *)
 

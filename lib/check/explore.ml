@@ -6,6 +6,7 @@ type config = {
   replicas : int;
   batch_window : int;
   fault_every : int option;
+  commit : Workload.commit_protocol;
 }
 
 let default_config =
@@ -17,9 +18,15 @@ let default_config =
     replicas = 1;
     batch_window = 0;
     fault_every = None;
+    commit = `Two_phase;
   }
 
-type failure = { f_seed : int; f_spec : Workload.spec; f_report : Checker.report }
+type failure = {
+  f_seed : int;
+  f_spec : Workload.spec;
+  f_report : Checker.report;
+  f_blocked : (int * Txid.t) list;
+}
 
 type result = {
   checked : int;
@@ -28,19 +35,31 @@ type result = {
   failures : failure list;
 }
 
-(* Alternate crash and partition injections across the qualifying
-   seeds, so one sweep exercises both the §4.4 recovery path and the
-   replication degrade / reconcile path. *)
+(* Alternate fault injections across the qualifying seeds, so one sweep
+   exercises the §4.4 recovery path, the replication degrade / reconcile
+   path, and — under Paxos Commit — the kill-the-coordinator-between-
+   decision-and-phase-2 window the liveness check exists for. 2PC sweeps
+   never get [Kill_coordinator]: blocking there is documented behaviour,
+   not a bug. *)
 let fault_for cfg seed =
   match cfg.fault_every with
-  | Some k when k > 0 && seed mod k = 0 ->
+  | Some k when k > 0 && seed mod k = 0 -> (
       let nth = seed / k in
       let victim = nth mod cfg.sites
       and after_decides = 1 + (seed mod 3) in
-      Some
-        (if nth mod 2 = 0 then
-           Workload.Crash { victim; after_decides; restart_delay = 2_000_000 }
-         else Workload.Partition { victim; after_decides; heal_delay = 2_000_000 })
+      match cfg.commit with
+      | `Two_phase ->
+          Some
+            (if nth mod 2 = 0 then
+               Workload.Crash { victim; after_decides; restart_delay = 2_000_000 }
+             else
+               Workload.Partition { victim; after_decides; heal_delay = 2_000_000 })
+      | `Paxos _ ->
+          Some
+            (match nth mod 3 with
+            | 0 -> Workload.Crash { victim; after_decides; restart_delay = 2_000_000 }
+            | 1 -> Workload.Partition { victim; after_decides; heal_delay = 2_000_000 }
+            | _ -> Workload.Kill_coordinator { after_decides }))
   | Some _ | None -> None
 
 let run_seed cfg seed =
@@ -48,16 +67,20 @@ let run_seed cfg seed =
     Workload.gen ~seed ~sites:cfg.sites ~txns:cfg.txns ~ops:cfg.ops
       ~records:cfg.records ()
   in
-  let hist, _sim =
+  let hist, sim =
     Workload.run ?fault:(fault_for cfg seed) ~replicas:cfg.replicas
-      ~batch_window:cfg.batch_window ~seed spec
+      ~batch_window:cfg.batch_window ~commit:cfg.commit ~seed spec
   in
-  (spec, hist, Checker.check hist)
+  (* Liveness: participants still prepared after the run drained are
+     blocked in-doubt. 2PC is allowed to block only when its coordinator
+     is still down at the end of the run (which the fault plans above
+     never leave it); Paxos Commit must always drain. *)
+  (spec, hist, Checker.check hist, Workload.blocked sim)
 
 let sweep ?(config = default_config) ?progress ~seeds () =
   List.fold_left
     (fun acc seed ->
-      let spec, hist, report = run_seed config seed in
+      let spec, hist, report, blocked = run_seed config seed in
       (match progress with Some f -> f seed report | None -> ());
       let acc =
         {
@@ -67,12 +90,13 @@ let sweep ?(config = default_config) ?progress ~seeds () =
           permitted = acc.permitted + List.length (Checker.permitted report);
         }
       in
-      if Checker.ok report then acc
+      if Checker.ok report && blocked = [] then acc
       else
         {
           acc with
           failures =
-            { f_seed = seed; f_spec = spec; f_report = report } :: acc.failures;
+            { f_seed = seed; f_spec = spec; f_report = report; f_blocked = blocked }
+            :: acc.failures;
         })
     { checked = 0; events = 0; permitted = 0; failures = [] }
     seeds
@@ -82,12 +106,12 @@ let seeds ~n ~from = List.init n (fun i -> from + i)
 
 let shrink_failure cfg f =
   let fails spec =
-    let hist, _ =
+    let hist, sim =
       Workload.run
         ?fault:(fault_for cfg f.f_seed)
-        ~replicas:cfg.replicas ~batch_window:cfg.batch_window ~seed:f.f_seed
-        spec
+        ~replicas:cfg.replicas ~batch_window:cfg.batch_window ~commit:cfg.commit
+        ~seed:f.f_seed spec
     in
-    not (Checker.ok (Checker.check hist))
+    (not (Checker.ok (Checker.check hist))) || Workload.blocked sim <> []
   in
   Shrink.minimize ~fails f.f_spec

@@ -20,24 +20,38 @@ type config = {
           sweep proves 1SR with the commit-path batching live *)
   fault_every : int option;
       (** inject a fault on every k-th seed, alternating site
-          crash + reboot with network partition + heal *)
+          crash + reboot with network partition + heal (and, under Paxos
+          Commit, permanently killing a deciding coordinator) *)
+  commit : Workload.commit_protocol;
+      (** atomic-commitment protocol for every run of the sweep;
+          [`Paxos f] adds the coordinator-kill fault to the rotation and
+          the sweep then asserts the non-blocking liveness property *)
 }
 
 val default_config : config
 
-type failure = { f_seed : int; f_spec : Workload.spec; f_report : Checker.report }
+type failure = {
+  f_seed : int;
+  f_spec : Workload.spec;
+  f_report : Checker.report;
+  f_blocked : (int * Txid.t) list;
+      (** participants still in-doubt when the run drained (liveness) *)
+}
 
 type result = {
   checked : int;
   events : int;  (** total observation events across all runs *)
   permitted : int;  (** §3.4-permitted violations seen (informational) *)
-  failures : failure list;  (** seeds with unpermitted violations *)
+  failures : failure list;
+      (** seeds with unpermitted violations or blocked participants *)
 }
 
 val seeds : n:int -> from:int -> int list
 
-val run_seed : config -> int -> Workload.spec * History.t * Checker.report
-(** Generate, execute and check the workload for one seed. *)
+val run_seed :
+  config -> int -> Workload.spec * History.t * Checker.report * (int * Txid.t) list
+(** Generate, execute and check the workload for one seed; the last
+    component is the liveness oracle ({!Workload.blocked}). *)
 
 val sweep :
   ?config:config ->

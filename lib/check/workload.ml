@@ -12,6 +12,9 @@ type crash = { victim : int; after_decides : int; restart_delay : int }
 type fault =
   | Crash of crash
   | Partition of { victim : int; after_decides : int; heal_delay : int }
+  | Kill_coordinator of { after_decides : int }
+
+type commit_protocol = [ `Two_phase | `Paxos of int ]
 
 let rec_len = 16
 let path = "/check/records"
@@ -78,7 +81,7 @@ let run_txn ?(piggyback = false) env t =
 let install_fault cl fault =
   let decides = ref 0 in
   (K.hooks cl).K.on_decided <-
-    (fun _txid _status ->
+    (fun txid _status ->
       incr decides;
       match fault with
       | Crash c when !decides = c.after_decides ->
@@ -91,9 +94,18 @@ let install_fault cl fault =
           Transport.partition net [ [ victim ] ];
           Engine.schedule ~delay:heal_delay (K.engine cl) (fun () ->
               Transport.heal net)
-      | Crash _ | Partition _ -> ())
+      | Kill_coordinator { after_decides } when !decides = after_decides ->
+          (* The worst 2PC window: the decision is durable but phase 2 was
+             never sent, and the coordinator NEVER comes back. The hook
+             runs inside the committing fiber, which dies with its site,
+             so no phase-2 message escapes. Under 2PC every participant of
+             this transaction stays in-doubt forever; under Paxos Commit
+             they must all still decide — that is the liveness property. *)
+          K.crash_site cl (Txid.site txid)
+      | Crash _ | Partition _ | Kill_coordinator _ -> ())
 
-let run ?fault ?(replicas = 1) ?(batch_window = 0) ?(seed = 0) spec =
+let run ?fault ?(replicas = 1) ?(batch_window = 0) ?(commit = `Two_phase)
+    ?(seed = 0) spec =
   let sim =
     let base =
       if replicas > 1 then
@@ -103,6 +115,11 @@ let run ?fault ?(replicas = 1) ?(batch_window = 0) ?(seed = 0) spec =
     let config =
       if batch_window > 0 then K.Config.with_batching ~window_us:batch_window base
       else base
+    in
+    let config =
+      match (commit : commit_protocol) with
+      | `Two_phase -> config
+      | `Paxos f -> K.Config.with_paxos ~f config
     in
     L.make ~seed ~config ~n_sites:spec.n_sites ()
   in
@@ -131,3 +148,8 @@ let run ?fault ?(replicas = 1) ?(batch_window = 0) ?(seed = 0) spec =
          List.iter (fun pid -> Api.wait_pid env pid) pids));
   L.run sim;
   (hist, sim)
+
+(* Liveness oracle, read after {!Locus_core.Locus.run} has drained the
+   event queue: prepared transactions still held by live sites are
+   participants blocked in-doubt. *)
+let blocked sim = K.in_doubt_participants sim.L.cluster

@@ -26,11 +26,22 @@ type fault =
       after_decides : int;  (** partition at the Nth 2PC decide event *)
       heal_delay : int;  (** virtual microseconds until the partition heals *)
     }
+  | Kill_coordinator of { after_decides : int }
       (** Failure injected mid-run at a 2PC decision point: either a
-          crash + reboot or a network partition + heal. Partitions
-          exercise the replication degrade / reconcile path — the
-          isolated site's replicas go stale, serve degraded reads, and
-          must catch up after the heal. *)
+          crash + reboot, a network partition + heal, or — the classic
+          blocking window — killing the Nth deciding transaction's own
+          coordinator site right between its durable decision and phase 2,
+          with {e no} restart. Under 2PC [Kill_coordinator] leaves that
+          transaction's participants in-doubt forever; under Paxos Commit
+          they must still decide from the acceptor quorum ({!blocked}
+          asserts this). Partitions exercise the replication
+          degrade / reconcile path — the isolated site's replicas go
+          stale, serve degraded reads, and must catch up after the
+          heal. *)
+
+type commit_protocol = [ `Two_phase | `Paxos of int ]
+(** Atomic-commitment protocol for a run: plain 2PC or Paxos Commit
+    tolerating [f] faults (2f+1 acceptor sites). *)
 
 val rec_len : int
 (** Bytes per record. *)
@@ -50,6 +61,7 @@ val run :
   ?fault:fault ->
   ?replicas:int ->
   ?batch_window:int ->
+  ?commit:commit_protocol ->
   ?seed:int ->
   spec ->
   History.t * Locus_core.Locus.sim
@@ -66,6 +78,12 @@ val run :
     coalescing at that window) and switches transactional reads to the
     piggybacked {!Locus_core.Api.pread_locked} path, so the explorer
     proves 1SR with every batching optimisation live. *)
+
+val blocked : Locus_core.Locus.sim -> (int * Txid.t) list
+(** Liveness oracle over a drained simulation: [(site, txid)] for every
+    prepared transaction a live site still holds. Non-empty means
+    participants ended the run blocked in-doubt — expected under 2PC with
+    [Kill_coordinator], a liveness violation under Paxos Commit. *)
 
 val pp : spec Fmt.t
 val pp_txn_spec : txn_spec Fmt.t

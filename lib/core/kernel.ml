@@ -2,6 +2,8 @@ module Wfg = Locus_deadlock.Wfg
 module Process = Locus_proc.Process
 module Proc_table = Locus_proc.Proc_table
 module Otrace = Locus_otrace.Otrace
+module Pcommit = Locus_pcommit.Pcommit
+module Pc_acceptor = Locus_pcommit.Acceptor
 
 type outcome = Committed | Aborted
 
@@ -12,6 +14,13 @@ let pp_outcome ppf = function
 type ready = Members_done | Abort_requested
 
 module Config = struct
+  (* Atomic-commitment protocol selector. [Two_phase] is the paper's §4.2
+     protocol and the default everywhere. [Paxos { f }] layers Gray &
+     Lamport's Paxos Commit on top: participant votes are replicated
+     across 2f+1 acceptor sites so the outcome survives f failures and a
+     crashed coordinator no longer blocks its participants. *)
+  type commit_protocol = Two_phase | Paxos of { f : int }
+
   type t = {
     n_sites : int;
     volumes : (int * Site.t list) list;
@@ -30,6 +39,7 @@ module Config = struct
     rpc_timeout_us : int;
     group_commit_window_us : int;
     rpc_batch_window_us : int;
+    commit_protocol : commit_protocol;
   }
 
   let default ~n_sites =
@@ -51,6 +61,7 @@ module Config = struct
       rpc_timeout_us = Transport.default_rpc_timeout_us;
       group_commit_window_us = 0;
       rpc_batch_window_us = 0;
+      commit_protocol = Two_phase;
     }
 
   let with_replication ~n_sites ~factor =
@@ -58,6 +69,12 @@ module Config = struct
 
   let with_batching ~window_us cfg =
     { cfg with group_commit_window_us = window_us; rpc_batch_window_us = window_us }
+
+  let with_paxos ~f cfg =
+    if f < 0 then invalid_arg "Config.with_paxos: f must be >= 0";
+    if cfg.n_sites < (2 * f) + 1 then
+      invalid_arg "Config.with_paxos: need n_sites >= 2f+1 acceptor sites";
+    { cfg with commit_protocol = Paxos { f } }
 end
 
 (* Failure-injection hooks: invoked synchronously at the protocol points
@@ -93,6 +110,10 @@ type t = {
   txns : Txn_state.t;
   participant : Participant.t;
   mutable coord : Coord_log.t;
+  pc_acceptor : Pc_acceptor.t;  (* Paxos Commit acceptor share of this site *)
+  mutable acc_ready : bool;  (* acceptor vote replay done *)
+  resolving : (Txid.t, unit) Hashtbl.t;  (* single-flight acceptor resolvers *)
+  doubted : (Txid.t, unit) Hashtbl.t;  (* counted in the txn.in_doubt gauge *)
   fibers : (Pid.t, Engine.Fiber.handle) Hashtbl.t;
   end_waits : (Txid.t, ready Engine.Ivar.t) Hashtbl.t;
   (* §5.2 lock-control migration state. *)
@@ -244,6 +265,31 @@ let rpc_hot cl ~src ~dst msg =
   match Transport.rpc_batched cl.net ~src ~dst (envelope cl msg) with
   | Ok r -> r
   | Error e -> Msg.R_err (Fmt.str "%a" Transport.pp_error e)
+
+(* {1 Paxos Commit plumbing} *)
+
+let paxos_f cl =
+  match cl.cfg.Config.commit_protocol with
+  | Config.Two_phase -> None
+  | Config.Paxos { f } -> Some f
+
+let acceptor_sites cl ~coordinator f =
+  Pcommit.acceptors ~n_sites:cl.cfg.Config.n_sites ~f ~coordinator
+
+(* The [txn.in_doubt] gauge: number of prepared transactions this kernel
+   currently cannot decide locally. Tracked per-txid so overlapping
+   discovery paths (recovery scan, topology sweep) never double-count. *)
+let enter_doubt k txid =
+  if not (Hashtbl.mem k.doubted txid) then begin
+    Hashtbl.replace k.doubted txid ();
+    Stats.add (stats k) "txn.in_doubt" 1
+  end
+
+let leave_doubt k txid =
+  if Hashtbl.mem k.doubted txid then begin
+    Hashtbl.remove k.doubted txid;
+    Stats.add (stats k) "txn.in_doubt" (-1)
+  end
 
 (* {1 Namespace} *)
 
@@ -1062,13 +1108,14 @@ let rec abort_member k ~txid ~pid ~spare =
 (* Abort-reason taxonomy: first-class counters ([txn.abort.<reason>]), so
    "why do transactions abort in this workload" is answerable without a
    span collector installed. *)
-type abort_reason = Deadlock | Orphan | Crash | Degraded_vote | User
+type abort_reason = Deadlock | Orphan | Crash | Degraded_vote | Coordinator_lost | User
 
 let abort_reason_label = function
   | Deadlock -> "deadlock"
   | Orphan -> "orphan"
   | Crash -> "crash"
   | Degraded_vote -> "degraded_vote"
+  | Coordinator_lost -> "coordinator_lost"
   | User -> "user"
 
 let count_abort cl reason =
@@ -1103,6 +1150,7 @@ let abort_transaction cl ?spare ?(reason = User) ~src txid =
    for the transaction, prepared or not. *)
 let ss_abort2 k ~txid ~files =
   tr k Trace.Txn "phase2 abort %a" Txid.pp txid;
+  leave_doubt k txid;
   let owner = Owner.Transaction txid in
   List.iter (ensure_authority_home k) files;
   let local_fids =
@@ -1129,6 +1177,7 @@ let ss_abort2 k ~txid ~files =
 
 let ss_commit2 k ~txid ~files =
   tr k Trace.Txn "phase2 commit %a" Txid.pp txid;
+  leave_doubt k txid;
   let owner = Owner.Transaction txid in
   List.iter (ensure_authority_home k) files;
   let prepared = Participant.prepared_files k.participant txid in
@@ -1155,6 +1204,143 @@ let ss_commit2 k ~txid ~files =
       | Some table -> Lock_table.release_owner table owner
       | None -> ())
     (List.sort_uniq File_id.compare (files @ prepared))
+
+(* {1 Paxos Commit (Gray & Lamport)}
+
+   One consensus instance per participant; the transaction commits iff
+   every instance fixes a Prepared vote at an f+1 quorum of the 2f+1
+   acceptor sites (see lib/pcommit for the decision rule and its safety
+   argument). The coordinator's log is still written — it remains the
+   fast path for outcome queries — but the acceptor set is the durable,
+   replicated source of truth: after a coordinator crash any participant
+   can learn the decision from a quorum instead of blocking. *)
+
+(* Phase 2a, run by a participant inside its Prepare handler: offer the
+   local vote to every acceptor and confirm "prepared" to the coordinator
+   only once f+1 acceptors registered the Prepared vote. The broadcast
+   goes through the batched hot path so acceptor messages coalesce under
+   an RPC batch window exactly like prepares and replica deltas. *)
+let cast_paxos_vote k ~txid ~coordinator_site ~f ~participants vote =
+  let cl = k.cl in
+  let accs = acceptor_sites cl ~coordinator:coordinator_site f in
+  Stats.incr (stats k) "pcommit.votes_cast";
+  with_span k ~cat:"txn" "pcommit.vote" @@ fun () ->
+  let registered = ref 0 in
+  let offer a () =
+    if Transport.reachable cl.net k.site a then
+      match
+        rpc_hot cl ~src:k.site ~dst:a
+          (Msg.Vote_2a { txid; participant = k.site; vote; ballot = 0; participants })
+      with
+      | Msg.R_vote_2b v when v = vote -> incr registered
+      | _ -> ()
+  in
+  par_iter k ~name:"pcommit-vote" (List.map offer accs);
+  vote && !registered >= Pcommit.quorum ~f
+
+(* Read the transaction outcome from the acceptor set. Needs a quorum of
+   replies; an instance with neither value at quorum after the first
+   round is closed by offering Aborted at ballot 1 (closure can only
+   block an unconfirmed Prepared vote from ever reaching quorum — the
+   participant then reported "not prepared" and no commit exists to
+   contradict). [hint] seeds the participant set when the caller knows it
+   (the coordinator's own log record); otherwise it is learned from any
+   registered vote. Returns [`Unknown] only when too few acceptors stay
+   reachable to determine the outcome. *)
+let pcommit_read_decision k ~txid ~f ~hint =
+  let cl = k.cl in
+  let coordinator = Txid.site txid in
+  let accs = acceptor_sites cl ~coordinator f in
+  let q = Pcommit.quorum ~f in
+  let reachable_accs () =
+    List.filter (fun a -> Transport.reachable cl.net k.site a) accs
+  in
+  let read () =
+    List.filter_map
+      (fun a ->
+        match rpc cl ~src:k.site ~dst:a (Msg.Decision_query { txid }) with
+        | Msg.R_decision { participants; votes } -> Some (participants, votes)
+        | _ -> None)
+      (reachable_accs ())
+  in
+  let close participants instances =
+    List.iter
+      (fun p ->
+        List.iter
+          (fun a ->
+            ignore
+              (rpc cl ~src:k.site ~dst:a
+                 (Msg.Vote_2a
+                    { txid; participant = p; vote = false; ballot = 1; participants })))
+          (reachable_accs ()))
+      instances
+  in
+  let rec go tries =
+    if tries > 30 then begin
+      Stats.incr (stats k) "pcommit.unresolved";
+      `Unknown
+    end
+    else begin
+      let replies = read () in
+      if List.length replies < q then begin
+        Engine.sleep 2_000_000;
+        go (tries + 1)
+      end
+      else begin
+        let participants =
+          List.sort_uniq compare (hint @ List.concat_map fst replies)
+        in
+        match Pcommit.decide ~f ~participants ~votes:(List.map snd replies) with
+        | Pcommit.Commit -> `Commit
+        | Pcommit.Abort -> `Abort
+        | Pcommit.Undecided open_instances ->
+          (* Nothing registered anywhere and no hint: the only instance we
+             know exists is our own. Closing it is still decisive — once
+             Aborted holds a quorum there, no commit can ever form. *)
+          let targets =
+            if open_instances = [] then [ k.site ] else open_instances
+          in
+          if tries >= 1 then close participants targets;
+          Engine.sleep 1_000_000;
+          go (tries + 1)
+      end
+    end
+  in
+  go 0
+
+(* Participant-side resolver: a prepared transaction whose coordinator is
+   unreachable (or was unreachable at our recovery) learns its outcome
+   from the acceptors and applies phase 2 locally — the non-blocking
+   property 2PC lacks. Single-flight per txid; emits the outcome event
+   itself because the coordinator may have died before announcing it. *)
+let pcommit_resolve k ~txid ~f =
+  let cl = k.cl in
+  if not (Hashtbl.mem k.resolving txid) then begin
+    Hashtbl.replace k.resolving txid ();
+    Fun.protect ~finally:(fun () -> Hashtbl.remove k.resolving txid) @@ fun () ->
+    enter_doubt k txid;
+    match pcommit_read_decision k ~txid ~f ~hint:[] with
+    | `Commit ->
+      if Participant.is_prepared k.participant txid then begin
+        Stats.incr (stats k) "pcommit.resolved_commit";
+        tr k Trace.Txn "pcommit resolve %a -> commit" Txid.pp txid;
+        obs k (Obs.Commit { txid });
+        ss_commit2 k ~txid ~files:[]
+      end
+    | `Abort ->
+      if Participant.is_prepared k.participant txid then begin
+        Stats.incr (stats k) "pcommit.resolved_abort";
+        tr k Trace.Txn "pcommit resolve %a -> abort" Txid.pp txid;
+        count_abort cl Coordinator_lost;
+        obs k (Obs.Abort { txid });
+        ss_abort2 k ~txid ~files:[]
+      end
+    | `Unknown ->
+      (* Leave the prepared state (and the gauge) in place: the liveness
+         checker reports us as blocked, which is exactly what an
+         unlearnable decision means. *)
+      tr k Trace.Txn "pcommit resolve %a -> unknown (giving up)" Txid.pp txid
+  end
 
 (* Two-phase commit, driven from the coordinator site (§4.2). *)
 let commit_transaction k (txn : Txn_state.txn) =
@@ -1198,6 +1384,14 @@ let commit_transaction k (txn : Txn_state.txn) =
          participant's [prepare] span grafts into this transaction's
          tree. *)
       let pctx = wire_ctx cl in
+      (* Under Paxos Commit each participant needs the full participant
+         set: it is recorded with every acceptor vote so a recovering
+         party that reads any single vote learns which instances exist. *)
+      let participants =
+        match paxos_f cl with
+        | None -> []
+        | Some _ -> List.map fst by_site
+      in
       let votes =
         List.map
           (fun (s, fs) ->
@@ -1210,7 +1404,13 @@ let commit_transaction k (txn : Txn_state.txn) =
                    let vote =
                      match
                        rpc_hot cl ~src:k.site ~dst:s
-                         (Msg.Prepare { txid; coordinator_site = k.site; files = fs })
+                         (Msg.Prepare
+                            {
+                              txid;
+                              coordinator_site = k.site;
+                              files = fs;
+                              participants;
+                            })
                      with
                      | Msg.R_vote v -> v
                      | _ -> false
@@ -1219,18 +1419,61 @@ let commit_transaction k (txn : Txn_state.txn) =
             iv)
           by_site
       in
-      let all_prepared =
-        with_span k ~cat:"txn" "2pc.votes" (fun () ->
-            List.for_all (fun iv -> Engine.await iv) votes)
+      (* Decision phase, timed separately ([commit.decide]) so latency to
+         the decision point is directly comparable across protocols. *)
+      let decision =
+        with_span k ~cat:"txn" "commit.decide" @@ fun () ->
+        let all_prepared =
+          with_span k ~cat:"txn" "2pc.votes" (fun () ->
+              List.for_all (fun iv -> Engine.await iv) votes)
+        in
+        (* [Some committed] is the decision; [None] means the outcome is
+           not determinable right now (Paxos only: too few acceptors
+           reachable). Under Paxos Commit a failed or missing vote does
+           not by itself abort — the participant's Prepared vote may have
+           reached an acceptor quorum with only the confirmation lost, so
+           the decision must come from the acceptor set. *)
+        let decision =
+          if all_prepared then Some true
+          else
+            match paxos_f cl with
+            | None -> Some false
+            | Some f -> (
+              match
+                pcommit_read_decision k ~txid ~f ~hint:(List.map fst by_site)
+              with
+              | `Commit -> Some true
+              | `Abort -> Some false
+              | `Unknown ->
+                Stats.incr (stats k) "pcommit.coord_unresolved";
+                None)
+        in
+        (match decision with
+        | None -> ()
+        | Some committed ->
+          if not committed then count_abort cl Degraded_vote;
+          (* Step 4: writing the mark is the commit (or abort) point. *)
+          with_span k ~cat:"txn" "commit.force"
+            ~args:[ ("status", if committed then "committed" else "aborted") ]
+            (fun () ->
+              Coord_log.decide k.coord ~txid
+                (if committed then Log_record.Committed else Log_record.Aborted));
+          Stats.hist (stats k) "commit.decide_us" (Engine.now k.engine - t0));
+        decision
       in
+      match decision with
+      | None ->
+        (* The coordinator log keeps the Unknown record; participants stay
+           prepared and will learn the outcome from the acceptors (or our
+           own recovery will finish the job). The client sees an abort —
+           it must not assume durability that was never established. *)
+        tr k Trace.Txn "2pc undecided %a (acceptor quorum unreachable)" Txid.pp
+          txid;
+        Aborted
+      | Some all_prepared ->
       let status : Log_record.status =
         if all_prepared then Log_record.Committed else Log_record.Aborted
       in
-      if not all_prepared then count_abort cl Degraded_vote;
-      (* Step 4: writing the mark is the commit (or abort) point. *)
-      with_span k ~cat:"txn" "commit.force"
-        ~args:[ ("status", if all_prepared then "committed" else "aborted") ]
-        (fun () -> Coord_log.decide k.coord ~txid status);
       tr k Trace.Txn "2pc decide %a %a" Txid.pp txid Log_record.pp_status status;
       (* The outcome event must be recorded at the decision point itself,
          before any injected crash, or the checker would misclassify a
@@ -1541,7 +1784,7 @@ let rec handle_msg k ~src msg =
       | Proc_exit_cleanup { pid; fids } ->
         ss_proc_exit_cleanup k ~pid ~fids;
         R_ok
-      | Prepare { txid; coordinator_site; files } ->
+      | Prepare { txid; coordinator_site; files; participants } ->
         Stats.incr (stats k) "2pc.prepares";
         (* The lock state must be home before we log it with the data. *)
         List.iter (recall_locks k) files;
@@ -1557,6 +1800,27 @@ let rec handle_msg k ~src msg =
                   ~files)
           with _ -> false
         in
+        (* Paxos Commit phase 2a: the vote only counts once an acceptor
+           quorum has registered it — including a No vote, so that the
+           abort is as learnable after a coordinator crash as a commit. *)
+        let vote =
+          match paxos_f k.cl with
+          | None -> vote
+          | Some f ->
+            let v = cast_paxos_vote k ~txid ~coordinator_site ~f ~participants vote in
+            (* The coordinator may have died while we were preparing — after
+               the topology sweep already ran, so nothing else will notice
+               this transaction. Resolve from the acceptors ourselves. *)
+            if
+              Participant.is_prepared k.participant txid
+              && coordinator_site <> k.site
+              && not (Transport.reachable k.cl.net k.site coordinator_site)
+            then
+              ignore
+                (Engine.spawn ~name:"pcommit-resolve" ~site:k.site k.engine
+                   (fun () -> pcommit_resolve k ~txid ~f));
+            v
+        in
         k.cl.hooks.on_participant_prepared k.site txid vote;
         R_vote vote
       | Commit_phase2 { txid; files } ->
@@ -1569,8 +1833,25 @@ let rec handle_msg k ~src msg =
         abort_member k ~txid ~pid ~spare;
         R_ok
       | Query_outcome { txid } ->
-        if not k.coord_ready then R_err "recovering"
+        (* Recovery in progress is transient: bounce for retry like every
+           other recovering-site path, instead of a hard error the asker
+           would misread as a permanent failure. *)
+        if not k.coord_ready then R_retry
         else R_outcome (Coord_log.outcome k.coord txid)
+      | Vote_2a { txid; participant; vote; ballot; participants } ->
+        if not k.acc_ready then R_retry
+        else begin
+          Stats.incr (stats k) "pcommit.votes_seen";
+          R_vote_2b
+            (Pc_acceptor.register k.pc_acceptor ~txid ~participant ~vote
+               ~ballot ~participants)
+        end
+      | Decision_query { txid } ->
+        if not k.acc_ready then R_retry
+        else begin
+          let participants, votes = Pc_acceptor.votes_for k.pc_acceptor txid in
+          R_decision { participants; votes }
+        end
       | Find_process { pid } -> (
         match Proc_table.find k.procs pid with
         | Some p -> R_found (p.Process.status <> Process.In_transit)
@@ -1665,6 +1946,11 @@ let kernel_crash k =
   Proc_table.clear k.procs;
   Txn_state.crash k.txns;
   Participant.crash k.participant;
+  Pc_acceptor.crash k.pc_acceptor;
+  Hashtbl.reset k.resolving;
+  (* Doubt is volatile state: the recovery scan recounts it. *)
+  Stats.add (stats k) "txn.in_doubt" (-(Hashtbl.length k.doubted));
+  Hashtbl.reset k.doubted;
   Hashtbl.reset k.locks;
   Hashtbl.reset k.fibers;
   Hashtbl.reset k.end_waits;
@@ -1705,6 +1991,11 @@ let recover k =
   with_span k ~cat:"recovery" "recovery" @@ fun () ->
   let cl = k.cl in
   tr k Trace.Recovery "recovery starts";
+  (* Acceptor pass first: replay registered Paxos Commit votes, so this
+     site can answer Vote_2a / Decision_query again before anything that
+     might depend on the acceptor quorum (including our own passes). *)
+  Pc_acceptor.recover k.pc_acceptor;
+  k.acc_ready <- true;
   (* Coordinator pass: finish or abort every transaction in the log. *)
   let records = Coord_log.scan k.coord in
   tr k Trace.Recovery "coordinator log: %d records" (List.length records);
@@ -1721,57 +2012,113 @@ let recover k =
             | None -> (s, ref [ fid ]) :: acc)
           [] c.Log_record.files
       in
-      (if c.Log_record.status = Log_record.Unknown then
-         Coord_log.decide k.coord ~txid Log_record.Aborted);
-      let committed = c.Log_record.status = Log_record.Committed in
-      (* Replayed decision: re-announce the outcome (the checker keeps the
-         first outcome event per transaction, so duplicates are harmless,
-         and a crash before the decision point leaves only this one). *)
-      obs k (if committed then Obs.Commit { txid } else Obs.Abort { txid });
-      let all_acked = ref true in
-      List.iter
-        (fun (s, r) ->
-          let msg =
-            if committed then Msg.Commit_phase2 { txid; files = !r }
-            else Msg.Abort_phase2 { txid; files = !r }
-          in
-          match
-            Transport.rpc_retry ~attempts:5 ~backoff_us:2_000_000
-              ~retry_if:(fun r -> r <> Msg.R_ok)
-              cl.net ~src:k.site ~dst:s (envelope cl msg)
-          with
-          | Ok Msg.R_ok -> ()
-          | Ok _ | Error _ -> all_acked := false)
-        by_site;
-      if !all_acked then Coord_log.finished k.coord ~txid;
-      Stats.incr (stats k)
-        (if committed then "recovery.replayed_commit" else "recovery.replayed_abort"))
+      let decision =
+        match c.Log_record.status with
+        | Log_record.Committed -> Some true
+        | Log_record.Aborted -> Some false
+        | Log_record.Unknown -> (
+          match paxos_f cl with
+          | None -> Some false (* presumed abort (§4.4) *)
+          | Some f -> (
+            (* Under Paxos Commit an Unknown record does not mean abort:
+               the votes may have reached their quorums (and participants
+               may already have resolved commit from them while we were
+               down). Recompute the decision from the acceptor set — the
+               same deterministic function every resolver applies. *)
+            match
+              pcommit_read_decision k ~txid ~f ~hint:(List.map fst by_site)
+            with
+            | `Commit -> Some true
+            | `Abort -> Some false
+            | `Unknown ->
+              Stats.incr (stats k) "pcommit.coord_unresolved";
+              None))
+      in
+      match decision with
+      | None ->
+        (* Keep the Unknown record; a later recovery (or the participants'
+           own resolvers) will finish the job. *)
+        ()
+      | Some committed ->
+        (if c.Log_record.status = Log_record.Unknown then
+           Coord_log.decide k.coord ~txid
+             (if committed then Log_record.Committed else Log_record.Aborted));
+        (* Replayed decision: re-announce the outcome (the checker keeps the
+           first outcome event per transaction, so duplicates are harmless,
+           and a crash before the decision point leaves only this one). *)
+        obs k (if committed then Obs.Commit { txid } else Obs.Abort { txid });
+        let all_acked = ref true in
+        List.iter
+          (fun (s, r) ->
+            let msg =
+              if committed then Msg.Commit_phase2 { txid; files = !r }
+              else Msg.Abort_phase2 { txid; files = !r }
+            in
+            match
+              Transport.rpc_retry ~attempts:5 ~backoff_us:2_000_000
+                ~retry_if:(fun r -> r <> Msg.R_ok)
+                cl.net ~src:k.site ~dst:s (envelope cl msg)
+            with
+            | Ok Msg.R_ok -> ()
+            | Ok _ | Error _ -> all_acked := false)
+          by_site;
+        if !all_acked then Coord_log.finished k.coord ~txid;
+        Stats.incr (stats k)
+          (if committed then "recovery.replayed_commit" else "recovery.replayed_abort"))
     records;
   k.coord_ready <- true;
   (* Participant pass: rebuild prepared state, protect it with locks, and
      chase the coordinators for outcomes. *)
   let in_doubt = Participant.recover k.participant in
   tr k Trace.Recovery "participant: %d in doubt" (List.length in_doubt);
-  List.iter (fun (txid, _) -> relock_prepared k txid) in_doubt;
+  List.iter
+    (fun (txid, _) ->
+      relock_prepared k txid;
+      enter_doubt k txid)
+    in_doubt;
   List.iter
     (fun (txid, coord_site) ->
-      let rec ask tries =
-        if tries > 100 then Stats.incr (stats k) "recovery.still_in_doubt"
-        else begin
-          match rpc cl ~src:k.site ~dst:coord_site (Msg.Query_outcome { txid }) with
-          | Msg.R_outcome (Some Log_record.Committed) ->
-            ss_commit2 k ~txid ~files:[]
-          | Msg.R_outcome (Some Log_record.Aborted) | Msg.R_outcome None ->
-            (* Presumed abort: a coordinator with no record must have
-               aborted (or finished long ago — in which case it had already
-               heard our ack, impossible while we are in doubt). *)
-            ss_abort2 k ~txid ~files:[]
-          | Msg.R_outcome (Some Log_record.Unknown) | Msg.R_err _ | _ ->
-            Engine.sleep 5_000_000;
-            ask (tries + 1)
-        end
-      in
-      ask 0)
+      match paxos_f cl with
+      | Some f ->
+        (* Non-blocking path: the outcome is a function of the acceptor
+           quorum — no need to wait for the coordinator site at all. *)
+        pcommit_resolve k ~txid ~f
+      | None ->
+        let rec ask tries =
+          if tries > 100 then Stats.incr (stats k) "recovery.still_in_doubt"
+          else begin
+            let reply =
+              match
+                Transport.rpc_retry ~attempts:6 ~backoff_us:1_000_000
+                  ~retry_if:(fun r ->
+                    if r = Msg.R_retry then begin
+                      (* The coordinator is up but its own recovery has not
+                         replayed the log yet: bounce, don't misread it as a
+                         permanent failure. *)
+                      Stats.incr (stats k) "recovery.outcome_retries";
+                      true
+                    end
+                    else false)
+                  cl.net ~src:k.site ~dst:coord_site
+                  (envelope cl (Msg.Query_outcome { txid }))
+              with
+              | Ok r -> r
+              | Error e -> Msg.R_err (Fmt.str "%a" Transport.pp_error e)
+            in
+            match reply with
+            | Msg.R_outcome (Some Log_record.Committed) ->
+              ss_commit2 k ~txid ~files:[]
+            | Msg.R_outcome (Some Log_record.Aborted) | Msg.R_outcome None ->
+              (* Presumed abort: a coordinator with no record must have
+                 aborted (or finished long ago — in which case it had already
+                 heard our ack, impossible while we are in doubt). *)
+              ss_abort2 k ~txid ~files:[]
+            | Msg.R_outcome (Some Log_record.Unknown) | Msg.R_err _ | _ ->
+              Engine.sleep 5_000_000;
+              ask (tries + 1)
+          end
+        in
+        ask 0)
     in_doubt;
   (* Only now may co-hosts reconcile against us: every in-doubt commit
      has been applied (and propagated) or aborted. *)
@@ -1781,6 +2128,7 @@ let kernel_restart k =
   k.alive <- true;
   k.incarnation <- k.incarnation + 1;
   k.coord_ready <- false;
+  k.acc_ready <- false;
   k.recovered <- false;
   k.txseq <- 0;
   k.coord <- Coord_log.create (Coord_log.volume k.coord);
@@ -1897,7 +2245,28 @@ let topology_sweep k =
                  obs k (Obs.Abort { txid })
                end
              end)
-           foreign_txids))
+           foreign_txids;
+         (* Prepared transactions whose coordinator just became
+            unreachable are in doubt. Under 2PC that is terminal until the
+            coordinator recovers (the gauge makes the blocking window
+            visible); under Paxos Commit the acceptor set holds the
+            decision, so spawn a resolver and decide without it. *)
+         List.iter
+           (fun txid ->
+             match Participant.coordinator_of k.participant txid with
+             | Some coord
+               when coord <> k.site
+                    && not (Transport.reachable cl.net k.site coord) -> (
+               enter_doubt k txid;
+               match paxos_f cl with
+               | None -> ()
+               | Some f ->
+                 Stats.incr (stats k) "pcommit.coordinator_lost";
+                 ignore
+                   (Engine.spawn ~name:"pcommit-resolve" ~site:k.site
+                      k.engine (fun () -> pcommit_resolve k ~txid ~f)))
+             | Some _ | None -> ())
+           (Participant.prepared_transactions k.participant)))
 
 (* Replica freshness on a topology change. A secondary that lost sight
    of a co-host (or whose primary moved) may have missed propagation and
@@ -1931,6 +2300,12 @@ let replica_topology_mark k =
 
 let make engine cfg =
   let n_sites = cfg.Config.n_sites in
+  (match cfg.Config.commit_protocol with
+  | Config.Two_phase -> ()
+  | Config.Paxos { f } ->
+    if f < 0 then invalid_arg "Kernel.make: Paxos f must be >= 0";
+    if n_sites < (2 * f) + 1 then
+      invalid_arg "Kernel.make: Paxos needs n_sites >= 2f+1 acceptor sites");
   List.iter
     (fun s ->
       if not (List.exists (fun (_, hosts) -> List.mem s hosts) cfg.Config.volumes)
@@ -2025,6 +2400,10 @@ let make engine cfg =
       txns = Txn_state.create ();
       participant;
       coord = Coord_log.create log_vol;
+      pc_acceptor = Pc_acceptor.create log_vol;
+      acc_ready = true;
+      resolving = Hashtbl.create 8;
+      doubted = Hashtbl.create 8;
       fibers = Hashtbl.create 32;
       end_waits = Hashtbl.create 8;
       delegations = Hashtbl.create 8;
@@ -2094,6 +2473,21 @@ let active_transactions cl =
          if k.alive then
            List.map (fun (t : Txn_state.txn) -> t.Txn_state.txid) (Txn_state.active k.txns)
          else [])
+
+(* Liveness oracle: prepared state still present on a live site once the
+   system has quiesced means a participant is blocked in-doubt — the
+   non-blocking property Paxos Commit must provide (and 2PC lacks when
+   the coordinator stays down). *)
+let in_doubt_participants cl =
+  Array.to_list cl.ks
+  |> List.concat_map (fun k ->
+         if k.alive then
+           List.map
+             (fun txid -> (k.site, txid))
+             (Participant.prepared_transactions k.participant)
+         else [])
+
+let acceptor k = k.pc_acceptor
 
 (* {1 Replication introspection} *)
 

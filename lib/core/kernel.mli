@@ -16,6 +16,17 @@ type t
 type cluster
 
 module Config : sig
+  type commit_protocol =
+    | Two_phase  (** the paper's §4.2 protocol (default) *)
+    | Paxos of { f : int }
+        (** Gray & Lamport's Paxos Commit: every participant vote is
+            registered at 2f+1 acceptor sites (consecutive from the
+            coordinator, via the replica-placement rule) before it counts,
+            and the outcome is a deterministic function of an f+1 quorum
+            of registrations — so participants of a crashed coordinator
+            decide without waiting for its recovery. Requires
+            [n_sites >= 2f+1]. *)
+
   type t = {
     n_sites : int;
     volumes : (int * Site.t list) list;
@@ -66,6 +77,9 @@ module Config : sig
             bound for the same site within this window travel as one
             [Msg.Batch] message with one reply. [0] (default) = one
             message per request. *)
+    commit_protocol : commit_protocol;
+        (** atomic-commitment protocol; [Two_phase] (default) keeps every
+            existing baseline bit-for-bit *)
   }
 
   val default : n_sites:int -> t
@@ -81,6 +95,10 @@ module Config : sig
   (** Set both batch windows ({!type-t.group_commit_window_us} and
       {!type-t.rpc_batch_window_us}) to the same value — the usual way to
       turn the commit-path batching on. *)
+
+  val with_paxos : f:int -> t -> t
+  (** Switch the commit protocol to [Paxos { f }]. Raises
+      [Invalid_argument] unless [0 <= f] and [n_sites >= 2f+1]. *)
 end
 
 val make : Engine.t -> Config.t -> cluster
@@ -193,12 +211,14 @@ val commit_transaction : t -> Txn_state.txn -> outcome
     parallel prepares, decision, asynchronous phase 2 (§4.2). Call from
     the top-level process's fiber once every member has completed. *)
 
-type abort_reason = Deadlock | Orphan | Crash | Degraded_vote | User
+type abort_reason = Deadlock | Orphan | Crash | Degraded_vote | Coordinator_lost | User
 (** Why a transaction died — counted as first-class [txn.abort.<reason>]
     stats counters (the taxonomy exists with or without a span collector).
     [Degraded_vote] is counted by the 2PC decision path when any
     participant votes no (degraded replica, denied prepare, or an
-    unreachable site); the others classify {!abort_transaction} calls. *)
+    unreachable site); [Coordinator_lost] by a Paxos Commit resolver that
+    learned an abort from the acceptor quorum after losing sight of the
+    coordinator; the others classify {!abort_transaction} calls. *)
 
 val abort_reason_label : abort_reason -> string
 
@@ -265,6 +285,15 @@ val read_committed_oracle : cluster -> File_id.t -> string
     accounting. Test oracle only. *)
 
 val active_transactions : cluster -> Txid.t list
+
+val in_doubt_participants : cluster -> (Site.t * Txid.t) list
+(** Prepared transactions still held by live sites: once the system has
+    quiesced, a non-empty result means participants are blocked in-doubt.
+    This is the explorer's liveness oracle — under Paxos Commit it must
+    drain even when a coordinator dies between its decision and phase 2. *)
+
+val acceptor : t -> Locus_pcommit.Acceptor.t
+(** This site's Paxos Commit acceptor state (tests). *)
 
 (** {1 Replication introspection} *)
 

@@ -33,11 +33,24 @@ type t =
     }
   | Proc_arrive of { payload : string }
   | Proc_exit_cleanup of { pid : Pid.t; fids : File_id.t list }
-  | Prepare of { txid : Txid.t; coordinator_site : int; files : File_id.t list }
+  | Prepare of {
+      txid : Txid.t;
+      coordinator_site : int;
+      files : File_id.t list;
+      participants : int list;
+    }
   | Commit_phase2 of { txid : Txid.t; files : File_id.t list }
   | Abort_phase2 of { txid : Txid.t; files : File_id.t list }
   | Abort_tree of { txid : Txid.t; pid : Pid.t; spare : Pid.t option }
   | Query_outcome of { txid : Txid.t }
+  | Vote_2a of {
+      txid : Txid.t;
+      participant : int;
+      vote : bool;
+      ballot : int;
+      participants : int list;
+    }
+  | Decision_query of { txid : Txid.t }
   | Find_process of { pid : Pid.t }
   | Replica_commit of { update : Update.t }
   | Replica_pull of { fid : File_id.t }
@@ -80,6 +93,8 @@ type reply =
   | R_conflict of Owner.t list
   | R_redirect of int
   | R_vote of bool
+  | R_vote_2b of bool
+  | R_decision of { participants : int list; votes : (int * bool) list }
   | R_outcome of Log_record.status option
   | R_found of bool
   | R_update of Update.t
@@ -114,6 +129,8 @@ let label = function
   | Abort_phase2 _ -> "abort2"
   | Abort_tree _ -> "abort-tree"
   | Query_outcome _ -> "query-outcome"
+  | Vote_2a _ -> "vote-2a"
+  | Decision_query _ -> "decision-query"
   | Find_process _ -> "find-process"
   | Replica_commit _ -> "replica-commit"
   | Replica_pull _ -> "replica-pull"
@@ -153,6 +170,9 @@ let rec pp ppf = function
   | Abort_phase2 { txid; _ } -> Fmt.pf ppf "abort2 %a" Txid.pp txid
   | Abort_tree { txid; pid; _ } -> Fmt.pf ppf "abort-tree %a %a" Txid.pp txid Pid.pp pid
   | Query_outcome { txid } -> Fmt.pf ppf "query-outcome %a" Txid.pp txid
+  | Vote_2a { txid; participant; vote; ballot; _ } ->
+    Fmt.pf ppf "vote-2a %a p%d %b b%d" Txid.pp txid participant vote ballot
+  | Decision_query { txid } -> Fmt.pf ppf "decision-query %a" Txid.pp txid
   | Find_process { pid } -> Fmt.pf ppf "find-process %a" Pid.pp pid
   | Replica_commit { update } -> Fmt.pf ppf "replica-commit %a" Update.pp update
   | Replica_pull { fid } -> Fmt.pf ppf "replica-pull %a" File_id.pp fid
@@ -182,6 +202,8 @@ let rec pp_reply ppf = function
   | R_conflict owners -> Fmt.pf ppf "conflict(%a)" Fmt.(list ~sep:comma Owner.pp) owners
   | R_redirect s -> Fmt.pf ppf "redirect(%d)" s
   | R_vote v -> Fmt.pf ppf "vote(%b)" v
+  | R_vote_2b v -> Fmt.pf ppf "vote-2b(%b)" v
+  | R_decision { votes; _ } -> Fmt.pf ppf "decision(%d votes)" (List.length votes)
   | R_outcome o ->
     Fmt.pf ppf "outcome(%a)" Fmt.(option ~none:(any "none") Log_record.pp_status) o
   | R_found b -> Fmt.pf ppf "found(%b)" b

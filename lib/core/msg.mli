@@ -41,13 +41,38 @@ type t =
     }  (** child's file-list travelling to the top-level process (§4.1) *)
   | Proc_arrive of { payload : string }  (** marshalled migration payload *)
   | Proc_exit_cleanup of { pid : Pid.t; fids : File_id.t list }
-  | Prepare of { txid : Txid.t; coordinator_site : int; files : File_id.t list }
+  | Prepare of {
+      txid : Txid.t;
+      coordinator_site : int;
+      files : File_id.t list;
+      participants : int list;
+    }
+      (** [participants] is the transaction's full participant-site set,
+          empty under plain 2PC; under Paxos Commit each participant
+          records it with its acceptor votes so any reader of a single
+          registered vote learns which consensus instances exist *)
   | Commit_phase2 of { txid : Txid.t; files : File_id.t list }
   | Abort_phase2 of { txid : Txid.t; files : File_id.t list }
   | Abort_tree of { txid : Txid.t; pid : Pid.t; spare : Pid.t option }
       (** cascade abort to the member process [pid] at the target site
           (§4.3); [spare]'s fiber is not killed (it issued the abort) *)
   | Query_outcome of { txid : Txid.t }
+  | Vote_2a of {
+      txid : Txid.t;
+      participant : int;
+      vote : bool;
+      ballot : int;
+      participants : int list;
+    }
+      (** Paxos Commit phase-2a: offer [participant]'s Prepared/Aborted
+          vote to an acceptor. Ballot 0 = the participant's own vote cast
+          during prepare; ballot 1 = a closure vote (always [false])
+          offered by a recovering party. Registration is first-writer-wins;
+          answered with [R_vote_2b] carrying the registered value *)
+  | Decision_query of { txid : Txid.t }
+      (** Paxos Commit recovery: ask an acceptor for every vote it has
+          registered for [txid]; answered with [R_decision], or [R_retry]
+          while the acceptor is still replaying its log *)
   | Find_process of { pid : Pid.t }
   | Replica_commit of { update : Update.t }
       (** phase-2 propagation from the primary copy: a versioned delta of
@@ -118,6 +143,13 @@ type reply =
   | R_redirect of int
       (** lock management for the file currently lives at this site *)
   | R_vote of bool
+  | R_vote_2b of bool
+      (** the value registered for the offered instance (the offerer's own
+          vote iff it won the first-writer race) *)
+  | R_decision of { participants : int list; votes : (int * bool) list }
+      (** one acceptor's registrations for a transaction: the union of
+          participant sets recorded with its votes, plus one
+          [(participant, vote)] pair per registered instance *)
   | R_outcome of Log_record.status option
   | R_found of bool
   | R_update of Update.t

@@ -299,7 +299,8 @@ let export_chrome ?(extra = []) t ppf =
     extra;
   Fmt.pf ppf "}@\n}@\n"
 
-let abort_reasons = [ "deadlock"; "orphan"; "crash"; "degraded_vote"; "user" ]
+let abort_reasons =
+  [ "deadlock"; "orphan"; "crash"; "degraded_vote"; "coordinator_lost"; "user" ]
 
 let export_metrics t stats ppf =
   Fmt.pf ppf "{@\n  \"phases\": [";

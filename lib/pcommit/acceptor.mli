@@ -1,0 +1,43 @@
+(** One site's Paxos Commit acceptor state: first-writer-wins vote
+    registrations, persisted in the site's log volume and replayed on
+    recovery. *)
+
+type t
+
+val vote_tag : string
+(** Log-record tag under which registered votes are persisted. *)
+
+val create : Volume.t -> t
+
+val register :
+  t ->
+  txid:Txid.t ->
+  participant:Site.t ->
+  vote:bool ->
+  ballot:int ->
+  participants:Site.t list ->
+  bool
+(** Offer a vote for instance ([txid], [participant]). If the instance is
+    free the vote is force-written to the log volume and registered; if
+    already taken the registration is immutable. Either way the holder's
+    value is returned, so the offerer learns whether its own vote is the
+    one that stuck. Must run inside a fiber (performs log I/O). *)
+
+val registered : t -> txid:Txid.t -> participant:Site.t -> bool option
+(** The registered value for an instance, if any. *)
+
+val votes_for : t -> Txid.t -> Site.t list * (Site.t * bool) list
+(** All registrations this acceptor holds for [txid]: the union of
+    participant sets recorded with the votes, and one [(participant,
+    vote)] pair per registered instance. *)
+
+val forget : t -> Txid.t -> unit
+(** Drop all registrations for a finished transaction and release their
+    log records. *)
+
+val size : t -> int
+val crash : t -> unit
+(** Lose volatile state (registrations survive in the log volume). *)
+
+val recover : t -> unit
+(** Replay registrations from the log volume; must run inside a fiber. *)

@@ -1,0 +1,6 @@
+(* Fault-injection switch for the CI self-test (mirrors
+   Locus_repl.Flags.drop_propagation). When set, acceptors acknowledge
+   Vote_2a offers without registering or persisting anything, so the
+   commit decision is never learnable from the acceptor set and the
+   explorer's liveness check must fire. *)
+let break_paxos = ref false

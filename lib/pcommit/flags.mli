@@ -1,0 +1,7 @@
+(** Fault-injection switches for CI self-tests. *)
+
+val break_paxos : bool ref
+(** When true, acceptors acknowledge vote offers without registering or
+    persisting them — transaction outcomes become unlearnable and the
+    explorer's Paxos liveness check must fail. Drives the [--break-paxos]
+    inverted self-test; reset after use. *)

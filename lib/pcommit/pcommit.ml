@@ -1,0 +1,77 @@
+(* Paxos Commit decision logic (Gray & Lamport, cs/0408036).
+
+   A transaction with participant set P runs |P| consensus instances; the
+   transaction commits iff every instance decides Prepared. Each instance
+   is decided by a 2f+1-site acceptor set: the participant offers its
+   vote at ballot 0 to all acceptors, and confirms "prepared" to the
+   coordinator only once f+1 acceptors have registered its Prepared vote.
+   An instance's value is thus determined by quorum counting:
+
+     - Prepared registered at >= f+1 acceptors  ->  instance Prepared
+     - Aborted  registered at >= f+1 acceptors  ->  instance Aborted
+
+   The two cannot both hold (f+1 + f+1 > 2f+1) and registrations are
+   immutable, so every reader that tallies a quorum reaches the same
+   verdict. An undetermined instance (neither value at quorum) is closed
+   by offering an Aborted vote at ballot 1 to every acceptor: closure
+   fills the free slots, and with all 2f+1 slots registered one side has
+   a quorum by pigeonhole. Closure can only prevent an unconfirmed
+   Prepared vote from ever reaching quorum — a participant whose vote is
+   blocked from quorum never confirms, so the coordinator sees a failed
+   prepare and aborts; a vote that already reached quorum is untouchable.
+   Hence resolvers and the coordinator always converge. *)
+
+let quorum ~f = f + 1
+
+(* The acceptor set for a transaction: 2f+1 consecutive sites starting at
+   the coordinator, reusing the replica-placement rule so acceptor load
+   spreads evenly and the coordinator itself is always acceptor 0 (its
+   own registration survives coordinator-site recovery via the WAL). *)
+let acceptors ~n_sites ~f ~coordinator =
+  let factor = (2 * f) + 1 in
+  if factor > n_sites then
+    invalid_arg "Pcommit.acceptors: need n_sites >= 2f+1";
+  match
+    List.assoc_opt (coordinator mod n_sites)
+      (Locus_repl.Placement.volumes ~n_sites ~factor)
+  with
+  | Some hosts -> hosts
+  | None -> invalid_arg "Pcommit.acceptors: coordinator out of range"
+
+type decision =
+  | Commit
+  | Abort
+  | Undecided of Site.t list
+      (* instances with neither value at quorum; close these *)
+
+(* Decide from per-acceptor reply tallies. [votes] holds one association
+   list per responding acceptor. Sound with any number of replies —
+   missing acceptors only delay determination, never flip it. *)
+let decide ~f ~participants ~votes =
+  let q = quorum ~f in
+  if participants = [] then Undecided []
+  else begin
+    let count value p =
+      List.length
+        (List.filter (fun reg -> List.assoc_opt p reg = Some value) votes)
+    in
+    let status =
+      List.map
+        (fun p ->
+          if count true p >= q then `Prepared
+          else if count false p >= q then `Aborted
+          else `Open p)
+        participants
+    in
+    if List.mem `Aborted status then Abort
+    else if List.for_all (fun s -> s = `Prepared) status then Commit
+    else
+      Undecided
+        (List.filter_map (function `Open p -> Some p | _ -> None) status)
+  end
+
+let pp_decision ppf = function
+  | Commit -> Fmt.string ppf "commit"
+  | Abort -> Fmt.string ppf "abort"
+  | Undecided open_ ->
+    Fmt.pf ppf "undecided[%a]" Fmt.(list ~sep:(any ",") int) open_

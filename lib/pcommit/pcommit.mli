@@ -1,0 +1,29 @@
+(** Paxos Commit decision logic: acceptor placement and the quorum
+    decision function. See acceptor.mli for the per-site acceptor state
+    and the module comment in pcommit.ml for the safety argument. *)
+
+val quorum : f:int -> int
+(** Votes needed to fix an instance's value: f+1 of the 2f+1 acceptors. *)
+
+val acceptors : n_sites:int -> f:int -> coordinator:Site.t -> Site.t list
+(** The 2f+1-site acceptor set for a transaction coordinated at
+    [coordinator]: consecutive sites starting at the coordinator, via the
+    replica-placement rule. Raises [Invalid_argument] if n_sites < 2f+1. *)
+
+type decision =
+  | Commit  (** every instance Prepared at quorum *)
+  | Abort  (** some instance Aborted at quorum *)
+  | Undecided of Site.t list
+      (** instances with neither value at quorum yet; offering ballot-1
+          Aborted votes for these closes them *)
+
+val decide :
+  f:int ->
+  participants:Site.t list ->
+  votes:(Site.t * bool) list list ->
+  decision
+(** Tally per-acceptor registration reports (one association list per
+    responding acceptor) into a transaction outcome. Monotone: a Commit
+    or Abort verdict can never be contradicted by further replies. *)
+
+val pp_decision : decision Fmt.t

@@ -26,6 +26,8 @@ let prepared_intentions t txid =
 let prepared_files t txid =
   prepared_intentions t txid |> List.map (fun it -> it.Intentions.fid)
 
+let coordinator_of t txid = find t txid |> Option.map (fun e -> e.coordinator_site)
+
 let remove t txid =
   t.prepared <- List.filter (fun (tx, _) -> not (Txid.equal tx txid)) t.prepared
 

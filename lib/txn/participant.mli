@@ -46,6 +46,10 @@ val prepared_transactions : t -> Txid.t list
 val prepared_files : t -> Txid.t -> File_id.t list
 (** Files named by the transaction's prepare records at this site. *)
 
+val coordinator_of : t -> Txid.t -> int option
+(** The coordinator site recorded with the transaction's prepare record,
+    if it is prepared here. *)
+
 val prepared_intentions : t -> Txid.t -> Intentions.t list
 
 val recover : t -> (Txid.t * int) list

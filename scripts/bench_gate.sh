@@ -18,7 +18,7 @@
 #      (CI proves it by re-running e16 under LOCUS_BREAK_BATCH=1 and
 #      asserting this script fails).
 #
-# Usage: scripts/bench_gate.sh [exp ...]     (default: e4 e15 e16)
+# Usage: scripts/bench_gate.sh [exp ...]     (default: e4 e15 e16 e17)
 
 set -u
 
@@ -26,8 +26,8 @@ TOLERANCE_PCT=${TOLERANCE_PCT:-10}
 MIN_FORCE_RATIO=${MIN_FORCE_RATIO:-2.0}
 MIN_MSG_RATIO=${MIN_MSG_RATIO:-1.5}
 BASELINES=${BASELINES:-bench/baselines}
-EXPS=("${@:-e4 e15 e16}")
-[ $# -eq 0 ] && EXPS=(e4 e15 e16)
+EXPS=("${@:-e4 e15 e16 e17}")
+[ $# -eq 0 ] && EXPS=(e4 e15 e16 e17)
 
 fail=0
 
