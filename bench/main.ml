@@ -23,6 +23,7 @@ let experiments =
     ("e15", "\xc2\xa75.2: replication read fan-out and commit propagation cost", Exp_repl.e15);
     ("e16", "group commit + RPC batching on the 2PC hot path", Exp_batch.e16);
     ("e17", "2PC vs Paxos Commit: non-blocking atomic commitment", Exp_pcommit.e17);
+    ("e18", "locus_shard: dynamic lock placement on a hot-key workload", Exp_shard.e18);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

@@ -424,7 +424,7 @@ let dc_cmd =
 module Ck = Locus_check
 
 let check_config sites txns ops records replicas batch_window fault_every
-    commit =
+    commit shards policy =
   {
     Ck.Explore.sites = max 2 sites;
     txns;
@@ -434,6 +434,8 @@ let check_config sites txns ops records replicas batch_window fault_every
     batch_window = max 0 batch_window;
     fault_every;
     commit;
+    shards = max 0 shards;
+    policy;
   }
 
 let txns_arg =
@@ -493,15 +495,42 @@ let paxos_f_arg =
 let commit_of proto paxos_f : Ck.Workload.commit_protocol =
   match proto with `Two_phase -> `Two_phase | `Paxos -> `Paxos (max 0 paxos_f)
 
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Enable dynamic lock placement with N directory shards (0 = \
+           static placement): lock traffic routes through the shard \
+           directory and the lock-manager role migrates toward the \
+           traffic per --migrate-policy.")
+
+let policy_conv =
+  let parse s =
+    match Locus_shard.Policy.of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Locus_shard.Policy.pp)
+
+let migrate_policy_arg =
+  Arg.(
+    value & opt policy_conv Locus_shard.Policy.default
+    & info [ "migrate-policy" ] ~docv:"POLICY"
+        ~doc:
+          "Migration policy for --shards runs: $(b,never), \
+           $(b,threshold:N) (migrate after N consecutive remote \
+           acquisitions from one site), or a bare N.")
+
 let pp_blocked =
   Fmt.list ~sep:Fmt.sp (fun ppf (site, txid) ->
       Fmt.pf ppf "site%d:%a" site Txid.pp txid)
 
 let check seed sites txns ops records replicas batch_window fault_every commit
-    paxos_f =
+    paxos_f shards policy =
   let cfg =
     check_config sites txns ops records replicas batch_window fault_every
-      (commit_of commit paxos_f)
+      (commit_of commit paxos_f) shards policy
   in
   let spec, hist, report, blocked = Ck.Explore.run_seed cfg seed in
   Fmt.pr "workload (seed %d):@.%a@." seed Ck.Workload.pp spec;
@@ -519,13 +548,14 @@ let check_cmd =
     Term.(
       const check $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
       $ replicas_arg $ batch_window_arg $ fault_every_arg $ commit_arg
-      $ paxos_f_arg)
+      $ paxos_f_arg $ shards_arg $ migrate_policy_arg)
 
 let explore seed sites txns ops records replicas batch_window fault_every
-    n_seeds break_locks break_repl break_paxos commit paxos_f =
+    n_seeds break_locks break_repl break_paxos break_shard commit paxos_f
+    shards policy =
   let cfg =
     check_config sites txns ops records replicas batch_window fault_every
-      (commit_of commit paxos_f)
+      (commit_of commit paxos_f) shards policy
   in
   if break_locks then begin
     Fmt.pr "!! breaking the shared/exclusive compatibility rule (Figure 1)@.";
@@ -543,10 +573,17 @@ let explore seed sites txns ops records replicas batch_window fault_every
        registered or persisted)@.";
     Locus_pcommit.Flags.break_paxos := true
   end;
+  if break_shard then begin
+    Fmt.pr
+      "!! breaking shard migration (old owners keep granting at stale \
+       epochs after handing the role away)@.";
+    Locus_shard.Flags.break_shard := true
+  end;
   Fun.protect ~finally:(fun () ->
       M.test_break_shared_exclusive := false;
       Locus_repl.Flags.drop_propagation := false;
-      Locus_pcommit.Flags.break_paxos := false)
+      Locus_pcommit.Flags.break_paxos := false;
+      Locus_shard.Flags.break_shard := false)
   @@ fun () ->
   let t0 = Sys.time () in
   let result =
@@ -609,6 +646,16 @@ let explore_cmd =
              after a coordinator kill; verify the liveness check flags the \
              blocked participants (use with --commit paxos).")
   in
+  let break_shard =
+    Arg.(
+      value & flag
+      & info [ "break-shard" ]
+          ~doc:
+            "Self-test: migrating owners skip the stand-down — they keep \
+             their table and keep granting at the stale epoch after the \
+             role moved; verify the epoch-fence oracle flags the resulting \
+             split-brain grants (use with --shards > 0).")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
@@ -617,7 +664,8 @@ let explore_cmd =
     Term.(
       const explore $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
       $ replicas_arg $ batch_window_arg $ fault_every_arg $ n_seeds
-      $ break_locks $ break_repl $ break_paxos $ commit_arg $ paxos_f_arg)
+      $ break_locks $ break_repl $ break_paxos $ break_shard $ commit_arg
+      $ paxos_f_arg $ shards_arg $ migrate_policy_arg)
 
 (* {1 repl-status} *)
 
@@ -691,6 +739,92 @@ let repl_status_cmd =
     Term.(
       const repl_status $ seed_arg $ sites_arg $ replicas_arg $ updates
       $ crash_primary)
+
+(* {1 shard-status} *)
+
+let shard_status seed sites shards policy files rounds =
+  let sites = max 2 sites in
+  let shards = if shards <= 0 then sites else shards in
+  let config =
+    K.Config.with_shards ~shards ~policy (K.Config.default ~n_sites:sites)
+  in
+  let sim = L.make ~seed ~config ~n_sites:sites () in
+  let cl = sim.L.cluster in
+  let files = max 1 files in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"shard-driver" (fun env ->
+         let paths = List.init files (Printf.sprintf "/shard/f%d") in
+         List.iter
+           (fun p ->
+             let c = Api.creat env p ~vid:1 in
+             Api.pwrite env c ~pos:0 (Bytes.make 64 '.');
+             Api.commit_file env c;
+             Api.close env c)
+           paths;
+         (* Each file gets a dominant remote site hammering it: the
+            threshold policy should hand every role to its traffic. *)
+         let pids =
+           List.mapi
+             (fun i p ->
+               let site = (i + 1) mod sites in
+               Api.fork env ~site ~name:(Printf.sprintf "shard-w%d" i)
+                 (fun w ->
+                   let c = Api.open_file w p in
+                   for _ = 1 to rounds do
+                     Api.seek w c ~pos:0;
+                     (match Api.lock w c ~len:64 ~mode:M.Exclusive () with
+                     | Api.Granted -> ()
+                     | Api.Conflict _ -> ());
+                     Api.unlock w c ~len:64;
+                     Engine.sleep 10_000
+                   done;
+                   Api.close w c))
+             paths
+         in
+         List.iter (Api.wait_pid env) pids));
+  L.run sim;
+  Fmt.pr "--- shard directory (%d shards over %d sites) ---@." shards sites;
+  List.iter
+    (fun (fid, path, owner, epoch) ->
+      Fmt.pr "%-16s %a  owner site%d  epoch %d@."
+        (match path with Some p -> p | None -> "?")
+        File_id.pp fid owner epoch)
+    (K.shard_status cl);
+  let stats = L.Engine.stats sim.L.engine in
+  Fmt.pr "@.--- shard counters ---@.";
+  List.iter
+    (fun key ->
+      let v = L.Stats.get stats key in
+      if v > 0 then Fmt.pr "%-24s %d@." key v)
+    [
+      "shard.local_grants"; "shard.remote_grants"; "shard.redirects";
+      "shard.forwards"; "shard.migrations"; "shard.installs"; "shard.fenced";
+      "shard.rehomed"; "shard.transfer_lost"; "shard.dir_lookups";
+      "shard.dir_claims"; "shard.dir_claim_stale";
+    ];
+  print_summary sim
+
+let shard_status_cmd =
+  let files =
+    Arg.(
+      value & opt int 4
+      & info [ "files" ] ~docv:"N" ~doc:"Hot files to create (on vol 1).")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 8
+      & info [ "rounds" ] ~docv:"N"
+          ~doc:"Lock/unlock rounds per file from its dominant site.")
+  in
+  Cmd.v
+    (Cmd.info "shard-status"
+       ~doc:
+         "Run a short sharded workload (each file hammered from one remote \
+          site) and print the shard directory — who owns each file's \
+          lock-manager role, at what epoch — plus the migration counters.")
+    Term.(
+      const shard_status $ seed_arg $ sites_arg $ shards_arg
+      $ migrate_policy_arg $ files $ rounds)
 
 (* {1 trace-export / metrics: causal span tracing} *)
 
@@ -822,4 +956,5 @@ let () =
        (Cmd.group
           (Cmd.info "locusctl" ~version:"1.0" ~doc)
           [ bank_cmd; chaos_cmd; deadlock_cmd; dc_cmd; check_cmd; explore_cmd;
-            repl_status_cmd; trace_export_cmd; metrics_cmd; stats_cmd ]))
+            repl_status_cmd; shard_status_cmd; trace_export_cmd; metrics_cmd;
+            stats_cmd ]))

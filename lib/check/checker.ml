@@ -16,6 +16,13 @@ type violation =
       version : int;
       at : int;
     }
+  | Fenced_grant of {
+      fid : File_id.t;
+      site : int;
+      owner_site : int;
+      epoch : int;
+      at : int;
+    }
 
 type classified = { violation : violation; permitted : bool }
 
@@ -140,6 +147,12 @@ let check history =
   let ops : (File_id.t, op list ref) Tx_tbl.t = Tx_tbl.create 16 in
   let dirty = ref [] in
   let stale = ref [] in
+  (* Epoch-fence oracle (locus_shard): [Migrate] events name, per fid,
+     the one site allowed to grant locks from then on (highest epoch
+     wins). Grants before a fid's first migration are unchecked — the
+     epoch-0 owner is not observable from the history alone. *)
+  let shard_owner : (File_id.t, int * int) Tx_tbl.t = Tx_tbl.create 8 in
+  let fenced = ref [] in
   let reads_checked = ref 0 in
   let push tbl key v =
     match Tx_tbl.find_opt tbl key with
@@ -235,7 +248,7 @@ let check history =
       wl
   in
   for i = 0 to n - 1 do
-    let { Obs.at; ev; _ } = events.(i) in
+    let { Obs.at; site; ev } = events.(i) in
     match ev with
     | Obs.Begin { txid; _ } ->
         if not (Tx_tbl.mem begun txid) then Tx_tbl.replace begun txid i
@@ -252,6 +265,14 @@ let check history =
     | Obs.File_commit { owner; fid } -> settle_file Wcommitted owner fid
     | Obs.File_abort { owner; fid } -> settle_file Waborted owner fid
     | Obs.Lock { owner; fid; range; non_transaction; _ } ->
+        (match Tx_tbl.find_opt shard_owner fid with
+        | Some (osite, epoch) when osite <> site ->
+            fenced :=
+              { violation =
+                  Fenced_grant { fid; site; owner_site = osite; epoch; at };
+                permitted = false }
+              :: !fenced
+        | Some _ | None -> ());
         if non_transaction then begin
           (match Tx_tbl.find_opt nt (owner, fid) with
           | Some r -> r := Range_set.add range !r
@@ -329,6 +350,12 @@ let check history =
                     s_version = version; s_at = at }
                   :: !stale
             end)
+    | Obs.Migrate { fid; from_site = _; to_site; epoch } -> (
+        (* Emission order is causal, but a straggler install can still
+           surface after a re-home raced past it: highest epoch wins. *)
+        match Tx_tbl.find_opt shard_owner fid with
+        | Some (_, e) when epoch < e -> ()
+        | Some _ | None -> Tx_tbl.replace shard_owner fid (to_site, epoch))
     | Obs.Propagate _ | Obs.Reconcile _ | Obs.Failover _ ->
         (* Replication housekeeping: not data accesses. *)
         ()
@@ -435,7 +462,9 @@ let check history =
   { committed; aborted; unresolved;
     reads_checked = !reads_checked;
     edges;
-    violations = dirty_violations @ stale_violations @ cycle_violations }
+    violations =
+      dirty_violations @ stale_violations @ List.rev !fenced
+      @ cycle_violations }
 
 let unpermitted r = List.filter (fun c -> not c.permitted) r.violations
 let permitted r = List.filter (fun c -> c.permitted) r.violations
@@ -452,6 +481,11 @@ let pp_violation ppf = function
         "stale replica read: %a read %a %a (copy version %d) missing \
          committed data at t=%d"
         Txid.pp reader File_id.pp fid Byte_range.pp range version at
+  | Fenced_grant { fid; site; owner_site; epoch; at } ->
+      Fmt.pf ppf
+        "fenced grant: site%d granted a lock on %a but the e%d migration \
+         made site%d its lock manager (t=%d)"
+        site File_id.pp fid epoch owner_site at
 
 let pp_classified ppf c =
   Fmt.pf ppf "[%s] %a"

@@ -43,6 +43,19 @@ type violation =
           the reader's own pending write). Permitted when the reader was
           §3.4-relaxed or the copy was serving degraded (failover with
           the primary unreachable). *)
+  | Fenced_grant of {
+      fid : File_id.t;
+      site : int;  (** the site that granted the lock *)
+      owner_site : int;  (** the site the migration history designates *)
+      epoch : int;  (** ownership epoch in force at the grant *)
+      at : int;
+    }
+      (** epoch-fence oracle (locus_shard): a lock on [fid] was granted
+          at a site other than the one the latest ownership migration
+          (highest epoch with [at] ≤ grant time) installed as the fid's
+          lock manager. A correct implementation fences every such
+          stale-owner grant, so this is never permitted; it fires under
+          [--break-shard], which suppresses the old owner's stand-down. *)
 
 type classified = { violation : violation; permitted : bool }
 

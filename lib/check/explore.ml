@@ -7,6 +7,8 @@ type config = {
   batch_window : int;
   fault_every : int option;
   commit : Workload.commit_protocol;
+  shards : int;
+  policy : Locus_shard.Policy.t;
 }
 
 let default_config =
@@ -19,6 +21,8 @@ let default_config =
     batch_window = 0;
     fault_every = None;
     commit = `Two_phase;
+    shards = 0;
+    policy = Locus_shard.Policy.default;
   }
 
 type failure = {
@@ -43,23 +47,28 @@ type result = {
    not a bug. *)
 let fault_for cfg seed =
   match cfg.fault_every with
-  | Some k when k > 0 && seed mod k = 0 -> (
+  | Some k when k > 0 && seed mod k = 0 ->
       let nth = seed / k in
       let victim = nth mod cfg.sites
       and after_decides = 1 + (seed mod 3) in
-      match cfg.commit with
-      | `Two_phase ->
-          Some
-            (if nth mod 2 = 0 then
-               Workload.Crash { victim; after_decides; restart_delay = 2_000_000 }
-             else
-               Workload.Partition { victim; after_decides; heal_delay = 2_000_000 })
-      | `Paxos _ ->
-          Some
-            (match nth mod 3 with
-            | 0 -> Workload.Crash { victim; after_decides; restart_delay = 2_000_000 }
-            | 1 -> Workload.Partition { victim; after_decides; heal_delay = 2_000_000 }
-            | _ -> Workload.Kill_coordinator { after_decides }))
+      let base =
+        match cfg.commit with
+        | `Two_phase ->
+            [ Workload.Crash { victim; after_decides; restart_delay = 2_000_000 };
+              Workload.Partition { victim; after_decides; heal_delay = 2_000_000 }
+            ]
+        | `Paxos _ ->
+            [ Workload.Crash { victim; after_decides; restart_delay = 2_000_000 };
+              Workload.Partition { victim; after_decides; heal_delay = 2_000_000 };
+              Workload.Kill_coordinator { after_decides }
+            ]
+      in
+      let faults =
+        if cfg.shards > 0 then
+          base @ [ Workload.Migrate_owner { after_decides } ]
+        else base
+      in
+      Some (List.nth faults (nth mod List.length faults))
   | Some _ | None -> None
 
 let run_seed cfg seed =
@@ -69,7 +78,8 @@ let run_seed cfg seed =
   in
   let hist, sim =
     Workload.run ?fault:(fault_for cfg seed) ~replicas:cfg.replicas
-      ~batch_window:cfg.batch_window ~commit:cfg.commit ~seed spec
+      ~batch_window:cfg.batch_window ~commit:cfg.commit ~shards:cfg.shards
+      ~policy:cfg.policy ~seed spec
   in
   (* Liveness: participants still prepared after the run drained are
      blocked in-doubt. 2PC is allowed to block only when its coordinator
@@ -110,7 +120,7 @@ let shrink_failure cfg f =
       Workload.run
         ?fault:(fault_for cfg f.f_seed)
         ~replicas:cfg.replicas ~batch_window:cfg.batch_window ~commit:cfg.commit
-        ~seed:f.f_seed spec
+        ~shards:cfg.shards ~policy:cfg.policy ~seed:f.f_seed spec
     in
     (not (Checker.ok (Checker.check hist))) || Workload.blocked sim <> []
   in

@@ -26,6 +26,13 @@ type config = {
       (** atomic-commitment protocol for every run of the sweep;
           [`Paxos f] adds the coordinator-kill fault to the rotation and
           the sweep then asserts the non-blocking liveness property *)
+  shards : int;
+      (** shard count for dynamic lock placement (0 = static placement);
+          > 0 routes lock traffic through the shard directory and adds
+          the forced mid-transaction ownership migration fault to the
+          rotation, with every grant watched by the epoch-fence oracle *)
+  policy : Locus_shard.Policy.t;
+      (** migration policy for sharded runs (ignored when [shards = 0]) *)
 }
 
 val default_config : config

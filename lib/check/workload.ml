@@ -13,6 +13,7 @@ type fault =
   | Crash of crash
   | Partition of { victim : int; after_decides : int; heal_delay : int }
   | Kill_coordinator of { after_decides : int }
+  | Migrate_owner of { after_decides : int }
 
 type commit_protocol = [ `Two_phase | `Paxos of int ]
 
@@ -78,7 +79,7 @@ let run_txn ?(piggyback = false) env t =
   ignore (Api.end_trans env);
   Api.close env c
 
-let install_fault cl fault =
+let install_fault cl ~n_sites fault =
   let decides = ref 0 in
   (K.hooks cl).K.on_decided <-
     (fun txid _status ->
@@ -102,10 +103,24 @@ let install_fault cl fault =
              this transaction stays in-doubt forever; under Paxos Commit
              they must all still decide — that is the liveness property. *)
           K.crash_site cl (Txid.site txid)
-      | Crash _ | Partition _ | Kill_coordinator _ -> ())
+      | Migrate_owner { after_decides } when !decides >= after_decides -> (
+          (* Yank the shared file's lock-manager role to a rotating site
+             at every decide point from the Nth on: in-flight phase 2,
+             retained locks, and later acquisitions must all survive the
+             hand-offs (and the epoch-fence oracle watches every grant).
+             The hook runs inside the deciding fiber, so the migration
+             RPCs get their own fiber. *)
+          match K.lookup cl path with
+          | None -> ()
+          | Some fid ->
+              let dst = !decides mod n_sites in
+              ignore
+                (Engine.spawn ~name:"wl-migrate" ~site:0 (K.engine cl)
+                   (fun () -> K.force_migrate cl ~src:0 fid ~dst)))
+      | Crash _ | Partition _ | Kill_coordinator _ | Migrate_owner _ -> ())
 
 let run ?fault ?(replicas = 1) ?(batch_window = 0) ?(commit = `Two_phase)
-    ?(seed = 0) spec =
+    ?(shards = 0) ?policy ?(seed = 0) spec =
   let sim =
     let base =
       if replicas > 1 then
@@ -121,12 +136,15 @@ let run ?fault ?(replicas = 1) ?(batch_window = 0) ?(commit = `Two_phase)
       | `Two_phase -> config
       | `Paxos f -> K.Config.with_paxos ~f config
     in
+    let config =
+      if shards > 0 then K.Config.with_shards ~shards ?policy config else config
+    in
     L.make ~seed ~config ~n_sites:spec.n_sites ()
   in
   let hist = History.create () in
   History.attach hist sim.L.cluster;
   (match fault with
-  | Some f -> install_fault sim.L.cluster f
+  | Some f -> install_fault sim.L.cluster ~n_sites:spec.n_sites f
   | None -> ());
   ignore
     (Api.spawn_process sim.L.cluster ~site:0 ~name:"wl-driver" (fun env ->

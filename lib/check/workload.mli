@@ -27,6 +27,7 @@ type fault =
       heal_delay : int;  (** virtual microseconds until the partition heals *)
     }
   | Kill_coordinator of { after_decides : int }
+  | Migrate_owner of { after_decides : int }
       (** Failure injected mid-run at a 2PC decision point: either a
           crash + reboot, a network partition + heal, or — the classic
           blocking window — killing the Nth deciding transaction's own
@@ -37,7 +38,11 @@ type fault =
           asserts this). Partitions exercise the replication
           degrade / reconcile path — the isolated site's replicas go
           stale, serve degraded reads, and must catch up after the
-          heal. *)
+          heal. [Migrate_owner] needs a sharded run ([run ~shards]): from
+          the Nth decide on, it forces the shared file's lock-manager
+          role to a rotating destination site at every decide point, so
+          hand-offs land in the middle of live transactions and phase-2
+          windows — 1SR and the epoch-fence oracle must both hold. *)
 
 type commit_protocol = [ `Two_phase | `Paxos of int ]
 (** Atomic-commitment protocol for a run: plain 2PC or Paxos Commit
@@ -62,6 +67,8 @@ val run :
   ?replicas:int ->
   ?batch_window:int ->
   ?commit:commit_protocol ->
+  ?shards:int ->
+  ?policy:Locus_shard.Policy.t ->
   ?seed:int ->
   spec ->
   History.t * Locus_core.Locus.sim
@@ -77,7 +84,11 @@ val run :
     ({!Locus_core.Kernel.Config.with_batching}: group commit + RPC
     coalescing at that window) and switches transactional reads to the
     piggybacked {!Locus_core.Api.pread_locked} path, so the explorer
-    proves 1SR with every batching optimisation live. *)
+    proves 1SR with every batching optimisation live. [shards > 0]
+    turns on dynamic lock placement
+    ({!Locus_core.Kernel.Config.with_shards}) with the given migration
+    [policy], so lock traffic flows through the shard directory and the
+    role can move mid-run. *)
 
 val blocked : Locus_core.Locus.sim -> (int * Txid.t) list
 (** Liveness oracle over a drained simulation: [(site, txid)] for every

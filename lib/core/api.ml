@@ -100,20 +100,30 @@ let rpc_storage_or_replica env fid msg =
   | Some dst -> Kernel.rpc env.cl ~src:(site env) ~dst msg
   | None -> rpc_storage env fid msg
 
-(* Lock operations go to the current lock authority (§5.2 delegation):
-   start from the hint, follow redirects, fall back to the storage site. *)
+(* Lock operations go to the current lock authority (§5.2 delegation, or
+   the locus_shard lock-manager role): start from the hint, follow
+   redirects, fall back to the storage site. Under dynamic placement a
+   stale hint may also bounce ([R_retry], e.g. mid-migration or an
+   unreachable directory) — sleep and re-chase, never fail a lock on
+   staleness alone. *)
 let rpc_lock_authority env fid msg =
+  let bound = if Kernel.sharded env.cl then 24 else 8 in
   let rec go tries dst =
     match Kernel.rpc env.cl ~src:(site env) ~dst msg with
-    | Msg.R_redirect d when tries < 8 ->
+    | Msg.R_redirect d when tries < bound ->
       Kernel.note_lock_authority env.cl fid d;
       go (tries + 1) d
+    | Msg.R_retry when Kernel.sharded env.cl && tries < bound ->
+      Engine.sleep 2_000;
+      go (tries + 1) dst
     | r -> r
   in
   let start =
     match Kernel.lock_authority_hint env.cl fid with
     | Some s when Transport.site_up (Kernel.transport env.cl) s -> s
-    | Some _ | None -> Kernel.storage_site env.cl fid
+    | Some _ | None ->
+      if Kernel.sharded env.cl then Kernel.shard_default_owner env.cl fid
+      else Kernel.storage_site env.cl fid
   in
   go 0 start
 

@@ -4,6 +4,8 @@ module Proc_table = Locus_proc.Proc_table
 module Otrace = Locus_otrace.Otrace
 module Pcommit = Locus_pcommit.Pcommit
 module Pc_acceptor = Locus_pcommit.Acceptor
+module Shard_dir = Locus_shard.Directory
+module Shard_policy = Locus_shard.Policy
 
 type outcome = Committed | Aborted
 
@@ -40,6 +42,8 @@ module Config = struct
     group_commit_window_us : int;
     rpc_batch_window_us : int;
     commit_protocol : commit_protocol;
+    shards : int;  (* 0 = static lock placement; > 0 enables locus_shard *)
+    shard_policy : Locus_shard.Policy.t;
   }
 
   let default ~n_sites =
@@ -62,6 +66,8 @@ module Config = struct
       group_commit_window_us = 0;
       rpc_batch_window_us = 0;
       commit_protocol = Two_phase;
+      shards = 0;
+      shard_policy = Locus_shard.Policy.default;
     }
 
   let with_replication ~n_sites ~factor =
@@ -75,6 +81,20 @@ module Config = struct
     if cfg.n_sites < (2 * f) + 1 then
       invalid_arg "Config.with_paxos: need n_sites >= 2f+1 acceptor sites";
     { cfg with commit_protocol = Paxos { f } }
+
+  (* Dynamic lock placement (locus_shard). Mutually exclusive with §5.2
+     delegation: both move lock authority, by different rules, and a
+     request could otherwise ping-pong between the two redirect schemes. *)
+  let with_shards ~shards ?policy cfg =
+    if shards <= 0 then invalid_arg "Config.with_shards: shards must be > 0";
+    if cfg.lock_delegation then
+      invalid_arg "Config.with_shards: incompatible with lock_delegation";
+    {
+      cfg with
+      shards;
+      shard_policy =
+        (match policy with Some p -> p | None -> cfg.shard_policy);
+    }
 end
 
 (* Failure-injection hooks: invoked synchronously at the protocol points
@@ -100,6 +120,7 @@ type t = {
   mutable incarnation : int;
   mutable txseq : int;
   mutable coord_ready : bool;  (* coordinator-log recovery pass done *)
+  mutable par_ready : bool;  (* participant prepared-state rebuild done *)
   mutable recovered : bool;  (* full recovery (incl. in-doubt resolution) done *)
   repl : Status.t;  (* freshness of hosted replicated volumes *)
   known_primary : (int, Site.t) Hashtbl.t;  (* per-vid, to spot takeovers *)
@@ -120,6 +141,12 @@ type t = {
   delegations : (File_id.t, Site.t) Hashtbl.t;  (* we are home; authority is there *)
   hosted : (File_id.t, Site.t) Hashtbl.t;  (* we hold authority; home is there *)
   lock_origins : (File_id.t, Site.t * int) Hashtbl.t;  (* consecutive remote requesters *)
+  (* locus_shard dynamic lock placement state (all volatile). *)
+  shard_owned : (File_id.t, unit) Hashtbl.t;  (* lock-manager roles held here *)
+  shard_epochs : (File_id.t, int) Hashtbl.t;  (* highest epoch seen per fid (fence) *)
+  shard_hints : (File_id.t, Site.t) Hashtbl.t;  (* stale-tolerant owner hints *)
+  shard_origins : (File_id.t, Site.t * int) Hashtbl.t;  (* remote-acquisition streaks *)
+  shard_migrating : (File_id.t, unit) Hashtbl.t;  (* transfer in progress *)
   cl : cluster;
 }
 
@@ -141,6 +168,7 @@ and cluster = {
   hooks : hooks;
   mutable observer : Obs.sink option;  (* history recorder (Locus_check) *)
   mutable otracer : Otrace.t option;  (* causal span collector (Locus_otrace) *)
+  shard_dir : Shard_dir.t option;  (* authoritative role directory (locus_shard) *)
 }
 
 (* Marshalled migration payload (§4.1): the process record plus, for a
@@ -162,6 +190,7 @@ let participant k = k.participant
 let coord_log k = k.coord
 let costs k = Engine.costs k.engine
 let stats k = Engine.stats k.engine
+let sharded cl = cl.shard_dir <> None
 
 let tr k cat fmt =
   Trace.emitf (Engine.trace k.engine) ~at:(Engine.now k.engine) ~cat ~site:k.site fmt
@@ -390,6 +419,48 @@ let recall_locks_ref : (t -> File_id.t -> unit) ref = ref (fun _ _ -> ())
 let ensure_authority_home k fid =
   if Hashtbl.mem k.delegations fid then !recall_locks_ref k fid
 
+(* Forward declarations for locus_shard: when dynamic lock placement is
+   on and a fid's lock-manager role currently lives at another site, the
+   data paths below must acquire (and release) locks by message instead
+   of touching local tables. The implementations live in the shard
+   section further down (they need the migration machinery). *)
+let shard_remote_ref : (t -> File_id.t -> bool) ref = ref (fun _ _ -> false)
+
+let shard_ensure_remote_ref :
+    (t ->
+    fid:File_id.t ->
+    owner:Owner.t ->
+    pid:Pid.t ->
+    range:Byte_range.t ->
+    write:bool ->
+    dirty:bool ->
+    unit)
+    ref =
+  ref (fun _ ~fid:_ ~owner:_ ~pid:_ ~range:_ ~write:_ ~dirty:_ -> ())
+
+let shard_momentary_acquire_ref :
+    (t ->
+    fid:File_id.t ->
+    owner:Owner.t ->
+    pid:Pid.t ->
+    range:Byte_range.t ->
+    write:bool ->
+    Byte_range.t list)
+    ref =
+  ref (fun _ ~fid:_ ~owner:_ ~pid:_ ~range:_ ~write:_ -> [])
+
+let shard_release_pieces_ref :
+    (t ->
+    fid:File_id.t ->
+    owner:Owner.t ->
+    pid:Pid.t ->
+    pieces:Byte_range.t list ->
+    unit)
+    ref =
+  ref (fun _ ~fid:_ ~owner:_ ~pid:_ ~pieces:_ -> ())
+
+let shard_claim_home_ref : (t -> File_id.t -> unit) ref = ref (fun _ _ -> ())
+
 let grant_lock k ~fid ~owner ~pid ~mode ~range ~non_transaction ~wait =
   Engine.consume k.engine ~instr:(costs k).Costs.lock_request_instr;
   Stats.incr (stats k) "lock.requests";
@@ -504,36 +575,56 @@ exception Denied of string
    momentary holder of the appropriate Figure-1 mode on each byte range
    not already covered by the process's explicit locks. *)
 let with_momentary k ~fid ~owner ~pid ~range ~write f =
-  let table = ensure_table k fid in
-  let mode = if write then Mode.Exclusive else Mode.Shared in
-  let pieces = uncovered_pieces table ~owner ~range ~write in
-  List.iter
-    (fun piece ->
-      match
-        grant_lock k ~fid ~owner ~pid ~mode ~range:piece ~non_transaction:false
-          ~wait:true
-      with
-      | `Granted -> ()
-      | `Conflict _ | `Cancelled | `Timeout -> raise (Denied "access blocked"))
-    pieces;
-  Fun.protect f ~finally:(fun () ->
-      List.iter
-        (fun piece -> Lock_table.unlock table ~owner ~pid ~range:piece)
-        pieces)
+  if !shard_remote_ref k fid then begin
+    (* The lock-manager role lives elsewhere: hold the uncovered pieces
+       there for the duration of the access. *)
+    let pieces = !shard_momentary_acquire_ref k ~fid ~owner ~pid ~range ~write in
+    Fun.protect f ~finally:(fun () ->
+        !shard_release_pieces_ref k ~fid ~owner ~pid ~pieces)
+  end
+  else begin
+    let table = ensure_table k fid in
+    let mode = if write then Mode.Exclusive else Mode.Shared in
+    let pieces = uncovered_pieces table ~owner ~range ~write in
+    List.iter
+      (fun piece ->
+        match
+          grant_lock k ~fid ~owner ~pid ~mode ~range:piece ~non_transaction:false
+            ~wait:true
+        with
+        | `Granted -> ()
+        | `Conflict _ | `Cancelled | `Timeout -> raise (Denied "access blocked"))
+      pieces;
+    Fun.protect f ~finally:(fun () ->
+        List.iter
+          (fun piece -> Lock_table.unlock table ~owner ~pid ~range:piece)
+          pieces)
+  end
 
 (* Transaction access: two-phase locks are acquired implicitly at record
    access time when not already held (§3.1). *)
 let ensure_txn_lock k ~fid ~owner ~pid ~range ~write =
-  let table = ensure_table k fid in
-  if not (Lock_table.owner_covers table ~owner ~range ~write) then begin
-    let mode = if write then Mode.Exclusive else Mode.Shared in
-    match
-      grant_lock k ~fid ~owner ~pid ~mode ~range ~non_transaction:false ~wait:true
-    with
-    | `Granted -> Stats.incr (stats k) "lock.implicit"
-    | `Cancelled -> raise (Denied "transaction aborted while waiting for lock")
-    | `Timeout -> raise (Denied "lock timeout")
-    | `Conflict _ -> raise (Denied "lock conflict")
+  if !shard_remote_ref k fid then begin
+    (* Rule 2 needs the data (here, at the storage site) and the lock
+       state (at the current role owner): detect dirty overlap locally,
+       tell the owner so it retains the lock, and adopt the bytes here. *)
+    let dirty = Filestore.uncommitted_overlapping k.store fid range <> [] in
+    !shard_ensure_remote_ref k ~fid ~owner ~pid ~range ~write ~dirty;
+    if dirty then Filestore.adopt k.store fid ~range ~new_owner:owner
+  end
+  else begin
+    let table = ensure_table k fid in
+    if not (Lock_table.owner_covers table ~owner ~range ~write) then begin
+      let mode = if write then Mode.Exclusive else Mode.Shared in
+      match
+        grant_lock k ~fid ~owner ~pid ~mode ~range ~non_transaction:false
+          ~wait:true
+      with
+      | `Granted -> Stats.incr (stats k) "lock.implicit"
+      | `Cancelled -> raise (Denied "transaction aborted while waiting for lock")
+      | `Timeout -> raise (Denied "lock timeout")
+      | `Conflict _ -> raise (Denied "lock conflict")
+    end
   end
 
 (* {1 Storage-site operations (run at the file's storage site)} *)
@@ -611,6 +702,9 @@ let ss_write k ~fid ~owner ~pid ~pos ~data =
    whenever someone else extended the file while we waited. *)
 let ss_lock_append k ~fid ~owner ~pid ~len ~mode ~non_transaction =
   ensure_authority_home k fid;
+  (* Atomic EOF-and-lock needs the lock state next to the file size: pull
+     the migrated role home first (no-op when placement is static). *)
+  !shard_claim_home_ref k fid;
   let rec attempt tries =
     if tries > 100 then raise (Denied "lock_append: livelock")
     else begin
@@ -985,6 +1079,500 @@ let maybe_delegate k fid ~src =
   end
   else if src = k.site then Hashtbl.remove k.lock_origins fid
 
+(* {1 Dynamic lock placement (locus_shard)}
+
+   Scale-out generalization of §5.2: instead of a per-file delegation
+   that always returns home, each file's lock-manager role has a current
+   owner recorded in a sharded directory (authoritative per-shard
+   directory sites, {!Locus_repl.Placement.directory}), and the role
+   migrates toward the site generating the traffic. Every site keeps a
+   stale-tolerant hint cache; a wrong hint costs a redirect (or a retry),
+   never a mis-grant, because ownership changes are epoch CAS operations
+   at the directory and a transfer carrying a stale epoch is fenced by
+   its receiver. The lock table (including retained locks of in-flight
+   transactions) rides the transfer envelope, so 2PC / Paxos Commit
+   survive a mid-transaction handoff: phase 2 releases chase the role to
+   wherever it lives now. *)
+
+let shard_dir_exn cl =
+  match cl.shard_dir with
+  | Some d -> d
+  | None -> invalid_arg "Kernel: dynamic lock placement is not enabled"
+
+(* Epoch-0 owner of a never-claimed fid: the first configured host of its
+   volume — static, so every site derives the same default without
+   consulting anyone. *)
+let shard_default_owner cl fid =
+  match Hashtbl.find_opt cl.vol_hosts fid.File_id.vid with
+  | Some (h :: _) -> h
+  | Some [] | None -> 0
+
+(* Forward declaration: losing transferred lock state aborts the owning
+   transactions, but [abort_transaction] is defined further down. *)
+let shard_abort_txn_ref : (cluster -> src:Site.t -> Txid.t -> unit) ref =
+  ref (fun _ ~src:_ _ -> ())
+
+let shard_abort_table_owners k table =
+  let owners =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (l : Lock_table.lock) ->
+           match l.Lock_table.owner with
+           | Owner.Transaction txid -> Some txid
+           | Owner.Process _ -> None)
+         (Lock_table.locks table))
+  in
+  List.iter
+    (fun txid ->
+      ignore
+        (Engine.spawn ~name:"shard-abort" ~site:k.site k.engine (fun () ->
+             !shard_abort_txn_ref k.cl ~src:k.site txid)))
+    owners
+
+(* Ask the directory who owns the role. [None] when the directory site is
+   unreachable — the caller must bounce, never guess. *)
+let shard_lookup k fid =
+  let cl = k.cl in
+  let dir = shard_dir_exn cl in
+  let default = shard_default_owner cl fid in
+  let ds = Shard_dir.site_of dir fid in
+  if ds = k.site then begin
+    Stats.incr (stats k) "shard.dir_lookups";
+    Some (Shard_dir.lookup dir fid ~default)
+  end
+  else if not (Transport.reachable cl.net k.site ds) then None
+  else
+    match rpc cl ~src:k.site ~dst:ds (Msg.Shard_lookup { fid }) with
+    | Msg.R_owner { owner; epoch } -> Some (owner, epoch)
+    | _ -> None
+
+(* Install the role here without a transfer: the directory names this
+   site owner (epoch-0 default, or a re-homing) but no envelope ever
+   arrived. Rejected when we already stood down at a later epoch. *)
+let shard_adopt k fid ~epoch =
+  let ok =
+    match Hashtbl.find_opt k.shard_epochs fid with
+    | Some e -> epoch >= e
+    | None -> true
+  in
+  if ok then begin
+    Hashtbl.replace k.shard_owned fid ();
+    Hashtbl.replace k.shard_epochs fid epoch;
+    ignore (ensure_table k fid)
+  end;
+  ok
+
+(* Where should this site handle (or send) a lock operation on [fid]?
+   Trust the local hint first; a stale hint redirects (the fence at the
+   true owner keeps mis-grants impossible), a missing hint asks the
+   directory, an unreachable directory bounces for retry. *)
+let shard_route k fid =
+  (* A transfer in flight froze the table snapshot: admitting operations
+     now would mutate state the destination will never see. Bounce them
+     until the hand-off settles one way or the other. *)
+  if Hashtbl.mem k.shard_migrating fid then `Retry
+  else if Hashtbl.mem k.shard_owned fid then `Here
+  else
+    match Hashtbl.find_opt k.shard_hints fid with
+    | Some s when s <> k.site -> `Redirect s
+    | Some _ | None -> (
+      match shard_lookup k fid with
+      | None -> `Retry
+      | Some (owner, epoch) ->
+        if owner = k.site then begin
+          if shard_adopt k fid ~epoch then `Here else `Retry
+        end
+        else begin
+          Hashtbl.replace k.shard_hints fid owner;
+          `Redirect owner
+        end)
+
+let note_migrated k fid ~from_site ~epoch =
+  Stats.incr (stats k) "shard.migrations";
+  obs k (Obs.Migrate { fid; from_site; to_site = k.site; epoch });
+  match k.cl.otracer with
+  | None -> ()
+  | Some otr ->
+    Otrace.note_migration otr
+      ~fid:(Fmt.str "%a" File_id.pp fid)
+      ~from_site ~to_site:k.site ~epoch
+
+(* Move the role (and its lock table) from this site to [dst]: mark the
+   transfer, win the epoch CAS at the directory, ship the table, stand
+   down. Any failure leaves the directory authoritative — we either keep
+   serving (claim never happened) or cede ownership (claim happened but
+   the transfer was lost; stranded transactions are aborted). *)
+let shard_migrate k fid ~dst =
+  let cl = k.cl in
+  if
+    Hashtbl.mem k.shard_owned fid
+    && (not (Hashtbl.mem k.shard_migrating fid))
+    && dst <> k.site
+    && Transport.reachable cl.net k.site dst
+  then begin
+    let table = ensure_table k fid in
+    if Lock_table.transferable table then begin
+      Hashtbl.replace k.shard_migrating fid ();
+      Fun.protect ~finally:(fun () -> Hashtbl.remove k.shard_migrating fid)
+      @@ fun () ->
+      with_span k ~cat:"shard" "shard.migrate"
+        ~args:
+          [ ("fid", Fmt.str "%a" File_id.pp fid); ("dst", string_of_int dst) ]
+      @@ fun () ->
+      let cur_epoch =
+        match Hashtbl.find_opt k.shard_epochs fid with Some e -> e | None -> 0
+      in
+      let dir = shard_dir_exn cl in
+      let default = shard_default_owner cl fid in
+      let ds = Shard_dir.site_of dir fid in
+      let claim =
+        if ds = k.site then begin
+          Stats.incr (stats k) "shard.dir_claims";
+          match
+            Shard_dir.claim dir fid ~default ~new_owner:dst
+              ~from_epoch:cur_epoch
+          with
+          | Ok e -> `Won e
+          | Error (o, e) ->
+            Stats.incr (stats k) "shard.dir_claim_stale";
+            `Lost (o, e)
+        end
+        else
+          match
+            rpc cl ~src:k.site ~dst:ds
+              (Msg.Shard_claim { fid; new_owner = dst; from_epoch = cur_epoch })
+          with
+          | Msg.R_owner { owner; epoch } ->
+            if owner = dst && epoch = cur_epoch + 1 then `Won epoch
+            else `Lost (owner, epoch)
+          | _ -> `Unreachable
+      in
+      match claim with
+      | `Unreachable -> ()  (* directory partitioned away: keep serving *)
+      | `Lost (owner, epoch) ->
+        (* Fenced: someone re-homed the role out from under us (our copy
+           of the lock state is dead). Drop it and abort its owners. *)
+        Stats.incr (stats k) "shard.fenced";
+        Hashtbl.remove k.shard_owned fid;
+        Hashtbl.remove k.locks fid;
+        Hashtbl.remove k.shard_origins fid;
+        Hashtbl.replace k.shard_epochs fid epoch;
+        Hashtbl.replace k.shard_hints fid owner;
+        shard_abort_table_owners k table
+      | `Won new_epoch -> (
+        let payload = marshal_locks (Lock_table.locks table) in
+        match
+          Transport.rpc_retry ~attempts:3 ~backoff_us:2_000
+            ~retry_if:(fun r -> r = Msg.R_retry)
+            cl.net ~src:k.site ~dst
+            (envelope cl (Msg.Shard_migrate { fid; epoch = new_epoch; payload }))
+        with
+        | Ok Msg.R_ok ->
+          tr k Trace.Lock "shard migrate %a -> site%d e%d" File_id.pp fid dst
+            new_epoch;
+          Hashtbl.remove k.shard_origins fid;
+          if !Locus_shard.Flags.break_shard then
+            (* Self-test fault: fail to stand down — keep the table and
+               keep granting at the stale epoch, and wipe the global
+               client hint so traffic still reaches us. The epoch-fence
+               oracle must flag the resulting split-brain grants. *)
+            Hashtbl.remove cl.lock_authority fid
+          else begin
+            Hashtbl.remove k.shard_owned fid;
+            Hashtbl.remove k.locks fid;
+            Hashtbl.replace k.shard_epochs fid new_epoch;
+            Hashtbl.replace k.shard_hints fid dst;
+            note_lock_authority cl fid dst
+          end
+        | Ok _ | Error _ ->
+          (* The directory now names [dst] owner but the table never
+             arrived: cede ownership (the fence makes our copy unusable)
+             and abort the transactions whose lock state was lost — same
+             failure mode as a delegate crash in §5.2. *)
+          Stats.incr (stats k) "shard.transfer_lost";
+          Hashtbl.remove k.shard_owned fid;
+          Hashtbl.remove k.locks fid;
+          Hashtbl.remove k.shard_origins fid;
+          Hashtbl.replace k.shard_epochs fid new_epoch;
+          Hashtbl.replace k.shard_hints fid dst;
+          shard_abort_table_owners k table)
+    end
+  end
+
+(* Called at the owner on each lock request: hand the role to a site that
+   keeps coming back (threshold policy on remote-acquisition streaks). *)
+let maybe_shard_migrate k fid ~src =
+  if src = k.site then Hashtbl.remove k.shard_origins fid
+  else begin
+    let streak =
+      match Hashtbl.find_opt k.shard_origins fid with
+      | Some (s, n) when s = src -> n + 1
+      | Some _ | None -> 1
+    in
+    Hashtbl.replace k.shard_origins fid (src, streak);
+    if
+      Shard_policy.decide k.cl.cfg.Config.shard_policy ~streak
+      && not (Hashtbl.mem k.shard_migrating fid)
+    then shard_migrate k fid ~dst:src
+  end
+
+(* Send a lock-control message to the fid's current owner, chasing hints
+   and redirects, falling back to a directory lookup when a hop bounces
+   or is unreachable. *)
+let shard_owner_rpc k fid msg =
+  let cl = k.cl in
+  let refresh dst =
+    Hashtbl.remove k.shard_hints fid;
+    Engine.sleep 2_000;
+    match shard_lookup k fid with
+    | Some (owner, _) ->
+      Hashtbl.replace k.shard_hints fid owner;
+      owner
+    | None -> dst
+  in
+  let rec go dst tries =
+    if tries > 24 then Msg.R_err "shard owner unreachable"
+    else begin
+      let reply =
+        if not (Transport.reachable cl.net k.site dst) then `Down
+        else
+          match Transport.rpc cl.net ~src:k.site ~dst (envelope cl msg) with
+          | Ok r -> `R r
+          | Error _ -> `Down
+      in
+      match reply with
+      | `Down | `R Msg.R_retry -> go (refresh dst) (tries + 1)
+      | `R (Msg.R_redirect d) ->
+        Stats.incr (stats k) "shard.forwards";
+        Hashtbl.replace k.shard_hints fid d;
+        go d (tries + 1)
+      | `R r -> r
+    end
+  in
+  let start =
+    match Hashtbl.find_opt k.shard_hints fid with
+    | Some s -> s
+    | None -> shard_default_owner cl fid
+  in
+  go start 0
+
+(* Data-path hook bodies (see the forward declarations above). *)
+
+let shard_remote k fid =
+  if
+    (not (sharded k.cl))
+    || Hashtbl.mem k.shard_owned fid
+       && not (Hashtbl.mem k.shard_migrating fid)
+  then false
+  else
+    let rec go tries =
+      match shard_route k fid with
+      | `Here -> false
+      | `Redirect _ -> true
+      | `Retry when tries < 24 ->
+        Engine.sleep 2_000;
+        go (tries + 1)
+      | `Retry -> raise (Denied "shard directory unreachable")
+    in
+    go 0
+
+let () = shard_remote_ref := shard_remote
+
+let () =
+  shard_ensure_remote_ref :=
+    fun k ~fid ~owner ~pid ~range ~write ~dirty ->
+      match
+        shard_owner_rpc k fid
+          (Msg.Ensure_lock { fid; owner; pid; range; write; momentary = false; dirty })
+      with
+      | Msg.R_ok -> ()
+      | Msg.R_err e -> raise (Denied e)
+      | _ -> raise (Denied "shard lock acquisition failed")
+
+let () =
+  shard_momentary_acquire_ref :=
+    fun k ~fid ~owner ~pid ~range ~write ->
+      match
+        shard_owner_rpc k fid
+          (Msg.Ensure_lock
+             { fid; owner; pid; range; write; momentary = true; dirty = false })
+      with
+      | Msg.R_pieces pieces -> pieces
+      | Msg.R_err e -> raise (Denied e)
+      | _ -> raise (Denied "shard momentary lock failed")
+
+let () =
+  shard_release_pieces_ref :=
+    fun k ~fid ~owner ~pid ~pieces ->
+      if pieces <> [] then
+        ignore
+          (shard_owner_rpc k fid
+             (Msg.Release_locks { fid; owner; pid; ranges = Some pieces; cancel = false }))
+
+(* Phase-2 lock release under dynamic placement: drop the transaction's
+   (or exiting process's) locks at whatever site holds the role now. *)
+let shard_release k fid ~owner ~cancel =
+  if
+    Hashtbl.mem k.shard_owned fid
+    && not (Hashtbl.mem k.shard_migrating fid)
+  then begin
+    match lock_table k fid with
+    | Some table ->
+      if cancel then Lock_table.cancel_owner table owner;
+      Lock_table.release_owner table owner
+    | None -> ()
+  end
+  else
+    ignore
+      (shard_owner_rpc k fid
+         (Msg.Release_locks
+            {
+              fid;
+              owner;
+              pid = Pid.make ~origin:k.site ~num:0;
+              ranges = None;
+              cancel;
+            }))
+
+(* Re-home the role to this site directly through the directory — only
+   legitimate when the recorded owner is {e crashed} (its volatile lock
+   state is gone); a merely partitioned owner keeps the role, so both
+   sides of the split agree who grants. Transactions whose uncommitted
+   bytes were protected by the lost table are aborted. *)
+let shard_rehome k fid =
+  let cl = k.cl in
+  match shard_lookup k fid with
+  | None -> false
+  | Some (owner, epoch) ->
+    if owner = k.site then shard_adopt k fid ~epoch
+    else if Transport.site_up cl.net owner then false
+    else begin
+      let dir = shard_dir_exn cl in
+      let default = shard_default_owner cl fid in
+      let ds = Shard_dir.site_of dir fid in
+      let claim =
+        if ds = k.site then begin
+          Stats.incr (stats k) "shard.dir_claims";
+          match
+            Shard_dir.claim dir fid ~default ~new_owner:k.site ~from_epoch:epoch
+          with
+          | Ok e -> Some e
+          | Error _ ->
+            Stats.incr (stats k) "shard.dir_claim_stale";
+            None
+        end
+        else
+          match
+            rpc cl ~src:k.site ~dst:ds
+              (Msg.Shard_claim { fid; new_owner = k.site; from_epoch = epoch })
+          with
+          | Msg.R_owner { owner = o; epoch = e } when o = k.site && e = epoch + 1
+            ->
+            Some e
+          | _ -> None
+      in
+      match claim with
+      | None -> false
+      | Some new_epoch ->
+        Hashtbl.replace k.locks fid (Lock_table.create fid);
+        Hashtbl.replace k.shard_owned fid ();
+        Hashtbl.replace k.shard_epochs fid new_epoch;
+        Hashtbl.replace k.shard_hints fid k.site;
+        note_lock_authority cl fid k.site;
+        Stats.incr (stats k) "shard.rehomed";
+        note_migrated k fid ~from_site:owner ~epoch:new_epoch;
+        (* The lost table may have protected in-doubt bytes stored here:
+           abort their transactions before anyone locks over them. *)
+        if Filestore.is_open k.store fid || Filestore.file_exists k.store fid
+        then begin
+          let span = Byte_range.of_pos_len ~pos:0 ~len:max_int in
+          List.iter
+            (fun o ->
+              match o with
+              | Owner.Transaction txid
+                when not (Participant.is_prepared k.participant txid) ->
+                ignore
+                  (Engine.spawn ~name:"shard-abort" ~site:k.site k.engine
+                     (fun () -> !shard_abort_txn_ref k.cl ~src:k.site txid))
+              | Owner.Transaction _ | Owner.Process _ -> ())
+            (Filestore.uncommitted_overlapping k.store fid span)
+        end;
+        true
+    end
+
+(* Pull the role to this site (cooperative transfer via the current
+   owner; direct re-home when that owner crashed). Used by the EOF path
+   and by recovery before relocking prepared intentions. *)
+let shard_claim_home k fid =
+  let home () =
+    Hashtbl.mem k.shard_owned fid
+    && not (Hashtbl.mem k.shard_migrating fid)
+  in
+  if sharded k.cl && not (home ()) then begin
+    let cl = k.cl in
+    let rec go tries =
+      if home () then ()
+      else if tries > 24 then raise (Denied "shard claim-home failed")
+      else
+        match shard_route k fid with
+        | `Here -> ()
+        | `Retry ->
+          Engine.sleep 2_000;
+          go (tries + 1)
+        | `Redirect d ->
+          if Transport.reachable cl.net k.site d then begin
+            (match
+               rpc cl ~src:k.site ~dst:d
+                 (Msg.Shard_migrate_req { fid; dst = k.site })
+             with
+            | Msg.R_ok -> ()
+            | _ -> Hashtbl.remove k.shard_hints fid);
+            if not (home ()) then begin
+              Engine.sleep 2_000;
+              go (tries + 1)
+            end
+          end
+          else if not (Transport.site_up cl.net d) then begin
+            if not (shard_rehome k fid) then begin
+              Engine.sleep 2_000;
+              go (tries + 1)
+            end
+          end
+          else begin
+            (* Partitioned (not crashed) owner: wait it out. *)
+            Engine.sleep 2_000;
+            Hashtbl.remove k.shard_hints fid;
+            go (tries + 1)
+          end
+    in
+    go 0
+  end
+
+let () = shard_claim_home_ref := shard_claim_home
+
+(* Drive a migration from outside the kernel (fault injection, locusctl):
+   ask the current owner, wherever it is, to hand the role to [dst]. *)
+let force_migrate cl ~src fid ~dst =
+  if sharded cl then begin
+    let k = kernel cl src in
+    ignore (shard_owner_rpc k fid (Msg.Shard_migrate_req { fid; dst }))
+  end
+
+(* Introspection (locusctl shard-status, tests). *)
+let shard_owner cl fid =
+  match cl.shard_dir with
+  | None -> None
+  | Some dir ->
+    Some (Shard_dir.lookup dir fid ~default:(shard_default_owner cl fid))
+
+let shard_status cl =
+  match cl.shard_dir with
+  | None -> []
+  | Some dir ->
+    List.map
+      (fun (fid, owner, epoch) -> (fid, path_of cl fid, owner, epoch))
+      (Shard_dir.entries dir)
+
 (* {1 Transaction plumbing} *)
 
 let register_end_wait k txid =
@@ -1146,6 +1734,10 @@ let abort_transaction cl ?spare ?(reason = User) ~src txid =
       registry_remove_txn cl txid;
       observe cl ~site:src (Obs.Abort { txid }))
 
+let () =
+  shard_abort_txn_ref :=
+    fun cl ~src txid -> abort_transaction cl ~reason:Crash ~src txid
+
 (* Local sweep used by Abort_phase2: roll back everything this site holds
    for the transaction, prepared or not. *)
 let ss_abort2 k ~txid ~files =
@@ -1153,6 +1745,7 @@ let ss_abort2 k ~txid ~files =
   leave_doubt k txid;
   let owner = Owner.Transaction txid in
   List.iter (ensure_authority_home k) files;
+  let prepared_before = Participant.prepared_files k.participant txid in
   let local_fids =
     Hashtbl.fold
       (fun fid table acc ->
@@ -1173,7 +1766,17 @@ let ss_abort2 k ~txid ~files =
         Lock_table.cancel_owner table owner;
         Lock_table.release_owner table owner
       | None -> ())
-    fids
+    fids;
+  (* Under dynamic placement the retained locks may live at a migrated-to
+     owner: chase the role and release there too. *)
+  if sharded k.cl then
+    List.iter
+      (fun fid ->
+        if
+          (not (Hashtbl.mem k.shard_owned fid))
+          || Hashtbl.mem k.shard_migrating fid
+        then shard_release k fid ~owner ~cancel:true)
+      (List.sort_uniq File_id.compare (files @ prepared_before))
 
 let ss_commit2 k ~txid ~files =
   tr k Trace.Txn "phase2 commit %a" Txid.pp txid;
@@ -1203,7 +1806,15 @@ let ss_commit2 k ~txid ~files =
       match lock_table k fid with
       | Some table -> Lock_table.release_owner table owner
       | None -> ())
-    (List.sort_uniq File_id.compare (files @ prepared))
+    (List.sort_uniq File_id.compare (files @ prepared));
+  if sharded k.cl then
+    List.iter
+      (fun fid ->
+        if
+          (not (Hashtbl.mem k.shard_owned fid))
+          || Hashtbl.mem k.shard_migrating fid
+        then shard_release k fid ~owner ~cancel:false)
+      (List.sort_uniq File_id.compare (files @ prepared))
 
 (* {1 Paxos Commit (Gray & Lamport)}
 
@@ -1255,13 +1866,22 @@ let pcommit_read_decision k ~txid ~f ~hint =
   let reachable_accs () =
     List.filter (fun a -> Transport.reachable cl.net k.site a) accs
   in
+  (* The acceptor round trips are independent: issue them concurrently
+     through the batched hot path, so same-acceptor queries (ours across
+     the round, or several resolvers') coalesce into one [Msg.Batch]
+     envelope under an RPC batch window. Results keep acceptor order. *)
   let read () =
-    List.filter_map
-      (fun a ->
-        match rpc cl ~src:k.site ~dst:a (Msg.Decision_query { txid }) with
-        | Msg.R_decision { participants; votes } -> Some (participants, votes)
-        | _ -> None)
-      (reachable_accs ())
+    let accs = reachable_accs () in
+    let results = Array.make (List.length accs) None in
+    par_iter k ~name:"pcommit-query"
+      (List.mapi
+         (fun i a () ->
+           match rpc_hot cl ~src:k.site ~dst:a (Msg.Decision_query { txid }) with
+           | Msg.R_decision { participants; votes } ->
+             results.(i) <- Some (participants, votes)
+           | _ -> ())
+         accs);
+    List.filter_map Fun.id (Array.to_list results)
   in
   let close participants instances =
     List.iter
@@ -1307,6 +1927,26 @@ let pcommit_read_decision k ~txid ~f ~hint =
     end
   in
   go 0
+
+(* Acceptor-state garbage collection: once every participant has acked
+   phase 2 the registrations for this transaction can never be consulted
+   again (a duplicate query is answered from the coordinator log's
+   presumed-abort rule), so tell the acceptors to drop them and free
+   their log records. Best-effort — an unreachable acceptor just keeps
+   the garbage until its own log recycles. *)
+let pcommit_forget k ~txid =
+  match paxos_f k.cl with
+  | None -> ()
+  | Some f ->
+    let cl = k.cl in
+    Stats.incr (stats k) "pcommit.forget_sent";
+    let accs = acceptor_sites cl ~coordinator:(Txid.site txid) f in
+    par_iter k ~name:"pcommit-forget"
+      (List.map
+         (fun a () ->
+           if Transport.reachable cl.net k.site a then
+             ignore (rpc_hot cl ~src:k.site ~dst:a (Msg.Acceptor_forget { txid })))
+         accs)
 
 (* Participant-side resolver: a prepared transaction whose coordinator is
    unreachable (or was unreachable at our recovery) learns its outcome
@@ -1500,7 +2140,10 @@ let commit_transaction k (txn : Txn_state.txn) =
           by_site;
         (* The coordinator log is retained until commit/abort processing
            has completed everywhere (§4.4). *)
-        if !all_acked then Coord_log.finished k.coord ~txid
+        if !all_acked then begin
+          Coord_log.finished k.coord ~txid;
+          pcommit_forget k ~txid
+        end
       in
       if cl.cfg.Config.async_phase2 then
         ignore (Engine.spawn ~name:"2pc-phase2" ~site:k.site k.engine phase2)
@@ -1590,6 +2233,11 @@ let ss_proc_exit_cleanup k ~pid ~fids =
       (match lock_table k fid with
       | Some table -> Lock_table.release_process table pid
       | None -> ());
+      if
+        sharded k.cl
+        && ((not (Hashtbl.mem k.shard_owned fid))
+           || Hashtbl.mem k.shard_migrating fid)
+      then shard_release k fid ~owner ~cancel:true;
       if Filestore.is_open k.store fid then begin
         if Filestore.modified_by k.store fid owner <> [] then begin
           match ensure_writable k fid with
@@ -1673,6 +2321,33 @@ let rec handle_msg k ~src msg =
       | Write { fid; owner; pid; pos; data } ->
         ss_write k ~fid ~owner ~pid ~pos ~data;
         R_ok
+      | Lock { fid; owner; pid; mode; range; non_transaction; wait }
+        when sharded k.cl -> (
+        match shard_route k fid with
+        | `Retry -> R_retry
+        | `Redirect d ->
+          Stats.incr (stats k) "shard.redirects";
+          R_redirect d
+        | `Here -> (
+          (* The streak policy may hand the role to [src] right here; the
+             requester then retries against its own site. *)
+          maybe_shard_migrate k fid ~src;
+          if not (Hashtbl.mem k.shard_owned fid) then
+            match Hashtbl.find_opt k.shard_hints fid with
+            | Some d -> R_redirect d
+            | None -> R_retry
+          else
+            match
+              grant_lock k ~fid ~owner ~pid ~mode ~range ~non_transaction ~wait
+            with
+            | `Granted ->
+              Stats.incr (stats k)
+                (if src = k.site then "shard.local_grants"
+                 else "shard.remote_grants");
+              R_granted
+            | `Conflict owners -> R_conflict owners
+            | `Cancelled -> R_err "lock cancelled"
+            | `Timeout -> R_err "lock timeout"))
       | Lock { fid; owner; pid; mode; range; non_transaction; wait } -> (
         match lock_route k fid with
         | `Redirect d -> R_redirect d
@@ -1705,6 +2380,23 @@ let rec handle_msg k ~src msg =
         | `Timeout -> R_err "lock timeout")
       | Lock_append { fid; owner; pid; len; mode; non_transaction } ->
         R_granted_at (ss_lock_append k ~fid ~owner ~pid ~len ~mode ~non_transaction)
+      | Unlock { fid; owner; pid; range } when sharded k.cl -> (
+        match shard_route k fid with
+        | `Retry -> R_retry
+        | `Redirect d ->
+          Stats.incr (stats k) "shard.redirects";
+          R_redirect d
+        | `Here ->
+          (match lock_table k fid with
+          | Some table ->
+            Lock_table.unlock table ~owner ~pid ~range;
+            (match owner with
+            | Owner.Transaction _ ->
+              Lock_table.unlock table ~owner:(Owner.Process pid) ~pid ~range
+            | Owner.Process _ -> ());
+            obs k (Obs.Unlock { owner; pid; fid; range })
+          | None -> ());
+          R_ok)
       | Unlock { fid; owner; pid; range } -> (
         match lock_route k fid with
         | `Redirect d -> R_redirect d
@@ -1742,6 +2434,11 @@ let rec handle_msg k ~src msg =
           Lock_table.cancel_owner table owner;
           Lock_table.release_owner table owner
         | None -> ());
+        if
+          sharded k.cl
+          && ((not (Hashtbl.mem k.shard_owned fid))
+             || Hashtbl.mem k.shard_migrating fid)
+        then shard_release k fid ~owner ~cancel:true;
         R_ok
       | File_size { fid } -> R_int (Filestore.size k.store fid)
       | Create_file { vid } ->
@@ -1824,11 +2521,20 @@ let rec handle_msg k ~src msg =
         k.cl.hooks.on_participant_prepared k.site txid vote;
         R_vote vote
       | Commit_phase2 { txid; files } ->
-        ss_commit2 k ~txid ~files;
-        R_ok
+        (* Applying phase 2 before the participant pass rebuilt prepared
+           state would ack a no-op — and let the coordinator forget a
+           decision our in-doubt resolution still needs. *)
+        if not k.par_ready then R_retry
+        else begin
+          ss_commit2 k ~txid ~files;
+          R_ok
+        end
       | Abort_phase2 { txid; files } ->
-        ss_abort2 k ~txid ~files;
-        R_ok
+        if not k.par_ready then R_retry
+        else begin
+          ss_abort2 k ~txid ~files;
+          R_ok
+        end
       | Abort_tree { txid; pid; spare } ->
         abort_member k ~txid ~pid ~spare;
         R_ok
@@ -1877,6 +2583,148 @@ let rec handle_msg k ~src msg =
             R_data (Bytes.of_string (marshal_locks (Lock_table.locks table)))
           end
         | Some _ | None -> R_err "not hosted here")
+      | Acceptor_forget { txid } ->
+        if not k.acc_ready then R_retry
+        else begin
+          Pc_acceptor.forget k.pc_acceptor txid;
+          Stats.incr (stats k) "pcommit.forgotten";
+          R_ok
+        end
+      | Shard_lookup { fid } -> (
+        match k.cl.shard_dir with
+        | None -> R_err "dynamic lock placement off"
+        | Some dir ->
+          if Shard_dir.site_of dir fid <> k.site then R_err "not the directory site"
+          else begin
+            Stats.incr (stats k) "shard.dir_lookups";
+            let owner, epoch =
+              Shard_dir.lookup dir fid ~default:(shard_default_owner k.cl fid)
+            in
+            R_owner { owner; epoch }
+          end)
+      | Shard_claim { fid; new_owner; from_epoch } -> (
+        match k.cl.shard_dir with
+        | None -> R_err "dynamic lock placement off"
+        | Some dir ->
+          if Shard_dir.site_of dir fid <> k.site then R_err "not the directory site"
+          else begin
+            Stats.incr (stats k) "shard.dir_claims";
+            match
+              Shard_dir.claim dir fid
+                ~default:(shard_default_owner k.cl fid)
+                ~new_owner ~from_epoch
+            with
+            | Ok epoch -> R_owner { owner = new_owner; epoch }
+            | Error (owner, epoch) ->
+              Stats.incr (stats k) "shard.dir_claim_stale";
+              R_owner { owner; epoch }
+          end)
+      | Shard_migrate { fid; epoch; payload } ->
+        if not (sharded k.cl) then R_err "dynamic lock placement off"
+        else begin
+          let known =
+            match Hashtbl.find_opt k.shard_epochs fid with
+            | Some e -> e
+            | None -> -1
+          in
+          if epoch <= known then begin
+            (* A straggler transfer from a superseded owner: fencing it
+               here is what makes the CAS race safe. *)
+            Stats.incr (stats k) "shard.fenced";
+            R_err "stale shard transfer fenced"
+          end
+          else begin
+            Hashtbl.replace k.locks fid
+              (Lock_table.restore fid (unmarshal_locks payload));
+            Hashtbl.replace k.shard_owned fid ();
+            Hashtbl.replace k.shard_epochs fid epoch;
+            if not !Locus_shard.Flags.break_shard then begin
+              Hashtbl.replace k.shard_hints fid k.site;
+              note_lock_authority k.cl fid k.site
+            end;
+            Stats.incr (stats k) "shard.installs";
+            note_migrated k fid ~from_site:src ~epoch;
+            R_ok
+          end
+        end
+      | Shard_migrate_req { fid; dst } ->
+        if not (sharded k.cl) then R_err "dynamic lock placement off"
+        else (
+          match shard_route k fid with
+          | `Retry -> R_retry
+          | `Redirect d -> R_redirect d
+          | `Here ->
+            if dst <> k.site then shard_migrate k fid ~dst;
+            R_ok)
+      | Ensure_lock { fid; owner; pid; range; write; momentary; dirty } -> (
+        if not (sharded k.cl) then R_err "dynamic lock placement off"
+        else
+          match shard_route k fid with
+          | `Retry -> R_retry
+          | `Redirect d ->
+            Stats.incr (stats k) "shard.redirects";
+            R_redirect d
+          | `Here ->
+            let table = ensure_table k fid in
+            let mode = if write then Mode.Exclusive else Mode.Shared in
+            let count_grant () =
+              Stats.incr (stats k)
+                (if src = k.site then "shard.local_grants"
+                 else "shard.remote_grants")
+            in
+            if momentary then begin
+              let pieces = uncovered_pieces table ~owner ~range ~write in
+              List.iter
+                (fun piece ->
+                  match
+                    grant_lock k ~fid ~owner ~pid ~mode ~range:piece
+                      ~non_transaction:false ~wait:true
+                  with
+                  | `Granted -> count_grant ()
+                  | `Conflict _ | `Cancelled | `Timeout ->
+                    raise (Denied "access blocked"))
+                pieces;
+              R_pieces pieces
+            end
+            else begin
+              if not (Lock_table.owner_covers table ~owner ~range ~write) then begin
+                match
+                  grant_lock k ~fid ~owner ~pid ~mode ~range
+                    ~non_transaction:false ~wait:true
+                with
+                | `Granted ->
+                  Stats.incr (stats k) "lock.implicit";
+                  count_grant ()
+                | `Cancelled ->
+                  raise (Denied "transaction aborted while waiting for lock")
+                | `Timeout -> raise (Denied "lock timeout")
+                | `Conflict _ -> raise (Denied "lock conflict")
+              end;
+              (* Rule 2, split across sites: the storage site saw dirty
+                 bytes under this range; the lock must be retained here
+                 whatever its mode. *)
+              if dirty then Lock_table.mark_retained table owner ~range;
+              R_ok
+            end)
+      | Release_locks { fid; owner; pid; ranges; cancel } -> (
+        if not (sharded k.cl) then R_err "dynamic lock placement off"
+        else
+          match shard_route k fid with
+          | `Retry -> R_retry
+          | `Redirect d -> R_redirect d
+          | `Here ->
+            (match lock_table k fid with
+            | Some table -> (
+              match ranges with
+              | Some rs ->
+                List.iter
+                  (fun range -> Lock_table.unlock table ~owner ~pid ~range)
+                  rs
+              | None ->
+                if cancel then Lock_table.cancel_owner table owner;
+                Lock_table.release_owner table owner)
+            | None -> ());
+            R_ok)
       | Batch envs ->
         (* A coalesced wire message: dispatch every member concurrently
            through the full [handle] edge, so each keeps its own
@@ -1956,7 +2804,12 @@ let kernel_crash k =
   Hashtbl.reset k.end_waits;
   Hashtbl.reset k.delegations;
   Hashtbl.reset k.hosted;
-  Hashtbl.reset k.lock_origins
+  Hashtbl.reset k.lock_origins;
+  Hashtbl.reset k.shard_owned;
+  Hashtbl.reset k.shard_epochs;
+  Hashtbl.reset k.shard_hints;
+  Hashtbl.reset k.shard_origins;
+  Hashtbl.reset k.shard_migrating
 
 (* Re-install exclusive locks over the byte ranges named by prepared
    intentions: in-doubt data must stay inaccessible until the outcome is
@@ -1996,6 +2849,29 @@ let recover k =
      might depend on the acceptor quorum (including our own passes). *)
   Pc_acceptor.recover k.pc_acceptor;
   k.acc_ready <- true;
+  (* Rebuild prepared participant state BEFORE replaying the coordinator
+     log: the replay's phase-2 to this very site must land on real
+     prepared state — against an empty participant it would ack a no-op,
+     the coordinator would mark the transaction finished and garbage-
+     collect the acceptors, and the in-doubt state rebuilt below could
+     never resolve. (Remote coordinators replaying concurrently bounce on
+     the [par_ready] gate for the same reason.) *)
+  let in_doubt = Participant.recover k.participant in
+  tr k Trace.Recovery "participant: %d in doubt" (List.length in_doubt);
+  List.iter
+    (fun (txid, _) ->
+      (* Under dynamic placement the relocks below land in local tables:
+         pull each file's lock-manager role home first so they are
+         authoritative. If the role's current owner survives unreachable,
+         leave it — its transferred table still retains our locks. *)
+      if sharded cl then
+        List.iter
+          (fun fid -> try shard_claim_home k fid with Denied _ -> ())
+          (Participant.prepared_files k.participant txid);
+      relock_prepared k txid;
+      enter_doubt k txid)
+    in_doubt;
+  k.par_ready <- true;
   (* Coordinator pass: finish or abort every transaction in the log. *)
   let records = Coord_log.scan k.coord in
   tr k Trace.Recovery "coordinator log: %d records" (List.length records);
@@ -2062,20 +2938,16 @@ let recover k =
             | Ok Msg.R_ok -> ()
             | Ok _ | Error _ -> all_acked := false)
           by_site;
-        if !all_acked then Coord_log.finished k.coord ~txid;
+        if !all_acked then begin
+          Coord_log.finished k.coord ~txid;
+          pcommit_forget k ~txid
+        end;
         Stats.incr (stats k)
           (if committed then "recovery.replayed_commit" else "recovery.replayed_abort"))
     records;
   k.coord_ready <- true;
-  (* Participant pass: rebuild prepared state, protect it with locks, and
-     chase the coordinators for outcomes. *)
-  let in_doubt = Participant.recover k.participant in
-  tr k Trace.Recovery "participant: %d in doubt" (List.length in_doubt);
-  List.iter
-    (fun (txid, _) ->
-      relock_prepared k txid;
-      enter_doubt k txid)
-    in_doubt;
+  (* Chase the coordinators for the outcomes of the in-doubt state the
+     participant pass above rebuilt. *)
   List.iter
     (fun (txid, coord_site) ->
       match paxos_f cl with
@@ -2128,6 +3000,7 @@ let kernel_restart k =
   k.alive <- true;
   k.incarnation <- k.incarnation + 1;
   k.coord_ready <- false;
+  k.par_ready <- false;
   k.acc_ready <- false;
   k.recovered <- false;
   k.txseq <- 0;
@@ -2300,6 +3173,8 @@ let replica_topology_mark k =
 
 let make engine cfg =
   let n_sites = cfg.Config.n_sites in
+  if cfg.Config.shards > 0 && cfg.Config.lock_delegation then
+    invalid_arg "Kernel.make: lock_delegation and shards are mutually exclusive";
   (match cfg.Config.commit_protocol with
   | Config.Two_phase -> ()
   | Config.Paxos { f } ->
@@ -2337,6 +3212,10 @@ let make engine cfg =
       hooks = no_hooks ();
       observer = None;
       otracer = None;
+      shard_dir =
+        (if cfg.Config.shards > 0 then
+           Some (Shard_dir.create ~n_shards:cfg.Config.shards ~n_sites)
+         else None);
     }
   in
   List.iter
@@ -2390,6 +3269,7 @@ let make engine cfg =
       incarnation = 1;
       txseq = 0;
       coord_ready = true;
+      par_ready = true;
       recovered = true;
       repl = Status.create ();
       known_primary;
@@ -2409,6 +3289,11 @@ let make engine cfg =
       delegations = Hashtbl.create 8;
       hosted = Hashtbl.create 8;
       lock_origins = Hashtbl.create 8;
+      shard_owned = Hashtbl.create 8;
+      shard_epochs = Hashtbl.create 8;
+      shard_hints = Hashtbl.create 16;
+      shard_origins = Hashtbl.create 8;
+      shard_migrating = Hashtbl.create 4;
       cl;
     }
   in

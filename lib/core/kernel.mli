@@ -80,6 +80,15 @@ module Config : sig
     commit_protocol : commit_protocol;
         (** atomic-commitment protocol; [Two_phase] (default) keeps every
             existing baseline bit-for-bit *)
+    shards : int;
+        (** locus_shard dynamic lock placement: number of directory shards
+            serving "who owns the lock-manager role for fid X" queries.
+            [0] (default) = static placement (storage-site lock tables,
+            optionally with §5.2 delegation). Mutually exclusive with
+            [lock_delegation]. *)
+    shard_policy : Locus_shard.Policy.t;
+        (** when the lock-manager role chases the traffic: [Never], or
+            [Threshold n] consecutive remote acquisitions from one site *)
   }
 
   val default : n_sites:int -> t
@@ -99,6 +108,11 @@ module Config : sig
   val with_paxos : f:int -> t -> t
   (** Switch the commit protocol to [Paxos { f }]. Raises
       [Invalid_argument] unless [0 <= f] and [n_sites >= 2f+1]. *)
+
+  val with_shards : shards:int -> ?policy:Locus_shard.Policy.t -> t -> t
+  (** Enable locus_shard dynamic lock placement with [shards] directory
+      shards. Raises [Invalid_argument] when [shards <= 0] or
+      [lock_delegation] is on. *)
 end
 
 val make : Engine.t -> Config.t -> cluster
@@ -167,6 +181,30 @@ val lock_authority_hint : cluster -> File_id.t -> Site.t option
     (§5.2 delegation); [None] means the storage site. *)
 
 val note_lock_authority : cluster -> File_id.t -> Site.t -> unit
+
+(** {1 Dynamic lock placement (locus_shard)} *)
+
+val sharded : cluster -> bool
+(** Is dynamic lock placement on ([Config.shards > 0])? *)
+
+val shard_default_owner : cluster -> File_id.t -> Site.t
+(** Epoch-0 owner of a never-claimed fid: the first configured host of
+    its volume (static — derivable at every site without messages). *)
+
+val force_migrate : cluster -> src:Site.t -> File_id.t -> dst:Site.t -> unit
+(** Ask the file's current lock-manager, wherever it is, to hand the role
+    to [dst] — the [Migrate_owner] fault and [locusctl]'s manual handle.
+    Fiber-only; no-op when placement is static or the owner stays
+    unreachable. *)
+
+val shard_owner : cluster -> File_id.t -> (Site.t * int) option
+(** Directory truth for the fid's lock-manager role: [(owner, epoch)].
+    [None] when placement is static. Bypasses messaging (oracle). *)
+
+val shard_status : cluster -> (File_id.t * string option * Site.t * int) list
+(** Every claimed directory entry as [(fid, path, owner, epoch)], sorted
+    by fid — drives [locusctl shard-status]. Entries still at their
+    epoch-0 default owner are omitted. *)
 
 val register_fiber : t -> Pid.t -> Engine.Fiber.handle -> unit
 val fiber_of : t -> Pid.t -> Engine.Fiber.handle option

@@ -51,6 +51,7 @@ type t =
       participants : int list;
     }
   | Decision_query of { txid : Txid.t }
+  | Acceptor_forget of { txid : Txid.t }
   | Find_process of { pid : Pid.t }
   | Replica_commit of { update : Update.t }
   | Replica_pull of { fid : File_id.t }
@@ -64,6 +65,26 @@ type t =
     }
   | Delegate_locks of { fid : File_id.t; payload : string }
   | Recall_locks of { fid : File_id.t }
+  | Shard_lookup of { fid : File_id.t }
+  | Shard_claim of { fid : File_id.t; new_owner : int; from_epoch : int }
+  | Shard_migrate of { fid : File_id.t; epoch : int; payload : string }
+  | Shard_migrate_req of { fid : File_id.t; dst : int }
+  | Ensure_lock of {
+      fid : File_id.t;
+      owner : Owner.t;
+      pid : Pid.t;
+      range : Byte_range.t;
+      write : bool;
+      momentary : bool;
+      dirty : bool;
+    }
+  | Release_locks of {
+      fid : File_id.t;
+      owner : Owner.t;
+      pid : Pid.t;
+      ranges : Byte_range.t list option;
+      cancel : bool;
+    }
   | Ping
   | Read_locked of {
       fid : File_id.t;
@@ -92,6 +113,8 @@ type reply =
   | R_granted_at of int
   | R_conflict of Owner.t list
   | R_redirect of int
+  | R_owner of { owner : int; epoch : int }
+  | R_pieces of Byte_range.t list
   | R_vote of bool
   | R_vote_2b of bool
   | R_decision of { participants : int list; votes : (int * bool) list }
@@ -131,6 +154,7 @@ let label = function
   | Query_outcome _ -> "query-outcome"
   | Vote_2a _ -> "vote-2a"
   | Decision_query _ -> "decision-query"
+  | Acceptor_forget _ -> "acceptor-forget"
   | Find_process _ -> "find-process"
   | Replica_commit _ -> "replica-commit"
   | Replica_pull _ -> "replica-pull"
@@ -138,6 +162,12 @@ let label = function
   | Replica_read _ -> "replica-read"
   | Delegate_locks _ -> "delegate-locks"
   | Recall_locks _ -> "recall-locks"
+  | Shard_lookup _ -> "shard-lookup"
+  | Shard_claim _ -> "shard-claim"
+  | Shard_migrate _ -> "shard-migrate"
+  | Shard_migrate_req _ -> "shard-migrate-req"
+  | Ensure_lock _ -> "ensure-lock"
+  | Release_locks _ -> "release-locks"
   | Ping -> "ping"
   | Read_locked _ -> "read-locked"
   | Batch _ -> "batch"
@@ -173,6 +203,7 @@ let rec pp ppf = function
   | Vote_2a { txid; participant; vote; ballot; _ } ->
     Fmt.pf ppf "vote-2a %a p%d %b b%d" Txid.pp txid participant vote ballot
   | Decision_query { txid } -> Fmt.pf ppf "decision-query %a" Txid.pp txid
+  | Acceptor_forget { txid } -> Fmt.pf ppf "acceptor-forget %a" Txid.pp txid
   | Find_process { pid } -> Fmt.pf ppf "find-process %a" Pid.pp pid
   | Replica_commit { update } -> Fmt.pf ppf "replica-commit %a" Update.pp update
   | Replica_pull { fid } -> Fmt.pf ppf "replica-pull %a" File_id.pp fid
@@ -181,6 +212,25 @@ let rec pp ppf = function
     Fmt.pf ppf "replica-read %a@%d+%d" File_id.pp fid pos len
   | Delegate_locks { fid; _ } -> Fmt.pf ppf "delegate-locks %a" File_id.pp fid
   | Recall_locks { fid } -> Fmt.pf ppf "recall-locks %a" File_id.pp fid
+  | Shard_lookup { fid } -> Fmt.pf ppf "shard-lookup %a" File_id.pp fid
+  | Shard_claim { fid; new_owner; from_epoch } ->
+    Fmt.pf ppf "shard-claim %a -> site%d from e%d" File_id.pp fid new_owner
+      from_epoch
+  | Shard_migrate { fid; epoch; _ } ->
+    Fmt.pf ppf "shard-migrate %a e%d" File_id.pp fid epoch
+  | Shard_migrate_req { fid; dst } ->
+    Fmt.pf ppf "shard-migrate-req %a -> site%d" File_id.pp fid dst
+  | Ensure_lock { fid; owner; range; write; momentary; _ } ->
+    Fmt.pf ppf "ensure-lock %a %a %a%s%s" File_id.pp fid Owner.pp owner
+      Byte_range.pp range
+      (if write then " w" else " r")
+      (if momentary then " momentary" else "")
+  | Release_locks { fid; owner; ranges; cancel; _ } ->
+    Fmt.pf ppf "release-locks %a %a %s%s" File_id.pp fid Owner.pp owner
+      (match ranges with
+      | None -> "all"
+      | Some rs -> Printf.sprintf "%d ranges" (List.length rs))
+      (if cancel then " cancel" else "")
   | Ping -> Fmt.string ppf "ping"
   | Read_locked { fid; pos; len; _ } ->
     Fmt.pf ppf "read-locked %a@%d+%d" File_id.pp fid pos len
@@ -201,6 +251,8 @@ let rec pp_reply ppf = function
   | R_granted_at n -> Fmt.pf ppf "granted@%d" n
   | R_conflict owners -> Fmt.pf ppf "conflict(%a)" Fmt.(list ~sep:comma Owner.pp) owners
   | R_redirect s -> Fmt.pf ppf "redirect(%d)" s
+  | R_owner { owner; epoch } -> Fmt.pf ppf "owner(site%d e%d)" owner epoch
+  | R_pieces rs -> Fmt.pf ppf "pieces(%d)" (List.length rs)
   | R_vote v -> Fmt.pf ppf "vote(%b)" v
   | R_vote_2b v -> Fmt.pf ppf "vote-2b(%b)" v
   | R_decision { votes; _ } -> Fmt.pf ppf "decision(%d votes)" (List.length votes)

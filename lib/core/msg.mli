@@ -73,6 +73,11 @@ type t =
       (** Paxos Commit recovery: ask an acceptor for every vote it has
           registered for [txid]; answered with [R_decision], or [R_retry]
           while the acceptor is still replaying its log *)
+  | Acceptor_forget of { txid : Txid.t }
+      (** Paxos Commit garbage collection: the transaction is fully done
+          (every participant acked phase 2), so the acceptor may drop its
+          registered votes and release their log records. Best-effort —
+          a lost forget only costs memory, never correctness. *)
   | Find_process of { pid : Pid.t }
   | Replica_commit of { update : Update.t }
       (** phase-2 propagation from the primary copy: a versioned delta of
@@ -103,6 +108,51 @@ type t =
       (** home storage site takes lock management back (needed before
           prepare or data access); delegate replies [R_data] with the
           marshalled locks, or [R_retry] while it has waiters *)
+  | Shard_lookup of { fid : File_id.t }
+      (** ask the shard's directory site who owns the lock-manager role
+          for [fid] now; answered with [R_owner] *)
+  | Shard_claim of { fid : File_id.t; new_owner : int; from_epoch : int }
+      (** epoch CAS at the directory site: move the role to [new_owner]
+          iff the entry is still at [from_epoch]. Answered with [R_owner]
+          carrying the post-claim state — the claim won iff it names
+          [new_owner] at [from_epoch + 1]. *)
+  | Shard_migrate of { fid : File_id.t; epoch : int; payload : string }
+      (** the ownership transfer envelope: the old owner's marshalled
+          lock table (retained-lock state included) riding to the new
+          owner, stamped with the epoch the directory just granted. A
+          receiver that has already seen a higher (or equal) epoch fences
+          the straggler with [R_err]. *)
+  | Shard_migrate_req of { fid : File_id.t; dst : int }
+      (** ask the current owner to migrate the role to [dst] (recovery
+          pulling a role home, or injected migration faults); answered
+          [R_ok] on transfer, [R_retry] mid-migration, [R_redirect] when
+          this site is not the owner *)
+  | Ensure_lock of {
+      fid : File_id.t;
+      owner : Owner.t;
+      pid : Pid.t;
+      range : Byte_range.t;
+      write : bool;
+      momentary : bool;
+      dirty : bool;
+    }
+      (** storage site → remote lock-manager: take (or confirm) the
+          implicit §3.1 lock for a data access. [momentary] = process
+          access (answered with [R_pieces], released again after the
+          operation); [dirty] = the range overlaps uncommitted bytes of
+          another owner, so the grant must be retained (Rule 2 splits
+          across sites: the lock-manager retains, the storage site
+          adopts). *)
+  | Release_locks of {
+      fid : File_id.t;
+      owner : Owner.t;
+      pid : Pid.t;
+      ranges : Byte_range.t list option;
+      cancel : bool;
+    }
+      (** storage site → remote lock-manager: drop [owner]'s locks on
+          [fid] — specific [ranges] (momentary release) or all of them
+          (phase 2 / abort); [cancel] also evicts the owner's waiters *)
   | Ping
   | Read_locked of {
       fid : File_id.t;
@@ -142,6 +192,12 @@ type reply =
   | R_conflict of Owner.t list
   | R_redirect of int
       (** lock management for the file currently lives at this site *)
+  | R_owner of { owner : int; epoch : int }
+      (** a shard-directory answer: the lock-manager role's current
+          holder and epoch *)
+  | R_pieces of Byte_range.t list
+      (** the sub-ranges a momentary [Ensure_lock] actually granted (the
+          uncovered pieces) — exactly what [Release_locks] must return *)
   | R_vote of bool
   | R_vote_2b of bool
       (** the value registered for the offered instance (the offerer's own

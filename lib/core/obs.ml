@@ -27,6 +27,7 @@ type event =
   | Propagate of { fid : File_id.t; version : int; dst : int }
   | Reconcile of { fid : File_id.t; version : int; src : int }
   | Failover of { vid : int; fid : File_id.t }
+  | Migrate of { fid : File_id.t; from_site : int; to_site : int; epoch : int }
 
 type record = { at : int; site : int; ev : event }
 
@@ -59,5 +60,8 @@ let pp_event ppf = function
   | Reconcile { fid; version; src } ->
     Fmt.pf ppf "reconcile %a v%d <- site%d" File_id.pp fid version src
   | Failover { vid; fid } -> Fmt.pf ppf "failover vol%d %a" vid File_id.pp fid
+  | Migrate { fid; from_site; to_site; epoch } ->
+    Fmt.pf ppf "migrate %a site%d -> site%d e%d" File_id.pp fid from_site
+      to_site epoch
 
 let pp ppf r = Fmt.pf ppf "%8d us site%-2d %a" r.at r.site pp_event r.ev

@@ -50,6 +50,12 @@ type event =
   | Failover of { vid : int; fid : File_id.t }
       (** a degraded copy served a read because the primary was
           unreachable *)
+  | Migrate of { fid : File_id.t; from_site : int; to_site : int; epoch : int }
+      (** the lock-manager role for [fid] changed hands (locus_shard):
+          emitted at the installing site when a transfer envelope lands,
+          or when a fresh table is installed over a crashed owner. The
+          epoch-fence oracle uses these to know which site was allowed to
+          grant locks on [fid] in every interval of the run. *)
 
 type record = { at : int; site : int; ev : event }
 (** [at] is virtual time; global order within a run is the emission

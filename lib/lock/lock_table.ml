@@ -237,6 +237,11 @@ let retained_ranges t owner =
 
 let waiting t = List.length (List.filter (fun w -> not w.w_cancelled) t.waiters)
 
+(* A table may ride a transfer envelope only when no waiter would be
+   stranded: waiter callbacks are site-local closures, so [restore] on
+   the receiving side necessarily drops them. *)
+let transferable t = waiting t = 0
+
 let waits_for t =
   let rec go earlier acc = function
     | [] -> List.rev acc

@@ -103,6 +103,11 @@ val holders : t -> range:Byte_range.t -> Owner.t list
 val retained_ranges : t -> Owner.t -> Byte_range.t list
 val waiting : t -> int
 
+val transferable : t -> bool
+(** May this table ride a transfer envelope right now? True iff it has no
+    live waiters — waiter callbacks are site-local and would be stranded
+    by {!restore} on the receiving side. *)
+
 val waits_for : t -> (Owner.t * Owner.t list) list
 (** For each waiting request, the owners currently blocking it — the raw
     material for the wait-for graph (§3.1: deadlock detection is done

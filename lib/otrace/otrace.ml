@@ -32,6 +32,15 @@ type t = {
   phase_hists : (string, Stats.Hist.t) Hashtbl.t;
   bucket_bytes : int;
   cells : (string * int, cell) Hashtbl.t;
+  mutable migrations : migration list;  (* newest first *)
+}
+
+and migration = {
+  mg_fid : string;
+  mg_from : int;
+  mg_to : int;
+  mg_epoch : int;
+  mg_at : int;
 }
 
 let create ?(capacity = 65536) ?(bucket_bytes = 1024) engine =
@@ -48,6 +57,7 @@ let create ?(capacity = 65536) ?(bucket_bytes = 1024) engine =
     phase_hists = Hashtbl.create 32;
     bucket_bytes = max 1 bucket_bytes;
     cells = Hashtbl.create 32;
+    migrations = [];
   }
 
 (* Ambient state is keyed by engine fiber id; work running outside any
@@ -188,6 +198,21 @@ let note_wait t ~fid ~lo ~wait_us ~queue ~blockers =
       let n = try List.assoc b c.blockers with Not_found -> 0 in
       c.blockers <- (b, n + 1) :: List.remove_assoc b c.blockers)
     blockers
+
+(* {1 Ownership migrations (locus_shard)} *)
+
+let note_migration t ~fid ~from_site ~to_site ~epoch =
+  t.migrations <-
+    {
+      mg_fid = fid;
+      mg_from = from_site;
+      mg_to = to_site;
+      mg_epoch = epoch;
+      mg_at = Engine.now t.engine;
+    }
+    :: t.migrations
+
+let migrations t = List.rev t.migrations
 
 let contention t =
   Hashtbl.fold
@@ -345,7 +370,16 @@ let export_metrics t stats ppf =
         r
         (Stats.get stats ("txn.abort." ^ r)))
     abort_reasons;
-  Fmt.pf ppf "},@\n  \"counters\": {";
+  Fmt.pf ppf "},@\n  \"migrations\": [";
+  List.iteri
+    (fun i m ->
+      Fmt.pf ppf
+        "%s@\n    {\"fid\": \"%s\", \"from\": %d, \"to\": %d, \"epoch\": %d, \
+         \"at_us\": %d}"
+        (if i = 0 then "" else ",")
+        (json_escape m.mg_fid) m.mg_from m.mg_to m.mg_epoch m.mg_at)
+    (migrations t);
+  Fmt.pf ppf "@\n  ],@\n  \"counters\": {";
   List.iteri
     (fun i (k, v) ->
       Fmt.pf ppf "%s@\n    \"%s\": %d" (if i = 0 then "" else ",") (json_escape k) v)

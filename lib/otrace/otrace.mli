@@ -95,6 +95,24 @@ type wait_profile = {
 val contention : t -> wait_profile list
 (** Hottest cells first (by total wait time). *)
 
+(** {1 Ownership migrations (locus_shard)} *)
+
+type migration = {
+  mg_fid : string;
+  mg_from : int;
+  mg_to : int;
+  mg_epoch : int;
+  mg_at : int;  (** virtual time of the transfer install *)
+}
+
+val note_migration :
+  t -> fid:string -> from_site:int -> to_site:int -> epoch:int -> unit
+(** Record one lock-manager ownership transfer (stamped with the virtual
+    clock); exported under ["migrations"] by {!export_metrics}. *)
+
+val migrations : t -> migration list
+(** Oldest first. *)
+
 (** {1 Reading back} *)
 
 val spans : t -> (int * int option * string * string * int * int * int) list

@@ -19,3 +19,12 @@ let secondaries hosts =
   match hosts with
   | [] -> invalid_arg "Placement.secondaries: empty replica set"
   | _ :: rest -> rest
+
+(* Shard-directory placement: shard [s]'s authoritative directory entries
+   are served by site [s mod n_sites] — the same round-robin spreading as
+   volumes, so at 32+ sites every site carries its share of directory
+   traffic. *)
+let directory ~n_sites shard =
+  if n_sites <= 0 then invalid_arg "Placement.directory: need at least one site";
+  if shard < 0 then invalid_arg "Placement.directory: negative shard";
+  shard mod n_sites

@@ -15,3 +15,8 @@ val primary : Site.t list -> Site.t
 
 val secondaries : Site.t list -> Site.t list
 (** All hosts but the primary. Raises [Invalid_argument] on []. *)
+
+val directory : n_sites:int -> int -> Site.t
+(** [directory ~n_sites shard] is the site serving shard [shard]'s
+    directory entries (round-robin, like {!volumes}). Raises
+    [Invalid_argument] on a non-positive site count or negative shard. *)

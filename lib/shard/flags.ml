@@ -1,0 +1,10 @@
+(* Deliberate-breakage flag for the epoch-fence self-test (the same
+   pattern as [Locus_batch.Flags.break_batch]): with [break_shard] set, a
+   migrating owner "forgets" to stand down — it keeps its table, keeps
+   granting at the superseded epoch, and suppresses the hint updates that
+   would steer clients to the new owner. The checker's epoch-fence oracle
+   (and the e18 local-hit-ratio gate) must catch the resulting
+   two-managers world; CI inverts on it via [--break-shard] /
+   [LOCUS_BREAK_SHARD=1]. *)
+
+let break_shard = ref false

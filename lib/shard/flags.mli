@@ -1,0 +1,4 @@
+val break_shard : bool ref
+(** Self-test fault: a migrating owner keeps granting at its superseded
+    epoch instead of standing down. Proves the epoch-fence oracle and the
+    e18 bench gate fire. Default [false]. *)

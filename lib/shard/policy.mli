@@ -1,0 +1,19 @@
+(** When does the lock-manager role migrate toward the traffic? *)
+
+type t =
+  | Never  (** ownership stays at the default placement *)
+  | Threshold of int
+      (** migrate after this many consecutive remote acquisitions from
+          one site *)
+
+val default : t
+(** [Threshold 3]. *)
+
+val of_string : string -> (t, string) result
+(** Accepts ["never"], ["threshold:N"], or a bare positive integer. *)
+
+val pp : t Fmt.t
+
+val decide : t -> streak:int -> bool
+(** Should a streak of this many consecutive remote acquisitions trigger
+    a migration? *)

@@ -18,16 +18,28 @@
 #      (CI proves it by re-running e16 under LOCUS_BREAK_BATCH=1 and
 #      asserting this script fails).
 #
-# Usage: scripts/bench_gate.sh [exp ...]     (default: e4 e15 e16 e17)
+#   3. e18 self-contained ratios: dynamic lock placement must actually
+#      collapse the hot-key round trips — the placement-on row needs a
+#      local-hit ratio >= MIN_LOCAL_HIT (with the off row staying below
+#      MAX_STATIC_HIT), at least one migration, and a lock p50 no more
+#      than E18_P50_FRACTION of the static row's. CI proves the gate
+#      fires by re-running e18 under LOCUS_BREAK_SHARD=1 (the owner
+#      keeps granting at its superseded epoch) and asserting this
+#      script fails.
+#
+# Usage: scripts/bench_gate.sh [exp ...]     (default: e4 e15 e16 e17 e18)
 
 set -u
 
 TOLERANCE_PCT=${TOLERANCE_PCT:-10}
 MIN_FORCE_RATIO=${MIN_FORCE_RATIO:-2.0}
 MIN_MSG_RATIO=${MIN_MSG_RATIO:-1.5}
+MIN_LOCAL_HIT=${MIN_LOCAL_HIT:-0.6}
+MAX_STATIC_HIT=${MAX_STATIC_HIT:-0.2}
+E18_P50_FRACTION=${E18_P50_FRACTION:-0.6}
 BASELINES=${BASELINES:-bench/baselines}
-EXPS=("${@:-e4 e15 e16 e17}")
-[ $# -eq 0 ] && EXPS=(e4 e15 e16 e17)
+EXPS=("${@:-e4 e15 e16 e17 e18}")
+[ $# -eq 0 ] && EXPS=(e4 e15 e16 e17 e18)
 
 fail=0
 
@@ -103,11 +115,33 @@ check_e16_ratios() {
     bad "e16: no window achieves >= ${MIN_MSG_RATIO}x fewer per-commit messages than window 0"
 }
 
+check_e18_ratios() {
+  local cur=BENCH_e18.json
+  [ -f "$cur" ] || { bad "$cur missing"; return; }
+  local off_hit on_hit off_p50 on_p50 migrations
+  off_hit=$(jq -r '.metrics[] | select(.label == "placement off") | .local_hit_ratio' "$cur")
+  on_hit=$(jq -r '.metrics[] | select(.label | startswith("placement on")) | .local_hit_ratio' "$cur")
+  off_p50=$(jq -r '.metrics[] | select(.label == "placement off") | .p50_virtual_us' "$cur")
+  on_p50=$(jq -r '.metrics[] | select(.label | startswith("placement on")) | .p50_virtual_us' "$cur")
+  migrations=$(jq -r '.metrics[] | select(.label | startswith("placement on")) | .migrations' "$cur")
+  note "gate: e18 local-hit $on_hit (static: $off_hit), lock p50 ${on_p50}us (static: ${off_p50}us), migrations $migrations"
+  jq -n --argjson h "$on_hit" --argjson m "$MIN_LOCAL_HIT" '$h >= $m' | grep -q true ||
+    bad "e18: placement-on local-hit ratio $on_hit below ${MIN_LOCAL_HIT} floor"
+  jq -n --argjson h "$off_hit" --argjson m "$MAX_STATIC_HIT" '$h <= $m' | grep -q true ||
+    bad "e18: placement-off local-hit ratio $off_hit above ${MAX_STATIC_HIT} (workload not remote?)"
+  jq -n --argjson m "$migrations" '$m >= 1' | grep -q true ||
+    bad "e18: no ownership migration happened"
+  jq -n --argjson on "$on_p50" --argjson off "$off_p50" --argjson f "$E18_P50_FRACTION" \
+      '$on <= $off * $f' | grep -q true ||
+    bad "e18: lock p50 ${on_p50}us did not collapse below ${E18_P50_FRACTION}x the static ${off_p50}us"
+}
+
 for exp in ${EXPS[@]+"${EXPS[@]}"}; do
   # Word-split the default "e4 e15 e16" string form.
   for e in $exp; do
     compare_baseline "$e"
     [ "$e" = e16 ] && check_e16_ratios
+    [ "$e" = e18 ] && check_e18_ratios
   done
 done
 

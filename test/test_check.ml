@@ -86,7 +86,8 @@ let test_dirty_read_detected () =
        (fun c ->
          match c.Ck.Checker.violation with
          | Ck.Checker.Dirty_read _ -> not c.Ck.Checker.permitted
-         | Ck.Checker.Cycle _ | Ck.Checker.Stale_read _ -> false)
+         | Ck.Checker.Cycle _ | Ck.Checker.Stale_read _
+         | Ck.Checker.Fenced_grant _ -> false)
        r.Ck.Checker.violations)
 
 let test_cycle_detected () =
@@ -114,7 +115,8 @@ let test_cycle_detected () =
        (fun c ->
          match c.Ck.Checker.violation with
          | Ck.Checker.Cycle _ -> not c.Ck.Checker.permitted
-         | Ck.Checker.Dirty_read _ | Ck.Checker.Stale_read _ -> false)
+         | Ck.Checker.Dirty_read _ | Ck.Checker.Stale_read _
+         | Ck.Checker.Fenced_grant _ -> false)
        r.Ck.Checker.violations)
 
 let test_non_transaction_lock_permitted () =
@@ -153,7 +155,8 @@ let test_non_transaction_lock_permitted () =
        (fun c ->
          match c.Ck.Checker.violation with
          | Ck.Checker.Dirty_read _ -> c.Ck.Checker.permitted
-         | Ck.Checker.Cycle _ | Ck.Checker.Stale_read _ -> false)
+         | Ck.Checker.Cycle _ | Ck.Checker.Stale_read _
+         | Ck.Checker.Fenced_grant _ -> false)
        (Ck.Checker.permitted r))
 
 let test_process_writer_permitted () =

@@ -259,6 +259,26 @@ let test_query_outcome_retry_during_recovery () =
   Alcotest.(check bool) "nobody left in doubt" true
     (K.in_doubt_participants sim.L.cluster = [])
 
+let test_acceptor_gc_after_acks () =
+  (* Satellite: acceptor state is garbage — and its log records released —
+     once every participant acked phase 2, but never before: the
+     coordinator-kill test above proves in-doubt resolution still finds
+     the registrations when phase 2 was cut short. *)
+  let sim, outcome = run_scenario ~config:paxos_config ~inject:(fun _ -> ()) in
+  Alcotest.(check bool) "committed" true (outcome = Some K.Committed);
+  let stats = L.Engine.stats sim.L.engine in
+  Alcotest.(check bool) "forget was broadcast after full acks" true
+    (L.Stats.get stats "pcommit.forget_sent" > 0);
+  Alcotest.(check bool) "acceptors released the registrations" true
+    (L.Stats.get stats "pcommit.forgotten" > 0);
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "site %d acceptor empty" (K.site k))
+        0
+        (A.size (K.acceptor k)))
+    (K.kernels sim.L.cluster)
+
 let test_workload_sweep_paxos_liveness () =
   (* A miniature of the CI sweep: coordinator-kill faults across seeds,
      every history 1SR and every run drains with nobody blocked. *)
@@ -311,6 +331,8 @@ let suite =
           test_break_paxos_blocks;
         Alcotest.test_case "query outcome retries during recovery" `Quick
           test_query_outcome_retry_during_recovery;
+        Alcotest.test_case "acceptor GC after full acks" `Quick
+          test_acceptor_gc_after_acks;
         Alcotest.test_case "sweep: paxos liveness" `Quick
           test_workload_sweep_paxos_liveness;
         Alcotest.test_case "sweep: 2pc kill blocks" `Quick
