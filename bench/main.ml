@@ -24,6 +24,7 @@ let experiments =
     ("e16", "group commit + RPC batching on the 2PC hot path", Exp_batch.e16);
     ("e17", "2PC vs Paxos Commit: non-blocking atomic commitment", Exp_pcommit.e17);
     ("e18", "locus_shard: dynamic lock placement on a hot-key workload", Exp_shard.e18);
+    ("e19", "locus_chaos: record commit over a lossy network", Exp_chaos.e19);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

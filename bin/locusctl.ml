@@ -424,7 +424,7 @@ let dc_cmd =
 module Ck = Locus_check
 
 let check_config sites txns ops records replicas batch_window fault_every
-    commit shards policy =
+    commit shards policy net_faults =
   {
     Ck.Explore.sites = max 2 sites;
     txns;
@@ -436,6 +436,7 @@ let check_config sites txns ops records replicas batch_window fault_every
     commit;
     shards = max 0 shards;
     policy;
+    net_faults;
   }
 
 let txns_arg =
@@ -522,15 +523,59 @@ let migrate_policy_arg =
            $(b,threshold:N) (migrate after N consecutive remote \
            acquisitions from one site), or a bare N.")
 
+(* "drop=0.05,dup=0.05,reorder=4,jitter=500" -> Transport.faults; every
+   key is optional, unknown keys are errors. *)
+let net_faults_conv =
+  let parse s =
+    let open Locus_net.Transport in
+    try
+      Ok
+        (List.fold_left
+           (fun f kv ->
+             match String.split_on_char '=' kv with
+             | [ "drop"; v ] -> { f with drop = float_of_string v }
+             | [ "dup"; v ] -> { f with dup = float_of_string v }
+             | [ "reorder"; v ] -> { f with reorder = int_of_string v }
+             | [ "jitter"; v ] | [ "jitter_us"; v ] ->
+               { f with jitter_us = int_of_string v }
+             | _ -> failwith kv)
+           no_faults
+           (String.split_on_char ',' (String.trim s)))
+    with Failure _ ->
+      Error
+        (`Msg
+           (Printf.sprintf
+              "bad --net-faults %S (want e.g. drop=0.05,dup=0.05,reorder=4)" s))
+  in
+  let print ppf (f : Locus_net.Transport.faults) =
+    Fmt.pf ppf "drop=%g,dup=%g,reorder=%d,jitter=%d" f.drop f.dup f.reorder
+      f.jitter_us
+  in
+  Arg.conv (parse, print)
+
+let net_faults_arg =
+  Arg.(
+    value & opt (some net_faults_conv) None
+    & info [ "net-faults" ] ~docv:"SPEC"
+        ~doc:
+          "Arm the lossy-network chaos layer for every checked run: \
+           $(docv) is a comma list of $(b,drop)=P (loss probability), \
+           $(b,dup)=P (duplication probability), $(b,reorder)=N (reorder \
+           window in one-way latencies) and $(b,jitter)=US (extra delay \
+           bound, virtual µs). Deterministic per seed. Client RPCs switch \
+           to retried, rid-tagged sends deduplicated by server reply \
+           caches; the checker's duplicate-apply oracle watches every \
+           execution.")
+
 let pp_blocked =
   Fmt.list ~sep:Fmt.sp (fun ppf (site, txid) ->
       Fmt.pf ppf "site%d:%a" site Txid.pp txid)
 
 let check seed sites txns ops records replicas batch_window fault_every commit
-    paxos_f shards policy =
+    paxos_f shards policy net_faults =
   let cfg =
     check_config sites txns ops records replicas batch_window fault_every
-      (commit_of commit paxos_f) shards policy
+      (commit_of commit paxos_f) shards policy net_faults
   in
   let spec, hist, report, blocked = Ck.Explore.run_seed cfg seed in
   Fmt.pr "workload (seed %d):@.%a@." seed Ck.Workload.pp spec;
@@ -548,14 +593,14 @@ let check_cmd =
     Term.(
       const check $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
       $ replicas_arg $ batch_window_arg $ fault_every_arg $ commit_arg
-      $ paxos_f_arg $ shards_arg $ migrate_policy_arg)
+      $ paxos_f_arg $ shards_arg $ migrate_policy_arg $ net_faults_arg)
 
 let explore seed sites txns ops records replicas batch_window fault_every
-    n_seeds break_locks break_repl break_paxos break_shard commit paxos_f
-    shards policy =
+    n_seeds break_locks break_repl break_paxos break_shard break_dedup commit
+    paxos_f shards policy net_faults =
   let cfg =
     check_config sites txns ops records replicas batch_window fault_every
-      (commit_of commit paxos_f) shards policy
+      (commit_of commit paxos_f) shards policy net_faults
   in
   if break_locks then begin
     Fmt.pr "!! breaking the shared/exclusive compatibility rule (Figure 1)@.";
@@ -579,11 +624,18 @@ let explore seed sites txns ops records replicas batch_window fault_every
        epochs after handing the role away)@.";
     Locus_shard.Flags.break_shard := true
   end;
+  if break_dedup then begin
+    Fmt.pr
+      "!! breaking exactly-once RPC (servers skip the reply cache and \
+       re-run every retried or duplicated request)@.";
+    Locus_net.Flags.break_dedup := true
+  end;
   Fun.protect ~finally:(fun () ->
       M.test_break_shared_exclusive := false;
       Locus_repl.Flags.drop_propagation := false;
       Locus_pcommit.Flags.break_paxos := false;
-      Locus_shard.Flags.break_shard := false)
+      Locus_shard.Flags.break_shard := false;
+      Locus_net.Flags.break_dedup := false)
   @@ fun () ->
   let t0 = Sys.time () in
   let result =
@@ -656,6 +708,16 @@ let explore_cmd =
              role moved; verify the epoch-fence oracle flags the resulting \
              split-brain grants (use with --shards > 0).")
   in
+  let break_dedup =
+    Arg.(
+      value & flag
+      & info [ "break-dedup" ]
+          ~doc:
+            "Self-test: servers bypass the exactly-once reply cache, so a \
+             retried or duplicated non-idempotent request re-executes; \
+             verify the duplicate-apply oracle flags the double \
+             applications (use with --net-faults).")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
@@ -664,8 +726,9 @@ let explore_cmd =
     Term.(
       const explore $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
       $ replicas_arg $ batch_window_arg $ fault_every_arg $ n_seeds
-      $ break_locks $ break_repl $ break_paxos $ break_shard $ commit_arg
-      $ paxos_f_arg $ shards_arg $ migrate_policy_arg)
+      $ break_locks $ break_repl $ break_paxos $ break_shard $ break_dedup
+      $ commit_arg $ paxos_f_arg $ shards_arg $ migrate_policy_arg
+      $ net_faults_arg)
 
 (* {1 repl-status} *)
 

@@ -23,6 +23,13 @@ type violation =
       epoch : int;
       at : int;
     }
+  | Dup_apply of {
+      client : int;
+      seq : int;
+      site : int;
+      label : string;
+      at : int;
+    }
 
 type classified = { violation : violation; permitted : bool }
 
@@ -153,6 +160,17 @@ let check history =
      epoch-0 owner is not observable from the history alone. *)
   let shard_owner : (File_id.t, int * int) Tx_tbl.t = Tx_tbl.create 8 in
   let fenced = ref [] in
+  (* Exactly-once oracle (locus_chaos): a rid-tagged request may execute
+     its handler at most once per (client incarnation, server incarnation)
+     pair — the reply cache must absorb every further wire copy. A second
+     [Rpc_exec] with the same key is a double application (a merge counted
+     twice, a file created twice, ...). The server-incarnation component
+     makes post-crash re-execution benign: the crash wiped the first
+     execution's volatile effects along with the cache. *)
+  let rpc_execs : (int * int * int * int * int, unit) Tx_tbl.t =
+    Tx_tbl.create 64
+  in
+  let dup_applies = ref [] in
   let reads_checked = ref 0 in
   let push tbl key v =
     match Tx_tbl.find_opt tbl key with
@@ -356,8 +374,16 @@ let check history =
         match Tx_tbl.find_opt shard_owner fid with
         | Some (_, e) when epoch < e -> ()
         | Some _ | None -> Tx_tbl.replace shard_owner fid (to_site, epoch))
-    | Obs.Propagate _ | Obs.Reconcile _ | Obs.Failover _ ->
-        (* Replication housekeeping: not data accesses. *)
+    | Obs.Rpc_exec { client; inc; seq; site_inc; label } ->
+        let key = (client, inc, seq, site, site_inc) in
+        if Tx_tbl.mem rpc_execs key then
+          dup_applies :=
+            { violation = Dup_apply { client; seq; site; label; at };
+              permitted = false }
+            :: !dup_applies
+        else Tx_tbl.replace rpc_execs key ()
+    | Obs.Propagate _ | Obs.Reconcile _ | Obs.Failover _ | Obs.Net_fault _ ->
+        (* Replication housekeeping / injected chaos: not data accesses. *)
         ()
   done;
   let committed, aborted =
@@ -464,7 +490,7 @@ let check history =
     edges;
     violations =
       dirty_violations @ stale_violations @ List.rev !fenced
-      @ cycle_violations }
+      @ List.rev !dup_applies @ cycle_violations }
 
 let unpermitted r = List.filter (fun c -> not c.permitted) r.violations
 let permitted r = List.filter (fun c -> c.permitted) r.violations
@@ -486,6 +512,11 @@ let pp_violation ppf = function
         "fenced grant: site%d granted a lock on %a but the e%d migration \
          made site%d its lock manager (t=%d)"
         site File_id.pp fid epoch owner_site at
+  | Dup_apply { client; seq; site; label; at } ->
+      Fmt.pf ppf
+        "duplicate apply: site%d executed %s from client site%d (seq %d) \
+         twice in one incarnation (t=%d)"
+        site label client seq at
 
 let pp_classified ppf c =
   Fmt.pf ppf "[%s] %a"

@@ -56,6 +56,19 @@ type violation =
           lock manager. A correct implementation fences every such
           stale-owner grant, so this is never permitted; it fires under
           [--break-shard], which suppresses the old owner's stand-down. *)
+  | Dup_apply of {
+      client : int;  (** the request's originating site *)
+      seq : int;  (** the client-incarnation-local request sequence *)
+      site : int;  (** the server that executed twice *)
+      label : string;  (** message label, e.g. ["merge"] *)
+      at : int;  (** virtual time of the second execution *)
+    }
+      (** exactly-once oracle (locus_chaos): a server executed the same
+          rid-tagged request twice within one (client incarnation, server
+          incarnation) pair — the reply cache failed to absorb a retry or
+          a duplicated wire copy, so a non-idempotent effect was applied
+          twice. Never permitted; it fires under [--break-dedup], which
+          bypasses the reply cache. *)
 
 type classified = { violation : violation; permitted : bool }
 

@@ -9,6 +9,7 @@ type config = {
   commit : Workload.commit_protocol;
   shards : int;
   policy : Locus_shard.Policy.t;
+  net_faults : Locus_net.Transport.faults option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     commit = `Two_phase;
     shards = 0;
     policy = Locus_shard.Policy.default;
+    net_faults = None;
   }
 
 type failure = {
@@ -79,7 +81,7 @@ let run_seed cfg seed =
   let hist, sim =
     Workload.run ?fault:(fault_for cfg seed) ~replicas:cfg.replicas
       ~batch_window:cfg.batch_window ~commit:cfg.commit ~shards:cfg.shards
-      ~policy:cfg.policy ~seed spec
+      ~policy:cfg.policy ?net_faults:cfg.net_faults ~seed spec
   in
   (* Liveness: participants still prepared after the run drained are
      blocked in-doubt. 2PC is allowed to block only when its coordinator
@@ -120,7 +122,8 @@ let shrink_failure cfg f =
       Workload.run
         ?fault:(fault_for cfg f.f_seed)
         ~replicas:cfg.replicas ~batch_window:cfg.batch_window ~commit:cfg.commit
-        ~shards:cfg.shards ~policy:cfg.policy ~seed:f.f_seed spec
+        ~shards:cfg.shards ~policy:cfg.policy ?net_faults:cfg.net_faults
+        ~seed:f.f_seed spec
     in
     (not (Checker.ok (Checker.check hist))) || Workload.blocked sim <> []
   in

@@ -33,6 +33,12 @@ type config = {
           rotation, with every grant watched by the epoch-fence oracle *)
   policy : Locus_shard.Policy.t;
       (** migration policy for sharded runs (ignored when [shards = 0]) *)
+  net_faults : Locus_net.Transport.faults option;
+      (** lossy-network chaos layer for every run of the sweep: message
+          drop / duplication / jitter / reordering (seed-deterministic)
+          with exactly-once client RPCs — layered on top of whatever
+          [fault_every] injects, so a sweep can prove 1SR and liveness
+          under crashes {e and} a lossy network at once *)
 }
 
 val default_config : config

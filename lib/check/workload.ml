@@ -120,7 +120,7 @@ let install_fault cl ~n_sites fault =
       | Crash _ | Partition _ | Kill_coordinator _ | Migrate_owner _ -> ())
 
 let run ?fault ?(replicas = 1) ?(batch_window = 0) ?(commit = `Two_phase)
-    ?(shards = 0) ?policy ?(seed = 0) spec =
+    ?(shards = 0) ?policy ?net_faults ?(seed = 0) spec =
   let sim =
     let base =
       if replicas > 1 then
@@ -138,6 +138,11 @@ let run ?fault ?(replicas = 1) ?(batch_window = 0) ?(commit = `Two_phase)
     in
     let config =
       if shards > 0 then K.Config.with_shards ~shards ?policy config else config
+    in
+    let config =
+      match net_faults with
+      | Some (f : Transport.faults) -> { config with K.Config.net_faults = Some f }
+      | None -> config
     in
     L.make ~seed ~config ~n_sites:spec.n_sites ()
   in

@@ -69,6 +69,7 @@ val run :
   ?commit:commit_protocol ->
   ?shards:int ->
   ?policy:Locus_shard.Policy.t ->
+  ?net_faults:Locus_net.Transport.faults ->
   ?seed:int ->
   spec ->
   History.t * Locus_core.Locus.sim
@@ -88,7 +89,11 @@ val run :
     turns on dynamic lock placement
     ({!Locus_core.Kernel.Config.with_shards}) with the given migration
     [policy], so lock traffic flows through the shard directory and the
-    role can move mid-run. *)
+    role can move mid-run. [net_faults] arms the lossy-network chaos
+    layer ({!Locus_core.Kernel.Config.net_faults}): seed-deterministic
+    message drop / duplication / jitter / reordering plus rid-tagged
+    exactly-once client RPCs, with the checker's [Dup_apply] oracle
+    watching every rid-tagged handler execution. *)
 
 val blocked : Locus_core.Locus.sim -> (int * Txid.t) list
 (** Liveness oracle over a drained simulation: [(site, txid)] for every

@@ -23,6 +23,24 @@ module Config = struct
      crashed coordinator no longer blocks its participants. *)
   type commit_protocol = Two_phase | Paxos of { f : int }
 
+  (* One bounded-retry-with-backoff policy: [attempts] tries, the first
+     wait is [backoff_us], growth is exponential (or jittered when the
+     chaos layer is armed) capped at [cap_us]. *)
+  type retry = { attempts : int; backoff_us : int; cap_us : int }
+
+  (* The kernel's six retry call sites, each with its own policy — one
+     source of truth instead of per-callsite magic numbers. [rpc] is the
+     generic client-request profile used when the chaos layer retries
+     ordinary kernel RPCs; the rest are the named protocol loops. *)
+  type retries = {
+    rpc : retry;
+    phase2 : retry;  (* commit/abort phase-2 notifications (§4.2) *)
+    replay : retry;  (* recovery replaying phase 2 of decided txns (§4.4) *)
+    outcome : retry;  (* participants chasing an in-doubt outcome (§4.4) *)
+    replica : retry;  (* replica delta propagation to secondaries (§5.2) *)
+    shard : retry;  (* shard directory claims during migration races *)
+  }
+
   type t = {
     n_sites : int;
     volumes : (int * Site.t list) list;
@@ -44,7 +62,24 @@ module Config = struct
     commit_protocol : commit_protocol;
     shards : int;  (* 0 = static lock placement; > 0 enables locus_shard *)
     shard_policy : Locus_shard.Policy.t;
+    retries : retries;
+    net_faults : Transport.faults option;  (* locus_chaos; None = reliable *)
   }
+
+  (* Exactly the historical per-callsite constants, so default timing is
+     bit-for-bit unchanged: every cap is the old hardcoded 16x initial
+     backoff. *)
+  let default_retries =
+    let r attempts backoff_us = { attempts; backoff_us; cap_us = backoff_us * 16 } in
+    {
+      rpc =
+        r Transport.default_rpc_attempts Transport.default_rpc_backoff_us;
+      phase2 = r 8 2_000_000;
+      replay = r 5 2_000_000;
+      outcome = r 6 1_000_000;
+      replica = r 3 200_000;
+      shard = r 3 2_000;
+    }
 
   let default ~n_sites =
     {
@@ -68,6 +103,8 @@ module Config = struct
       commit_protocol = Two_phase;
       shards = 0;
       shard_policy = Locus_shard.Policy.default;
+      retries = default_retries;
+      net_faults = None;
     }
 
   let with_replication ~n_sites ~factor =
@@ -81,6 +118,21 @@ module Config = struct
     if cfg.n_sites < (2 * f) + 1 then
       invalid_arg "Config.with_paxos: need n_sites >= 2f+1 acceptor sites";
     { cfg with commit_protocol = Paxos { f } }
+
+  (* Arm the lossy-network chaos layer (locus_chaos): per-message drop /
+     duplication / delivery jitter / reordering on every wire leg, driven
+     by a PRNG split off the engine seed. Also switches kernel client
+     RPCs to rid-tagged retried sends so the servers' exactly-once reply
+     caches absorb the retries and duplicates. *)
+  let with_net_faults ?(drop = 0.) ?(dup = 0.) ?(reorder = 0) ?(jitter_us = 0)
+      cfg =
+    if drop < 0. || drop >= 1. then
+      invalid_arg "Config.with_net_faults: drop must be in [0, 1)";
+    if dup < 0. || dup >= 1. then
+      invalid_arg "Config.with_net_faults: dup must be in [0, 1)";
+    if reorder < 0 || jitter_us < 0 then
+      invalid_arg "Config.with_net_faults: reorder/jitter must be >= 0";
+    { cfg with net_faults = Some { Transport.drop; dup; jitter_us; reorder } }
 
   (* Dynamic lock placement (locus_shard). Mutually exclusive with §5.2
      delegation: both move lock authority, by different rules, and a
@@ -147,8 +199,22 @@ type t = {
   shard_hints : (File_id.t, Site.t) Hashtbl.t;  (* stale-tolerant owner hints *)
   shard_origins : (File_id.t, Site.t * int) Hashtbl.t;  (* remote-acquisition streaks *)
   shard_migrating : (File_id.t, unit) Hashtbl.t;  (* transfer in progress *)
+  (* Exactly-once RPC state (locus_chaos) — all volatile, per incarnation.
+     Server side: the bounded per-client reply cache that answers retried
+     or duplicated requests whose first copy already executed, plus the
+     per-client ack watermark that both evicts finished entries and fences
+     late wire copies of finished requests as stale duplicates. Client
+     side: the rid sequence allocator and the outstanding-seq set the ack
+     watermark is computed from. *)
+  reply_cache : (int * int * int, reply_slot) Hashtbl.t;  (* (site, inc, seq) *)
+  reply_cache_q : (int * int * int) Queue.t;  (* FIFO capacity bound *)
+  rc_acked : (int * int, int) Hashtbl.t;  (* (site, inc) -> acked seq *)
+  mutable rid_seq : int;
+  rid_outstanding : (int, unit) Hashtbl.t;
   cl : cluster;
 }
+
+and reply_slot = Cached of Msg.reply | Running of Msg.reply Engine.Ivar.t
 
 and cluster = {
   cfg : Config.t;
@@ -220,7 +286,7 @@ let otracer cl = cl.otracer
 let wire_ctx cl =
   match cl.otracer with None -> None | Some tr -> Otrace.current_ctx tr
 
-let envelope cl msg = { Msg.ctx = wire_ctx cl; payload = msg }
+let envelope cl ?rid msg = { Msg.ctx = wire_ctx cl; rid; payload = msg }
 
 let with_span k ?parent ?args ~cat name f =
   match k.cl.otracer with
@@ -280,10 +346,49 @@ let exit_ivar cl pid =
     Hashtbl.replace cl.exit_ivars pid iv;
     iv
 
+(* {1 Exactly-once request ids (locus_chaos)}
+
+   Armed together with [Config.net_faults]: with the network lossy, every
+   remote client request is tagged with a fresh [(site, incarnation, seq)]
+   id and sent through the transport's retry loop, and the destination's
+   reply cache guarantees the handler body runs at most once per id no
+   matter how many wire copies arrive. The ack watermark piggybacked on
+   every rid ([r_ack] = lowest seq this client still has outstanding,
+   minus one) is what lets servers evict finished entries. *)
+
+let rid_alloc k =
+  k.rid_seq <- k.rid_seq + 1;
+  let seq = k.rid_seq in
+  let ack = Hashtbl.fold (fun s () acc -> min s acc) k.rid_outstanding seq - 1 in
+  Hashtbl.replace k.rid_outstanding seq ();
+  { Msg.r_site = k.site; r_inc = k.incarnation; r_seq = seq; r_ack = ack }
+
+let rid_done k (rid : Msg.rid) = Hashtbl.remove k.rid_outstanding rid.r_seq
+
+let rpc_error e = Msg.R_err (Fmt.str "%a" Transport.pp_error e)
+
 let rpc cl ~src ~dst msg =
-  match Transport.rpc cl.net ~src ~dst (envelope cl msg) with
-  | Ok r -> r
-  | Error e -> Msg.R_err (Fmt.str "%a" Transport.pp_error e)
+  match cl.cfg.Config.net_faults with
+  | Some _ when src <> dst ->
+    let k = cl.ks.(src) in
+    let rid = rid_alloc k in
+    let env = envelope cl ~rid msg in
+    let p = cl.cfg.Config.retries.Config.rpc in
+    let r =
+      match
+        Transport.rpc_retry ~attempts:p.Config.attempts
+          ~backoff_us:p.Config.backoff_us ~cap_us:p.Config.cap_us cl.net ~src
+          ~dst env
+      with
+      | Ok r -> r
+      | Error e -> rpc_error e
+    in
+    rid_done k rid;
+    r
+  | Some _ | None -> (
+    match Transport.rpc cl.net ~src ~dst (envelope cl msg) with
+    | Ok r -> r
+    | Error e -> rpc_error e)
 
 (* Commit hot path variant: joins the RPC batch window when
    [Config.rpc_batch_window_us] is on, identical to {!rpc} otherwise.
@@ -291,9 +396,49 @@ let rpc cl ~src ~dst msg =
    here (prepares, phase-2 notifications, replica deltas): a batch is
    processed sequentially at the destination. *)
 let rpc_hot cl ~src ~dst msg =
-  match Transport.rpc_batched cl.net ~src ~dst (envelope cl msg) with
+  match cl.cfg.Config.net_faults with
+  | Some _ when src <> dst ->
+    let k = cl.ks.(src) in
+    let rid = rid_alloc k in
+    let env = envelope cl ~rid msg in
+    let p = cl.cfg.Config.retries.Config.rpc in
+    let r =
+      match
+        Transport.rpc_retry_batched ~attempts:p.Config.attempts
+          ~backoff_us:p.Config.backoff_us ~cap_us:p.Config.cap_us cl.net ~src
+          ~dst env
+      with
+      | Ok r -> r
+      | Error e -> rpc_error e
+    in
+    rid_done k rid;
+    r
+  | Some _ | None -> (
+    match Transport.rpc_batched cl.net ~src ~dst (envelope cl msg) with
+    | Ok r -> r
+    | Error e -> rpc_error e)
+
+(* Send a caller-built envelope as-is. Callers that must reuse ONE rid
+   across an application-level retry loop (e.g. [send_merge], whose
+   request is not idempotent) build the envelope once and resend it
+   through here, so every wire copy carries the same identity. *)
+let rpc_env cl ~src ~dst env =
+  match Transport.rpc cl.net ~src ~dst env with
   | Ok r -> r
-  | Error e -> Msg.R_err (Fmt.str "%a" Transport.pp_error e)
+  | Error e -> rpc_error e
+
+(* Transport retry calls under a [Config.retry] profile — the single
+   source of truth replacing the per-callsite magic numbers the protocol
+   loops used to carry. *)
+let rpc_retry_p ?retry_if cl (p : Config.retry) ~src ~dst env =
+  Transport.rpc_retry ?retry_if ~attempts:p.Config.attempts
+    ~backoff_us:p.Config.backoff_us ~cap_us:p.Config.cap_us cl.net ~src ~dst
+    env
+
+let rpc_retry_batched_p ?retry_if cl (p : Config.retry) ~src ~dst env =
+  Transport.rpc_retry_batched ?retry_if ~attempts:p.Config.attempts
+    ~backoff_us:p.Config.backoff_us ~cap_us:p.Config.cap_us cl.net ~src ~dst
+    env
 
 (* {1 Paxos Commit plumbing} *)
 
@@ -802,7 +947,7 @@ let propagate_replicas k ?indices ?(initial = false) fid =
               ]
           @@ fun () ->
           match
-            Transport.rpc_retry_batched ~attempts:3 ~backoff_us:200_000 k.cl.net
+            rpc_retry_batched_p k.cl k.cl.cfg.Config.retries.Config.replica
               ~src:k.site ~dst
               (envelope k.cl (Msg.Replica_commit { update = u }))
           with
@@ -1112,6 +1257,12 @@ let shard_default_owner cl fid =
 let shard_abort_txn_ref : (cluster -> src:Site.t -> Txid.t -> unit) ref =
   ref (fun _ ~src:_ _ -> ())
 
+(* Synchronous on purpose: both callers run inside [shard_migrate]'s
+   hand-off window (shard_migrating set, every request bouncing) and the
+   window must not close until the stranded owners are dead — the
+   Shard_handoff handshake tells the new owner "settled" the moment the
+   window lifts, and granting from a fresh table while these
+   transactions still rely on their lost locks breaks 2PL. *)
 let shard_abort_table_owners k table =
   let owners =
     List.sort_uniq compare
@@ -1122,12 +1273,7 @@ let shard_abort_table_owners k table =
            | Owner.Process _ -> None)
          (Lock_table.locks table))
   in
-  List.iter
-    (fun txid ->
-      ignore
-        (Engine.spawn ~name:"shard-abort" ~site:k.site k.engine (fun () ->
-             !shard_abort_txn_ref k.cl ~src:k.site txid)))
-    owners
+  List.iter (fun txid -> !shard_abort_txn_ref k.cl ~src:k.site txid) owners
 
 (* Ask the directory who owns the role. [None] when the directory site is
    unreachable — the caller must bounce, never guess. *)
@@ -1143,12 +1289,35 @@ let shard_lookup k fid =
   else if not (Transport.reachable cl.net k.site ds) then None
   else
     match rpc cl ~src:k.site ~dst:ds (Msg.Shard_lookup { fid }) with
-    | Msg.R_owner { owner; epoch } -> Some (owner, epoch)
+    | Msg.R_owner { owner; epoch; prev } -> Some (owner, epoch, prev)
     | _ -> None
+
+(* Hand-off handshake (run before adopting an epoch > 0 record from a
+   fresh table): the last claimer may still be mid-transfer, in which
+   case the previous epoch's lock table — and every transaction it
+   protects — is still live somewhere, and granting from an empty table
+   here would let new locks collide with them. Safe to proceed once the
+   claimer reports the hand-off settled (it delivered the envelope, or
+   aborted the stranded owners before standing down), or once it has
+   crashed outright (its volatile table died with it and the crash sweep
+   aborts the owners). A merely unreachable claimer keeps us bouncing:
+   never guess. *)
+let shard_adoptable k fid ~epoch ~prev =
+  epoch = 0 || prev = k.site
+  || (not (Transport.site_up k.cl.net prev))
+  || Transport.reachable k.cl.net k.site prev
+     && (match rpc k.cl ~src:k.site ~dst:prev (Msg.Shard_handoff { fid }) with
+        | Msg.R_int 0 -> true
+        | _ -> false)
 
 (* Install the role here without a transfer: the directory names this
    site owner (epoch-0 default, or a re-homing) but no envelope ever
-   arrived. Rejected when we already stood down at a later epoch. *)
+   arrived. Rejected when we already stood down at a later epoch.
+   An epoch > 0 adoption is a real ownership change (a claim happened
+   but its table transfer was lost — e.g. to message drops), so it must
+   be announced like any migration or the epoch-fence oracle would still
+   hold the previous owner responsible for every later grant. [from_site
+   = k.site] marks it as an adoption: no envelope ever arrived. *)
 let shard_adopt k fid ~epoch =
   let ok =
     match Hashtbl.find_opt k.shard_epochs fid with
@@ -1156,9 +1325,20 @@ let shard_adopt k fid ~epoch =
     | None -> true
   in
   if ok then begin
+    let fresh =
+      epoch > 0
+      && ((not (Hashtbl.mem k.shard_owned fid))
+         || (match Hashtbl.find_opt k.shard_epochs fid with
+            | Some e -> epoch > e
+            | None -> true))
+    in
     Hashtbl.replace k.shard_owned fid ();
     Hashtbl.replace k.shard_epochs fid epoch;
-    ignore (ensure_table k fid)
+    ignore (ensure_table k fid);
+    if fresh then begin
+      Stats.incr (stats k) "shard.adoptions";
+      obs k (Obs.Migrate { fid; from_site = k.site; to_site = k.site; epoch })
+    end
   end;
   ok
 
@@ -1178,9 +1358,11 @@ let shard_route k fid =
     | Some _ | None -> (
       match shard_lookup k fid with
       | None -> `Retry
-      | Some (owner, epoch) ->
+      | Some (owner, epoch, prev) ->
         if owner = k.site then begin
-          if shard_adopt k fid ~epoch then `Here else `Retry
+          if shard_adoptable k fid ~epoch ~prev && shard_adopt k fid ~epoch
+          then `Here
+          else `Retry
         end
         else begin
           Hashtbl.replace k.shard_hints fid owner;
@@ -1230,7 +1412,7 @@ let shard_migrate k fid ~dst =
           Stats.incr (stats k) "shard.dir_claims";
           match
             Shard_dir.claim dir fid ~default ~new_owner:dst
-              ~from_epoch:cur_epoch
+              ~from_epoch:cur_epoch ~claimer:k.site
           with
           | Ok e -> `Won e
           | Error (o, e) ->
@@ -1242,7 +1424,7 @@ let shard_migrate k fid ~dst =
             rpc cl ~src:k.site ~dst:ds
               (Msg.Shard_claim { fid; new_owner = dst; from_epoch = cur_epoch })
           with
-          | Msg.R_owner { owner; epoch } ->
+          | Msg.R_owner { owner; epoch; prev = _ } ->
             if owner = dst && epoch = cur_epoch + 1 then `Won epoch
             else `Lost (owner, epoch)
           | _ -> `Unreachable
@@ -1262,9 +1444,9 @@ let shard_migrate k fid ~dst =
       | `Won new_epoch -> (
         let payload = marshal_locks (Lock_table.locks table) in
         match
-          Transport.rpc_retry ~attempts:3 ~backoff_us:2_000
+          rpc_retry_p cl cl.cfg.Config.retries.Config.shard
             ~retry_if:(fun r -> r = Msg.R_retry)
-            cl.net ~src:k.site ~dst
+            ~src:k.site ~dst
             (envelope cl (Msg.Shard_migrate { fid; epoch = new_epoch; payload }))
         with
         | Ok Msg.R_ok ->
@@ -1325,7 +1507,7 @@ let shard_owner_rpc k fid msg =
     Hashtbl.remove k.shard_hints fid;
     Engine.sleep 2_000;
     match shard_lookup k fid with
-    | Some (owner, _) ->
+    | Some (owner, _, _) ->
       Hashtbl.replace k.shard_hints fid owner;
       owner
     | None -> dst
@@ -1443,8 +1625,9 @@ let shard_rehome k fid =
   let cl = k.cl in
   match shard_lookup k fid with
   | None -> false
-  | Some (owner, epoch) ->
-    if owner = k.site then shard_adopt k fid ~epoch
+  | Some (owner, epoch, prev) ->
+    if owner = k.site then
+      shard_adoptable k fid ~epoch ~prev && shard_adopt k fid ~epoch
     else if Transport.site_up cl.net owner then false
     else begin
       let dir = shard_dir_exn cl in
@@ -1454,7 +1637,8 @@ let shard_rehome k fid =
         if ds = k.site then begin
           Stats.incr (stats k) "shard.dir_claims";
           match
-            Shard_dir.claim dir fid ~default ~new_owner:k.site ~from_epoch:epoch
+            Shard_dir.claim dir fid ~default ~new_owner:k.site
+              ~from_epoch:epoch ~claimer:k.site
           with
           | Ok e -> Some e
           | Error _ ->
@@ -1466,7 +1650,8 @@ let shard_rehome k fid =
             rpc cl ~src:k.site ~dst:ds
               (Msg.Shard_claim { fid; new_owner = k.site; from_epoch = epoch })
           with
-          | Msg.R_owner { owner = o; epoch = e } when o = k.site && e = epoch + 1
+          | Msg.R_owner { owner = o; epoch = e; prev = _ }
+            when o = k.site && e = epoch + 1
             ->
             Some e
           | _ -> None
@@ -1563,7 +1748,10 @@ let shard_owner cl fid =
   match cl.shard_dir with
   | None -> None
   | Some dir ->
-    Some (Shard_dir.lookup dir fid ~default:(shard_default_owner cl fid))
+    let owner, epoch, _ =
+      Shard_dir.lookup dir fid ~default:(shard_default_owner cl fid)
+    in
+    Some (owner, epoch)
 
 let shard_status cl =
   match cl.shard_dir with
@@ -2131,9 +2319,9 @@ let commit_transaction k (txn : Txn_state.txn) =
               else Msg.Abort_phase2 { txid; files = fs }
             in
             match
-              Transport.rpc_retry_batched ~attempts:8 ~backoff_us:2_000_000
+              rpc_retry_batched_p cl cl.cfg.Config.retries.Config.phase2
                 ~retry_if:(fun r -> r <> Msg.R_ok)
-                cl.net ~src:k.site ~dst:s (envelope cl msg)
+                ~src:k.site ~dst:s (envelope cl msg)
             with
             | Ok Msg.R_ok -> ()
             | Ok _ | Error _ -> all_acked := false)
@@ -2177,6 +2365,17 @@ let member_exit cl ~src (p : Process.t) =
         File_id.Set.elements p.Process.file_list
         |> List.map (fun fid -> (fid, storage_site cl fid))
       in
+      (* The merge is NOT idempotent (a duplicate double-counts the
+         member's files), and this loop retries across lost replies — so
+         under the chaos layer every attempt must carry the SAME request
+         id: allocate it once, out here, and rebuild only the envelope.
+         A destination that already executed the merge then answers the
+         retry from its reply cache instead of merging again. *)
+      let rid =
+        match cl.cfg.Config.net_faults with
+        | Some _ -> Some (rid_alloc cl.ks.(src))
+        | None -> None
+      in
       let rec send_merge tries =
         if tries > 50 then ()
         else begin
@@ -2188,7 +2387,20 @@ let member_exit cl ~src (p : Process.t) =
           match dst with
           | None -> ()
           | Some dst -> (
-            match rpc cl ~src ~dst (Msg.Merge_file_list { top; txid; files }) with
+            let env =
+              envelope cl ?rid (Msg.Merge_file_list { top; txid; files })
+            in
+            let reply =
+              match cl.cfg.Config.net_faults with
+              | Some _ when src <> dst -> (
+                match
+                  rpc_retry_p cl cl.cfg.Config.retries.Config.rpc ~src ~dst env
+                with
+                | Ok r -> r
+                | Error e -> rpc_error e)
+              | Some _ | None -> rpc_env cl ~src ~dst env
+            in
+            match reply with
             | Msg.R_ok -> ()
             | Msg.R_retry ->
               Stats.incr (Engine.stats cl.c_engine) "merge.retries";
@@ -2200,7 +2412,8 @@ let member_exit cl ~src (p : Process.t) =
               send_merge (tries + 1))
         end
       in
-      send_merge 0);
+      send_merge 0;
+      Option.iter (rid_done cl.ks.(src)) rid);
     registry_remove_member cl txid p.Process.pid
   | Some _ | None -> ());
   (* Channel cleanup: release process-owned locks, commit conventional
@@ -2597,10 +2810,10 @@ let rec handle_msg k ~src msg =
           if Shard_dir.site_of dir fid <> k.site then R_err "not the directory site"
           else begin
             Stats.incr (stats k) "shard.dir_lookups";
-            let owner, epoch =
+            let owner, epoch, prev =
               Shard_dir.lookup dir fid ~default:(shard_default_owner k.cl fid)
             in
-            R_owner { owner; epoch }
+            R_owner { owner; epoch; prev }
           end)
       | Shard_claim { fid; new_owner; from_epoch } -> (
         match k.cl.shard_dir with
@@ -2612,12 +2825,16 @@ let rec handle_msg k ~src msg =
             match
               Shard_dir.claim dir fid
                 ~default:(shard_default_owner k.cl fid)
-                ~new_owner ~from_epoch
+                ~new_owner ~from_epoch ~claimer:src
             with
-            | Ok epoch -> R_owner { owner = new_owner; epoch }
+            | Ok epoch -> R_owner { owner = new_owner; epoch; prev = src }
             | Error (owner, epoch) ->
               Stats.incr (stats k) "shard.dir_claim_stale";
-              R_owner { owner; epoch }
+              let _, _, prev =
+                Shard_dir.lookup dir fid
+                  ~default:(shard_default_owner k.cl fid)
+              in
+              R_owner { owner; epoch; prev }
           end)
       | Shard_migrate { fid; epoch; payload } ->
         if not (sharded k.cl) then R_err "dynamic lock placement off"
@@ -2627,7 +2844,14 @@ let rec handle_msg k ~src msg =
             | Some e -> e
             | None -> -1
           in
-          if epoch <= known then begin
+          if epoch = known && Hashtbl.mem k.shard_owned fid then
+            (* The transfer already landed and this is a retransmitted or
+               duplicated copy of the same envelope (the R_ok was lost in
+               flight). Confirm without reinstalling: the table may have
+               granted new locks since, and the stale payload would wipe
+               them. *)
+            R_ok
+          else if epoch <= known then begin
             (* A straggler transfer from a superseded owner: fencing it
                here is what makes the CAS race safe. *)
             Stats.incr (stats k) "shard.fenced";
@@ -2656,6 +2880,12 @@ let rec handle_msg k ~src msg =
           | `Here ->
             if dst <> k.site then shard_migrate k fid ~dst;
             R_ok)
+      | Shard_handoff { fid } ->
+        (* Hand-off handshake (see Msg): 1 while a transfer we initiated
+           is still in flight — the old table's owners are then still
+           live — 0 once it settled (delivered, or stranded owners
+           aborted before the window closed). *)
+        R_int (if Hashtbl.mem k.shard_migrating fid then 1 else 0)
       | Ensure_lock { fid; owner; pid; range; write; momentary; dirty } -> (
         if not (sharded k.cl) then R_err "dynamic lock placement off"
         else
@@ -2762,11 +2992,11 @@ let rec handle_msg k ~src msg =
     | Invalid_argument m -> R_err m
   end
 
-(* The wire entry point: unwrap the envelope and, when a collector is
-   installed, run the dispatch inside a server-side span parented under
-   the remote caller's span (carried in [env.ctx]) — this is the edge
-   that stitches a transaction's tree across sites. *)
-and handle k ~src (env : Msg.env) =
+(* Unwrap the envelope and, when a collector is installed, run the
+   dispatch inside a server-side span parented under the remote caller's
+   span (carried in [env.ctx]) — this is the edge that stitches a
+   transaction's tree across sites. *)
+and handle_env k ~src (env : Msg.env) =
   match k.cl.otracer with
   | None -> handle_msg k ~src env.Msg.payload
   | Some otr ->
@@ -2776,6 +3006,101 @@ and handle k ~src (env : Msg.env) =
         ~args:[ ("src", string_of_int src) ]
         (Msg.label env.Msg.payload)
         (fun () -> handle_msg k ~src env.Msg.payload)
+
+(* Run the handler for a rid-tagged request and, when it produced a
+   cacheable reply (i.e. it actually executed and had its effect), mark
+   the execution for the checker's exactly-once oracle. [R_err]/[R_retry]
+   are the handler's refusals — no effect happened, so a later copy
+   re-executing is correct, not a duplicate application. *)
+and exec_rid k ~src (env : Msg.env) (rid : Msg.rid) =
+  let r = handle_env k ~src env in
+  (match r with
+  | Msg.R_err _ | Msg.R_retry -> ()
+  | _ ->
+    obs k
+      (Obs.Rpc_exec
+         {
+           client = rid.Msg.r_site;
+           inc = rid.Msg.r_inc;
+           seq = rid.Msg.r_seq;
+           site_inc = k.incarnation;
+           label = Msg.label env.Msg.payload;
+         }));
+  r
+
+(* Exactly-once dispatch for rid-tagged requests (locus_chaos). Three
+   layers, in order:
+   - the per-client ack watermark fences late wire copies of requests the
+     client has already finished ("stale"): they must neither execute nor
+     be answered from a cache entry (it was evicted), and answering
+     [R_err] is safe because the client is, by definition, gone;
+   - the reply cache answers duplicates of a finished request ([Cached])
+     and parks duplicates of one still executing ([Running]) on its ivar,
+     so concurrent wire copies share the one execution;
+   - otherwise this copy is the one that executes. Only replies that had
+     an effect are cached (and capped FIFO-style); [R_err]/[R_retry]
+     leave no entry so a retry after a refusal runs the handler again. *)
+and handle_rid k ~src (env : Msg.env) (rid : Msg.rid) =
+  let client = (rid.Msg.r_site, rid.Msg.r_inc) in
+  let acked =
+    match Hashtbl.find_opt k.rc_acked client with Some a -> a | None -> -1
+  in
+  if rid.Msg.r_ack > acked then begin
+    Hashtbl.replace k.rc_acked client rid.Msg.r_ack;
+    Hashtbl.filter_map_inplace
+      (fun (s, i, q) slot ->
+        match slot with
+        | Cached _ when (s, i) = client && q <= rid.Msg.r_ack -> None
+        | _ -> Some slot)
+      k.reply_cache
+  end;
+  let acked = max acked rid.Msg.r_ack in
+  if rid.Msg.r_seq <= acked then begin
+    Stats.incr (stats k) "net.dedup_stale";
+    Msg.R_err "stale request"
+  end
+  else if !Locus_net.Flags.break_dedup then exec_rid k ~src env rid
+  else begin
+    let key = (rid.Msg.r_site, rid.Msg.r_inc, rid.Msg.r_seq) in
+    match Hashtbl.find_opt k.reply_cache key with
+    | Some (Cached r) ->
+      Stats.incr (stats k) "net.dedup_hits";
+      r
+    | Some (Running iv) ->
+      Stats.incr (stats k) "net.dedup_waits";
+      Engine.await iv
+    | None ->
+      let iv = Engine.Ivar.create () in
+      Hashtbl.replace k.reply_cache key (Running iv);
+      let r = exec_rid k ~src env rid in
+      ignore (Engine.try_fill k.engine iv r);
+      let acked_now =
+        match Hashtbl.find_opt k.rc_acked client with Some a -> a | None -> -1
+      in
+      (match r with
+      | Msg.R_err _ | Msg.R_retry -> Hashtbl.remove k.reply_cache key
+      | _ when rid.Msg.r_seq <= acked_now ->
+        (* The client gave up and acked past us while we ran. *)
+        Hashtbl.remove k.reply_cache key
+      | _ ->
+        Hashtbl.replace k.reply_cache key (Cached r);
+        Queue.push key k.reply_cache_q;
+        while Queue.length k.reply_cache_q > 1024 do
+          let old = Queue.pop k.reply_cache_q in
+          match Hashtbl.find_opt k.reply_cache old with
+          | Some (Cached _) -> Hashtbl.remove k.reply_cache old
+          | Some (Running _) | None -> ()
+        done);
+      r
+  end
+
+(* The wire entry point. Requests without a rid (the reliable-network
+   default) take the historical path untouched; [Batch] members re-enter
+   here individually, each with its own rid. *)
+and handle k ~src (env : Msg.env) =
+  match env.Msg.rid with
+  | None -> handle_env k ~src env
+  | Some rid -> handle_rid k ~src env rid
 
 (* {1 Crash, restart, recovery (§4.3-4.4)} *)
 
@@ -2809,7 +3134,15 @@ let kernel_crash k =
   Hashtbl.reset k.shard_epochs;
   Hashtbl.reset k.shard_hints;
   Hashtbl.reset k.shard_origins;
-  Hashtbl.reset k.shard_migrating
+  Hashtbl.reset k.shard_migrating;
+  (* Exactly-once state is volatile by design: the server-side cache dies
+     with the incarnation (post-restart re-execution is benign, the state
+     the first run produced died too), and the client-side allocator
+     restarts at 0 under a fresh incarnation. *)
+  Hashtbl.reset k.reply_cache;
+  Queue.clear k.reply_cache_q;
+  Hashtbl.reset k.rc_acked;
+  Hashtbl.reset k.rid_outstanding
 
 (* Re-install exclusive locks over the byte ranges named by prepared
    intentions: in-doubt data must stay inaccessible until the outcome is
@@ -2931,9 +3264,9 @@ let recover k =
               else Msg.Abort_phase2 { txid; files = !r }
             in
             match
-              Transport.rpc_retry ~attempts:5 ~backoff_us:2_000_000
+              rpc_retry_p cl cl.cfg.Config.retries.Config.replay
                 ~retry_if:(fun r -> r <> Msg.R_ok)
-                cl.net ~src:k.site ~dst:s (envelope cl msg)
+                ~src:k.site ~dst:s (envelope cl msg)
             with
             | Ok Msg.R_ok -> ()
             | Ok _ | Error _ -> all_acked := false)
@@ -2961,7 +3294,7 @@ let recover k =
           else begin
             let reply =
               match
-                Transport.rpc_retry ~attempts:6 ~backoff_us:1_000_000
+                rpc_retry_p cl cl.cfg.Config.retries.Config.outcome
                   ~retry_if:(fun r ->
                     if r = Msg.R_retry then begin
                       (* The coordinator is up but its own recovery has not
@@ -2971,7 +3304,7 @@ let recover k =
                       true
                     end
                     else false)
-                  cl.net ~src:k.site ~dst:coord_site
+                  ~src:k.site ~dst:coord_site
                   (envelope cl (Msg.Query_outcome { txid }))
               with
               | Ok r -> r
@@ -3004,6 +3337,7 @@ let kernel_restart k =
   k.acc_ready <- false;
   k.recovered <- false;
   k.txseq <- 0;
+  k.rid_seq <- 0;  (* the bumped incarnation disambiguates reused seqs *)
   k.coord <- Coord_log.create (Coord_log.volume k.coord);
   (* Whatever propagation we missed while down is invisible to us:
      every replicated copy is suspect until reconciled. The topology
@@ -3294,6 +3628,11 @@ let make engine cfg =
       shard_hints = Hashtbl.create 16;
       shard_origins = Hashtbl.create 8;
       shard_migrating = Hashtbl.create 4;
+      reply_cache = Hashtbl.create 32;
+      reply_cache_q = Queue.create ();
+      rc_acked = Hashtbl.create 8;
+      rid_seq = 0;
+      rid_outstanding = Hashtbl.create 8;
       cl;
     }
   in
@@ -3303,7 +3642,7 @@ let make engine cfg =
     cl.ks;
   if cfg.Config.rpc_batch_window_us > 0 then
     Transport.set_batch net ~window_us:cfg.Config.rpc_batch_window_us
-      ~wrap:(fun envs -> { Msg.ctx = None; payload = Msg.Batch envs })
+      ~wrap:(fun envs -> { Msg.ctx = None; rid = None; payload = Msg.Batch envs })
       ~unwrap:(function Msg.R_batch rs -> Some rs | _ -> None)
       ~trace:(fun ~site ~size f ->
         match cl.otracer with
@@ -3313,7 +3652,28 @@ let make engine cfg =
             ~args:[ ("size", string_of_int size) ]
             "rpc.batch" f)
       ();
-  Transport.on_crash net (fun s -> kernel_crash cl.ks.(s));
+  (match cfg.Config.net_faults with
+  | None -> ()
+  | Some f ->
+    Transport.set_faults net (Some f);
+    Transport.on_fault net (fun ~src ~dst kind ->
+        observe cl ~site:src (Obs.Net_fault { dst; kind })));
+  Transport.on_crash net (fun s ->
+      kernel_crash cl.ks.(s);
+      (* Client crash announcement: servers drop the crashed site's
+         reply-cache entries and ack watermark — its next incarnation is
+         a fresh id space, so nothing of the old one can be needed. *)
+      Array.iter
+        (fun k ->
+          if k.site <> s then begin
+            Hashtbl.filter_map_inplace
+              (fun (cs, _, _) slot -> if cs = s then None else Some slot)
+              k.reply_cache;
+            Hashtbl.filter_map_inplace
+              (fun (cs, _) a -> if cs = s then None else Some a)
+              k.rc_acked
+          end)
+        cl.ks);
   Transport.on_restart net (fun s -> kernel_restart cl.ks.(s));
   Transport.on_topology_change net (fun () ->
       Array.iter
@@ -3329,6 +3689,11 @@ let crash_site cl s = Transport.crash cl.net s
 let restart_site cl s = Transport.restart cl.net s
 
 (* {1 Test and bench oracles} *)
+
+let dedup_cached k =
+  Hashtbl.fold
+    (fun _ slot n -> match slot with Cached _ -> n + 1 | Running _ -> n)
+    k.reply_cache 0
 
 let read_committed_oracle cl fid =
   let k = kernel cl (storage_site cl fid) in

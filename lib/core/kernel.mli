@@ -27,6 +27,20 @@ module Config : sig
             decide without waiting for its recovery. Requires
             [n_sites >= 2f+1]. *)
 
+  type retry = { attempts : int; backoff_us : int; cap_us : int }
+  (** One bounded retry loop: up to [attempts] tries, first wait
+      [backoff_us], exponential growth (jittered under chaos) capped at
+      [cap_us]. *)
+
+  type retries = {
+    rpc : retry;  (** chaos-mode client requests *)
+    phase2 : retry;  (** commit/abort phase-2 notifications (§4.2) *)
+    replay : retry;  (** recovery replaying phase 2 of decided txns (§4.4) *)
+    outcome : retry;  (** participants chasing an in-doubt outcome (§4.4) *)
+    replica : retry;  (** replica delta propagation (§5.2) *)
+    shard : retry;  (** shard migration envelopes (locus_shard) *)
+  }
+
   type t = {
     n_sites : int;
     volumes : (int * Site.t list) list;
@@ -89,7 +103,21 @@ module Config : sig
     shard_policy : Locus_shard.Policy.t;
         (** when the lock-manager role chases the traffic: [Never], or
             [Threshold n] consecutive remote acquisitions from one site *)
+    retries : retries;
+        (** per-protocol-loop retry policies — the single source of truth
+            for every kernel retry call site *)
+    net_faults : Transport.faults option;
+        (** the lossy-network chaos layer (locus_chaos): [Some f] arms
+            seed-deterministic per-message drop / duplication / jitter /
+            reordering on every wire leg AND switches client kernel RPCs
+            to rid-tagged retried sends backed by server-side exactly-once
+            reply caches. [None] (default) is the historical reliable
+            network, bit-for-bit. *)
   }
+
+  val default_retries : retries
+  (** Exactly the historical per-callsite constants (caps at 16x the
+      initial backoff), so default timing is unchanged. *)
 
   val default : n_sites:int -> t
   (** One volume per site ([vid = site]), 1 KiB pages, paper-faithful
@@ -113,6 +141,12 @@ module Config : sig
   (** Enable locus_shard dynamic lock placement with [shards] directory
       shards. Raises [Invalid_argument] when [shards <= 0] or
       [lock_delegation] is on. *)
+
+  val with_net_faults :
+    ?drop:float -> ?dup:float -> ?reorder:int -> ?jitter_us:int -> t -> t
+  (** Arm the chaos layer with the given per-message fault rates (all
+      default 0). Raises [Invalid_argument] on rates outside [0, 1) or
+      negative window sizes. *)
 end
 
 val make : Engine.t -> Config.t -> cluster
@@ -332,6 +366,11 @@ val in_doubt_participants : cluster -> (Site.t * Txid.t) list
 
 val acceptor : t -> Locus_pcommit.Acceptor.t
 (** This site's Paxos Commit acceptor state (tests). *)
+
+val dedup_cached : t -> int
+(** Number of completed entries currently held by this kernel's
+    exactly-once reply cache (tests: cache population / watermark
+    eviction / crash clearing are asserted through this). *)
 
 (** {1 Replication introspection} *)
 

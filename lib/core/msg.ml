@@ -69,6 +69,7 @@ type t =
   | Shard_claim of { fid : File_id.t; new_owner : int; from_epoch : int }
   | Shard_migrate of { fid : File_id.t; epoch : int; payload : string }
   | Shard_migrate_req of { fid : File_id.t; dst : int }
+  | Shard_handoff of { fid : File_id.t }
   | Ensure_lock of {
       fid : File_id.t;
       owner : Owner.t;
@@ -99,7 +100,15 @@ type t =
       (** Several requests for the same destination coalesced into one
           wire message; answered by [R_batch] in the same order. *)
 
-and env = { ctx : Locus_otrace.Otrace.ctx option; payload : t }
+and env = { ctx : Locus_otrace.Otrace.ctx option; rid : rid option; payload : t }
+
+(* Exactly-once request identity (locus_chaos): [(r_site, r_inc, r_seq)]
+   names one logical request for the lifetime of the client kernel's
+   incarnation, however many wire copies retries and duplication produce.
+   [r_ack] piggybacks the client's completion watermark: every seq at or
+   below it is finished client-side, so servers may evict those cache
+   entries — and must treat a late copy of one as a stale duplicate. *)
+and rid = { r_site : int; r_inc : int; r_seq : int; r_ack : int }
 
 type reply =
   | R_ok
@@ -113,7 +122,7 @@ type reply =
   | R_granted_at of int
   | R_conflict of Owner.t list
   | R_redirect of int
-  | R_owner of { owner : int; epoch : int }
+  | R_owner of { owner : int; epoch : int; prev : int }
   | R_pieces of Byte_range.t list
   | R_vote of bool
   | R_vote_2b of bool
@@ -127,7 +136,7 @@ type reply =
           at the storage site — the client may cache the lock. *)
   | R_batch of reply list
 
-let envelope ?ctx payload = { ctx; payload }
+let envelope ?ctx ?rid payload = { ctx; rid; payload }
 
 (* Short static name per constructor — used as the server-side span name,
    so it must be allocation-free and stable across runs. *)
@@ -166,6 +175,7 @@ let label = function
   | Shard_claim _ -> "shard-claim"
   | Shard_migrate _ -> "shard-migrate"
   | Shard_migrate_req _ -> "shard-migrate-req"
+  | Shard_handoff _ -> "shard-handoff"
   | Ensure_lock _ -> "ensure-lock"
   | Release_locks _ -> "release-locks"
   | Ping -> "ping"
@@ -220,6 +230,7 @@ let rec pp ppf = function
     Fmt.pf ppf "shard-migrate %a e%d" File_id.pp fid epoch
   | Shard_migrate_req { fid; dst } ->
     Fmt.pf ppf "shard-migrate-req %a -> site%d" File_id.pp fid dst
+  | Shard_handoff { fid } -> Fmt.pf ppf "shard-handoff %a" File_id.pp fid
   | Ensure_lock { fid; owner; range; write; momentary; _ } ->
     Fmt.pf ppf "ensure-lock %a %a %a%s%s" File_id.pp fid Owner.pp owner
       Byte_range.pp range
@@ -251,7 +262,8 @@ let rec pp_reply ppf = function
   | R_granted_at n -> Fmt.pf ppf "granted@%d" n
   | R_conflict owners -> Fmt.pf ppf "conflict(%a)" Fmt.(list ~sep:comma Owner.pp) owners
   | R_redirect s -> Fmt.pf ppf "redirect(%d)" s
-  | R_owner { owner; epoch } -> Fmt.pf ppf "owner(site%d e%d)" owner epoch
+  | R_owner { owner; epoch; prev } ->
+    Fmt.pf ppf "owner(site%d e%d from site%d)" owner epoch prev
   | R_pieces rs -> Fmt.pf ppf "pieces(%d)" (List.length rs)
   | R_vote v -> Fmt.pf ppf "vote(%b)" v
   | R_vote_2b v -> Fmt.pf ppf "vote-2b(%b)" v

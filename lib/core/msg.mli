@@ -127,6 +127,14 @@ type t =
           pulling a role home, or injected migration faults); answered
           [R_ok] on transfer, [R_retry] mid-migration, [R_redirect] when
           this site is not the owner *)
+  | Shard_handoff of { fid : File_id.t }
+      (** hand-off handshake: asked of the site a directory entry records
+          as the last claimer, before the recorded owner adopts the role
+          from a fresh table. Answered [R_int 1] while the claimer still
+          has the transfer in flight (the old lock table — and the
+          transactions it protects — are then still live, so adoption
+          must wait), [R_int 0] once it has stood down or aborted the
+          stranded owners. *)
   | Ensure_lock of {
       fid : File_id.t;
       owner : Owner.t;
@@ -172,10 +180,21 @@ type t =
           one wire message by the transport's batch window; processed in
           order and answered with [R_batch] *)
 
-and env = { ctx : Locus_otrace.Otrace.ctx option; payload : t }
+and env = { ctx : Locus_otrace.Otrace.ctx option; rid : rid option; payload : t }
 (** What actually crosses the wire: the request plus optional causal span
     context, so a server-side span can parent itself under the remote
-    caller's span and a transaction's tree stitches across sites. *)
+    caller's span and a transaction's tree stitches across sites — plus
+    an optional exactly-once request id for the server-side reply cache. *)
+
+and rid = { r_site : int; r_inc : int; r_seq : int; r_ack : int }
+(** Exactly-once request identity (locus_chaos): [(r_site, r_inc,
+    r_seq)] names one logical request of the client kernel at [r_site]
+    (incarnation [r_inc]), no matter how many wire copies retries and
+    network duplication produce; servers answer every copy after the
+    first executes from a per-client reply cache instead of re-running
+    the handler. [r_ack] is the client's completion watermark: all of its
+    seqs at or below it are finished, so servers evict those entries and
+    fence late copies of them as stale duplicates. *)
 
 type reply =
   | R_ok
@@ -192,9 +211,10 @@ type reply =
   | R_conflict of Owner.t list
   | R_redirect of int
       (** lock management for the file currently lives at this site *)
-  | R_owner of { owner : int; epoch : int }
+  | R_owner of { owner : int; epoch : int; prev : int }
       (** a shard-directory answer: the lock-manager role's current
-          holder and epoch *)
+          holder, epoch and hand-off source ([prev] = the site that
+          issued the last successful claim; see {!Shard_handoff}) *)
   | R_pieces of Byte_range.t list
       (** the sub-ranges a momentary [Ensure_lock] actually granted (the
           uncovered pieces) — exactly what [Release_locks] must return *)
@@ -219,7 +239,7 @@ type reply =
   | R_batch of reply list
       (** per-request replies for a [Batch], in request order *)
 
-val envelope : ?ctx:Locus_otrace.Otrace.ctx -> t -> env
+val envelope : ?ctx:Locus_otrace.Otrace.ctx -> ?rid:rid -> t -> env
 
 val label : t -> string
 (** Short static constructor name ("prepare", "commit2", ...), used as

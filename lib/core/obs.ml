@@ -28,6 +28,8 @@ type event =
   | Reconcile of { fid : File_id.t; version : int; src : int }
   | Failover of { vid : int; fid : File_id.t }
   | Migrate of { fid : File_id.t; from_site : int; to_site : int; epoch : int }
+  | Net_fault of { dst : int; kind : [ `Drop | `Dup | `Reorder ] }
+  | Rpc_exec of { client : int; inc : int; seq : int; site_inc : int; label : string }
 
 type record = { at : int; site : int; ev : event }
 
@@ -63,5 +65,12 @@ let pp_event ppf = function
   | Migrate { fid; from_site; to_site; epoch } ->
     Fmt.pf ppf "migrate %a site%d -> site%d e%d" File_id.pp fid from_site
       to_site epoch
+  | Net_fault { dst; kind } ->
+    Fmt.pf ppf "net-fault %s -> site%d"
+      (match kind with `Drop -> "drop" | `Dup -> "dup" | `Reorder -> "reorder")
+      dst
+  | Rpc_exec { client; inc; seq; site_inc; label } ->
+    Fmt.pf ppf "rpc-exec %s client%d.%d seq%d @inc%d" label client inc seq
+      site_inc
 
 let pp ppf r = Fmt.pf ppf "%8d us site%-2d %a" r.at r.site pp_event r.ev

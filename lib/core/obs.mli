@@ -56,6 +56,19 @@ type event =
           or when a fresh table is installed over a crashed owner. The
           epoch-fence oracle uses these to know which site was allowed to
           grant locks on [fid] in every interval of the run. *)
+  | Net_fault of { dst : int; kind : [ `Drop | `Dup | `Reorder ] }
+      (** the chaos layer (locus_chaos) injected a fault on the wire
+          leaving [record.site] for [dst]. Informational: lets a trace
+          reader correlate anomalies with injected loss. *)
+  | Rpc_exec of { client : int; inc : int; seq : int; site_inc : int; label : string }
+      (** a rid-tagged request executed its handler at [record.site]
+          (running incarnation [site_inc]) and produced a cacheable reply.
+          The exactly-once oracle flags a second execution of the same
+          [(client, inc, seq, site, site_inc)] as a [Dup_apply] violation —
+          the reply cache must answer every duplicate after the first.
+          A re-execution after the server crashed (different [site_inc])
+          is benign: the crash wiped the volatile state the first
+          execution produced. *)
 
 type record = { at : int; site : int; ev : event }
 (** [at] is virtual time; global order within a run is the emission

@@ -1,0 +1,9 @@
+(* Fault-injection switch for the exactly-once RPC self-test (the same
+   pattern as [Locus_repl.Flags.drop_propagation]). With [break_dedup]
+   set, servers skip the per-client reply cache and re-run every retried
+   or duplicated request as if it were fresh — so a duplicate of a
+   non-idempotent message (file-list merge, file create, append-lock)
+   double-applies, and the checker's [Dup_apply] oracle must flag it.
+   Used by `locusctl explore --break-dedup` and the CI self-test; reset
+   it when done. *)
+let break_dedup = ref false

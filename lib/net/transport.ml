@@ -4,6 +4,26 @@ let pp_error ppf = function
   | Timeout -> Fmt.string ppf "timeout"
   | No_handler -> Fmt.string ppf "no-handler"
 
+(* Lossy-network fault model (locus_chaos). Every probability draw comes
+   from a PRNG split off the engine's seed stream, so a faulty run is
+   exactly as deterministic as a clean one. With no faults configured the
+   delivery path below is bit-for-bit the historical reliable model. *)
+type faults = {
+  drop : float;  (* per-message loss probability *)
+  dup : float;  (* per-message duplication probability *)
+  jitter_us : int;  (* extra uniform delay in [0, jitter_us] *)
+  reorder : int;  (* reorder window: up to this many extra latencies *)
+}
+
+let no_faults = { drop = 0.; dup = 0.; jitter_us = 0; reorder = 0 }
+
+type fault_kind = [ `Drop | `Dup | `Reorder ]
+
+let pp_fault_kind ppf = function
+  | `Drop -> Fmt.string ppf "drop"
+  | `Dup -> Fmt.string ppf "dup"
+  | `Reorder -> Fmt.string ppf "reorder"
+
 type ('req, 'resp) site_state = {
   id : Site.t;
   mutable up : bool;
@@ -36,9 +56,25 @@ type ('req, 'resp) t = {
     ( Site.t * Site.t,
       ('req * ('resp, error) result Engine.Ivar.t) Locus_batch.Batcher.t )
     Hashtbl.t;
+  mutable faults : faults option;  (* cluster-wide default (None = reliable) *)
+  link_faults : (Site.t * Site.t, faults option) Hashtbl.t;  (* per-link override *)
+  mutable fault_prng : Prng.t option;  (* split lazily: clean runs never draw *)
+  mutable fault_watchers : (src:Site.t -> dst:Site.t -> fault_kind -> unit) list;
+  (* Highest delivery time already scheduled per link, to count actual
+     overtakes (a jittered copy only "reorders" if something sent later
+     will arrive before it). *)
+  reorder_mark : (Site.t * Site.t, int) Hashtbl.t;
 }
 
 let default_rpc_timeout_us = 30_000_000
+
+(* Single source of truth for the client retry policy (Kernel.Config
+   reads these, like [default_rpc_timeout_us] above, so the transport
+   defaults and the kernel defaults cannot drift apart). The cap is the
+   historical 16x the initial backoff. *)
+let default_rpc_attempts = 5
+let default_rpc_backoff_us = 100_000
+let default_rpc_backoff_cap_us = default_rpc_backoff_us * 16
 
 let create ?latency_us ?(rpc_timeout_us = default_rpc_timeout_us) engine ~n_sites =
   if n_sites <= 0 then invalid_arg "Transport.create: need at least one site";
@@ -61,6 +97,11 @@ let create ?latency_us ?(rpc_timeout_us = default_rpc_timeout_us) engine ~n_site
     batch_window_us = 0;
     batch_cfg = None;
     batchers = Hashtbl.create 16;
+    faults = None;
+    link_faults = Hashtbl.create 4;
+    fault_prng = None;
+    fault_watchers = [];
+    reorder_mark = Hashtbl.create 16;
   }
 
 let engine t = t.engine
@@ -127,12 +168,78 @@ let on_topology_change t f = t.topology_watchers <- f :: t.topology_watchers
 
 let stats_incr t name = Stats.incr (Engine.stats t.engine) name
 
+(* {2 Fault injection (locus_chaos)} *)
+
+let set_faults t f = t.faults <- f
+
+let set_link_faults t ~src ~dst f = Hashtbl.replace t.link_faults (src, dst) f
+
+let faults_for t ~src ~dst =
+  match Hashtbl.find_opt t.link_faults (src, dst) with
+  | Some f -> f
+  | None -> t.faults
+
+let chaotic t = t.faults <> None || Hashtbl.length t.link_faults > 0
+
+let on_fault t f = t.fault_watchers <- f :: t.fault_watchers
+
+let notify_fault t ~src ~dst kind =
+  List.iter (fun f -> f ~src ~dst kind) (List.rev t.fault_watchers)
+
+(* The fault PRNG is split off the engine stream on first use only:
+   configuring no faults must leave the engine's draw sequence — and so
+   every schedule — bit-for-bit what it was before this layer existed. *)
+let fault_prng t =
+  match t.fault_prng with
+  | Some p -> p
+  | None ->
+    let p = Prng.split (Engine.prng t.engine) in
+    t.fault_prng <- Some p;
+    p
+
 (* Deliver [work] at [dst] after one-way latency, provided [dst] is still
-   reachable from [src] and has not rebooted since the message was sent. *)
+   reachable from [src] and has not rebooted since the message was sent.
+   This is the single choke point both the request and the reply leg go
+   through, so the fault layer lives here: a configured link may drop the
+   message, deliver a second copy, or add jittered delay large enough for
+   later messages to overtake it. *)
 let deliver t ~src ~dst work =
   let inc = (state t dst).incarnation in
-  Engine.schedule ~delay:t.latency_us t.engine (fun () ->
-      if reachable t src dst && (state t dst).incarnation = inc then work ())
+  let fire () =
+    if reachable t src dst && (state t dst).incarnation = inc then work ()
+  in
+  match faults_for t ~src ~dst with
+  | None -> Engine.schedule ~delay:t.latency_us t.engine fire
+  | Some f ->
+    let prng = fault_prng t in
+    let send_copy () =
+      let jitter =
+        (if f.jitter_us > 0 then Prng.int prng (f.jitter_us + 1) else 0)
+        + (if f.reorder > 0 then Prng.int prng (f.reorder + 1) * t.latency_us else 0)
+      in
+      if jitter > 0 then Stats.hist (Engine.stats t.engine) "net.jitter_us" jitter;
+      let arrival = Engine.now t.engine + t.latency_us + jitter in
+      (* A delayed copy only counts as a reorder once a message scheduled
+         to arrive later is already ahead of it on this link. *)
+      (match Hashtbl.find_opt t.reorder_mark (src, dst) with
+      | Some mark when arrival < mark ->
+        stats_incr t "net.reorder";
+        notify_fault t ~src ~dst `Reorder
+      | Some _ | None -> Hashtbl.replace t.reorder_mark (src, dst) arrival);
+      Engine.schedule ~delay:(t.latency_us + jitter) t.engine fire
+    in
+    if f.drop > 0. && Prng.float prng 1.0 < f.drop then begin
+      stats_incr t "net.drop";
+      notify_fault t ~src ~dst `Drop
+    end
+    else begin
+      send_copy ();
+      if f.dup > 0. && Prng.float prng 1.0 < f.dup then begin
+        stats_incr t "net.dup";
+        notify_fault t ~src ~dst `Dup;
+        send_copy ()
+      end
+    end
 
 let run_handler t ~src ~dst req ~on_reply =
   match (state t dst).handler with
@@ -230,31 +337,48 @@ let rpc_batched t ~src ~dst req =
     end)
   | _ -> rpc t ~src ~dst req
 
-(* Bounded retry with exponential backoff (capped at 16x the initial
-   backoff). Transport errors always retry; [retry_if] lets callers also
-   retry on application-level replies (e.g. a site that answered but is
-   still recovering). *)
-let retry_loop ~attempts ~backoff_us ~retry_if call =
+(* Bounded retry with capped exponential backoff. Transport errors always
+   retry; [retry_if] lets callers also retry on application-level replies
+   (e.g. a site that answered but is still recovering). On a clean network
+   the schedule is the deterministic [min (cap, b·2^n)]; with faults
+   configured each wait is drawn decorrelated-jitter style from
+   [U(b, 3·prev)] so the retry storms a fault burst triggers do not
+   re-synchronize into the same congested instant. *)
+let retry_loop t ~attempts ~backoff_us ~cap_us ~retry_if call =
   let attempts = max 1 attempts in
-  let cap = backoff_us * 16 in
+  let cap = max backoff_us cap_us in
   let rec go n backoff =
     let r = call () in
     let again = match r with Error _ -> true | Ok resp -> retry_if resp in
     if again && n < attempts then begin
+      if chaotic t then stats_incr t "net.retries";
       Engine.sleep backoff;
-      go (n + 1) (min cap (backoff * 2))
+      let next =
+        if chaotic t then
+          min cap
+            (Prng.int_in (fault_prng t) ~lo:backoff_us
+               ~hi:(max (backoff_us + 1) (backoff * 3)))
+        else min cap (backoff * 2)
+      in
+      go (n + 1) next
     end
     else r
   in
   go 1 backoff_us
 
-let rpc_retry ?(attempts = 5) ?(backoff_us = 100_000) ?(retry_if = fun _ -> false)
-    t ~src ~dst req =
-  retry_loop ~attempts ~backoff_us ~retry_if (fun () -> rpc t ~src ~dst req)
+let rpc_retry ?(attempts = default_rpc_attempts)
+    ?(backoff_us = default_rpc_backoff_us) ?cap_us ?(retry_if = fun _ -> false) t
+    ~src ~dst req =
+  let cap_us = match cap_us with Some c -> c | None -> backoff_us * 16 in
+  retry_loop t ~attempts ~backoff_us ~cap_us ~retry_if (fun () ->
+      rpc t ~src ~dst req)
 
-let rpc_retry_batched ?(attempts = 5) ?(backoff_us = 100_000)
-    ?(retry_if = fun _ -> false) t ~src ~dst req =
-  retry_loop ~attempts ~backoff_us ~retry_if (fun () -> rpc_batched t ~src ~dst req)
+let rpc_retry_batched ?(attempts = default_rpc_attempts)
+    ?(backoff_us = default_rpc_backoff_us) ?cap_us ?(retry_if = fun _ -> false) t
+    ~src ~dst req =
+  let cap_us = match cap_us with Some c -> c | None -> backoff_us * 16 in
+  retry_loop t ~attempts ~backoff_us ~cap_us ~retry_if (fun () ->
+      rpc_batched t ~src ~dst req)
 
 let send t ~src ~dst req =
   if src = dst then begin

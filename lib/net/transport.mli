@@ -10,7 +10,13 @@
     server activities running there; senders discover failures by timeout.
     Topology changes (crash, restart, partition) are announced to watchers,
     which is how the transaction layer learns to abort transactions that
-    span a lost site (§4.3). *)
+    span a lost site (§4.3).
+
+    On top of that sits the optional lossy-network model (locus_chaos):
+    {!set_faults} arms per-message drop / duplication / jitter / reorder
+    injection, driven by a PRNG split off the engine seed so every faulty
+    run is as deterministic as a clean one. With no faults configured the
+    delivery path is bit-for-bit the historical reliable model. *)
 
 type ('req, 'resp) t
 
@@ -24,6 +30,15 @@ val default_rpc_timeout_us : int
 (** 30 s of virtual time — the single source of truth for the RPC timeout.
     [Kernel.Config.default] reads this constant, so the transport default
     and the kernel default can never drift apart again. *)
+
+val default_rpc_attempts : int
+val default_rpc_backoff_us : int
+
+val default_rpc_backoff_cap_us : int
+(** Defaults of the {!rpc_retry} policy (5 attempts, 100 ms initial
+    backoff, capped at 16x). Like {!default_rpc_timeout_us} these are the
+    single source of truth: [Kernel.Config.default]'s retry profiles read
+    them, so kernel and transport defaults cannot drift apart. *)
 
 val create :
   ?latency_us:int -> ?rpc_timeout_us:int -> Engine.t -> n_sites:int -> ('req, 'resp) t
@@ -54,6 +69,7 @@ val rpc :
 val rpc_retry :
   ?attempts:int ->
   ?backoff_us:int ->
+  ?cap_us:int ->
   ?retry_if:('resp -> bool) ->
   ('req, 'resp) t ->
   src:Site.t ->
@@ -61,15 +77,19 @@ val rpc_retry :
   'req ->
   ('resp, error) result
 (** [rpc_retry t ~src ~dst req] is {!rpc} wrapped in a bounded
-    retry-with-backoff loop: up to [attempts] tries (default 5), sleeping
-    [backoff_us] virtual microseconds before the second try (default
-    100 ms) and doubling after each failure, capped at 16x the initial
-    backoff. Transport errors (timeout, no handler) always retry;
-    [retry_if resp] (default: never) marks application-level replies that
-    should also be retried, e.g. a "still recovering" answer. Returns the
-    last result when attempts are exhausted. Used for phase-2 commit
-    notifications so a single dropped message doesn't strand a participant
-    until the next recovery pass (§4.2). *)
+    retry-with-backoff loop: up to [attempts] tries (default
+    {!default_rpc_attempts}), sleeping [backoff_us] virtual microseconds
+    before the second try (default {!default_rpc_backoff_us}) and doubling
+    after each failure, capped at [cap_us] (default 16x the initial
+    backoff). With network faults armed ({!set_faults}) each wait is
+    instead drawn decorrelated-jitter style from [U(backoff, 3·prev)] so
+    post-burst retry storms don't re-synchronize. Transport errors
+    (timeout, no handler) always retry; [retry_if resp] (default: never)
+    marks application-level replies that should also be retried, e.g. a
+    "still recovering" answer. Returns the last result when attempts are
+    exhausted. Used for phase-2 commit notifications so a single dropped
+    message doesn't strand a participant until the next recovery pass
+    (§4.2). *)
 
 val send : ('req, 'resp) t -> src:Site.t -> dst:Site.t -> 'req -> unit
 (** One-way, best-effort message (used for asynchronous phase-2 commit
@@ -113,6 +133,7 @@ val rpc_batched :
 val rpc_retry_batched :
   ?attempts:int ->
   ?backoff_us:int ->
+  ?cap_us:int ->
   ?retry_if:('resp -> bool) ->
   ('req, 'resp) t ->
   src:Site.t ->
@@ -122,6 +143,46 @@ val rpc_retry_batched :
 (** {!rpc_retry} over {!rpc_batched}: each attempt (re)joins a batch
     window. Used for phase-2 notifications and replica propagation so
     retries coalesce just like first attempts. *)
+
+(** {1 Fault injection (locus_chaos)} *)
+
+type faults = {
+  drop : float;  (** per-message loss probability in [0, 1] *)
+  dup : float;  (** per-message duplication probability in [0, 1] *)
+  jitter_us : int;  (** extra delivery delay drawn uniformly from [0, jitter_us] *)
+  reorder : int;
+      (** reorder window: each copy may additionally be delayed by up to
+          [reorder] one-way latencies, letting later messages overtake it *)
+}
+
+val no_faults : faults
+(** All-zero fault rates: configured-but-harmless (useful as a base to
+    override single fields of). *)
+
+type fault_kind = [ `Drop | `Dup | `Reorder ]
+
+val pp_fault_kind : fault_kind Fmt.t
+
+val set_faults : ('req, 'resp) t -> faults option -> unit
+(** Install (or clear) the cluster-wide fault model. Injection applies to
+    every wire message — request and reply legs alike; local (src = dst)
+    calls never touch the wire and are never faulted. All randomness comes
+    from a PRNG split lazily off the engine stream, so runs remain a pure
+    function of the seed, and a transport whose faults stay [None] never
+    draws at all — existing seeds replay bit-for-bit. Injections are
+    counted in the ["net.drop"], ["net.dup"], ["net.reorder"] counters and
+    the ["net.jitter_us"] histogram. *)
+
+val set_link_faults :
+  ('req, 'resp) t -> src:Site.t -> dst:Site.t -> faults option -> unit
+(** Per-link (directed) override of the cluster-wide model: [Some f]
+    faults this link with [f] even if the global model is off; [None]
+    makes the link reliable even if the global model is on. *)
+
+val on_fault :
+  ('req, 'resp) t -> (src:Site.t -> dst:Site.t -> fault_kind -> unit) -> unit
+(** Watch injected faults (the kernel forwards them to the observation
+    layer as [Obs.Net_fault] events). *)
 
 (** {1 Topology} *)
 

@@ -16,7 +16,11 @@
    receiver. An entry nobody ever claimed reports the caller-supplied
    default owner (the file's storage site) at epoch 0. *)
 
-type entry = { mutable owner : Site.t; mutable epoch : int }
+(* [prev] records who issued the last successful claim — the hand-off
+   source. Until that site has either delivered the lock-table envelope
+   or aborted the stranded owners, the recorded owner must not serve from
+   a fresh table; an adopter checks [prev] before assuming the role. *)
+type entry = { mutable owner : Site.t; mutable epoch : int; mutable prev : Site.t }
 
 type t = {
   n_shards : int;
@@ -48,18 +52,18 @@ let site_of t fid =
 
 let lookup t fid ~default =
   match Hashtbl.find_opt t.lock_owners fid with
-  | Some e -> (e.owner, e.epoch)
-  | None -> (default, 0)
+  | Some e -> (e.owner, e.epoch, e.prev)
+  | None -> (default, 0, default)
 
 (* CAS on the epoch: the claim succeeds only against the exact current
    epoch, and success advances it — so a migration that lost the race
    learns the winner instead of installing over it. *)
-let claim t fid ~default ~new_owner ~from_epoch =
+let claim t fid ~default ~new_owner ~from_epoch ~claimer =
   let e =
     match Hashtbl.find_opt t.lock_owners fid with
     | Some e -> e
     | None ->
-      let e = { owner = default; epoch = 0 } in
+      let e = { owner = default; epoch = 0; prev = default } in
       Hashtbl.add t.lock_owners fid e;
       e
   in
@@ -67,6 +71,7 @@ let claim t fid ~default ~new_owner ~from_epoch =
   else begin
     e.owner <- new_owner;
     e.epoch <- e.epoch + 1;
+    e.prev <- claimer;
     Ok e.epoch
   end
 

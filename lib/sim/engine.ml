@@ -102,13 +102,25 @@ let resume :
        else Effect.Deep.discontinue k Killed);
       t.current <- prev)
 
+(* A fiber killed while parked is discontinued with [Killed]; if a
+   [Fun.protect] finalizer on the unwinding stack then blocks again
+   (e.g. a cleanup RPC), the dead fiber is discontinued a second time
+   inside the finalizer and [Fun.protect] rewraps the exception as
+   [Finally_raised Killed] (possibly nested). That is still a clean
+   kill — the abandoned cleanup is exactly what a crash means — so
+   unwrap before deciding whether to record a failure. *)
+let rec is_kill = function
+  | Killed -> true
+  | Fun.Finally_raised e -> is_kill e
+  | _ -> false
+
 let handler t fiber =
   let open Effect.Deep in
   {
     retc = (fun () -> finish t fiber);
     exnc =
       (fun e ->
-        (match e with Killed -> () | e -> record_failure t e);
+        if not (is_kill e) then record_failure t e;
         finish t fiber);
     effc =
       (fun (type b) (eff : b Effect.t) ->

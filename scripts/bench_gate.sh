@@ -18,7 +18,14 @@
 #      (CI proves it by re-running e16 under LOCUS_BREAK_BATCH=1 and
 #      asserting this script fails).
 #
-#   3. e18 self-contained ratios: dynamic lock placement must actually
+#   3. e19 self-contained checks: over the lossy network every run must
+#      still land all of its commits (exactly-once held), the non-zero
+#      drop rows must show faults actually injected AND reply-cache
+#      hits absorbing the resulting duplicates, and the lossy rows must
+#      cost more messages per commit than the clean row. CI proves the
+#      oracle side with the explorer's --break-dedup inversion.
+#
+#   4. e18 self-contained ratios: dynamic lock placement must actually
 #      collapse the hot-key round trips — the placement-on row needs a
 #      local-hit ratio >= MIN_LOCAL_HIT (with the off row staying below
 #      MAX_STATIC_HIT), at least one migration, and a lock p50 no more
@@ -27,7 +34,7 @@
 #      keeps granting at its superseded epoch) and asserting this
 #      script fails.
 #
-# Usage: scripts/bench_gate.sh [exp ...]     (default: e4 e15 e16 e17 e18)
+# Usage: scripts/bench_gate.sh [exp ...]   (default: e4 e15 e16 e17 e18 e19)
 
 set -u
 
@@ -38,8 +45,8 @@ MIN_LOCAL_HIT=${MIN_LOCAL_HIT:-0.6}
 MAX_STATIC_HIT=${MAX_STATIC_HIT:-0.2}
 E18_P50_FRACTION=${E18_P50_FRACTION:-0.6}
 BASELINES=${BASELINES:-bench/baselines}
-EXPS=("${@:-e4 e15 e16 e17 e18}")
-[ $# -eq 0 ] && EXPS=(e4 e15 e16 e17 e18)
+EXPS=("${@:-e4 e15 e16 e17 e18 e19}")
+[ $# -eq 0 ] && EXPS=(e4 e15 e16 e17 e18 e19)
 
 fail=0
 
@@ -136,12 +143,39 @@ check_e18_ratios() {
     bad "e18: lock p50 ${on_p50}us did not collapse below ${E18_P50_FRACTION}x the static ${off_p50}us"
 }
 
+check_e19_ratios() {
+  local cur=BENCH_e19.json
+  [ -f "$cur" ] || { bad "$cur missing"; return; }
+  local clean_commits clean_msgs
+  clean_commits=$(jq -r '.metrics[] | select(.label | startswith("clean")) | .commits' "$cur")
+  clean_msgs=$(jq -r '.metrics[] | select(.label | startswith("clean")) | .msgs_per_commit' "$cur")
+  local labels
+  labels=$(jq -r '.metrics[] | select(.label | startswith("drop")) | .label' "$cur")
+  while IFS= read -r label; do
+    local commits faults hits msgs
+    commits=$(jq -r --arg l "$label" '.metrics[] | select(.label == $l) | .commits' "$cur")
+    faults=$(jq -r --arg l "$label" '.metrics[] | select(.label == $l) | .drops + .dups' "$cur")
+    hits=$(jq -r --arg l "$label" '.metrics[] | select(.label == $l) | .dedup_hits' "$cur")
+    msgs=$(jq -r --arg l "$label" '.metrics[] | select(.label == $l) | .msgs_per_commit' "$cur")
+    note "gate: e19 '$label': commits $commits (clean: $clean_commits), faults $faults, dedup hits $hits, msgs/commit $msgs (clean: $clean_msgs)"
+    jq -n --argjson c "$commits" --argjson b "$clean_commits" '$c == $b' | grep -q true ||
+      bad "e19 '$label': $commits commits landed vs $clean_commits clean — loss broke exactly-once or liveness"
+    jq -n --argjson f "$faults" '$f >= 1' | grep -q true ||
+      bad "e19 '$label': no faults injected (chaos layer not armed?)"
+    jq -n --argjson h "$hits" '$h >= 1' | grep -q true ||
+      bad "e19 '$label': reply cache never hit — duplicates were re-executed or never produced"
+    jq -n --argjson m "$msgs" --argjson b "$clean_msgs" '$m > $b' | grep -q true ||
+      bad "e19 '$label': msgs/commit $msgs not above the clean row's $clean_msgs (faults free?)"
+  done <<<"$labels"
+}
+
 for exp in ${EXPS[@]+"${EXPS[@]}"}; do
   # Word-split the default "e4 e15 e16" string form.
   for e in $exp; do
     compare_baseline "$e"
     [ "$e" = e16 ] && check_e16_ratios
     [ "$e" = e18 ] && check_e18_ratios
+    [ "$e" = e19 ] && check_e19_ratios
   done
 done
 

@@ -87,7 +87,7 @@ let test_dirty_read_detected () =
          match c.Ck.Checker.violation with
          | Ck.Checker.Dirty_read _ -> not c.Ck.Checker.permitted
          | Ck.Checker.Cycle _ | Ck.Checker.Stale_read _
-         | Ck.Checker.Fenced_grant _ -> false)
+         | Ck.Checker.Fenced_grant _ | Ck.Checker.Dup_apply _ -> false)
        r.Ck.Checker.violations)
 
 let test_cycle_detected () =
@@ -116,7 +116,7 @@ let test_cycle_detected () =
          match c.Ck.Checker.violation with
          | Ck.Checker.Cycle _ -> not c.Ck.Checker.permitted
          | Ck.Checker.Dirty_read _ | Ck.Checker.Stale_read _
-         | Ck.Checker.Fenced_grant _ -> false)
+         | Ck.Checker.Fenced_grant _ | Ck.Checker.Dup_apply _ -> false)
        r.Ck.Checker.violations)
 
 let test_non_transaction_lock_permitted () =
@@ -156,7 +156,7 @@ let test_non_transaction_lock_permitted () =
          match c.Ck.Checker.violation with
          | Ck.Checker.Dirty_read _ -> c.Ck.Checker.permitted
          | Ck.Checker.Cycle _ | Ck.Checker.Stale_read _
-         | Ck.Checker.Fenced_grant _ -> false)
+         | Ck.Checker.Fenced_grant _ | Ck.Checker.Dup_apply _ -> false)
        (Ck.Checker.permitted r))
 
 let test_process_writer_permitted () =

@@ -214,6 +214,73 @@ let test_retry_rides_out_crash () =
       | Some (Ok (Val v)) -> Printf.sprintf "Val %d" v
       | Some (Error _) -> "transport error")
 
+(* {1 Fault injection (locus_chaos)} *)
+
+let test_faults_drop_and_dup () =
+  (* Certainty-rate faults make the injection paths deterministic without
+     touching PRNG internals: drop = 1.0 delivers nothing, dup = 1.0
+     delivers everything twice. *)
+  let served = ref 0 in
+  let e = E.create () in
+  let net = T.create e ~n_sites:2 in
+  T.set_handler net 1 (fun ~src:_ (Echo n | Slow n) ->
+      incr served;
+      Val n);
+  T.set_faults net (Some { T.no_faults with drop = 1.0 });
+  T.send net ~src:0 ~dst:1 (Echo 1);
+  E.run e;
+  Alcotest.(check int) "dropped" 0 !served;
+  Alcotest.(check int) "drop counted" 1 (Stats.get (E.stats e) "net.drop");
+  T.set_faults net (Some { T.no_faults with dup = 1.0 });
+  T.send net ~src:0 ~dst:1 (Echo 2);
+  E.run e;
+  Alcotest.(check int) "original + duplicate" 2 !served;
+  Alcotest.(check int) "dup counted" 1 (Stats.get (E.stats e) "net.dup")
+
+let test_reorder_window () =
+  (* With a reorder window armed, a burst of one-way sends must arrive
+     complete (reordering never loses anything) but out of order, and the
+     overtakes must be counted. *)
+  let order = ref [] in
+  let e = E.create () in
+  let net = T.create e ~n_sites:2 in
+  T.set_handler net 1 (fun ~src:_ (Echo n | Slow n) ->
+      order := n :: !order;
+      Val n);
+  T.set_faults net (Some { T.no_faults with reorder = 4 });
+  for i = 1 to 16 do
+    T.send net ~src:0 ~dst:1 (Echo i)
+  done;
+  E.run e;
+  let got = List.rev !order in
+  Alcotest.(check int) "all 16 delivered" 16 (List.length got);
+  Alcotest.(check (list int))
+    "same multiset" (List.init 16 (fun i -> i + 1))
+    (List.sort Int.compare got);
+  Alcotest.(check bool) "sequence overtaken" true
+    (got <> List.init 16 (fun i -> i + 1));
+  Alcotest.(check bool) "reorders counted" true
+    (Stats.get (E.stats e) "net.reorder" > 0)
+
+let test_per_link_override () =
+  (* A reliable per-link override shields one link from the global fault
+     model; the reverse direction keeps losing messages. *)
+  let served = ref 0 in
+  let e = E.create () in
+  let net = T.create e ~n_sites:2 in
+  T.set_handler net 0 (fun ~src:_ (Echo n | Slow n) ->
+      incr served;
+      Val n);
+  T.set_handler net 1 (fun ~src:_ (Echo n | Slow n) ->
+      incr served;
+      Val n);
+  T.set_faults net (Some { T.no_faults with drop = 1.0 });
+  T.set_link_faults net ~src:0 ~dst:1 (Some T.no_faults);
+  T.send net ~src:0 ~dst:1 (Echo 1);
+  T.send net ~src:1 ~dst:0 (Echo 2);
+  E.run e;
+  Alcotest.(check int) "only the shielded link delivered" 1 !served
+
 let test_send_one_way () =
   let served = ref 0 in
   let e = E.create () in
@@ -245,6 +312,10 @@ let suite =
         Alcotest.test_case "retry bounded" `Quick test_retry_exhausts_attempts;
         Alcotest.test_case "retry rides out crash" `Quick
           test_retry_rides_out_crash;
+        Alcotest.test_case "faults: drop and dup" `Quick test_faults_drop_and_dup;
+        Alcotest.test_case "faults: reorder window" `Quick test_reorder_window;
+        Alcotest.test_case "faults: per-link override" `Quick
+          test_per_link_override;
         Alcotest.test_case "one-way send" `Quick test_send_one_way;
       ] );
   ]

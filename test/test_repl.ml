@@ -63,6 +63,48 @@ let test_versions_track_commits () =
   Alcotest.(check bool) "deltas applied" true
     (L.Stats.get (stats sim) "replica.apply" >= 3)
 
+let test_exactly_once_under_faults () =
+  (* The locus_chaos acceptance pin: the same three-commit run over a
+     lossy network (drops, duplicates, reordering live on every leg) must
+     land on exactly version 4 at every host — a lost reply retried after
+     the commit executed, or a duplicated wire copy, must not re-commit.
+     The fault counters prove the network actually misbehaved, and the
+     dedup counters prove the reply cache is what absorbed it. *)
+  let config =
+    K.Config.with_net_faults ~drop:0.15 ~dup:0.15 ~reorder:2
+      (K.Config.with_replication ~n_sites:3 ~factor:2)
+  in
+  let sim = L.make ~seed:3 ~config ~n_sites:3 () in
+  let cl = sim.L.cluster in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"writer" (fun env ->
+         let c = Api.creat env "/seq" ~vid:1 in
+         for i = 1 to 3 do
+           Api.pwrite env c ~pos:0 (Bytes.of_string (Printf.sprintf "v%d.." i));
+           Api.commit_file env c
+         done;
+         Api.close env c));
+  L.run sim;
+  Alcotest.(check bool) "faults fired" true
+    (L.Stats.get (stats sim) "net.drop" + L.Stats.get (stats sim) "net.dup" > 0);
+  Alcotest.(check bool) "reply cache absorbed duplicates" true
+    (L.Stats.get (stats sim) "net.dedup_hits"
+     + L.Stats.get (stats sim) "net.dedup_waits"
+     > 0);
+  let vol = List.find (fun v -> v.K.rv_vid = 1) (K.replica_status cl) in
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "fresh" true h.K.rh_fresh;
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "site %d at exactly v4" h.K.rh_site)
+        [ (1, 4) ] h.K.rh_versions)
+    vol.K.rv_hosts;
+  match L.Kernel.lookup cl "/seq" with
+  | Some fid ->
+    Alcotest.(check string) "last committed bytes" "v3.."
+      (K.read_committed_oracle cl fid)
+  | None -> Alcotest.fail "file vanished"
+
 let test_secondary_serves_local_read () =
   (* A plain process at the secondary site reads committed data from its
      local copy — no round trip to the primary. *)
@@ -252,6 +294,8 @@ let suite =
         Alcotest.test_case "placement" `Quick test_placement;
         Alcotest.test_case "versions track commits" `Quick
           test_versions_track_commits;
+        Alcotest.test_case "exactly-once under faults" `Quick
+          test_exactly_once_under_faults;
         Alcotest.test_case "secondary serves local read" `Quick
           test_secondary_serves_local_read;
         Alcotest.test_case "read survives primary crash" `Quick

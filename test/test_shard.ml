@@ -27,27 +27,29 @@ let test_directory_cas () =
   let ds = Dir.site_of d f in
   Alcotest.(check bool) "directory site in range" true (ds >= 0 && ds < 4);
   (* Unclaimed entries answer with the caller's default at epoch 0. *)
-  Alcotest.(check (pair int int)) "unclaimed -> default, epoch 0" (2, 0)
+  Alcotest.(check (triple int int int)) "unclaimed -> default, epoch 0"
+    (2, 0, 2)
     (Dir.lookup d f ~default:2);
   Alcotest.(check (list (triple (pair int int) int int))) "no entries yet" []
     (List.map (fun (f, o, e) -> ((f.File_id.vid, f.File_id.ino), o, e))
        (Dir.entries d));
   (* Epoch CAS: the first claim from epoch 0 wins and advances to 1. *)
-  (match Dir.claim d f ~default:2 ~new_owner:3 ~from_epoch:0 with
+  (match Dir.claim d f ~default:2 ~new_owner:3 ~from_epoch:0 ~claimer:2 with
   | Ok e -> Alcotest.(check int) "first claim advances to 1" 1 e
   | Error _ -> Alcotest.fail "first claim must win");
   (* A racing claim still quoting epoch 0 is fenced, and learns the
      truth instead of clobbering it. *)
-  (match Dir.claim d f ~default:2 ~new_owner:1 ~from_epoch:0 with
+  (match Dir.claim d f ~default:2 ~new_owner:1 ~from_epoch:0 ~claimer:0 with
   | Ok _ -> Alcotest.fail "stale claim must lose"
   | Error (o, e) ->
       Alcotest.(check (pair int int)) "loser told the current owner" (3, 1)
         (o, e));
   (* Quoting the current epoch wins again. *)
-  (match Dir.claim d f ~default:2 ~new_owner:1 ~from_epoch:1 with
+  (match Dir.claim d f ~default:2 ~new_owner:1 ~from_epoch:1 ~claimer:3 with
   | Ok e -> Alcotest.(check int) "fresh claim advances to 2" 2 e
   | Error _ -> Alcotest.fail "fresh claim must win");
-  Alcotest.(check (pair int int)) "lookup follows" (1, 2)
+  Alcotest.(check (triple int int int))
+    "lookup follows (and names the hand-off source)" (1, 2, 3)
     (Dir.lookup d f ~default:2)
 
 let test_policy () =
@@ -324,7 +326,7 @@ let test_break_shard_flags_fenced_grant () =
             Alcotest.(check bool) "fenced grants are never permitted" false
               c.Ck.permitted;
             true
-        | Ck.Dirty_read _ | Ck.Cycle _ | Ck.Stale_read _ -> false)
+        | Ck.Dirty_read _ | Ck.Cycle _ | Ck.Stale_read _ | Ck.Dup_apply _ -> false)
       report.Ck.violations
   in
   Alcotest.(check bool)
