@@ -25,6 +25,7 @@ let experiments =
     ("e17", "2PC vs Paxos Commit: non-blocking atomic commitment", Exp_pcommit.e17);
     ("e18", "locus_shard: dynamic lock placement on a hot-key workload", Exp_shard.e18);
     ("e19", "locus_chaos: record commit over a lossy network", Exp_chaos.e19);
+    ("e20", "locus_health: health plane overhead + alarm latency", Exp_health.e20);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

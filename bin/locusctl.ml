@@ -423,8 +423,8 @@ let dc_cmd =
 
 module Ck = Locus_check
 
-let check_config sites txns ops records replicas batch_window fault_every
-    commit shards policy net_faults =
+let check_config ?(health_window = 0) sites txns ops records replicas
+    batch_window fault_every commit shards policy net_faults =
   {
     Ck.Explore.sites = max 2 sites;
     txns;
@@ -437,6 +437,7 @@ let check_config sites txns ops records replicas batch_window fault_every
     shards = max 0 shards;
     policy;
     net_faults;
+    health_window = max 0 health_window;
   }
 
 let txns_arg =
@@ -596,11 +597,11 @@ let check_cmd =
       $ paxos_f_arg $ shards_arg $ migrate_policy_arg $ net_faults_arg)
 
 let explore seed sites txns ops records replicas batch_window fault_every
-    n_seeds break_locks break_repl break_paxos break_shard break_dedup commit
-    paxos_f shards policy net_faults =
+    n_seeds break_locks break_repl break_paxos break_shard break_dedup
+    break_health commit paxos_f shards policy net_faults health_window =
   let cfg =
-    check_config sites txns ops records replicas batch_window fault_every
-      (commit_of commit paxos_f) shards policy net_faults
+    check_config ~health_window sites txns ops records replicas batch_window
+      fault_every (commit_of commit paxos_f) shards policy net_faults
   in
   if break_locks then begin
     Fmt.pr "!! breaking the shared/exclusive compatibility rule (Figure 1)@.";
@@ -630,12 +631,19 @@ let explore seed sites txns ops records replicas batch_window fault_every
        re-run every retried or duplicated request)@.";
     Locus_net.Flags.break_dedup := true
   end;
+  if break_health then begin
+    Fmt.pr
+      "!! breaking the health watchdog (threshold rules evaluated never, \
+       alarms raised never)@.";
+    Locus_health.Flags.break_health := true
+  end;
   Fun.protect ~finally:(fun () ->
       M.test_break_shared_exclusive := false;
       Locus_repl.Flags.drop_propagation := false;
       Locus_pcommit.Flags.break_paxos := false;
       Locus_shard.Flags.break_shard := false;
-      Locus_net.Flags.break_dedup := false)
+      Locus_net.Flags.break_dedup := false;
+      Locus_health.Flags.break_health := false)
   @@ fun () ->
   let t0 = Sys.time () in
   let result =
@@ -661,6 +669,7 @@ let explore seed sites txns ops records replicas batch_window fault_every
     | bs ->
       Fmt.pr "LIVENESS: participants ended the run blocked in-doubt: %a@."
         pp_blocked bs);
+    List.iter (fun v -> Fmt.pr "HEALTH: %s@." v) f.Ck.Explore.f_health;
     let small = Ck.Explore.shrink_failure cfg f in
     Fmt.pr "@.shrunk reproducer (%d txns):@.%a@."
       (List.length small.Ck.Workload.txns)
@@ -718,6 +727,28 @@ let explore_cmd =
              verify the duplicate-apply oracle flags the double \
              applications (use with --net-faults).")
   in
+  let break_health =
+    Arg.(
+      value & flag
+      & info [ "break-health" ]
+          ~doc:
+            "Self-test: mute the health watchdog (threshold rules never \
+             evaluated, alarms never raised) and verify the alarm-liveness \
+             oracle flags the runs that blocked in-doubt without an alarm \
+             (use with --health and --fault-every).")
+  in
+  let health_window =
+    Arg.(
+      value & opt ~vopt:100_000 int 0
+      & info [ "health" ] ~docv:"US"
+          ~doc:
+            "Arm the locus_health plane at this sampling window (virtual \
+             µs; bare $(b,--health) = 100 ms) and run the health oracles: \
+             fault-free seeds must raise no alarm, and — the fault \
+             rotation then including coordinator kills even under 2PC — \
+             seeds that end blocked in-doubt must have raised \
+             $(b,in_doubt_age).")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
@@ -727,8 +758,8 @@ let explore_cmd =
       const explore $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
       $ replicas_arg $ batch_window_arg $ fault_every_arg $ n_seeds
       $ break_locks $ break_repl $ break_paxos $ break_shard $ break_dedup
-      $ commit_arg $ paxos_f_arg $ shards_arg $ migrate_policy_arg
-      $ net_faults_arg)
+      $ break_health $ commit_arg $ paxos_f_arg $ shards_arg
+      $ migrate_policy_arg $ net_faults_arg $ health_window)
 
 (* {1 repl-status} *)
 
@@ -990,6 +1021,206 @@ let metrics_cmd =
           profile, the abort-reason taxonomy, and all counters.")
     Term.(const metrics $ seed_arg $ out_arg)
 
+(* {1 health / top: the live health plane} *)
+
+module H = Locus_health
+
+(* A deterministic scenario built to light the health plane up: four
+   sites, replicated volumes, a mildly lossy network (RPC retries, reply
+   caches filling), six workers contending on eight shared records — and,
+   unless [kill] is off, a coordinator crashed right after its third
+   durable decision, stranding its participants in-doubt. A monitor fiber
+   at site 0 then polls every site: the dead one must come back as
+   unreachable, and the watchdog must have raised [in_doubt_age]. *)
+let health_workload ?(kill = true) ~window seed =
+  let sites = 4 and rec_len = 16 and records = 8 in
+  let config =
+    K.Config.with_replication ~n_sites:sites ~factor:2
+    |> K.Config.with_net_faults ~drop:0.02 ~dup:0.01 ~jitter_us:2_000
+    |> K.Config.with_health ~window_us:window
+  in
+  let sim = L.make ~seed ~config ~n_sites:sites () in
+  let cl = sim.L.cluster in
+  let polls = ref [] in
+  let schedule_poll delay =
+    Engine.schedule ~delay (K.engine cl) (fun () ->
+        ignore
+          (Engine.spawn ~name:"health-monitor" ~site:0 (K.engine cl)
+             (fun () -> polls := K.health_poll_all cl ~src:0)))
+  in
+  if kill then begin
+    let decides = ref 0 in
+    (K.hooks cl).K.on_decided <-
+      (fun txid _status ->
+        incr decides;
+        if !decides = 3 then begin
+          (* Keep the engine — and with it the windowed sampler — alive
+             past the in-doubt age threshold, poll once the watchdog has
+             had time to bark, then kill the coordinator. All scheduled
+             first: this hook's own fiber dies with the site. *)
+          Engine.schedule ~delay:3_500_000 (K.engine cl) (fun () -> ());
+          schedule_poll 2_800_000;
+          K.crash_site cl (Txid.site txid)
+        end)
+  end
+  else schedule_poll 3_000_000;
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"health-setup" (fun env ->
+         let c = Api.creat env "/health/acct" ~vid:1 in
+         Api.pwrite env c ~pos:0 (Bytes.make (records * rec_len) '0');
+         Api.commit_file env c;
+         Api.close env c;
+         let worker i =
+           Api.fork env
+             ~site:(1 + (i mod (sites - 1)))
+             ~name:(Printf.sprintf "health-w%d" i)
+             (fun w ->
+               let prng = Prng.create ~seed:(seed + (31 * i)) in
+               let c = Api.open_file w "/health/acct" in
+               for _ = 1 to 3 do
+                 Api.begin_trans w;
+                 for _ = 1 to 2 do
+                   let r = Prng.int prng records in
+                   Api.seek w c ~pos:(r * rec_len);
+                   (match Api.lock w c ~len:rec_len ~mode:M.Exclusive () with
+                   | Api.Granted -> ()
+                   | Api.Conflict _ -> ());
+                   Api.pwrite w c ~pos:(r * rec_len)
+                     (Bytes.of_string
+                        (Printf.sprintf "%-*d" rec_len (Prng.int prng 1000)))
+                 done;
+                 ignore (Api.end_trans w);
+                 Engine.sleep 25_000
+               done;
+               Api.close w c)
+         in
+         let pids = List.init 6 worker in
+         List.iter (Api.wait_pid env) pids));
+  L.run sim;
+  (sim, !polls)
+
+let window_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "window" ] ~docv:"US"
+        ~doc:"Health sampling window in virtual µs.")
+
+let no_kill_arg =
+  Arg.(
+    value & flag
+    & info [ "no-kill" ]
+        ~doc:
+          "Skip the coordinator kill: a healthy chaotic run (no in-doubt \
+           strandings, no unreachable site).")
+
+let pp_alarm_line ppf (a : H.Rules.alarm) = Fmt.pf ppf "  %a" H.Rules.pp_alarm a
+
+let pp_health_json cl polls ppf =
+  let alarms = K.health_alarms cl in
+  Fmt.pf ppf "{@[<v 1>@,\"at_us\": %d,@,\"window_us\": %d,@,\"windows\": %d,@,"
+    (L.Engine.now (K.engine cl))
+    (K.config cl).K.Config.health_window_us (K.health_windows cl);
+  Fmt.pf ppf "\"sites\": [@[<v 1>@,%a@]@,],@,"
+    (Fmt.list ~sep:(Fmt.any ",@,") H.Report.pp_poll_json)
+    polls;
+  Fmt.pf ppf "\"alarms\": [@[<v 1>@,%a@]@,],@,"
+    (Fmt.list ~sep:(Fmt.any ",@,") (fun ppf (a : H.Rules.alarm) ->
+         Fmt.pf ppf
+           "{\"name\": %S, \"site\": %d, \"at_us\": %d, \"detail\": %S}"
+           a.H.Rules.al_name a.H.Rules.al_site a.H.Rules.al_at_us
+           a.H.Rules.al_detail))
+    alarms;
+  Fmt.pf ppf "\"active\": [@[<v 1>@,%a@]@,]@]@,}@."
+    (Fmt.list ~sep:(Fmt.any ",@,") (fun ppf (site, rules) ->
+         Fmt.pf ppf "{\"site\": %d, \"rules\": [%a]}" site
+           (Fmt.list ~sep:(Fmt.any ", ") (fun ppf r -> Fmt.pf ppf "%S" r))
+           rules))
+    (K.health_active cl)
+
+let dump_series cl path =
+  Out_channel.with_open_text path (fun oc ->
+      let ppf = Format.formatter_of_out_channel oc in
+      H.Series.pp_list_json
+        ~window_us:(K.config cl).K.Config.health_window_us
+        ~windows:(K.health_windows cl) ppf (K.health_series cl);
+      Format.pp_print_flush ppf ())
+
+let health seed window no_kill out series_out =
+  let sim, polls = health_workload ~kill:(not no_kill) ~window seed in
+  let cl = sim.L.cluster in
+  (match out with
+  | Some _ -> with_out out (pp_health_json cl polls)
+  | None ->
+    Fmt.pr "locus health — %d sites, window %d us, %d windows, virtual %.2f s@."
+      (K.config cl).K.Config.n_sites window (K.health_windows cl)
+      (float_of_int (L.Engine.now (K.engine cl)) /. 1_000_000.);
+    List.iter (fun p -> Fmt.pr "%a@." H.Report.pp_poll p) polls;
+    (match K.health_alarms cl with
+    | [] -> Fmt.pr "@.alarms: none@."
+    | als ->
+      Fmt.pr "@.alarms (%d):@." (List.length als);
+      List.iter (fun a -> Fmt.pr "%a@." pp_alarm_line a) als));
+  match series_out with None -> () | Some path -> dump_series cl path
+
+let series_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "series-out" ] ~docv:"FILE"
+        ~doc:"Also write the windowed time series as JSON to FILE.")
+
+let health_cmd =
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run a deterministic chaotic scenario with the locus_health plane \
+          armed, poll every site's health RPC, and print the structured \
+          reports and watchdog alarms (JSON with --out; time series with \
+          --series-out).")
+    Term.(
+      const health $ seed_arg $ window_arg $ no_kill_arg $ out_arg
+      $ series_out_arg)
+
+let top seed window no_kill =
+  let sim, polls = health_workload ~kill:(not no_kill) ~window seed in
+  let cl = sim.L.cluster in
+  Fmt.pr "locus top — seed %d, %d sites, window %d us, %d windows, virtual %.2f s@."
+    seed (K.config cl).K.Config.n_sites window (K.health_windows cl)
+    (float_of_int (L.Engine.now (K.engine cl)) /. 1_000_000.);
+  Fmt.pr "@.%-18s %8s %8s %10s  per-window@." "SERIES" "last" "peak" "total";
+  List.iter
+    (fun (name, s) ->
+      let last =
+        match H.Series.last s with None -> 0 | Some p -> p.H.Series.p_value
+      in
+      Fmt.pr "%-18s %8d %8d %10d  %s@." name last (H.Series.peak s)
+        (H.Series.total s) (H.Series.spark s))
+    (K.health_series cl);
+  (match K.health_alarms cl with
+  | [] -> Fmt.pr "@.alarms: none@."
+  | als ->
+    Fmt.pr "@.alarms (%d):@." (List.length als);
+    List.iter (fun a -> Fmt.pr "%a@." pp_alarm_line a) als);
+  (match K.health_active cl with
+  | [] -> ()
+  | act ->
+    Fmt.pr "active now:%a@."
+      (Fmt.list ~sep:Fmt.nop (fun ppf (site, rules) ->
+           Fmt.pf ppf " %s:[%s]"
+             (if site < 0 then "cluster" else Printf.sprintf "site%d" site)
+             (String.concat " " rules)))
+      act);
+  Fmt.pr "@.SITES@.";
+  List.iter (fun p -> Fmt.pr "%a@." H.Report.pp_poll p) polls
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run the health scenario and render a one-shot operator dashboard: \
+          every windowed series with a sparkline, the watchdog alarm log, \
+          currently-latched conditions, and one status line per site.")
+    Term.(const top $ seed_arg $ window_arg $ no_kill_arg)
+
 (* {1 stats} *)
 
 let cluster_info _seed sites =
@@ -1020,4 +1251,4 @@ let () =
           (Cmd.info "locusctl" ~version:"1.0" ~doc)
           [ bank_cmd; chaos_cmd; deadlock_cmd; dc_cmd; check_cmd; explore_cmd;
             repl_status_cmd; shard_status_cmd; trace_export_cmd; metrics_cmd;
-            stats_cmd ]))
+            health_cmd; top_cmd; stats_cmd ]))

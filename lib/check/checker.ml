@@ -382,8 +382,11 @@ let check history =
               permitted = false }
             :: !dup_applies
         else Tx_tbl.replace rpc_execs key ()
-    | Obs.Propagate _ | Obs.Reconcile _ | Obs.Failover _ | Obs.Net_fault _ ->
-        (* Replication housekeeping / injected chaos: not data accesses. *)
+    | Obs.Propagate _ | Obs.Reconcile _ | Obs.Failover _ | Obs.Net_fault _
+    | Obs.Alarm _ ->
+        (* Replication housekeeping / injected chaos / health watchdog
+           events: not data accesses. The health oracles read Alarm
+           records straight from the trace, not through this graph. *)
         ()
   done;
   let committed, aborted =

@@ -10,6 +10,7 @@ type config = {
   shards : int;
   policy : Locus_shard.Policy.t;
   net_faults : Locus_net.Transport.faults option;
+  health_window : int;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     shards = 0;
     policy = Locus_shard.Policy.default;
     net_faults = None;
+    health_window = 0;
   }
 
 type failure = {
@@ -32,6 +34,7 @@ type failure = {
   f_spec : Workload.spec;
   f_report : Checker.report;
   f_blocked : (int * Txid.t) list;
+  f_health : string list;
 }
 
 type result = {
@@ -56,9 +59,19 @@ let fault_for cfg seed =
       let base =
         match cfg.commit with
         | `Two_phase ->
-            [ Workload.Crash { victim; after_decides; restart_delay = 2_000_000 };
-              Workload.Partition { victim; after_decides; heal_delay = 2_000_000 }
-            ]
+            let plans =
+              [ Workload.Crash { victim; after_decides; restart_delay = 2_000_000 };
+                Workload.Partition { victim; after_decides; heal_delay = 2_000_000 }
+              ]
+            in
+            if cfg.health_window > 0 then
+              (* The health lane WANTS the documented 2PC blocking window:
+                 a killed coordinator strands its participants in-doubt,
+                 and the watchdog must say so ([in_doubt_age]). Outside
+                 the lane the blocked state itself would read as a
+                 liveness failure, so plain 2PC sweeps never get it. *)
+              plans @ [ Workload.Kill_coordinator { after_decides } ]
+            else plans
         | `Paxos _ ->
             [ Workload.Crash { victim; after_decides; restart_delay = 2_000_000 };
               Workload.Partition { victim; after_decides; heal_delay = 2_000_000 };
@@ -81,7 +94,8 @@ let run_seed cfg seed =
   let hist, sim =
     Workload.run ?fault:(fault_for cfg seed) ~replicas:cfg.replicas
       ~batch_window:cfg.batch_window ~commit:cfg.commit ~shards:cfg.shards
-      ~policy:cfg.policy ?net_faults:cfg.net_faults ~seed spec
+      ~policy:cfg.policy ?net_faults:cfg.net_faults ~health:cfg.health_window
+      ~seed spec
   in
   (* Liveness: participants still prepared after the run drained are
      blocked in-doubt. 2PC is allowed to block only when its coordinator
@@ -89,11 +103,62 @@ let run_seed cfg seed =
      never leave it); Paxos Commit must always drain. *)
   (spec, hist, Checker.check hist, Workload.blocked sim)
 
+let alarm_names hist =
+  List.filter_map
+    (fun (r : History.Obs.record) ->
+      match r.History.Obs.ev with
+      | History.Obs.Alarm { name; _ } -> Some name
+      | _ -> None)
+    (History.events hist)
+
+(* The health plane's two checker oracles, evaluated per seed when the
+   sweep runs with the watchdog armed ([health_window > 0]):
+
+   - {e no false alarms}: a fault-free seed must raise no alarm at all —
+     the thresholds are calibrated so healthy schedules stay silent;
+   - {e alarm liveness}: a 2PC seed whose coordinator kill stranded
+     participants in-doubt MUST raise [in_doubt_age] — a watchdog that
+     sleeps through the one incident it exists for is broken (this is
+     the oracle [--break-health] inverts).
+
+   Returns [(excuse_blocked, violations)]: in the kill-under-2PC lane the
+   blocked participants are the scenario, not a bug, so the sweep's
+   liveness check stands down in favour of the alarm check. *)
+let health_verdict cfg ~fault ~blocked hist =
+  if cfg.health_window = 0 then (false, [])
+  else begin
+    let alarms = alarm_names hist in
+    let false_alarms =
+      match fault with
+      | None ->
+          List.map
+            (fun n -> Printf.sprintf "false alarm on a clean run: %s" n)
+            (List.sort_uniq String.compare alarms)
+      | Some _ -> []
+    in
+    let kill_2pc =
+      match (fault, cfg.commit) with
+      | Some (Workload.Kill_coordinator _), `Two_phase -> true
+      | _ -> false
+    in
+    let missed =
+      if kill_2pc && blocked <> [] && not (List.mem "in_doubt_age" alarms)
+      then
+        [ "alarm liveness: participants ended blocked in-doubt but the \
+           watchdog never raised in_doubt_age" ]
+      else []
+    in
+    (kill_2pc, false_alarms @ missed)
+  end
+
 let sweep ?(config = default_config) ?progress ~seeds () =
   List.fold_left
     (fun acc seed ->
       let spec, hist, report, blocked = run_seed config seed in
       (match progress with Some f -> f seed report | None -> ());
+      let excuse_blocked, health =
+        health_verdict config ~fault:(fault_for config seed) ~blocked hist
+      in
       let acc =
         {
           acc with
@@ -102,12 +167,22 @@ let sweep ?(config = default_config) ?progress ~seeds () =
           permitted = acc.permitted + List.length (Checker.permitted report);
         }
       in
-      if Checker.ok report && blocked = [] then acc
+      if
+        Checker.ok report
+        && (blocked = [] || excuse_blocked)
+        && health = []
+      then acc
       else
         {
           acc with
           failures =
-            { f_seed = seed; f_spec = spec; f_report = report; f_blocked = blocked }
+            {
+              f_seed = seed;
+              f_spec = spec;
+              f_report = report;
+              f_blocked = (if excuse_blocked then [] else blocked);
+              f_health = health;
+            }
             :: acc.failures;
         })
     { checked = 0; events = 0; permitted = 0; failures = [] }
@@ -117,14 +192,18 @@ let sweep ?(config = default_config) ?progress ~seeds () =
 let seeds ~n ~from = List.init n (fun i -> from + i)
 
 let shrink_failure cfg f =
+  let fault = fault_for cfg f.f_seed in
   let fails spec =
     let hist, sim =
-      Workload.run
-        ?fault:(fault_for cfg f.f_seed)
-        ~replicas:cfg.replicas ~batch_window:cfg.batch_window ~commit:cfg.commit
-        ~shards:cfg.shards ~policy:cfg.policy ?net_faults:cfg.net_faults
-        ~seed:f.f_seed spec
+      Workload.run ?fault ~replicas:cfg.replicas
+        ~batch_window:cfg.batch_window ~commit:cfg.commit ~shards:cfg.shards
+        ~policy:cfg.policy ?net_faults:cfg.net_faults
+        ~health:cfg.health_window ~seed:f.f_seed spec
     in
-    (not (Checker.ok (Checker.check hist))) || Workload.blocked sim <> []
+    let blocked = Workload.blocked sim in
+    let excuse_blocked, health = health_verdict cfg ~fault ~blocked hist in
+    (not (Checker.ok (Checker.check hist)))
+    || (blocked <> [] && not excuse_blocked)
+    || health <> []
   in
   Shrink.minimize ~fails f.f_spec

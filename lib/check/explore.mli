@@ -39,6 +39,15 @@ type config = {
           with exactly-once client RPCs — layered on top of whatever
           [fault_every] injects, so a sweep can prove 1SR and liveness
           under crashes {e and} a lossy network at once *)
+  health_window : int;
+      (** locus_health sampling window in virtual µs (0 = plane off).
+          When armed, every seed also runs the two health oracles: a
+          fault-free seed must raise {e no} alarm, and — since the fault
+          rotation then adds [Kill_coordinator] even under 2PC — a seed
+          whose participants end blocked in-doubt must have raised the
+          [in_doubt_age] alarm (blocking itself is then the scenario,
+          not a failure). [--break-health] inverts the second oracle:
+          with the watchdog muted those seeds fail. *)
 }
 
 val default_config : config
@@ -48,7 +57,11 @@ type failure = {
   f_spec : Workload.spec;
   f_report : Checker.report;
   f_blocked : (int * Txid.t) list;
-      (** participants still in-doubt when the run drained (liveness) *)
+      (** participants still in-doubt when the run drained (liveness);
+          emptied when the health lane excuses the blocked state *)
+  f_health : string list;
+      (** health-oracle violations: false alarms on a clean seed, or a
+          blocked run the watchdog slept through *)
 }
 
 type result = {

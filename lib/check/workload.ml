@@ -79,7 +79,7 @@ let run_txn ?(piggyback = false) env t =
   ignore (Api.end_trans env);
   Api.close env c
 
-let install_fault cl ~n_sites fault =
+let install_fault cl ~n_sites ?(grace = 0) fault =
   let decides = ref 0 in
   (K.hooks cl).K.on_decided <-
     (fun txid _status ->
@@ -102,6 +102,13 @@ let install_fault cl ~n_sites fault =
              so no phase-2 message escapes. Under 2PC every participant of
              this transaction stays in-doubt forever; under Paxos Commit
              they must all still decide — that is the liveness property. *)
+          if grace > 0 then
+            (* Health-armed runs: keep the engine (and with it the windowed
+               sampler) alive long enough for the stranded participants'
+               in-doubt age to cross the watchdog threshold — the alarm
+               the liveness oracle then demands. Scheduled BEFORE the
+               crash: the hook's own fiber dies with its site. *)
+            Engine.schedule ~delay:grace (K.engine cl) (fun () -> ());
           K.crash_site cl (Txid.site txid)
       | Migrate_owner { after_decides } when !decides >= after_decides -> (
           (* Yank the shared file's lock-manager role to a rotating site
@@ -120,7 +127,7 @@ let install_fault cl ~n_sites fault =
       | Crash _ | Partition _ | Kill_coordinator _ | Migrate_owner _ -> ())
 
 let run ?fault ?(replicas = 1) ?(batch_window = 0) ?(commit = `Two_phase)
-    ?(shards = 0) ?policy ?net_faults ?(seed = 0) spec =
+    ?(shards = 0) ?policy ?net_faults ?(health = 0) ?(seed = 0) spec =
   let sim =
     let base =
       if replicas > 1 then
@@ -144,12 +151,25 @@ let run ?fault ?(replicas = 1) ?(batch_window = 0) ?(commit = `Two_phase)
       | Some (f : Transport.faults) -> { config with K.Config.net_faults = Some f }
       | None -> config
     in
+    let config =
+      if health > 0 then K.Config.with_health ~window_us:health config
+      else config
+    in
     L.make ~seed ~config ~n_sites:spec.n_sites ()
   in
   let hist = History.create () in
   History.attach hist sim.L.cluster;
+  let grace =
+    (* With the watchdog armed, a coordinator kill must leave the sampler
+       running past the in-doubt age threshold plus a couple of windows,
+       or the alarm the sweep asserts could never fire. *)
+    if health > 0 then
+      (K.config sim.L.cluster).K.Config.health_thresholds
+        .Locus_health.Rules.in_doubt_age_us + (3 * health) + 500_000
+    else 0
+  in
   (match fault with
-  | Some f -> install_fault sim.L.cluster ~n_sites:spec.n_sites f
+  | Some f -> install_fault sim.L.cluster ~n_sites:spec.n_sites ~grace f
   | None -> ());
   ignore
     (Api.spawn_process sim.L.cluster ~site:0 ~name:"wl-driver" (fun env ->

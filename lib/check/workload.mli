@@ -70,6 +70,7 @@ val run :
   ?shards:int ->
   ?policy:Locus_shard.Policy.t ->
   ?net_faults:Locus_net.Transport.faults ->
+  ?health:int ->
   ?seed:int ->
   spec ->
   History.t * Locus_core.Locus.sim
@@ -93,7 +94,11 @@ val run :
     layer ({!Locus_core.Kernel.Config.net_faults}): seed-deterministic
     message drop / duplication / jitter / reordering plus rid-tagged
     exactly-once client RPCs, with the checker's [Dup_apply] oracle
-    watching every rid-tagged handler execution. *)
+    watching every rid-tagged handler execution. [health > 0] arms the
+    locus_health plane ({!Locus_core.Kernel.Config.with_health}) at that
+    window; [Kill_coordinator] runs then keep the engine alive past the
+    in-doubt age threshold so the watchdog's [in_doubt_age] alarm —
+    which the health sweep asserts — has time to fire. *)
 
 val blocked : Locus_core.Locus.sim -> (int * Txid.t) list
 (** Liveness oracle over a drained simulation: [(site, txid)] for every

@@ -6,6 +6,9 @@ module Pcommit = Locus_pcommit.Pcommit
 module Pc_acceptor = Locus_pcommit.Acceptor
 module Shard_dir = Locus_shard.Directory
 module Shard_policy = Locus_shard.Policy
+module Hreport = Locus_health.Report
+module Hsampler = Locus_health.Sampler
+module Hrules = Locus_health.Rules
 
 type outcome = Committed | Aborted
 
@@ -64,6 +67,9 @@ module Config = struct
     shard_policy : Locus_shard.Policy.t;
     retries : retries;
     net_faults : Transport.faults option;  (* locus_chaos; None = reliable *)
+    health_window_us : int;  (* locus_health sampling window; 0 = off *)
+    health_keep : int;  (* windows retained per series *)
+    health_thresholds : Locus_health.Rules.thresholds;
   }
 
   (* Exactly the historical per-callsite constants, so default timing is
@@ -105,6 +111,9 @@ module Config = struct
       shard_policy = Locus_shard.Policy.default;
       retries = default_retries;
       net_faults = None;
+      health_window_us = 0;
+      health_keep = 64;
+      health_thresholds = Locus_health.Rules.default;
     }
 
   let with_replication ~n_sites ~factor =
@@ -133,6 +142,24 @@ module Config = struct
     if reorder < 0 || jitter_us < 0 then
       invalid_arg "Config.with_net_faults: reorder/jitter must be >= 0";
     { cfg with net_faults = Some { Transport.drop; dup; jitter_us; reorder } }
+
+  (* Arm the live health plane (locus_health): a windowed sampler ticks
+     every [window_us] of virtual time, feeding bounded per-series rings
+     and the watchdog rules. Off by default — like every observability
+     layer before it, the default configuration stays bit-for-bit
+     identical. Sampling runs in engine-scheduled closures (outside any
+     fiber), so it consumes no virtual time and draws no randomness. *)
+  let with_health ?(window_us = 100_000) ?(keep = 64) ?thresholds cfg =
+    if window_us <= 0 then
+      invalid_arg "Config.with_health: window_us must be > 0";
+    if keep <= 0 then invalid_arg "Config.with_health: keep must be > 0";
+    {
+      cfg with
+      health_window_us = window_us;
+      health_keep = keep;
+      health_thresholds =
+        (match thresholds with Some t -> t | None -> cfg.health_thresholds);
+    }
 
   (* Dynamic lock placement (locus_shard). Mutually exclusive with §5.2
      delegation: both move lock authority, by different rules, and a
@@ -186,7 +213,9 @@ type t = {
   pc_acceptor : Pc_acceptor.t;  (* Paxos Commit acceptor share of this site *)
   mutable acc_ready : bool;  (* acceptor vote replay done *)
   resolving : (Txid.t, unit) Hashtbl.t;  (* single-flight acceptor resolvers *)
-  doubted : (Txid.t, unit) Hashtbl.t;  (* counted in the txn.in_doubt gauge *)
+  doubted : (Txid.t, int) Hashtbl.t;
+  (* counted in the txn.in_doubt gauge; the value is the virtual time
+     doubt was entered, so the health plane can age the oldest one *)
   fibers : (Pid.t, Engine.Fiber.handle) Hashtbl.t;
   end_waits : (Txid.t, ready Engine.Ivar.t) Hashtbl.t;
   (* §5.2 lock-control migration state. *)
@@ -235,6 +264,17 @@ and cluster = {
   mutable observer : Obs.sink option;  (* history recorder (Locus_check) *)
   mutable otracer : Otrace.t option;  (* causal span collector (Locus_otrace) *)
   shard_dir : Shard_dir.t option;  (* authoritative role directory (locus_shard) *)
+  mutable health : health_plane option;  (* windowed sampler + watchdog (locus_health) *)
+}
+
+(* Live health plane state (armed by [Config.with_health]): the cluster
+   sampler, one edge-triggered rules evaluator per site plus one for
+   cluster-scope rules, and the alarm history (newest first). *)
+and health_plane = {
+  hp_sampler : Hsampler.t;
+  hp_site_rules : Hrules.t array;
+  hp_cluster_rules : Hrules.t;
+  mutable hp_alarms : Hrules.alarm list;
 }
 
 (* Marshalled migration payload (§4.1): the process record plus, for a
@@ -455,7 +495,7 @@ let acceptor_sites cl ~coordinator f =
    discovery paths (recovery scan, topology sweep) never double-count. *)
 let enter_doubt k txid =
   if not (Hashtbl.mem k.doubted txid) then begin
-    Hashtbl.replace k.doubted txid ();
+    Hashtbl.replace k.doubted txid (Engine.now k.engine);
     Stats.add (stats k) "txn.in_doubt" 1
   end
 
@@ -2489,6 +2529,237 @@ let deadlock_scan cl ~src =
 
 let () = deadlock_scan_ref := deadlock_scan
 
+(* {1 The live health plane (locus_health)}
+
+   Three pieces, same zero-overhead discipline as [Obs]/[Otrace]:
+
+   - [health_report] builds the structured per-site report the
+     [Msg.Health_query] endpoint answers — pure state reads, available
+     whether or not the sampler is armed;
+   - [health_arm] (called from [make] when [Config.health_window_us] > 0)
+     registers the windowed series and schedules the self-rescheduling
+     tick closure. Ticks run OUTSIDE any fiber via [Engine.schedule]: a
+     looping sampler fiber would keep the event queue alive forever and
+     [Engine.run] would never drain. The tick stops rescheduling once it
+     is the only pending event source, letting the run quiesce;
+   - [health_tick] closes a window: samples every series, then evaluates
+     the watchdog rules (per site + cluster scope), emitting rising-edge
+     [Obs.Alarm] events and [health.alarm.*] counters. *)
+
+let reply_cache_capacity = 1024
+
+let dedup_cached k =
+  Hashtbl.fold
+    (fun _ slot n -> match slot with Cached _ -> n + 1 | Running _ -> n)
+    k.reply_cache 0
+
+(* (count, max age in µs) of this kernel's in-doubt transactions. *)
+let health_in_doubt k =
+  let now = Engine.now k.engine in
+  Hashtbl.fold
+    (fun _ entered (n, oldest) -> (n + 1, max oldest (now - entered)))
+    k.doubted (0, 0)
+
+let health_hot_cells k =
+  Hashtbl.fold
+    (fun fid tbl acc ->
+      let w = Lock_table.waiting tbl in
+      let l = Lock_table.lock_count tbl in
+      if w > 0 || l > 0 then (fid, w, l) :: acc else acc)
+    k.locks []
+  |> List.sort (fun (fa, wa, _) (fb, wb, _) ->
+         match Int.compare wb wa with 0 -> compare fa fb | c -> c)
+  |> List.filteri (fun i _ -> i < 3)
+  |> List.map (fun (fid, w, l) ->
+         {
+           Hreport.hc_fid = Fmt.str "%a" File_id.pp fid;
+           hc_waiters = w;
+           hc_locks = l;
+         })
+
+let health_report k =
+  let in_doubt, max_age = health_in_doubt k in
+  let locks_held, lock_waiters =
+    Hashtbl.fold
+      (fun _ tbl (h, w) ->
+        (h + Lock_table.lock_count tbl, w + Lock_table.waiting tbl))
+      k.locks (0, 0)
+  in
+  let wal_bytes =
+    List.fold_left
+      (fun acc vol -> acc + (Volume.io_log_writes vol * Volume.page_size vol))
+      0
+      (Filestore.volumes k.store)
+  in
+  {
+    Hreport.hs_site = k.site;
+    hs_at_us = Engine.now k.engine;
+    hs_in_doubt = in_doubt;
+    hs_in_doubt_max_age_us = max_age;
+    hs_active_txns = List.length (Txn_state.active k.txns);
+    hs_lock_tables = Hashtbl.length k.locks;
+    hs_locks_held = locks_held;
+    hs_lock_waiters = lock_waiters;
+    hs_hot_cells = health_hot_cells k;
+    hs_wal_bytes = wal_bytes;
+    hs_dedup_entries = dedup_cached k;
+    hs_dedup_capacity = reply_cache_capacity;
+    hs_degraded_copies = List.length (Status.degraded k.repl);
+    hs_shards_owned = Hashtbl.length k.shard_owned;
+  }
+
+(* Monitor-side fan-out. Must run inside a fiber (it blocks on RPC
+   replies); the transport's RPC timeout bounds every leg, so a
+   partitioned or crashed site reads as [Unreachable], never a hang. *)
+let health_poll cl ~src ~dst =
+  if src = dst then Hreport.Healthy (health_report cl.ks.(dst))
+  else
+    match rpc cl ~src ~dst Msg.Health_query with
+    | Msg.R_health s -> Hreport.Healthy s
+    | _ -> Hreport.Unreachable { u_site = dst }
+
+let health_poll_all cl ~src =
+  List.init cl.cfg.Config.n_sites (fun dst -> health_poll cl ~src ~dst)
+
+let health_tick cl hp =
+  let e = cl.c_engine in
+  let now = Engine.now e in
+  Hsampler.tick hp.hp_sampler ~now_us:now;
+  let st = Engine.stats e in
+  let last name =
+    Option.value (Hsampler.last_value hp.hp_sampler name) ~default:0
+  in
+  let raise_alarm (a : Hrules.alarm) =
+    Stats.incr st ("health.alarm." ^ a.Hrules.al_name);
+    observe cl
+      ~site:(max 0 a.Hrules.al_site)
+      (Obs.Alarm { name = a.Hrules.al_name; detail = a.Hrules.al_detail });
+    hp.hp_alarms <- a :: hp.hp_alarms
+  in
+  (* Cluster-scope rules read this window's series values... *)
+  let ci =
+    {
+      (Hrules.zero_input ~site:(-1) ~now_us:now) with
+      Hrules.in_lock_wait_p99_us = last "lock_wait_p99_us";
+      in_retries = last "retries";
+      in_migrations = last "migrations";
+    }
+  in
+  List.iter raise_alarm (Hrules.evaluate hp.hp_cluster_rules ci);
+  (* ... and per-site rules read the live kernel state directly. *)
+  Array.iter
+    (fun k ->
+      if k.alive then begin
+        let in_doubt, max_age = health_in_doubt k in
+        let i =
+          {
+            (Hrules.zero_input ~site:k.site ~now_us:now) with
+            Hrules.in_in_doubt = in_doubt;
+            in_in_doubt_max_age_us = max_age;
+            in_dedup_entries = dedup_cached k;
+            in_dedup_capacity = reply_cache_capacity;
+            in_degraded_copies = List.length (Status.degraded k.repl);
+          }
+        in
+        List.iter raise_alarm (Hrules.evaluate hp.hp_site_rules.(k.site) i)
+      end)
+    cl.ks
+
+let health_arm cl =
+  let window_us = cl.cfg.Config.health_window_us in
+  if window_us > 0 then begin
+    let e = cl.c_engine in
+    let st = Engine.stats e in
+    let sp =
+      Hsampler.create ~keep:cl.cfg.Config.health_keep ~window_us ()
+    in
+    let counter name = Hsampler.Counter (fun () -> Stats.get st name) in
+    Hsampler.register sp "commits" (counter "txn.committed");
+    Hsampler.register sp "aborts" (counter "txn.aborted");
+    Hsampler.register sp "msgs" (counter "net.msg");
+    Hsampler.register sp "retries" (counter "net.retries");
+    Hsampler.register sp "net_faults"
+      (Hsampler.Counter
+         (fun () ->
+           Stats.get st "net.drop" + Stats.get st "net.dup"
+           + Stats.get st "net.reorder"));
+    Hsampler.register sp "migrations" (counter "shard.migrations");
+    Hsampler.register sp "in_doubt"
+      (Hsampler.Gauge (fun () -> Stats.get st "txn.in_doubt"));
+    Hsampler.register sp "lock_waiters"
+      (Hsampler.Gauge
+         (fun () ->
+           Array.fold_left
+             (fun acc k ->
+               if k.alive then
+                 Hashtbl.fold
+                   (fun _ tbl a -> a + Lock_table.waiting tbl)
+                   k.locks acc
+               else acc)
+             0 cl.ks));
+    Hsampler.register sp "dedup_entries"
+      (Hsampler.Gauge
+         (fun () ->
+           Array.fold_left
+             (fun acc k -> if k.alive then acc + dedup_cached k else acc)
+             0 cl.ks));
+    Hsampler.register sp "lock_wait_p99_us"
+      (Hsampler.Hist_p99
+         (fun () ->
+           match Stats.histogram st "lock.wait_us" with
+           | Some h -> Stats.Hist.snapshot h
+           | None -> Stats.Hist.empty_snap));
+    for s = 0 to cl.cfg.Config.n_sites - 1 do
+      Hsampler.register sp
+        (Printf.sprintf "site%d.in_doubt" s)
+        (Hsampler.Gauge (fun () -> Hashtbl.length cl.ks.(s).doubted))
+    done;
+    let thresholds = cl.cfg.Config.health_thresholds in
+    let hp =
+      {
+        hp_sampler = sp;
+        hp_site_rules =
+          Array.init cl.cfg.Config.n_sites (fun _ ->
+              Hrules.create ~thresholds ());
+        hp_cluster_rules = Hrules.create ~thresholds ();
+        hp_alarms = [];
+      }
+    in
+    cl.health <- Some hp;
+    let rec tick () =
+      health_tick cl hp;
+      (* Our own event has already been popped: anything still pending is
+         real work, so keep sampling; an otherwise-empty queue means the
+         run is quiescing and this was the final window. *)
+      if Engine.pending_events e > 0 then Engine.schedule ~delay:window_us e tick
+    in
+    Engine.schedule ~delay:window_us e tick
+  end
+
+let health_alarms cl =
+  match cl.health with None -> [] | Some hp -> List.rev hp.hp_alarms
+
+let health_series cl =
+  match cl.health with
+  | None -> []
+  | Some hp -> Hsampler.series hp.hp_sampler
+
+let health_windows cl =
+  match cl.health with None -> 0 | Some hp -> Hsampler.windows hp.hp_sampler
+
+(* Currently-firing rule names per scope (-1 = cluster), for `locusctl
+   top`'s active-alarm panel. *)
+let health_active cl =
+  match cl.health with
+  | None -> []
+  | Some hp ->
+    let cluster = ((-1), Hrules.active hp.hp_cluster_rules) in
+    let sites =
+      Array.to_list
+        (Array.mapi (fun s r -> (s, Hrules.active r)) hp.hp_site_rules)
+    in
+    List.filter (fun (_, names) -> names <> []) (cluster :: sites)
+
 (* {1 The kernel message handler} *)
 
 let rec handle_msg k ~src msg =
@@ -2499,6 +2770,7 @@ let rec handle_msg k ~src msg =
     try
       match msg with
       | Ping -> R_ok
+      | Health_query -> R_health (health_report k)
       | Open { fid } ->
         Filestore.open_file k.store fid;
         ignore (ensure_table k fid);
@@ -3085,7 +3357,7 @@ and handle_rid k ~src (env : Msg.env) (rid : Msg.rid) =
       | _ ->
         Hashtbl.replace k.reply_cache key (Cached r);
         Queue.push key k.reply_cache_q;
-        while Queue.length k.reply_cache_q > 1024 do
+        while Queue.length k.reply_cache_q > reply_cache_capacity do
           let old = Queue.pop k.reply_cache_q in
           match Hashtbl.find_opt k.reply_cache old with
           | Some (Cached _) -> Hashtbl.remove k.reply_cache old
@@ -3550,6 +3822,7 @@ let make engine cfg =
         (if cfg.Config.shards > 0 then
            Some (Shard_dir.create ~n_shards:cfg.Config.shards ~n_sites)
          else None);
+      health = None;
     }
   in
   List.iter
@@ -3683,17 +3956,13 @@ let make engine cfg =
             replica_topology_mark k
           end)
         cl.ks);
+  health_arm cl;
   cl
 
 let crash_site cl s = Transport.crash cl.net s
 let restart_site cl s = Transport.restart cl.net s
 
 (* {1 Test and bench oracles} *)
-
-let dedup_cached k =
-  Hashtbl.fold
-    (fun _ slot n -> match slot with Cached _ -> n + 1 | Running _ -> n)
-    k.reply_cache 0
 
 let read_committed_oracle cl fid =
   let k = kernel cl (storage_site cl fid) in

@@ -113,6 +113,15 @@ module Config : sig
             to rid-tagged retried sends backed by server-side exactly-once
             reply caches. [None] (default) is the historical reliable
             network, bit-for-bit. *)
+    health_window_us : int;
+        (** locus_health windowed sampler: virtual-time width of one
+            sampling window. [0] (default) = the health plane is unarmed —
+            no sampler events, no series, no alarms, bit-for-bit identical
+            runs. The {!Health_query} RPC answers either way. *)
+    health_keep : int;
+        (** ring capacity of every health time series (windows retained) *)
+    health_thresholds : Locus_health.Rules.thresholds;
+        (** watchdog alarm thresholds evaluated at every window close *)
   }
 
   val default_retries : retries
@@ -147,6 +156,19 @@ module Config : sig
   (** Arm the chaos layer with the given per-message fault rates (all
       default 0). Raises [Invalid_argument] on rates outside [0, 1) or
       negative window sizes. *)
+
+  val with_health :
+    ?window_us:int ->
+    ?keep:int ->
+    ?thresholds:Locus_health.Rules.thresholds ->
+    t ->
+    t
+  (** Arm the locus_health plane: sample counters / gauges / histogram
+      interval merges every [window_us] (default 100 ms of virtual time)
+      into bounded rings of [keep] windows (default 64), and evaluate the
+      watchdog [thresholds] ({!Locus_health.Rules.default}) at every
+      window close. Raises [Invalid_argument] when [window_us <= 0] or
+      [keep <= 0]. *)
 end
 
 val make : Engine.t -> Config.t -> cluster
@@ -371,6 +393,43 @@ val dedup_cached : t -> int
 (** Number of completed entries currently held by this kernel's
     exactly-once reply cache (tests: cache population / watermark
     eviction / crash clearing are asserted through this). *)
+
+val reply_cache_capacity : int
+(** Watermark at which a kernel's exactly-once reply cache starts
+    evicting oldest-completed entries — the denominator of the health
+    plane's dedup-occupancy gauge. *)
+
+(** {1 Live health plane (Locus_health)} *)
+
+val health_report : t -> Locus_health.Report.site
+(** Build this kernel's structured health report right now: in-doubt
+    count and max age, lock-table queue depths and hottest cells, WAL
+    bytes, reply-cache occupancy, degraded replica copies, shard
+    ownership. Works whether or not the windowed sampler is armed, and
+    is exactly what a {!Msg.Health_query} RPC answers. *)
+
+val health_poll_all :
+  cluster -> src:Site.t -> Locus_health.Report.poll list
+(** Monitor-side fan-out: poll every site from [src] (itself answered
+    locally) with the per-RPC timeout; a site that cannot answer —
+    crashed, partitioned, lost messages past the retry budget — comes
+    back as [Unreachable]. Must run inside a fiber. *)
+
+val health_alarms : cluster -> Locus_health.Rules.alarm list
+(** Every watchdog alarm raised so far, oldest first. Empty when the
+    plane is unarmed ([health_window_us = 0]). *)
+
+val health_series : cluster -> (string * Locus_health.Series.t) list
+(** The sampler's windowed time series, sorted by name; [[]] when the
+    plane is unarmed. *)
+
+val health_windows : cluster -> int
+(** Number of sampling windows closed so far (0 when unarmed). *)
+
+val health_active : cluster -> (int * string list) list
+(** Currently-latched alarm conditions: [(site, rule names)] for every
+    scope with at least one active rule; site [-1] is the cluster
+    scope. *)
 
 (** {1 Replication introspection} *)
 

@@ -87,6 +87,9 @@ type t =
       cancel : bool;
     }
   | Ping
+  | Health_query
+      (** Ask a kernel for its live health report (locus_health);
+          answered with [R_health]. *)
   | Read_locked of {
       fid : File_id.t;
       reader : Owner.t;
@@ -134,6 +137,7 @@ type reply =
   | R_data_locked of Bytes.t
       (** Data plus confirmation that an implicit Shared lock is now held
           at the storage site — the client may cache the lock. *)
+  | R_health of Locus_health.Report.site
   | R_batch of reply list
 
 let envelope ?ctx ?rid payload = { ctx; rid; payload }
@@ -179,6 +183,7 @@ let label = function
   | Ensure_lock _ -> "ensure-lock"
   | Release_locks _ -> "release-locks"
   | Ping -> "ping"
+  | Health_query -> "health"
   | Read_locked _ -> "read-locked"
   | Batch _ -> "batch"
 
@@ -243,6 +248,7 @@ let rec pp ppf = function
       | Some rs -> Printf.sprintf "%d ranges" (List.length rs))
       (if cancel then " cancel" else "")
   | Ping -> Fmt.string ppf "ping"
+  | Health_query -> Fmt.string ppf "health-query"
   | Read_locked { fid; pos; len; _ } ->
     Fmt.pf ppf "read-locked %a@%d+%d" File_id.pp fid pos len
   | Batch envs ->
@@ -274,5 +280,7 @@ let rec pp_reply ppf = function
   | R_update u -> Fmt.pf ppf "update(%a)" Update.pp u
   | R_versions vs -> Fmt.pf ppf "versions(%d)" (List.length vs)
   | R_data_locked b -> Fmt.pf ppf "data+locked(%d)" (Bytes.length b)
+  | R_health s ->
+    Fmt.pf ppf "health(site%d)" s.Locus_health.Report.hs_site
   | R_batch rs ->
     Fmt.pf ppf "batch-reply[%a]" (Fmt.list ~sep:Fmt.semi pp_reply) rs

@@ -162,6 +162,10 @@ type t =
           [fid] — specific [ranges] (momentary release) or all of them
           (phase 2 / abort); [cancel] also evicts the owner's waiters *)
   | Ping
+  | Health_query
+      (** ask a kernel for its live health report (locus_health);
+          answered with [R_health] — the health plane's one RPC, usable
+          whether or not the windowed sampler is armed *)
   | Read_locked of {
       fid : File_id.t;
       reader : Owner.t;
@@ -236,6 +240,8 @@ type reply =
       (** data plus confirmation that an implicit Shared lock on the read
           range is now held (and retained) at the storage site — the
           client may cache it like an explicitly acquired lock *)
+  | R_health of Locus_health.Report.site
+      (** the answering site's structured health report *)
   | R_batch of reply list
       (** per-request replies for a [Batch], in request order *)
 

@@ -30,6 +30,7 @@ type event =
   | Migrate of { fid : File_id.t; from_site : int; to_site : int; epoch : int }
   | Net_fault of { dst : int; kind : [ `Drop | `Dup | `Reorder ] }
   | Rpc_exec of { client : int; inc : int; seq : int; site_inc : int; label : string }
+  | Alarm of { name : string; detail : string }
 
 type record = { at : int; site : int; ev : event }
 
@@ -72,5 +73,6 @@ let pp_event ppf = function
   | Rpc_exec { client; inc; seq; site_inc; label } ->
     Fmt.pf ppf "rpc-exec %s client%d.%d seq%d @inc%d" label client inc seq
       site_inc
+  | Alarm { name; detail } -> Fmt.pf ppf "ALARM %s: %s" name detail
 
 let pp ppf r = Fmt.pf ppf "%8d us site%-2d %a" r.at r.site pp_event r.ev

@@ -69,6 +69,12 @@ type event =
           A re-execution after the server crashed (different [site_inc])
           is benign: the crash wiped the volatile state the first
           execution produced. *)
+  | Alarm of { name : string; detail : string }
+      (** the health watchdog (locus_health) raised the named threshold
+          rule at [record.site] (site 0 stands in for cluster-scope
+          rules). First-class events so the checker can assert both
+          directions: clean runs raise none, and injected faults raise
+          the matching one. *)
 
 type record = { at : int; site : int; ev : event }
 (** [at] is virtual time; global order within a run is the emission

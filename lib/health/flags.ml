@@ -1,0 +1,6 @@
+(* CI liveness inversion for the watchdog (same pattern as lib/net's
+   [break_dedup] and lib/check's break_* family): with [break_health] set
+   the rules module silently skips evaluation, so the explorer's
+   alarm-liveness oracle must fail — proving the oracle actually depends
+   on the alarms being raised. *)
+let break_health = ref false

@@ -1,0 +1,93 @@
+type source =
+  | Counter of (unit -> int)
+  | Gauge of (unit -> int)
+  | Hist_p99 of (unit -> Stats.Hist.snap)
+
+(* Per-source sampling state: counters and histograms keep the previous
+   snapshot so each window records only its own delta. *)
+type tracked = {
+  tk_series : Series.t;
+  tk_source : source;
+  mutable tk_prev_count : int;
+  mutable tk_prev_snap : Stats.Hist.snap;
+}
+
+type t = {
+  sp_window_us : int;
+  sp_keep : int;
+  mutable sp_tracked : tracked list;  (* registration order, reversed *)
+  mutable sp_windows : int;
+  mutable sp_last_tick_us : int;
+}
+
+let create ?(keep = 64) ~window_us () =
+  if window_us <= 0 then invalid_arg "Sampler.create: window_us must be > 0";
+  {
+    sp_window_us = window_us;
+    sp_keep = keep;
+    sp_tracked = [];
+    sp_windows = 0;
+    sp_last_tick_us = 0;
+  }
+
+let window_us t = t.sp_window_us
+let windows t = t.sp_windows
+
+let register t name source =
+  if
+    List.exists
+      (fun tk -> Series.name tk.tk_series = name)
+      t.sp_tracked
+  then invalid_arg ("Sampler.register: duplicate series " ^ name);
+  let tk =
+    {
+      tk_series = Series.create ~keep:t.sp_keep name;
+      tk_source = source;
+      (* Prime counter baselines at registration so the first window
+         reports the delta since sampling began, not since boot. *)
+      tk_prev_count = (match source with Counter f -> f () | _ -> 0);
+      tk_prev_snap =
+        (match source with
+        | Hist_p99 f -> f ()
+        | _ -> Stats.Hist.empty_snap);
+    }
+  in
+  t.sp_tracked <- tk :: t.sp_tracked
+
+let tick t ~now_us =
+  let start_us = t.sp_last_tick_us in
+  List.iter
+    (fun tk ->
+      let v =
+        match tk.tk_source with
+        | Counter f ->
+          let cur = f () in
+          let d = cur - tk.tk_prev_count in
+          tk.tk_prev_count <- cur;
+          d
+        | Gauge f -> f ()
+        | Hist_p99 f ->
+          let cur = f () in
+          let window = Stats.Hist.diff cur tk.tk_prev_snap in
+          tk.tk_prev_snap <- cur;
+          Stats.Hist.snap_quantile window 99
+      in
+      Series.push tk.tk_series ~start_us ~end_us:now_us v)
+    t.sp_tracked;
+  t.sp_windows <- t.sp_windows + 1;
+  t.sp_last_tick_us <- now_us
+
+let series t =
+  List.rev_map (fun tk -> (Series.name tk.tk_series, tk.tk_series)) t.sp_tracked
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find t name =
+  List.find_map
+    (fun tk ->
+      if Series.name tk.tk_series = name then Some tk.tk_series else None)
+    t.sp_tracked
+
+let last_value t name =
+  match find t name with
+  | None -> None
+  | Some s -> Option.map (fun p -> p.Series.p_value) (Series.last s)

@@ -1,0 +1,38 @@
+(** The windowed sampler behind the live health plane: a set of named
+    {!Series} fed from pull closures at every window close.
+
+    The kernel drives {!tick} from a self-rescheduling engine-scheduled
+    closure (never a fiber — a looping fiber would keep the event queue
+    alive forever), so sampling consumes no virtual time, draws no
+    randomness, and leaves health-off runs bit-for-bit identical. *)
+
+type source =
+  | Counter of (unit -> int)
+      (** cumulative reading; the series records per-window deltas,
+          primed at registration time *)
+  | Gauge of (unit -> int)  (** instantaneous level at window close *)
+  | Hist_p99 of (unit -> Stats.Hist.snap)
+      (** histogram snapshot; the series records the p99 of just the
+          recordings that landed inside each window (interval merge) *)
+
+type t
+
+val create : ?keep:int -> window_us:int -> unit -> t
+val window_us : t -> int
+
+val windows : t -> int
+(** Closed windows so far. *)
+
+val register : t -> string -> source -> unit
+(** Add a named series. Raises [Invalid_argument] on duplicates. *)
+
+val tick : t -> now_us:int -> unit
+(** Close the window ending at [now_us]: sample every source and push
+    one point per series. *)
+
+val series : t -> (string * Series.t) list
+(** All series, sorted by name. *)
+
+val find : t -> string -> Series.t option
+val last_value : t -> string -> int option
+(** The most recent window's value for the named series. *)

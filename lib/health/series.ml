@@ -1,0 +1,80 @@
+type point = { p_start_us : int; p_end_us : int; p_value : int }
+
+(* Newest-first list bounded to [keep] points: push is O(1) amortized via
+   a length counter, and the window count stays small (default 64), so a
+   long run holds a sliding view instead of growing without bound. *)
+type t = {
+  s_name : string;
+  s_keep : int;
+  mutable s_points : point list;  (* newest first *)
+  mutable s_len : int;
+  mutable s_pushed : int;
+}
+
+let create ?(keep = 64) name =
+  if keep <= 0 then invalid_arg "Series.create: keep must be > 0";
+  { s_name = name; s_keep = keep; s_points = []; s_len = 0; s_pushed = 0 }
+
+let name t = t.s_name
+let keep t = t.s_keep
+let pushed t = t.s_pushed
+
+let truncate t =
+  if t.s_len > t.s_keep then begin
+    (* Drop the oldest (tail) points; rare, so the rebuild is fine. *)
+    t.s_points <-
+      List.filteri (fun i _ -> i < t.s_keep) t.s_points;
+    t.s_len <- t.s_keep
+  end
+
+let push t ~start_us ~end_us v =
+  t.s_points <-
+    { p_start_us = start_us; p_end_us = end_us; p_value = v } :: t.s_points;
+  t.s_len <- t.s_len + 1;
+  t.s_pushed <- t.s_pushed + 1;
+  truncate t
+
+let points t = List.rev t.s_points
+let last t = match t.s_points with [] -> None | p :: _ -> Some p
+
+let peak t =
+  List.fold_left (fun acc p -> max acc p.p_value) 0 t.s_points
+
+let total t = List.fold_left (fun acc p -> acc + p.p_value) 0 t.s_points
+
+(* Compact spark rendering for `locusctl top`: one glyph per retained
+   window, oldest left, scaled against the series peak. *)
+let spark t =
+  let glyphs = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                  "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                  "\xe2\x96\x87"; "\xe2\x96\x88" |] in
+  let hi = peak t in
+  let b = Buffer.create (t.s_len * 3) in
+  List.iter
+    (fun p ->
+      let i =
+        if hi = 0 then 0
+        else if p.p_value <= 0 then 0
+        else 1 + (p.p_value * (Array.length glyphs - 2) / hi)
+      in
+      Buffer.add_string b glyphs.(min i (Array.length glyphs - 1)))
+    (points t);
+  Buffer.contents b
+
+let pp_point_json ppf p =
+  Fmt.pf ppf "{\"start_us\": %d, \"end_us\": %d, \"value\": %d}" p.p_start_us
+    p.p_end_us p.p_value
+
+let pp_json ppf t =
+  (* Series names are code-chosen identifiers, so OCaml string escaping
+     is JSON-compatible here. *)
+  Fmt.pf ppf "{\"name\": %S, \"keep\": %d, \"pushed\": %d, \"points\": [%a]}"
+    t.s_name t.s_keep t.s_pushed
+    (Fmt.list ~sep:(Fmt.any ", ") pp_point_json)
+    (points t)
+
+let pp_list_json ~window_us ~windows ppf series =
+  Fmt.pf ppf "{@[<v 1>@,\"window_us\": %d,@,\"windows\": %d,@,\"series\": [%a]@]@,}@."
+    window_us windows
+    (Fmt.list ~sep:(Fmt.any ",@,") (fun ppf (_, s) -> pp_json ppf s))
+    series

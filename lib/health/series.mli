@@ -1,0 +1,44 @@
+(** One named windowed time series: a bounded ring of per-window values
+    (counter deltas, gauge levels, or derived histogram quantiles),
+    newest pushed at each window close by the {!Sampler}. *)
+
+type point = {
+  p_start_us : int;  (** window open, virtual µs *)
+  p_end_us : int;  (** window close, virtual µs *)
+  p_value : int;
+}
+
+type t
+
+val create : ?keep:int -> string -> t
+(** [keep] bounds the retained windows (default 64, oldest dropped). *)
+
+val name : t -> string
+val keep : t -> int
+
+val pushed : t -> int
+(** Total points ever pushed (retained or not). *)
+
+val push : t -> start_us:int -> end_us:int -> int -> unit
+val points : t -> point list
+(** Retained points, oldest first. *)
+
+val last : t -> point option
+val peak : t -> int
+(** Maximum retained value (0 when empty). *)
+
+val total : t -> int
+(** Sum of retained values. *)
+
+val spark : t -> string
+(** UTF-8 sparkline over the retained window values, oldest left. *)
+
+val pp_json : t Fmt.t
+(** One JSON object: name, ring bound, lifetime push count, retained
+    points. *)
+
+val pp_list_json :
+  window_us:int -> windows:int -> Format.formatter -> (string * t) list -> unit
+(** The time-series export document ([locusctl health --series-out], the
+    e20 bench artifact): sampler geometry plus every series, schema
+    checked in CI. *)

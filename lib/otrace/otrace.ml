@@ -177,6 +177,13 @@ type wait_profile = {
   wp_blockers : (string * int) list;
 }
 
+(* Per-cell blocker maps are bounded so long sweeps can't grow them
+   without limit: at most [max_blockers] distinct owners per cell. When
+   full, a new owner evicts the current minimum-count entry (ties broken
+   toward the lexicographically last name, deterministically) — an
+   approximate top-K, exact whenever a cell sees <= K distinct blockers. *)
+let max_blockers = 8
+
 let note_wait t ~fid ~lo ~wait_us ~queue ~blockers =
   let key = (fid, lo / t.bucket_bytes) in
   let c =
@@ -195,8 +202,28 @@ let note_wait t ~fid ~lo ~wait_us ~queue ~blockers =
   if queue > c.max_queue then c.max_queue <- queue;
   List.iter
     (fun b ->
-      let n = try List.assoc b c.blockers with Not_found -> 0 in
-      c.blockers <- (b, n + 1) :: List.remove_assoc b c.blockers)
+      match List.assoc_opt b c.blockers with
+      | Some n -> c.blockers <- (b, n + 1) :: List.remove_assoc b c.blockers
+      | None ->
+        let rest =
+          if List.length c.blockers < max_blockers then c.blockers
+          else
+            let victim =
+              List.fold_left
+                (fun acc (o, n) ->
+                  match acc with
+                  | None -> Some (o, n)
+                  | Some (vo, vn) ->
+                    if n < vn || (n = vn && String.compare o vo > 0) then
+                      Some (o, n)
+                    else acc)
+                None c.blockers
+            in
+            match victim with
+            | Some (vo, _) -> List.remove_assoc vo c.blockers
+            | None -> c.blockers
+        in
+        c.blockers <- (b, 1) :: rest)
     blockers
 
 (* {1 Ownership migrations (locus_shard)} *)
@@ -226,7 +253,12 @@ let contention t =
         wp_max_wait_us = c.max_wait_us;
         wp_max_queue = c.max_queue;
         wp_blockers =
-          List.sort (fun (_, a) (_, b) -> Int.compare b a) c.blockers;
+          List.sort
+            (fun (oa, a) (ob, b) ->
+              match Int.compare b a with
+              | 0 -> String.compare oa ob
+              | c -> c)
+            c.blockers;
       }
       :: acc)
     t.cells []
@@ -252,6 +284,7 @@ let spans t =
 
 let span_count t = t.count
 let dropped t = t.dropped
+let capacity t = t.capacity
 
 let phases t =
   Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.phase_hists []
@@ -334,13 +367,14 @@ let export_metrics t stats ppf =
       Fmt.pf ppf
         "%s@\n    {\"name\": \"%s\", \"count\": %d, \"total_us\": %d, \
          \"mean_us\": %.1f, \"p50_us\": %d, \"p95_us\": %d, \"p99_us\": %d, \
-         \"max_us\": %d}"
+         \"p999_us\": %d, \"max_us\": %d}"
         (if i = 0 then "" else ",")
         (json_escape name) (Stats.Hist.count h) (Stats.Hist.total h)
         (Stats.Hist.mean h)
         (Stats.Hist.quantile h 50)
         (Stats.Hist.quantile h 95)
         (Stats.Hist.quantile h 99)
+        (Stats.Hist.quantile_permille h 999)
         (Stats.Hist.max_value h))
     (phases t);
   Fmt.pf ppf "@\n  ],@\n  \"lock_contention\": [";
@@ -379,7 +413,10 @@ let export_metrics t stats ppf =
         (if i = 0 then "" else ",")
         (json_escape m.mg_fid) m.mg_from m.mg_to m.mg_epoch m.mg_at)
     (migrations t);
-  Fmt.pf ppf "@\n  ],@\n  \"counters\": {";
+  Fmt.pf ppf "@\n  ],@\n  \"trace\": {";
+  Fmt.pf ppf "\"spans\": %d, \"dropped\": %d, \"capacity\": %d" t.count t.dropped
+    t.capacity;
+  Fmt.pf ppf "},@\n  \"counters\": {";
   List.iteri
     (fun i (k, v) ->
       Fmt.pf ppf "%s@\n    \"%s\": %d" (if i = 0 then "" else ",") (json_escape k) v)

@@ -89,7 +89,10 @@ type wait_profile = {
   wp_total_wait_us : int;
   wp_max_wait_us : int;
   wp_max_queue : int;
-  wp_blockers : (string * int) list;  (** top blockers, most waits first *)
+  wp_blockers : (string * int) list;
+  (** top blockers, most waits first (name-tie-broken); bounded to the 8
+      hottest distinct owners per cell — approximate beyond that, with
+      the lowest-count entry evicted deterministically *)
 }
 
 val contention : t -> wait_profile list
@@ -122,6 +125,10 @@ val spans : t -> (int * int option * string * string * int * int * int) list
 
 val span_count : t -> int
 val dropped : t -> int
+
+val capacity : t -> int
+(** Ring capacity the tracer was created with. *)
+
 val phases : t -> (string * Stats.Hist.t) list
 (** Per-span-name duration histograms, sorted by name. *)
 
@@ -138,7 +145,8 @@ val export_chrome : ?extra:(string * string) list -> t -> Format.formatter -> un
     string pairs to [otherData]. *)
 
 val export_metrics : t -> Stats.t -> Format.formatter -> unit
-(** Machine-readable metrics JSON: per-phase histograms ([phases]), the
-    lock-contention profile ([lock_contention]), the abort-reason
-    taxonomy ([aborts], read from the [txn.abort.*] counters), and all
-    raw counters ([counters]). *)
+(** Machine-readable metrics JSON: per-phase histograms ([phases], with
+    p50/p95/p99/p999), the lock-contention profile ([lock_contention]),
+    the abort-reason taxonomy ([aborts], read from the [txn.abort.*]
+    counters), span-ring drop accounting ([trace]: spans held, dropped
+    count, ring capacity), and all raw counters ([counters]). *)

@@ -65,10 +65,66 @@ module Hist = struct
       walk 0 0
     end
 
+  (* Per-mille variant for tail-of-tail thresholds (p999). *)
+  let quantile_permille t pm =
+    if t.count = 0 then 0
+    else begin
+      let rank = max 1 ((pm * t.count + 999) / 1000) in
+      let rec walk i cum =
+        if i >= nbuckets then t.vmax
+        else
+          let cum = cum + t.buckets.(i) in
+          if cum >= rank then min (bucket_hi i - 1) t.vmax else walk (i + 1) cum
+      in
+      walk 0 0
+    end
+
   let pp ppf t =
     Fmt.pf ppf "n=%d mean=%.1f min=%d p50=%d p95=%d p99=%d max=%d" t.count
       (mean t) (min_value t) (quantile t 50) (quantile t 95) (quantile t 99)
       t.vmax
+
+  (* Immutable snapshots support interval merges: a sampler copies the
+     bucket array at each window edge and diffs consecutive copies to get
+     the histogram of just that window's recordings. *)
+  type snap = { s_buckets : int array; s_count : int; s_total : int; s_vmax : int }
+
+  let empty_snap =
+    { s_buckets = Array.make nbuckets 0; s_count = 0; s_total = 0; s_vmax = 0 }
+
+  let snapshot t =
+    { s_buckets = Array.copy t.buckets; s_count = t.count; s_total = t.total;
+      s_vmax = t.vmax }
+
+  let diff cur prev =
+    let b = Array.make nbuckets 0 in
+    for i = 0 to nbuckets - 1 do
+      b.(i) <- max 0 (cur.s_buckets.(i) - prev.s_buckets.(i))
+    done;
+    { s_buckets = b;
+      s_count = max 0 (cur.s_count - prev.s_count);
+      s_total = max 0 (cur.s_total - prev.s_total);
+      s_vmax = cur.s_vmax }
+
+  let snap_count s = s.s_count
+  let snap_total s = s.s_total
+  let snap_mean s =
+    if s.s_count = 0 then 0. else float_of_int s.s_total /. float_of_int s.s_count
+
+  (* Nearest-rank over the snapshot's buckets; the upper clamp is the
+     source histogram's lifetime max, an upper bound for the interval. *)
+  let snap_quantile s p =
+    if s.s_count = 0 then 0
+    else begin
+      let rank = max 1 ((p * s.s_count + 99) / 100) in
+      let rec walk i cum =
+        if i >= nbuckets then s.s_vmax
+        else
+          let cum = cum + s.s_buckets.(i) in
+          if cum >= rank then min (bucket_hi i - 1) s.s_vmax else walk (i + 1) cum
+      in
+      walk 0 0
+    end
 end
 
 type t = {
@@ -138,11 +194,12 @@ module Summary = struct
     p50 : int;
     p95 : int;
     p99 : int;
+    p999 : int;
   }
 
   let pp ppf s =
-    Fmt.pf ppf "n=%d mean=%.1f min=%d p50=%d p95=%d p99=%d max=%d" s.n s.mean
-      s.min s.p50 s.p95 s.p99 s.max
+    Fmt.pf ppf "n=%d mean=%.1f min=%d p50=%d p95=%d p99=%d p999=%d max=%d" s.n
+      s.mean s.min s.p50 s.p95 s.p99 s.p999 s.max
 end
 
 let summary t name =
@@ -156,6 +213,8 @@ let summary t name =
        the samples at or below it. (The old [p*n/100] index rounded the
        rank up by one: p50 of [1;2] answered 2.) *)
     let pct p = a.(max 0 (((p * n + 99) / 100) - 1)) in
+    (* Per-mille nearest rank for p999, same rounding discipline. *)
+    let pml pm = a.(max 0 (((pm * n + 999) / 1000) - 1)) in
     let total = Array.fold_left ( + ) 0 a in
     Some
       Summary.
@@ -167,6 +226,7 @@ let summary t name =
           p50 = pct 50;
           p95 = pct 95;
           p99 = pct 99;
+          p999 = pml 999;
         }
 
 let pp ppf t =

@@ -30,7 +30,32 @@ module Hist : sig
       the inclusive upper edge of the bucket where the cumulative count
       reaches the rank, clamped to the observed maximum. 0 when empty. *)
 
+  val quantile_permille : t -> int -> int
+  (** [quantile_permille t pm] is {!quantile} at per-mille resolution
+      ([pm] in 0..1000), e.g. [quantile_permille t 999] for p999. *)
+
   val pp : t Fmt.t
+
+  (** {2 Interval snapshots}
+
+      A sampler copies the histogram at each window edge and diffs
+      consecutive copies to get the distribution of just that window. *)
+
+  type snap
+
+  val empty_snap : snap
+  val snapshot : t -> snap
+  val diff : snap -> snap -> snap
+  (** [diff cur prev] is the per-bucket difference (recordings made after
+      [prev] was taken and before [cur]); negative drift clamps to 0. *)
+
+  val snap_count : snap -> int
+  val snap_total : snap -> int
+  val snap_mean : snap -> float
+
+  val snap_quantile : snap -> int -> int
+  (** Nearest-rank percentile over a snapshot's buckets, clamped to the
+      source histogram's lifetime maximum. 0 when the interval is empty. *)
 end
 
 type t
@@ -77,6 +102,7 @@ module Summary : sig
     p50 : int;
     p95 : int;
     p99 : int;
+    p999 : int;  (** per-mille nearest rank — tail-of-tail for alarm rules *)
   }
 
   val pp : t Fmt.t

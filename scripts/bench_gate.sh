@@ -34,7 +34,17 @@
 #      keeps granting at its superseded epoch) and asserting this
 #      script fails.
 #
-# Usage: scripts/bench_gate.sh [exp ...]   (default: e4 e15 e16 e17 e18 e19)
+#   5. e20 self-contained checks: the health plane must be free on the
+#      virtual clock — the health-on row's p50 must sit within
+#      TOLERANCE_PCT of the health-off row (the sampler consumes no
+#      virtual time, so they are byte-identical in practice) with
+#      windows actually closing and zero alarms on the clean loop — and
+#      the stranded-coordinator scenario must raise in_doubt_age within
+#      MAX_ALARM_WINDOWS window closes of the age-threshold crossing.
+#      CI proves the oracle side with the explorer's --break-health
+#      inversion.
+#
+# Usage: scripts/bench_gate.sh [exp ...]   (default: e4 e15 e16 e17 e18 e19 e20)
 
 set -u
 
@@ -44,9 +54,10 @@ MIN_MSG_RATIO=${MIN_MSG_RATIO:-1.5}
 MIN_LOCAL_HIT=${MIN_LOCAL_HIT:-0.6}
 MAX_STATIC_HIT=${MAX_STATIC_HIT:-0.2}
 E18_P50_FRACTION=${E18_P50_FRACTION:-0.6}
+MAX_ALARM_WINDOWS=${MAX_ALARM_WINDOWS:-2}
 BASELINES=${BASELINES:-bench/baselines}
-EXPS=("${@:-e4 e15 e16 e17 e18 e19}")
-[ $# -eq 0 ] && EXPS=(e4 e15 e16 e17 e18 e19)
+EXPS=("${@:-e4 e15 e16 e17 e18 e19 e20}")
+[ $# -eq 0 ] && EXPS=(e4 e15 e16 e17 e18 e19 e20)
 
 fail=0
 
@@ -169,6 +180,41 @@ check_e19_ratios() {
   done <<<"$labels"
 }
 
+check_e20_health() {
+  local cur=BENCH_e20.json
+  [ -f "$cur" ] || { bad "$cur missing"; return; }
+  local off_p50 on_p50 on_windows off_alarms on_alarms
+  off_p50=$(jq -r '.metrics[] | select(.label == "health off") | .p50_virtual_us' "$cur")
+  on_p50=$(jq -r '.metrics[] | select(.label | startswith("health on")) | .p50_virtual_us' "$cur")
+  on_windows=$(jq -r '.metrics[] | select(.label | startswith("health on")) | .windows' "$cur")
+  off_alarms=$(jq -r '.metrics[] | select(.label == "health off") | .alarms' "$cur")
+  on_alarms=$(jq -r '.metrics[] | select(.label | startswith("health on")) | .alarms' "$cur")
+  note "gate: e20 p50 on ${on_p50}us vs off ${off_p50}us, ${on_windows} windows, alarms off/on $off_alarms/$on_alarms"
+  # Observation must be free on the virtual clock (within the tolerance,
+  # identical in practice).
+  jq -n --argjson b "$off_p50" --argjson c "$on_p50" --argjson t "$TOLERANCE_PCT" \
+      'if $b == 0 then $c == 0 else (($c - $b) | if . < 0 then -. else . end) * 100 <= $t * $b end' \
+      | grep -q true ||
+    bad "e20: health-on p50 ${on_p50}us drifts >${TOLERANCE_PCT}% from health-off ${off_p50}us"
+  jq -n --argjson w "$on_windows" '$w >= 1' | grep -q true ||
+    bad "e20: health on but no sampler window ever closed"
+  jq -n --argjson a "$off_alarms" --argjson b "$on_alarms" '$a == 0 and $b == 0' | grep -q true ||
+    bad "e20: watchdog raised alarms on the clean overhead loop (false alarms)"
+  # The stranded-coordinator scenario: alarm fired, participants were
+  # really blocked, and the raise landed within the window budget.
+  local lat alarm_at blocked
+  lat=$(jq -r '.metrics[] | select(.label == "in_doubt_age alarm") | .alarm_latency_windows' "$cur")
+  alarm_at=$(jq -r '.metrics[] | select(.label == "in_doubt_age alarm") | .alarm_at_us' "$cur")
+  blocked=$(jq -r '.metrics[] | select(.label == "in_doubt_age alarm") | .blocked_participants' "$cur")
+  note "gate: e20 in_doubt_age alarm latency ${lat} windows (blocked participants: $blocked)"
+  jq -n --argjson a "$alarm_at" '$a >= 0' | grep -q true ||
+    bad "e20: in_doubt_age alarm never fired on the stranded-coordinator scenario"
+  jq -n --argjson b "$blocked" '$b >= 1' | grep -q true ||
+    bad "e20: no participant ended blocked in-doubt (scenario lost its teeth)"
+  jq -n --argjson l "$lat" --argjson m "$MAX_ALARM_WINDOWS" '$l >= 0 and $l <= $m' | grep -q true ||
+    bad "e20: alarm latency ${lat} windows outside [0, ${MAX_ALARM_WINDOWS}]"
+}
+
 for exp in ${EXPS[@]+"${EXPS[@]}"}; do
   # Word-split the default "e4 e15 e16" string form.
   for e in $exp; do
@@ -176,6 +222,7 @@ for exp in ${EXPS[@]+"${EXPS[@]}"}; do
     [ "$e" = e16 ] && check_e16_ratios
     [ "$e" = e18 ] && check_e18_ratios
     [ "$e" = e19 ] && check_e19_ratios
+    [ "$e" = e20 ] && check_e20_health
   done
 done
 

@@ -252,6 +252,114 @@ let test_ring_bound () =
   Alcotest.(check bool) "export mentions orphans" true
     (Buffer.length buf > 0)
 
+(* Appended: the chrome-export orphan guarantee and the blocker bound. *)
+
+let test_chrome_orphan_promotion () =
+  (* A child whose parent fell off the bounded ring MUST be promoted to a
+     root by the export — a Perfetto file with dangling parent ids renders
+     broken. Build the eviction deterministically: finish the parent
+     first, push it out with fillers, then finish the child last. *)
+  let sim = L.make ~n_sites:1 () in
+  let otr = O.create ~capacity:3 sim.L.engine in
+  let p = O.start otr ~site:0 ~cat:"test" "parent" in
+  let c = O.start otr ~site:0 ~cat:"test" "child" in
+  O.finish otr p;
+  (* ring: [parent] — now evict it with three fillers (children of the
+     still-open [c], so their parent ids resolve in the final file). *)
+  for i = 1 to 3 do
+    O.with_span otr ~site:0 ~cat:"test" (Printf.sprintf "filler%d" i)
+      (fun () -> ())
+  done;
+  O.finish otr c;
+  (* ring: [filler2; filler3; child]; parent and filler1 were dropped. *)
+  Alcotest.(check bool) "spans were dropped" true (O.dropped otr > 0);
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  O.export_chrome otr ppf;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  (* Scan the emitted args: collect every "id": N and "parent": N. *)
+  let ints_after key =
+    let kl = String.length key and n = String.length out in
+    let rec go i acc =
+      if i + kl >= n then acc
+      else if String.sub out i kl = key then begin
+        let j = ref (i + kl) in
+        let v = ref 0 and seen = ref false in
+        while
+          !j < n && match out.[!j] with '0' .. '9' -> true | _ -> false
+        do
+          v := (!v * 10) + (Char.code out.[!j] - Char.code '0');
+          seen := true;
+          incr j
+        done;
+        go !j (if !seen then !v :: acc else acc)
+      end
+      else go (i + 1) acc
+    in
+    go 0 []
+  in
+  let ids = ints_after "\"id\": " in
+  let parents = ints_after "\"parent\": " in
+  Alcotest.(check int) "ring capacity spans exported" 3 (List.length ids);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parent %d resolves inside the file" p)
+        true (List.mem p ids))
+    parents;
+  (* The dropped parents' children were promoted and counted. *)
+  match ints_after "\"orphaned\": " with
+  | [ orphaned ] ->
+      Alcotest.(check bool) "promotions counted in otherData" true (orphaned > 0)
+  | l -> Alcotest.failf "expected one orphaned field, got %d" (List.length l)
+
+let test_blockers_bounded () =
+  let sim = L.make ~n_sites:2 () in
+  let otr = O.create sim.L.engine in
+  (* 12 distinct blockers against one cell, with distinct weights: the
+     map is bounded to 8 entries (approximate top-K with min-eviction),
+     the report sorts most-waits-first with name as tie-break, and the
+     heavy hitters that never hit the eviction floor keep exact counts. *)
+  for round = 1 to 12 do
+    for b = 1 to round do
+      O.note_wait otr ~fid:"f1:1" ~lo:0 ~wait_us:10 ~queue:1
+        ~blockers:[ Printf.sprintf "owner%02d" b ]
+    done
+  done;
+  (match O.contention otr with
+  | [ cell ] ->
+      let bl = cell.O.wp_blockers in
+      Alcotest.(check int) "bounded to 8 entries" 8 (List.length bl);
+      let rec descending = function
+        | (an, ac) :: ((bn, bc) :: _ as rest) ->
+            (ac > bc || (ac = bc && String.compare an bn < 0))
+            && descending rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "stable order: waits desc, name tie-break" true
+        (descending bl);
+      (* owner01..owner07 accumulate fast enough that eviction never
+         touches them: their counts are exact. *)
+      List.iteri
+        (fun i expect ->
+          let name = Printf.sprintf "owner%02d" (i + 1) in
+          Alcotest.(check (option int)) name (Some expect)
+            (List.assoc_opt name bl))
+        [ 12; 11; 10; 9; 8; 7; 6 ]
+  | cells -> Alcotest.failf "expected 1 cell, got %d" (List.length cells));
+  (* Equal counts: deterministic lexicographic order, not insertion luck. *)
+  let otr2 = O.create sim.L.engine in
+  List.iter
+    (fun b -> O.note_wait otr2 ~fid:"f1:2" ~lo:0 ~wait_us:5 ~queue:1 ~blockers:[ b ])
+    [ "zeta"; "alpha"; "mid" ];
+  match O.contention otr2 with
+  | [ cell ] ->
+      Alcotest.(check (list (pair string int))) "ties broken by name"
+        [ ("alpha", 1); ("mid", 1); ("zeta", 1) ]
+        cell.O.wp_blockers
+  | cells -> Alcotest.failf "expected 1 cell, got %d" (List.length cells)
+
 let suite =
   [
     ( "otrace",
@@ -264,5 +372,9 @@ let suite =
         Alcotest.test_case "export shape" `Quick test_export_shape;
         Alcotest.test_case "abort taxonomy" `Quick test_abort_taxonomy;
         Alcotest.test_case "bounded ring" `Quick test_ring_bound;
+        Alcotest.test_case "chrome export promotes orphans" `Quick
+          test_chrome_orphan_promotion;
+        Alcotest.test_case "contention blockers bounded to top-8" `Quick
+          test_blockers_bounded;
       ] );
   ]

@@ -303,12 +303,55 @@ let test_stats_quantile_nearest_rank () =
   for v = 100 downto 1 do
     Stats.sample s2 "hundred" v
   done;
-  match Stats.summary s2 "hundred" with
+  (match Stats.summary s2 "hundred" with
   | None -> Alcotest.fail "no summary"
   | Some sum ->
     Alcotest.(check int) "p50 of 1..100" 50 sum.Stats.Summary.p50;
     Alcotest.(check int) "p95 of 1..100" 95 sum.Stats.Summary.p95;
-    Alcotest.(check int) "p99 of 1..100" 99 sum.Stats.Summary.p99
+    Alcotest.(check int) "p99 of 1..100" 99 sum.Stats.Summary.p99;
+    (* p999 of 100 samples: rank ceil(99.9) = 100 -> the maximum. *)
+    Alcotest.(check int) "p999 of 1..100" 100 sum.Stats.Summary.p999);
+  (* p999 separates from p99 once the population is large enough: of
+     1..1000, p99 is the 990th order statistic but p999 is the 999th. *)
+  let s3 = Stats.create () in
+  for v = 1 to 1000 do
+    Stats.sample s3 "thousand" v
+  done;
+  match Stats.summary s3 "thousand" with
+  | None -> Alcotest.fail "no summary"
+  | Some sum ->
+    Alcotest.(check int) "p99 of 1..1000" 990 sum.Stats.Summary.p99;
+    Alcotest.(check int) "p999 of 1..1000" 999 sum.Stats.Summary.p999
+
+(* The histogram-side per-mille quantile and the snapshot/diff algebra the
+   health sampler's interval merges are built on. *)
+
+let test_hist_permille_and_snapshots () =
+  let h = Stats.Hist.create () in
+  for v = 1 to 1000 do
+    Stats.Hist.add h v
+  done;
+  Alcotest.(check bool) "p999 >= p99 (log2 bucket resolution)" true
+    (Stats.Hist.quantile_permille h 999 >= Stats.Hist.quantile_permille h 990);
+  Alcotest.(check int) "p1000 clamps to the observed max" 1000
+    (Stats.Hist.quantile_permille h 1000);
+  (* Interval merge: a snapshot diff sees only the recordings between the
+     two snapshots, never the lifetime population. *)
+  let before = Stats.Hist.snapshot h in
+  Stats.Hist.add h 5;
+  Stats.Hist.add h 6;
+  Stats.Hist.add h 7;
+  let window = Stats.Hist.diff (Stats.Hist.snapshot h) before in
+  Alcotest.(check int) "window count" 3 (Stats.Hist.snap_count window);
+  Alcotest.(check int) "window total" 18 (Stats.Hist.snap_total window);
+  Alcotest.(check (float 0.001)) "window mean" 6.0 (Stats.Hist.snap_mean window);
+  Alcotest.(check bool) "window p99 reflects the interval, not the 1000s"
+    true
+    (Stats.Hist.snap_quantile window 99 <= 7);
+  (* An empty interval is all zeroes. *)
+  let empty = Stats.Hist.diff (Stats.Hist.snapshot h) (Stats.Hist.snapshot h) in
+  Alcotest.(check int) "empty interval count" 0 (Stats.Hist.snap_count empty);
+  Alcotest.(check int) "empty interval p99" 0 (Stats.Hist.snap_quantile empty 99)
 
 let test_hist_buckets () =
   let h = Stats.Hist.create () in
@@ -364,6 +407,8 @@ let suite =
         [
           Alcotest.test_case "nearest rank" `Quick test_stats_quantile_nearest_rank;
           Alcotest.test_case "hist buckets" `Quick test_hist_buckets;
+          Alcotest.test_case "hist permille + snapshots" `Quick
+            test_hist_permille_and_snapshots;
           Alcotest.test_case "named hists" `Quick test_hist_named;
         ] );
     ]
