@@ -26,6 +26,7 @@ let experiments =
     ("e18", "locus_shard: dynamic lock placement on a hot-key workload", Exp_shard.e18);
     ("e19", "locus_chaos: record commit over a lossy network", Exp_chaos.e19);
     ("e20", "locus_health: health plane overhead + alarm latency", Exp_health.e20);
+    ("e21", "locus_load: offered-load ladder + engine dispatch speed", Exp_load.e21);
     ("micro", "bechamel microbenchmarks", Micro.run);
   ]
 

@@ -423,7 +423,7 @@ let dc_cmd =
 
 module Ck = Locus_check
 
-let check_config ?(health_window = 0) sites txns ops records replicas
+let check_config ?(health_window = 0) ?arrival sites txns ops records replicas
     batch_window fault_every commit shards policy net_faults =
   {
     Ck.Explore.sites = max 2 sites;
@@ -438,6 +438,7 @@ let check_config ?(health_window = 0) sites txns ops records replicas
     policy;
     net_faults;
     health_window = max 0 health_window;
+    arrival;
   }
 
 let txns_arg =
@@ -572,11 +573,23 @@ let pp_blocked =
   Fmt.list ~sep:Fmt.sp (fun ppf (site, txid) ->
       Fmt.pf ppf "site%d:%a" site Txid.pp txid)
 
+let arrival_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "arrival" ] ~docv:"RATE"
+        ~doc:
+          "Open-loop workload generation: transactions carry Poisson \
+           arrival instants at $(docv)/sec and draw records from a \
+           Zipfian popularity law, and the driver releases each at its \
+           instant instead of forking everything at once. Default: the \
+           classic closed-loop generator.")
+
 let check seed sites txns ops records replicas batch_window fault_every commit
-    paxos_f shards policy net_faults =
+    paxos_f shards policy net_faults arrival =
   let cfg =
-    check_config sites txns ops records replicas batch_window fault_every
-      (commit_of commit paxos_f) shards policy net_faults
+    check_config ?arrival sites txns ops records replicas batch_window
+      fault_every (commit_of commit paxos_f) shards policy net_faults
   in
   let spec, hist, report, blocked = Ck.Explore.run_seed cfg seed in
   Fmt.pr "workload (seed %d):@.%a@." seed Ck.Workload.pp spec;
@@ -594,14 +607,16 @@ let check_cmd =
     Term.(
       const check $ seed_arg $ sites_arg $ txns_arg $ ops_arg $ records_arg
       $ replicas_arg $ batch_window_arg $ fault_every_arg $ commit_arg
-      $ paxos_f_arg $ shards_arg $ migrate_policy_arg $ net_faults_arg)
+      $ paxos_f_arg $ shards_arg $ migrate_policy_arg $ net_faults_arg
+      $ arrival_arg)
 
 let explore seed sites txns ops records replicas batch_window fault_every
     n_seeds break_locks break_repl break_paxos break_shard break_dedup
-    break_health commit paxos_f shards policy net_faults health_window =
+    break_health commit paxos_f shards policy net_faults health_window arrival =
   let cfg =
-    check_config ~health_window sites txns ops records replicas batch_window
-      fault_every (commit_of commit paxos_f) shards policy net_faults
+    check_config ~health_window ?arrival sites txns ops records replicas
+      batch_window fault_every (commit_of commit paxos_f) shards policy
+      net_faults
   in
   if break_locks then begin
     Fmt.pr "!! breaking the shared/exclusive compatibility rule (Figure 1)@.";
@@ -759,7 +774,7 @@ let explore_cmd =
       $ replicas_arg $ batch_window_arg $ fault_every_arg $ n_seeds
       $ break_locks $ break_repl $ break_paxos $ break_shard $ break_dedup
       $ break_health $ commit_arg $ paxos_f_arg $ shards_arg
-      $ migrate_policy_arg $ net_faults_arg $ health_window)
+      $ migrate_policy_arg $ net_faults_arg $ health_window $ arrival_arg)
 
 (* {1 repl-status} *)
 
@@ -1221,6 +1236,126 @@ let top_cmd =
           currently-latched conditions, and one status line per site.")
     Term.(const top $ seed_arg $ window_arg $ no_kill_arg)
 
+(* {1 load} *)
+
+module Ld = Locus_load
+
+let pp_load_json (cfg : Ld.Driver.config) scenario_label (r : Ld.Driver.report) ppf =
+  Fmt.pf ppf "{@[<v 1>@,";
+  Fmt.pf ppf "\"seed\": %d,@," cfg.Ld.Driver.seed;
+  Fmt.pf ppf "\"scenario\": %S,@," scenario_label;
+  Fmt.pf ppf "\"sites\": %d,@," cfg.Ld.Driver.sites;
+  Fmt.pf ppf "\"replicas\": %d,@," cfg.Ld.Driver.replicas;
+  Fmt.pf ppf "\"duration_us\": %d,@," cfg.Ld.Driver.duration_us;
+  Fmt.pf ppf "\"offered\": %d,@," r.Ld.Driver.offered;
+  Fmt.pf ppf "\"completed\": %d,@," r.Ld.Driver.completed;
+  Fmt.pf ppf "\"aborted\": %d,@," r.Ld.Driver.aborted;
+  Fmt.pf ppf "\"shed\": %d,@," r.Ld.Driver.shed;
+  Fmt.pf ppf "\"offered_per_sec\": %.2f,@," r.Ld.Driver.offered_per_sec;
+  Fmt.pf ppf "\"completed_per_sec\": %.2f,@," r.Ld.Driver.completed_per_sec;
+  Fmt.pf ppf "\"sojourn_p50_us\": %d,@," r.Ld.Driver.sojourn_p50_us;
+  Fmt.pf ppf "\"sojourn_p99_us\": %d,@," r.Ld.Driver.sojourn_p99_us;
+  Fmt.pf ppf "\"sojourn_p999_us\": %d,@," r.Ld.Driver.sojourn_p999_us;
+  Fmt.pf ppf "\"aborts\": [@[<v 1>%a@]],@,"
+    (Fmt.list ~sep:(Fmt.any ",@,") (fun ppf (reason, count) ->
+         Fmt.pf ppf "{\"reason\": %S, \"count\": %d}" reason count))
+    r.Ld.Driver.aborts;
+  Fmt.pf ppf "\"events_fired\": %d,@," r.Ld.Driver.events_fired;
+  Fmt.pf ppf "\"virtual_us\": %d@]@,}@." r.Ld.Driver.virtual_us
+
+let load seed sites replicas duration scenario scenario_file rate out =
+  let label, sc =
+    match scenario_file with
+    | Some path -> (
+      let text = In_channel.with_open_text path In_channel.input_all in
+      match Ld.Scenario.parse text with
+      | Ok sc -> (Filename.basename path, sc)
+      | Error e ->
+        Fmt.epr "locusctl load: cannot parse %s: %s@." path e;
+        exit 1)
+    | None -> (
+      match Ld.Scenario.builtin scenario with
+      | Some sc -> (scenario, sc)
+      | None ->
+        Fmt.epr "locusctl load: unknown scenario %S (builtins: %s)@." scenario
+          (String.concat ", " Ld.Scenario.builtin_names);
+        exit 1)
+  in
+  let sc =
+    match rate with
+    | None -> sc
+    | Some r ->
+      {
+        sc with
+        Ld.Scenario.arrival = { sc.Ld.Scenario.arrival with Ld.Arrival.base_per_sec = r };
+      }
+  in
+  let cfg =
+    {
+      Ld.Driver.sites;
+      replicas;
+      duration_us = duration;
+      scenario = sc;
+      seed;
+    }
+  in
+  let report, sim = Ld.Driver.run cfg in
+  match out with
+  | Some _ -> with_out out (pp_load_json cfg label report)
+  | None ->
+    Fmt.pr "locus load — scenario %s, seed %d, %d sites%s, %.1f virtual s@." label
+      seed sites
+      (if replicas > 1 then Printf.sprintf " (x%d replicas)" replicas else "")
+      (float_of_int duration /. 1e6);
+    Fmt.pr "%a@." Ld.Scenario.pp sc;
+    Fmt.pr "@.%a@." Ld.Driver.pp_report report;
+    print_summary sim
+
+let replicas_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "replicas" ] ~docv:"N" ~doc:"Replication factor (1 = unreplicated).")
+
+let duration_arg =
+  Arg.(
+    value & opt int 3_000_000
+    & info [ "duration" ] ~docv:"US"
+        ~doc:"Stop generating arrivals after this much virtual time (µs).")
+
+let scenario_arg =
+  Arg.(
+    value & opt string "steady"
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:
+          "Built-in scenario: steady, diurnal, flash, flash-partition, \
+           rolling, or rebuild.")
+
+let scenario_file_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "scenario-file" ] ~docv:"FILE"
+        ~doc:
+          "Parse the scenario from FILE (overrides --scenario; see HACKING.md \
+           for the directive format).")
+
+let rate_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "rate" ] ~docv:"PER_SEC"
+        ~doc:"Override the scenario's base arrival rate (arrivals/second).")
+
+let load_cmd =
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive open-loop traffic (Poisson arrivals, Zipfian keys, scripted \
+          faults) at a simulated cluster and report offered vs completed \
+          throughput, sojourn percentiles, and the abort taxonomy \
+          (deterministic JSON with --out).")
+    Term.(
+      const load $ seed_arg $ sites_arg $ replicas_arg $ duration_arg
+      $ scenario_arg $ scenario_file_arg $ rate_arg $ out_arg)
+
 (* {1 stats} *)
 
 let cluster_info _seed sites =
@@ -1251,4 +1386,4 @@ let () =
           (Cmd.info "locusctl" ~version:"1.0" ~doc)
           [ bank_cmd; chaos_cmd; deadlock_cmd; dc_cmd; check_cmd; explore_cmd;
             repl_status_cmd; shard_status_cmd; trace_export_cmd; metrics_cmd;
-            health_cmd; top_cmd; stats_cmd ]))
+            health_cmd; top_cmd; load_cmd; stats_cmd ]))

@@ -11,6 +11,7 @@ type config = {
   policy : Locus_shard.Policy.t;
   net_faults : Locus_net.Transport.faults option;
   health_window : int;
+  arrival : float option;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     policy = Locus_shard.Policy.default;
     net_faults = None;
     health_window = 0;
+    arrival = None;
   }
 
 type failure = {
@@ -88,8 +90,21 @@ let fault_for cfg seed =
 
 let run_seed cfg seed =
   let spec =
-    Workload.gen ~seed ~sites:cfg.sites ~txns:cfg.txns ~ops:cfg.ops
-      ~records:cfg.records ()
+    match cfg.arrival with
+    | Some rate ->
+      (* Poisson base with a flash crowd punched through the middle of
+         the expected makespan: every open-loop seed exercises both the
+         steady arrival clock and a burst 3x over it. *)
+      let makespan =
+        int_of_float (float_of_int (max 1 cfg.txns) /. Float.max 1e-6 rate *. 1e6)
+      in
+      Workload.gen_open ~seed ~sites:cfg.sites ~txns:cfg.txns ~ops:cfg.ops
+        ~records:cfg.records
+        ~flash:(makespan / 2, makespan / 4, 3.)
+        ~rate ()
+    | None ->
+      Workload.gen ~seed ~sites:cfg.sites ~txns:cfg.txns ~ops:cfg.ops
+        ~records:cfg.records ()
   in
   let hist, sim =
     Workload.run ?fault:(fault_for cfg seed) ~replicas:cfg.replicas

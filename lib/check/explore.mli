@@ -48,6 +48,12 @@ type config = {
           [in_doubt_age] alarm (blocking itself is then the scenario,
           not a failure). [--break-health] inverts the second oracle:
           with the watchdog muted those seeds fail. *)
+  arrival : float option;
+      (** open-loop arrival rate in transactions/sec: [Some r] generates
+          every seed's spec with {!Workload.gen_open} (Poisson instants,
+          Zipfian record popularity) so the sweep proves 1SR and liveness
+          under arrival-clock release instead of the closed-loop
+          fork-then-wait schedule; [None] keeps the classic generator *)
 }
 
 val default_config : config

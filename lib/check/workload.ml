@@ -4,7 +4,7 @@ module K = Locus_core.Kernel
 module Transport = Locus_net.Transport
 
 type op = Op_read of int | Op_update of int
-type txn_spec = { site : int; ops : op list }
+type txn_spec = { site : int; at_us : int; ops : op list }
 type spec = { n_sites : int; n_records : int; txns : txn_spec list }
 
 type crash = { victim : int; after_decides : int; restart_delay : int }
@@ -34,16 +34,66 @@ let gen ~seed ?(sites = 2) ?(txns = 4) ?(ops = 4) ?(records = 4) () =
               let r = Prng.int rng records in
               if Prng.bool rng then Op_read r else Op_update r)
         in
-        { site; ops })
+        { site; at_us = 0; ops })
   in
   { n_sites = sites; n_records = records; txns }
+
+(* Open-loop variant: the same bank-style transactions, but each stamped
+   with a Poisson arrival instant ([at_us]) and drawing its records from
+   a Zipfian popularity law — locus_load's generators driving the
+   checker's workload shape. The driver releases each transaction at its
+   instant whether or not earlier ones have finished, so a sweep over
+   these specs proves 1SR under open-loop pressure, not just under the
+   closed-loop fork-then-wait schedule. *)
+let gen_open ~seed ?(sites = 2) ?(txns = 4) ?(ops = 4) ?(records = 4) ?flash
+    ~rate () =
+  let sites = max 1 sites
+  and txns = max 0 txns
+  and n_ops = max 1 ops
+  and records = max 1 records in
+  let rng = Prng.create ~seed in
+  let shape =
+    let base = Locus_load.Arrival.constant (Float.max 1e-6 rate) in
+    match flash with
+    | None -> base
+    | Some (at_us, len_us, mult) ->
+      {
+        base with
+        Locus_load.Arrival.flash_at_us = at_us;
+        flash_len_us = len_us;
+        flash_mult = mult;
+      }
+  in
+  let arr = Locus_load.Arrival.create ~prng:rng shape in
+  let zipf = Locus_load.Zipf.create ~s:1.0 ~n:records () in
+  let mix =
+    Locus_load.Opmix.make ~read_frac:0.5 ~ops_min:n_ops ~ops_max:n_ops ()
+  in
+  let rec build acc k now =
+    if k = 0 then List.rev acc
+    else
+      let at = Locus_load.Arrival.next_after arr now in
+      let site = Prng.int rng sites in
+      let ops =
+        List.map
+          (function
+            | Locus_load.Opmix.Read r -> Op_read r
+            | Locus_load.Opmix.Update r -> Op_update r)
+          (Locus_load.Opmix.gen_txn mix rng zipf)
+      in
+      build ({ site; at_us = at; ops } :: acc) (k - 1) at
+  in
+  { n_sites = sites; n_records = records; txns = build [] txns 0 }
 
 let pp_op ppf = function
   | Op_read r -> Fmt.pf ppf "r%d" r
   | Op_update r -> Fmt.pf ppf "u%d" r
 
 let pp_txn_spec ppf t =
-  Fmt.pf ppf "@[site %d: %a@]" t.site (Fmt.list ~sep:Fmt.sp pp_op) t.ops
+  if t.at_us > 0 then
+    Fmt.pf ppf "@[site %d @@%dus: %a@]" t.site t.at_us
+      (Fmt.list ~sep:Fmt.sp pp_op) t.ops
+  else Fmt.pf ppf "@[site %d: %a@]" t.site (Fmt.list ~sep:Fmt.sp pp_op) t.ops
 
 let pp ppf s =
   Fmt.pf ppf "@[<v>%d sites, %d records@,%a@]" s.n_sites s.n_records
@@ -180,9 +230,19 @@ let run ?fault ?(replicas = 1) ?(batch_window = 0) ?(commit = `Two_phase)
          done;
          Api.write_string env c (Buffer.contents init);
          Api.close env c;
+         (* Open-loop specs stamp arrival instants: the driver sleeps up
+            to each transaction's [at_us] (measured from this point, after
+            the records exist) and forks without waiting on predecessors.
+            All-zero stamps — every closed-loop spec — never sleep, so the
+            classic schedule is byte-identical. *)
+         let eng = K.engine sim.L.cluster in
+         let epoch = Engine.now eng in
          let pids =
            List.mapi
              (fun i t ->
+               (if t.at_us > 0 then
+                  let dt = epoch + t.at_us - Engine.now eng in
+                  if dt > 0 then Engine.sleep dt);
                Api.fork env ~site:t.site
                  ~name:(Printf.sprintf "wl-txn-%d" i)
                  (fun env -> run_txn ~piggyback:(batch_window > 0) env t))

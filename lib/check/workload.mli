@@ -9,7 +9,13 @@
 
 type op = Op_read of int | Op_update of int  (** record index *)
 
-type txn_spec = { site : int; ops : op list }
+type txn_spec = {
+  site : int;
+  at_us : int;
+      (** open-loop arrival instant in virtual µs from driver start; [0]
+          (the closed-loop default) forks immediately in spec order *)
+  ops : op list;
+}
 
 type spec = { n_sites : int; n_records : int; txns : txn_spec list }
 
@@ -61,6 +67,23 @@ val gen :
   spec
 (** Deterministic workload from a seed (defaults: 2 sites, 4 txns of 4
     ops over 4 records — small enough to conflict constantly). *)
+
+val gen_open :
+  seed:int ->
+  ?sites:int ->
+  ?txns:int ->
+  ?ops:int ->
+  ?records:int ->
+  ?flash:int * int * float ->
+  rate:float ->
+  unit ->
+  spec
+(** Open-loop variant of {!gen}: transactions carry Poisson arrival
+    instants at [rate]/sec ({!Locus_load.Arrival}) and draw their records
+    from a Zipfian popularity law ({!Locus_load.Zipf}), so the driver
+    releases them on the arrival clock instead of all at once.
+    [flash:(at_us, len_us, mult)] adds a flash-crowd burst to the arrival
+    shape. The same seed still names the same spec byte-for-byte. *)
 
 val run :
   ?fault:fault ->

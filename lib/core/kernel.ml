@@ -2673,19 +2673,26 @@ let health_arm cl =
     let sp =
       Hsampler.create ~keep:cl.cfg.Config.health_keep ~window_us ()
     in
-    let counter name = Hsampler.Counter (fun () -> Stats.get st name) in
+    (* Intern the counter cells once: these sources run every sampler
+       window on every site, and [Stats.get]'s string hash + probe per
+       read adds up at high window rates. *)
+    let counter name =
+      let r = Stats.counter st name in
+      Hsampler.Counter (fun () -> !r)
+    in
     Hsampler.register sp "commits" (counter "txn.committed");
     Hsampler.register sp "aborts" (counter "txn.aborted");
     Hsampler.register sp "msgs" (counter "net.msg");
     Hsampler.register sp "retries" (counter "net.retries");
     Hsampler.register sp "net_faults"
-      (Hsampler.Counter
-         (fun () ->
-           Stats.get st "net.drop" + Stats.get st "net.dup"
-           + Stats.get st "net.reorder"));
+      (let drop = Stats.counter st "net.drop"
+       and dup = Stats.counter st "net.dup"
+       and reorder = Stats.counter st "net.reorder" in
+       Hsampler.Counter (fun () -> !drop + !dup + !reorder));
     Hsampler.register sp "migrations" (counter "shard.migrations");
     Hsampler.register sp "in_doubt"
-      (Hsampler.Gauge (fun () -> Stats.get st "txn.in_doubt"));
+      (let r = Stats.counter st "txn.in_doubt" in
+       Hsampler.Gauge (fun () -> !r));
     Hsampler.register sp "lock_waiters"
       (Hsampler.Gauge
          (fun () ->

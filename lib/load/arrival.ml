@@ -1,0 +1,69 @@
+type shape = {
+  base_per_sec : float;
+  diurnal_amplitude : float;
+  diurnal_period_us : int;
+  flash_at_us : int;
+  flash_len_us : int;
+  flash_mult : float;
+}
+
+let constant r =
+  {
+    base_per_sec = r;
+    diurnal_amplitude = 0.;
+    diurnal_period_us = 0;
+    flash_at_us = -1;
+    flash_len_us = 0;
+    flash_mult = 1.;
+  }
+
+(* Clamp the knobs once, at the rate function, so a hand-built shape with
+   amplitude >= 1 or mult < 1 cannot drive λ(t) negative or above the
+   thinning envelope (either would break termination or exactness). *)
+let amp s = Float.min 0.999 (Float.max 0. s.diurnal_amplitude)
+let mult s = Float.max 1. s.flash_mult
+
+let in_flash s t =
+  s.flash_at_us >= 0 && t >= s.flash_at_us && t < s.flash_at_us + s.flash_len_us
+
+let rate_at s t =
+  let base = Float.max 0. s.base_per_sec in
+  let diurnal =
+    if s.diurnal_period_us <= 0 || amp s = 0. then 1.
+    else
+      let phase =
+        2. *. Float.pi
+        *. (float_of_int (t mod s.diurnal_period_us)
+           /. float_of_int s.diurnal_period_us)
+      in
+      1. +. (amp s *. sin phase)
+  in
+  let flash = if in_flash s t then mult s else 1. in
+  base *. diurnal *. flash
+
+let peak_rate s = Float.max 0. s.base_per_sec *. (1. +. amp s) *. mult s
+
+type t = { shp : shape; prng : Prng.t }
+
+let create ~prng shp = { shp; prng }
+let shape t = t.shp
+
+(* Lewis–Shedler thinning: candidate instants form a homogeneous Poisson
+   process at the peak rate; each candidate at time u survives with
+   probability λ(u)/peak. Survivors are exactly a non-homogeneous Poisson
+   process with intensity λ. The candidate step is at least 1 µs so the
+   virtual clock always advances (the engine's granularity). *)
+let next_after t now =
+  let peak = peak_rate t.shp in
+  if peak <= 0. then max_int
+  else begin
+    let mean_us = 1e6 /. peak in
+    let u = ref now in
+    let accepted = ref (-1) in
+    while !accepted < 0 do
+      let step = int_of_float (Float.ceil (Prng.exponential t.prng ~mean:mean_us)) in
+      u := !u + max 1 step;
+      if Prng.float t.prng 1.0 *. peak < rate_at t.shp !u then accepted := !u
+    done;
+    !accepted
+  end

@@ -1,0 +1,45 @@
+(** Deterministic open-loop arrival processes.
+
+    A shape describes the instantaneous offered rate λ(t) in arrivals per
+    second of virtual time: a Poisson base rate, optionally modulated by a
+    diurnal sinusoid and by a flash-crowd burst window. Arrival instants
+    are drawn by Lewis–Shedler thinning against the shape's peak rate, so
+    the stream is an exact non-homogeneous Poisson process — and, because
+    every draw comes from the sim {!Prng}, a pure function of the seed.
+
+    Open-loop means these instants do not depend on the system under
+    load: a transaction arrives whether or not the previous one finished,
+    which is the regime where queues actually build (see DESIGN.md §7). *)
+
+type shape = {
+  base_per_sec : float;  (** mean offered rate λ₀ (arrivals / virtual second) *)
+  diurnal_amplitude : float;
+      (** sinusoidal modulation depth in [0, 1): λ(t) swings between
+          λ₀(1-a) and λ₀(1+a). 0 disables. *)
+  diurnal_period_us : int;  (** period of the sinusoid; <= 0 disables *)
+  flash_at_us : int;  (** flash-crowd burst start; < 0 disables *)
+  flash_len_us : int;  (** burst duration *)
+  flash_mult : float;  (** rate multiplier during the burst (>= 1) *)
+}
+
+val constant : float -> shape
+(** Plain homogeneous Poisson at the given rate. *)
+
+val rate_at : shape -> int -> float
+(** λ(t): the instantaneous rate at virtual time [t] (µs). *)
+
+val peak_rate : shape -> float
+(** Upper bound on λ(t) over all t — the thinning envelope. *)
+
+type t
+
+val create : prng:Prng.t -> shape -> t
+(** The process draws from [prng] (and only from it), so two processes
+    built over generators with equal state produce equal streams. *)
+
+val shape : t -> shape
+
+val next_after : t -> int -> int
+(** [next_after t now] is the next arrival instant strictly after [now]
+    (µs). Successive calls with each previous result enumerate the
+    arrival stream. *)

@@ -1,0 +1,244 @@
+module L = Locus_core.Locus
+module Api = Locus_core.Api
+module K = Locus_core.Kernel
+module Otrace = Locus_otrace.Otrace
+module Transport = Locus_net.Transport
+
+type config = {
+  sites : int;
+  replicas : int;
+  duration_us : int;
+  scenario : Scenario.t;
+  seed : int;
+}
+
+let default_config =
+  { sites = 3; replicas = 1; duration_us = 3_000_000; scenario = Scenario.default; seed = 0 }
+
+type report = {
+  offered : int;
+  completed : int;
+  aborted : int;
+  shed : int;
+  offered_per_sec : float;
+  completed_per_sec : float;
+  sojourn_p50_us : int;
+  sojourn_p99_us : int;
+  sojourn_p999_us : int;
+  aborts : (string * int) list;
+  events_fired : int;
+  virtual_us : int;
+}
+
+let rec_len = 16
+let path_of i = Printf.sprintf "/load/records%d" i
+let encode v = Printf.sprintf "%016d" v
+let decode b = int_of_string (String.trim (Bytes.to_string b))
+
+(* Records are striped one file per site (file [i] lives on volume [i],
+   hosted at site [i]); each file holds its own Zipfian key universe. A
+   transaction works its home site's stripe except for a [remote_frac]
+   cross-stripe minority, so the hottest keys contend in parallel at
+   every site (instead of serializing on one storage site's disk) while
+   the remote tail keeps genuine multi-site 2PC in the mix — and a
+   scripted crash of any site takes out real traffic. Ops arrive as
+   [(stripe, op)] with the op's rank local to that stripe's file. *)
+let run_ops env ~stripes ops =
+  let chans = Array.make stripes (-1) in
+  let chan i =
+    if chans.(i) < 0 then chans.(i) <- Api.open_file env (path_of i);
+    chans.(i)
+  in
+  Api.begin_trans env;
+  List.iter
+    (fun (stripe, op) ->
+      let c = chan stripe in
+      let pos = (match op with Opmix.Read r | Opmix.Update r -> r) * rec_len in
+      match op with
+      | Opmix.Read _ ->
+        Api.seek env c ~pos;
+        ignore (Api.lock env c ~len:rec_len ~mode:Locus_lock.Mode.Shared ());
+        ignore (Api.pread env c ~pos ~len:rec_len)
+      | Opmix.Update _ ->
+        Api.seek env c ~pos;
+        ignore (Api.lock env c ~len:rec_len ~mode:Locus_lock.Mode.Exclusive ());
+        let v = decode (Api.pread env c ~pos ~len:rec_len) in
+        Api.pwrite env c ~pos (Bytes.of_string (encode (v + 1))))
+    ops;
+  let outcome = Api.end_trans env in
+  Array.iter (fun c -> if c >= 0 then Api.close env c) chans;
+  outcome
+
+let install_events cl events ~n_sites =
+  let eng = K.engine cl in
+  let net = K.transport cl in
+  let clamp v = max 0 v in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Scenario.Crash { at_us; restart_after_us; victim } when victim < n_sites ->
+        Engine.schedule ~delay:(clamp at_us) eng (fun () ->
+            K.crash_site cl victim;
+            Engine.schedule ~delay:(clamp restart_after_us) eng (fun () ->
+                K.restart_site cl victim))
+      | Scenario.Partition { at_us; heal_after_us; victim } when victim < n_sites ->
+        Engine.schedule ~delay:(clamp at_us) eng (fun () ->
+            Transport.partition net [ [ victim ] ];
+            Engine.schedule ~delay:(clamp heal_after_us) eng (fun () ->
+                Transport.heal net))
+      | Scenario.Rolling { at_us; stagger_us; down_us } ->
+        (* Never roll site 0: the scenario driver's records file and its
+           name binding live there, and a generator that kills its own
+           ground truth measures nothing. *)
+        for i = 1 to n_sites - 1 do
+          Engine.schedule
+            ~delay:(clamp (at_us + ((i - 1) * clamp stagger_us)))
+            eng
+            (fun () ->
+              K.crash_site cl i;
+              Engine.schedule ~delay:(clamp down_us) eng (fun () ->
+                  K.restart_site cl i))
+        done
+      | Scenario.Crash _ | Scenario.Partition _ -> ())
+    events
+
+let run cfg =
+  let sites = max 1 cfg.sites in
+  let sc = cfg.scenario in
+  let config =
+    if cfg.replicas > 1 then K.Config.with_replication ~n_sites:sites ~factor:cfg.replicas
+    else K.Config.default ~n_sites:sites
+  in
+  let sim = L.make ~seed:cfg.seed ~config ~n_sites:sites () in
+  let cl = sim.L.cluster in
+  let eng = K.engine cl in
+  let net = K.transport cl in
+  let otr = Otrace.create eng in
+  K.set_otracer cl (Some otr);
+  (* One generator PRNG, derived from the run seed but independent of the
+     engine's own stream, feeds arrivals, mixes, popularity and routing. *)
+  let gen_prng = Prng.create ~seed:(cfg.seed lxor 0x10ad) in
+  let arr = Arrival.create ~prng:gen_prng sc.Scenario.arrival in
+  let per_stripe = (sc.Scenario.keys + sites - 1) / sites in
+  let zipf = Zipf.create ~s:sc.Scenario.zipf_s ~n:per_stripe () in
+  let offered = ref 0 in
+  let completed = ref 0 in
+  let aborted = ref 0 in
+  let shed = ref 0 in
+  let last_done = ref 0 in
+  let launch () =
+    incr offered;
+    (* Route to a live site: start from a popularity-independent uniform
+       pick, scan forward deterministically past down sites. The PRNG
+       draws below happen unconditionally (even for shed arrivals) so the
+       stream stays aligned regardless of fault timing. *)
+    let home = Prng.int gen_prng sites in
+    let ops =
+      List.map
+        (fun op ->
+          let stripe =
+            if sites > 1 && Prng.float gen_prng 1.0 < sc.Scenario.remote_frac then
+              (home + 1 + Prng.int gen_prng (sites - 1)) mod sites
+            else home
+          in
+          (stripe, op))
+        (Opmix.gen_txn sc.Scenario.mix gen_prng zipf)
+    in
+    let rec pick i =
+      if i = sites then None
+      else
+        let s = (home + i) mod sites in
+        if Transport.site_up net s then Some s else pick (i + 1)
+    in
+    match pick 0 with
+    | None -> incr shed
+    | Some site ->
+      let n = !offered in
+      ignore
+        (Api.spawn_process cl ~site
+           ~name:(Printf.sprintf "ld-txn-%d" n)
+           (fun env ->
+             Otrace.with_span otr ~site ~cat:"load" "load.txn" (fun () ->
+                 (match run_ops env ~stripes:sites ops with
+                 | K.Committed -> incr completed
+                 | K.Aborted -> incr aborted
+                 | exception (Api.Error _ | Api.Process_failure _) -> incr aborted);
+                 last_done := Engine.now eng)))
+  in
+  (* Open loop: the next arrival is armed from the arrival process alone —
+     never from a completion — so offered load is independent of how the
+     cluster is coping. [t0] is the arrival epoch: creating the records
+     file costs real (virtual) disk time, so the window only opens once
+     the data exists, and scenario times are relative to that epoch. *)
+  let t0 = ref 0 in
+  let rec arm from_us =
+    let next = Arrival.next_after arr from_us in
+    if next <= cfg.duration_us then
+      Engine.schedule ~delay:(!t0 + next - Engine.now eng) eng (fun () ->
+          launch ();
+          arm next)
+  in
+  ignore
+    (Api.spawn_process cl ~site:0 ~name:"ld-init" (fun env ->
+         for i = 0 to sites - 1 do
+           let c = Api.creat env (path_of i) ~vid:i in
+           let init = Buffer.create (per_stripe * rec_len) in
+           for _ = 1 to per_stripe do
+             Buffer.add_string init (encode 0)
+           done;
+           Api.write_string env c (Buffer.contents init);
+           Api.close env c
+         done;
+         t0 := Engine.now eng;
+         (* Scenario event times share the arrival epoch, so "partition at
+            1.6s" lands inside "flash crowd at 1.5s" as scripted. *)
+         install_events cl sc.Scenario.events ~n_sites:sites;
+         arm 0));
+  L.run sim;
+  let stats = Engine.stats eng in
+  let dur_s = float_of_int (max 1 cfg.duration_us) /. 1e6 in
+  (* Sustained service rate: completions over the window from the arrival
+     epoch to the later of window close and the last transaction leaving
+     the system. Below saturation this tracks the offered rate; past the
+     knee the drain extends the window and the rate converges on capacity
+     instead of inflating. Recovery timers idling after the last
+     completion (crash/partition scenarios) don't dilute it. *)
+  let active_s =
+    float_of_int (max 1 (max cfg.duration_us (!last_done - !t0))) /. 1e6
+  in
+  let soj = Otrace.phase otr "load.txn" in
+  let q p = match soj with Some h -> Stats.Hist.quantile h p | None -> 0 in
+  let qpm pm = match soj with Some h -> Stats.Hist.quantile_permille h pm | None -> 0 in
+  let aborts =
+    List.filter_map
+      (fun label ->
+        let v = Stats.get stats ("txn.abort." ^ label) in
+        if v > 0 then Some (label, v) else None)
+      [ "coordinator_lost"; "crash"; "deadlock"; "degraded_vote"; "orphan"; "user" ]
+  in
+  ( {
+      offered = !offered;
+      completed = !completed;
+      aborted = !aborted;
+      shed = !shed;
+      offered_per_sec = float_of_int !offered /. dur_s;
+      completed_per_sec = float_of_int !completed /. active_s;
+      sojourn_p50_us = q 50;
+      sojourn_p99_us = q 99;
+      sojourn_p999_us = qpm 999;
+      aborts;
+      events_fired = Engine.events_fired eng;
+      virtual_us = Engine.now eng;
+    },
+    sim )
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>offered %d (%.1f/s), completed %d (%.1f/s), aborted %d, shed %d@,\
+     sojourn p50 %dus p99 %dus p999 %dus@,\
+     aborts: %a@,\
+     %d engine events, %dus virtual@]"
+    r.offered r.offered_per_sec r.completed r.completed_per_sec r.aborted r.shed
+    r.sojourn_p50_us r.sojourn_p99_us r.sojourn_p999_us
+    Fmt.(list ~sep:sp (pair ~sep:(any "=") string int))
+    r.aborts r.events_fired r.virtual_us

@@ -1,0 +1,51 @@
+(** Open-loop traffic driver: replay a {!Scenario} against a live cluster.
+
+    The driver spawns one transaction process per arrival instant,
+    whether or not earlier transactions have finished — offered load is a
+    property of the scenario, completed load a property of the system.
+    Each transaction wraps its whole life (spawn at the arrival instant
+    through commit/abort) in a ["load.txn"] {!Locus_otrace.Otrace} span,
+    so sojourn percentiles come from the collector's bounded phase
+    histograms rather than unbounded sample series.
+
+    Every random draw (arrival instants, op mixes, key popularity, site
+    routing) comes from one seed-derived {!Prng}, and fault events fire
+    at scripted virtual times, so a run — including its JSON report — is
+    byte-deterministic per seed. *)
+
+type config = {
+  sites : int;
+  replicas : int;  (** replication factor; <= 1 = unreplicated *)
+  duration_us : int;  (** arrivals stop after this much virtual time *)
+  scenario : Scenario.t;
+  seed : int;
+}
+
+val default_config : config
+(** 3 sites, unreplicated, 3 virtual seconds of {!Scenario.default}. *)
+
+type report = {
+  offered : int;  (** arrival instants generated *)
+  completed : int;  (** transactions that committed *)
+  aborted : int;  (** transactions that aborted (any reason) *)
+  shed : int;  (** arrivals dropped because no site was reachable *)
+  offered_per_sec : float;  (** offered / arrival-window duration *)
+  completed_per_sec : float;
+      (** sustained: completions over the whole run including the
+          post-window drain, so past saturation this converges on the
+          system's capacity rather than inflating *)
+  sojourn_p50_us : int;
+  sojourn_p99_us : int;
+  sojourn_p999_us : int;
+  aborts : (string * int) list;
+      (** abort taxonomy from the [txn.abort.*] counters, label-sorted,
+          zero-count reasons omitted *)
+  events_fired : int;  (** engine events dispatched during the run *)
+  virtual_us : int;  (** virtual clock at drain *)
+}
+
+val run : config -> report * Locus_core.Locus.sim
+(** Execute the scenario to quiescence and summarize. The returned sim is
+    drained; checkers (e.g. {!Locus_check}'s oracles) can inspect it. *)
+
+val pp_report : report Fmt.t

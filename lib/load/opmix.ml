@@ -1,0 +1,21 @@
+type op = Read of int | Update of int
+
+type t = { read_frac : float; ops_min : int; ops_max : int }
+
+let default = { read_frac = 0.5; ops_min = 2; ops_max = 4 }
+
+let make ?(read_frac = 0.5) ?(ops_min = 2) ?(ops_max = 4) () =
+  let read_frac = Float.min 1. (Float.max 0. read_frac) in
+  let ops_min = max 1 ops_min in
+  let ops_max = max ops_min ops_max in
+  { read_frac; ops_min; ops_max }
+
+let gen_txn t prng zipf =
+  let n = Prng.int_in prng ~lo:t.ops_min ~hi:t.ops_max in
+  List.init n (fun _ ->
+      let r = Zipf.sample zipf prng in
+      if Prng.float prng 1.0 < t.read_frac then Read r else Update r)
+
+let pp_op ppf = function
+  | Read r -> Fmt.pf ppf "r%d" r
+  | Update r -> Fmt.pf ppf "u%d" r

@@ -1,0 +1,206 @@
+type event =
+  | Crash of { at_us : int; restart_after_us : int; victim : int }
+  | Partition of { at_us : int; heal_after_us : int; victim : int }
+  | Rolling of { at_us : int; stagger_us : int; down_us : int }
+
+type t = {
+  arrival : Arrival.shape;
+  mix : Opmix.t;
+  keys : int;
+  zipf_s : float;
+  remote_frac : float;
+  events : event list;
+}
+
+(* Under the 3-site saturation knee for this mix (see EXPERIMENTS.md
+   E21): a transaction's no-wait sojourn is ~0.5s of virtual disk time
+   (opens, cold record reads, and a multi-disk-force commit at 25ms per
+   I/O), which caps the cluster near ~15 txn/s. At 12/s completed tracks
+   offered and sojourn sits on that floor; the flash presets multiply
+   through the knee on purpose, which is where queues grow and the abort
+   taxonomy (deadlock, crash, coordinator-lost) fills in. *)
+let default =
+  {
+    arrival = Arrival.constant 12.;
+    mix = Opmix.make ~read_frac:0.8 ();
+    keys = 192;
+    zipf_s = 1.0;
+    remote_frac = 0.1;
+    events = [];
+  }
+
+(* Presets exercise each composition the issue names: arrival shapes
+   alone, then the same shapes with faults landing mid-load. Times are
+   chosen so the fault window overlaps the interesting arrival phase
+   (the partition opens inside the flash crowd, not after it). *)
+let builtin = function
+  | "steady" -> Some default
+  | "diurnal" ->
+    Some
+      {
+        default with
+        arrival =
+          {
+            (Arrival.constant 12.) with
+            Arrival.diurnal_amplitude = 0.5;
+            diurnal_period_us = 2_000_000;
+          };
+      }
+  | "flash" ->
+    Some
+      {
+        default with
+        arrival =
+          {
+            (Arrival.constant 12.) with
+            Arrival.flash_at_us = 1_500_000;
+            flash_len_us = 400_000;
+            flash_mult = 4.;
+          };
+      }
+  | "flash-partition" ->
+    Some
+      {
+        default with
+        arrival =
+          {
+            (Arrival.constant 12.) with
+            Arrival.flash_at_us = 1_500_000;
+            flash_len_us = 400_000;
+            flash_mult = 4.;
+          };
+        events =
+          [ Partition { at_us = 1_600_000; heal_after_us = 200_000; victim = 2 } ];
+      }
+  | "rolling" ->
+    Some
+      {
+        default with
+        events = [ Rolling { at_us = 800_000; stagger_us = 400_000; down_us = 250_000 } ];
+      }
+  | "rebuild" ->
+    Some
+      {
+        default with
+        events = [ Crash { at_us = 800_000; restart_after_us = 400_000; victim = 1 } ];
+      }
+  | _ -> None
+
+let builtin_names = [ "steady"; "diurnal"; "flash"; "flash-partition"; "rolling"; "rebuild" ]
+
+let parse text =
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let parse_line acc lineno line =
+    match acc with
+    | Error _ -> acc
+    | Ok sc -> (
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      match
+        String.split_on_char ' ' (String.trim line)
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> s <> "")
+      with
+      | [] -> acc
+      | directive :: args -> (
+        let num s =
+          match int_of_string_opt s with
+          | Some n -> Ok n
+          | None -> Error (Printf.sprintf "expected integer, got %S" s)
+        in
+        let fnum s =
+          match float_of_string_opt s with
+          | Some f -> Ok f
+          | None -> Error (Printf.sprintf "expected number, got %S" s)
+        in
+        let ( let* ) r f = match r with Ok v -> f v | Error e -> err lineno e in
+        match (directive, args) with
+        | "rate", [ r ] ->
+          let* r = fnum r in
+          Ok { sc with arrival = { sc.arrival with Arrival.base_per_sec = r } }
+        | "diurnal", [ a; p ] ->
+          let* a = fnum a in
+          let* p = num p in
+          Ok
+            {
+              sc with
+              arrival =
+                { sc.arrival with Arrival.diurnal_amplitude = a; diurnal_period_us = p };
+            }
+        | "flash", [ at; len; m ] ->
+          let* at = num at in
+          let* len = num len in
+          let* m = fnum m in
+          Ok
+            {
+              sc with
+              arrival =
+                { sc.arrival with Arrival.flash_at_us = at; flash_len_us = len; flash_mult = m };
+            }
+        | "keys", [ k ] ->
+          let* k = num k in
+          Ok { sc with keys = max 1 k }
+        | "zipf", [ s ] ->
+          let* s = fnum s in
+          Ok { sc with zipf_s = s }
+        | "remote", [ f ] ->
+          let* f = fnum f in
+          Ok { sc with remote_frac = Float.min 1. (Float.max 0. f) }
+        | "mix", [ rf; omin; omax ] ->
+          let* rf = fnum rf in
+          let* omin = num omin in
+          let* omax = num omax in
+          Ok { sc with mix = Opmix.make ~read_frac:rf ~ops_min:omin ~ops_max:omax () }
+        | "crash", [ at; restart; v ] ->
+          let* at = num at in
+          let* restart = num restart in
+          let* v = num v in
+          Ok
+            {
+              sc with
+              events = sc.events @ [ Crash { at_us = at; restart_after_us = restart; victim = v } ];
+            }
+        | "partition", [ at; heal; v ] ->
+          let* at = num at in
+          let* heal = num heal in
+          let* v = num v in
+          Ok
+            {
+              sc with
+              events = sc.events @ [ Partition { at_us = at; heal_after_us = heal; victim = v } ];
+            }
+        | "rolling", [ at; stagger; down ] ->
+          let* at = num at in
+          let* stagger = num stagger in
+          let* down = num down in
+          Ok
+            {
+              sc with
+              events = sc.events @ [ Rolling { at_us = at; stagger_us = stagger; down_us = down } ];
+            }
+        | d, args ->
+          err lineno
+            (Printf.sprintf "unknown directive %S (with %d args)" d (List.length args))))
+  in
+  String.split_on_char '\n' text
+  |> List.mapi (fun i l -> (i + 1, l))
+  |> List.fold_left (fun acc (lineno, line) -> parse_line acc lineno line) (Ok default)
+
+let pp_event ppf = function
+  | Crash { at_us; restart_after_us; victim } ->
+    Fmt.pf ppf "crash site %d at %dus (restart +%dus)" victim at_us restart_after_us
+  | Partition { at_us; heal_after_us; victim } ->
+    Fmt.pf ppf "partition site %d at %dus (heal +%dus)" victim at_us heal_after_us
+  | Rolling { at_us; stagger_us; down_us } ->
+    Fmt.pf ppf "rolling restarts from %dus (stagger %dus, down %dus)" at_us stagger_us
+      down_us
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>rate %.1f/s (peak %.1f/s), %d keys, zipf %.2f, remote %.0f%%@,%a@]"
+    t.arrival.Arrival.base_per_sec (Arrival.peak_rate t.arrival) t.keys t.zipf_s
+    (100. *. t.remote_frac)
+    (Fmt.list ~sep:Fmt.cut pp_event)
+    t.events

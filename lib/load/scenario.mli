@@ -1,0 +1,65 @@
+(** Scenario scripts: arrival shape + op mix + timed fault events.
+
+    A scenario composes an open-loop {!Arrival.shape} with the cluster's
+    existing fault machinery on a virtual-time script: partition a site
+    in the middle of a flash crowd, roll restarts across the cluster
+    under steady load, crash a replica host and let it rebuild while
+    traffic keeps arriving. The driver replays the events at their
+    stamped times, so a scenario run is as deterministic as any other.
+
+    The textual form (one directive per line, [#] comments) is what
+    [locusctl load --scenario-file] parses; HACKING.md documents it:
+
+    {v
+    rate 200                      # base arrivals/sec
+    diurnal 0.5 2000000           # amplitude period_us
+    flash 1500000 300000 4.0      # at_us len_us mult
+    keys 64                       # record universe
+    zipf 1.0                      # popularity exponent
+    mix 0.5 2 4                   # read_frac ops_min ops_max
+    remote 0.1                    # cross-stripe op probability
+    crash 800000 300000 1         # at_us restart_after_us victim
+    partition 1600000 200000 2    # at_us heal_after_us victim
+    rolling 1000000 150000 250000 # at_us stagger_us down_us
+    v} *)
+
+type event =
+  | Crash of { at_us : int; restart_after_us : int; victim : int }
+      (** Crash [victim] at [at_us]; restart after [restart_after_us].
+          With replication on, the restart is a replica rebuild under
+          load: the site reconciles its stale copies while traffic keeps
+          arriving. *)
+  | Partition of { at_us : int; heal_after_us : int; victim : int }
+  | Rolling of { at_us : int; stagger_us : int; down_us : int }
+      (** Rolling site restarts: sites [1 .. n-1] (never site 0, which
+          hosts the generator's bookkeeping) each crash for [down_us],
+          staggered [stagger_us] apart. *)
+
+type t = {
+  arrival : Arrival.shape;
+  mix : Opmix.t;
+  keys : int;  (** distinct records under load, striped across sites *)
+  zipf_s : float;  (** popularity exponent within a site's stripe *)
+  remote_frac : float;
+      (** probability an op targets another site's stripe instead of the
+          transaction's home stripe — pure local traffic at 0, all-sites
+          2PC churn as it approaches 1 (directive: [remote 0.1]) *)
+  events : event list;
+}
+
+val default : t
+(** Steady 12/s Poisson over 192 keys (under the ~15/s 3-site saturation
+    knee — the no-wait sojourn is ~0.5s of virtual disk time per
+    transaction), 80/20 read mix, no faults. *)
+
+val builtin : string -> t option
+(** Named presets: ["steady"], ["diurnal"], ["flash"],
+    ["flash-partition"], ["rolling"], ["rebuild"]. *)
+
+val builtin_names : string list
+
+val parse : string -> (t, string) result
+(** Parse the textual form. Unknown directives and malformed arity are
+    errors naming the offending line. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,34 @@
+type t = { n : int; s : float; cdf : float array }
+
+let create ?(s = 1.0) ~n () =
+  if n < 1 then invalid_arg "Zipf.create: n < 1";
+  let s = Float.max 0. s in
+  let w = Array.init n (fun k -> 1. /. Float.pow (float_of_int (k + 1)) s) in
+  let total = Array.fold_left ( +. ) 0. w in
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for k = 0 to n - 1 do
+    acc := !acc +. (w.(k) /. total);
+    cdf.(k) <- !acc
+  done;
+  (* Guard against float round-off leaving the last edge below 1. *)
+  cdf.(n - 1) <- 1.;
+  { n; s; cdf }
+
+let n t = t.n
+let exponent t = t.s
+
+let pmf t k =
+  if k < 0 || k >= t.n then 0.
+  else if k = 0 then t.cdf.(0)
+  else t.cdf.(k) -. t.cdf.(k - 1)
+
+let sample t prng =
+  let u = Prng.float prng 1.0 in
+  (* Smallest k with cdf.(k) > u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -1,0 +1,21 @@
+(** Zipfian popularity over a fixed key universe.
+
+    Key [k] (0-based rank) is drawn with probability proportional to
+    [1 / (k+1)^s]. At [s = 1] over 100 keys the most popular key takes
+    [1/H_100 ≈ 19.3%] of the traffic — the skew that makes hot-record
+    lock queues and shard migrations actually fire under load. Sampling
+    is one uniform draw plus a binary search over the precomputed CDF. *)
+
+type t
+
+val create : ?s:float -> n:int -> unit -> t
+(** [n >= 1] keys with exponent [s] (default 1.0; [s = 0] is uniform). *)
+
+val n : t -> int
+val exponent : t -> float
+
+val pmf : t -> int -> float
+(** Probability of rank [k] (0-based); 0 outside [0, n). *)
+
+val sample : t -> Prng.t -> int
+(** Draw a rank in [0, n). *)

@@ -13,21 +13,56 @@ module Fiber = struct
   let alive f = f.alive
 end
 
-type event = { mutable cancelled : bool; ef : unit -> unit }
+(* One queued event. The dispatch loop used to run closures exclusively
+   ([ef : unit -> unit]); resuming a parked fiber then cost three
+   allocations per wake-up (the closure capturing fiber/k/v, the event
+   record around it, and the heap entry). The variant keeps the common
+   cases flat: a plain scheduled call carries just the caller's closure,
+   and a fiber resumption is a single block the dispatch loop interprets
+   inline. Only cancellable timers still pay for a record (the flag). *)
+type ev =
+  | Call of (unit -> unit)
+  | Cancellable of cancellable
+  | Resume : fiber * ('a, unit) Effect.Deep.continuation * 'a -> ev
+
+and cancellable = { mutable cancelled : bool; cf : unit -> unit }
 
 type t = {
   mutable now : time;
   mutable seq : int;
-  events : event Pqueue.t;
+  events : ev Pqueue.t;
+  slot : ev Pqueue.slot;  (* reusable pop destination for the dispatch loop *)
   live : (int, fiber) Hashtbl.t;
   mutable next_fid : int;
+  mutable fired : int;  (* events dispatched over the engine's lifetime *)
   stats : Stats.t;
   costs : Costs.t;
   prng : Prng.t;
   trace : Trace.t;
   mutable current : fiber option;
   mutable failure : (exn * Printexc.raw_backtrace) option;
+  mutable cpu_instr : int ref option;  (* interned "cpu.instr" counter *)
+  mutable cpu_site : int ref option array;  (* interned per-site counters *)
 }
+
+(* Self-test hook for the CI wall-clock gate (LOCUS_BREAK_LOAD=1 in
+   bench/exp_load.ml): burn O(pending-events) work per dispatched event,
+   turning the O(log n) loop quadratic. Virtual-time results are
+   untouched — only host throughput collapses, which is exactly what the
+   events/s floor in scripts/bench_gate.sh must catch. *)
+let break_load = ref false
+
+let break_scan t =
+  (* The constant keeps the collapse visible even when the pending queue
+     is short (open-loop runs hold tens of events, not thousands): the
+     wall rate must fall far enough below any sane MIN_WALL_EPS floor
+     that the inverted self-test can never squeak through. *)
+  let n = 2048 + (256 * Pqueue.length t.events) in
+  let s = ref 0 in
+  for i = 0 to n - 1 do
+    s := !s + Sys.opaque_identity i
+  done;
+  ignore (Sys.opaque_identity !s)
 
 module Ivar = struct
   type 'a state = Empty of ('a -> unit) list | Full of 'a
@@ -48,14 +83,18 @@ let create ?(seed = 42) ?(costs = Costs.default) () =
     now = 0;
     seq = 0;
     events = Pqueue.create ();
+    slot = Pqueue.make_slot (Call ignore);
     live = Hashtbl.create 64;
     next_fid = 0;
+    fired = 0;
     stats = Stats.create ();
     costs;
     prng = Prng.create ~seed;
     trace = Trace.create ();
     current = None;
     failure = None;
+    cpu_instr = None;
+    cpu_site = [||];
   }
 
 let now t = t.now
@@ -66,21 +105,22 @@ let costs t = t.costs
 let prng t = t.prng
 let live_fibers t = Hashtbl.length t.live
 let pending_events t = Pqueue.length t.events
+let events_fired t = t.fired
 
-let schedule ?(delay = 0) t f =
+let push_ev ~delay t ev =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   t.seq <- t.seq + 1;
-  Pqueue.push t.events ~time:(t.now + delay) ~seq:t.seq { cancelled = false; ef = f }
+  Pqueue.push t.events ~time:(t.now + delay) ~seq:t.seq ev
+
+let schedule ?(delay = 0) t f = push_ev ~delay t (Call f)
 
 (* Like [schedule], returning a canceller: a cancelled event is skipped
    without advancing the clock, so abandoned timers (e.g. an await_timeout
    whose ivar filled first) do not stretch virtual time. *)
 let schedule_cancellable ?(delay = 0) t f =
-  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  t.seq <- t.seq + 1;
-  let e = { cancelled = false; ef = f } in
-  Pqueue.push t.events ~time:(t.now + delay) ~seq:t.seq e;
-  fun () -> e.cancelled <- true
+  let c = { cancelled = false; cf = f } in
+  push_ev ~delay t (Cancellable c);
+  fun () -> c.cancelled <- true
 
 let record_failure t e =
   if t.failure = None then t.failure <- Some (e, Printexc.get_raw_backtrace ())
@@ -89,18 +129,12 @@ let finish t fiber =
   fiber.alive <- false;
   Hashtbl.remove t.live fiber.fid
 
-(* Resume a suspended fiber continuation after [delay], honoring kill: a
-   dead fiber's continuation is discontinued with [Killed] so its stack
-   unwinds (running any Fun.protect finalizers on the way out). *)
+(* Resume a suspended fiber continuation after [delay]. The kill check
+   and the current-fiber bookkeeping live in the dispatch loop (the
+   [Resume] arm of [run]), not in a closure allocated here. *)
 let resume :
     type a. ?delay:time -> t -> fiber -> (a, unit) Effect.Deep.continuation -> a -> unit =
- fun ?delay t fiber k v ->
-  schedule ?delay t (fun () ->
-      let prev = t.current in
-      t.current <- Some fiber;
-      (if fiber.alive then Effect.Deep.continue k v
-       else Effect.Deep.discontinue k Killed);
-      t.current <- prev)
+ fun ?(delay = 0) t fiber k v -> push_ev ~delay t (Resume (fiber, k, v))
 
 (* A fiber killed while parked is discontinued with [Killed]; if a
    [Fun.protect] finalizer on the unwinding stack then blocks again
@@ -209,37 +243,82 @@ let yield () = sleep 0
 let await iv = Effect.perform (Await_eff iv)
 let await_timeout iv ~timeout = Effect.perform (Await_timeout_eff (iv, timeout))
 
+(* The "cpu.instr" counters are interned once and bumped through their
+   refs: [consume] sits on every syscall, and the old per-call
+   [Printf.sprintf "cpu.instr.site%d"] + hash-table probe dominated the
+   generator's host-CPU profile. Interning is lazy so a run that never
+   charges CPU exports exactly the counters it always did. *)
+let cpu_instr_ref t =
+  match t.cpu_instr with
+  | Some r -> r
+  | None ->
+    let r = Stats.counter t.stats "cpu.instr" in
+    t.cpu_instr <- Some r;
+    r
+
+let site_instr_ref t s =
+  if s >= Array.length t.cpu_site then begin
+    let na = Array.make (max (s + 1) ((2 * Array.length t.cpu_site) + 8)) None in
+    Array.blit t.cpu_site 0 na 0 (Array.length t.cpu_site);
+    t.cpu_site <- na
+  end;
+  match t.cpu_site.(s) with
+  | Some r -> r
+  | None ->
+    let r = Stats.counter t.stats (Printf.sprintf "cpu.instr.site%d" s) in
+    t.cpu_site.(s) <- Some r;
+    r
+
 let consume t ~instr =
-  Stats.add t.stats "cpu.instr" instr;
+  let r = cpu_instr_ref t in
+  r := !r + instr;
   (match t.current with
   | Some f when f.fsite >= 0 ->
-    Stats.add t.stats (Printf.sprintf "cpu.instr.site%d" f.fsite) instr
+    let rs = site_instr_ref t f.fsite in
+    rs := !rs + instr
   | Some _ | None -> ());
   sleep (Costs.instr_us t.costs instr)
 
+(* The dispatch loop. Invariants the fast path must preserve:
+   - events fire in strict (time, seq) order (determinism);
+   - a cancelled timer is skipped without advancing the clock or
+     counting as fired;
+   - [t.now] never moves backwards;
+   - the loop allocates nothing per event: [pop_into] reuses [t.slot]
+     and the [ev] variants are interpreted in place. *)
 let run ?(max_events = 50_000_000) ?until t =
   let fired = ref 0 in
+  let slot = t.slot in
   let rec loop () =
     match t.failure with
     | Some _ -> ()
-    | None -> (
-      match Pqueue.peek_time t.events with
-      | None -> ()
-      | Some time when (match until with Some u -> time > u | None -> false) ->
-        t.now <- Option.get until
-      | Some _ -> (
-        match Pqueue.pop t.events with
-        | None -> ()
-        | Some (time, _, e) ->
-          if e.cancelled then loop ()
-          else begin
-            t.now <- max t.now time;
+    | None ->
+      if not (Pqueue.is_empty t.events) then begin
+        let time = Pqueue.min_time t.events in
+        match until with
+        | Some u when time > u -> t.now <- u
+        | _ ->
+          ignore (Pqueue.pop_into t.events slot : bool);
+          (match slot.s_value with
+          | Cancellable c when c.cancelled -> ()
+          | ev ->
+            t.now <- max t.now slot.s_time;
             incr fired;
+            t.fired <- t.fired + 1;
             if !fired > max_events then
               failwith "Engine.run: max_events exceeded (virtual livelock?)";
-            e.ef ();
-            loop ()
-          end))
+            if !break_load then break_scan t;
+            (match ev with
+            | Call f -> f ()
+            | Cancellable c -> c.cf ()
+            | Resume (fiber, k, v) ->
+              let prev = t.current in
+              t.current <- Some fiber;
+              (if fiber.alive then Effect.Deep.continue k v
+               else Effect.Deep.discontinue k Killed);
+              t.current <- prev));
+          loop ()
+      end
   in
   loop ();
   match t.failure with

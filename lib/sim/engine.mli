@@ -72,6 +72,17 @@ val pending_events : t -> int
     popped). Tests use this to prove abandoned timers — e.g. a batch
     window's {!await_timeout} whose ivar filled first — do not leak. *)
 
+val events_fired : t -> int
+(** Events dispatched over the engine's lifetime (cancelled events do not
+    count). [bench/exp_load.ml] divides this by elapsed wall-clock time to
+    report host-side events/s, which the CI engine-speed gate floors. *)
+
+val break_load : bool ref
+(** Self-test hook for the CI wall-clock gate: when set (via
+    [LOCUS_BREAK_LOAD=1] in the bench harness), the dispatch loop burns
+    O(pending-events) host CPU per event. Virtual-time results are
+    unchanged; only events/s collapses, which the gate must detect. *)
+
 (** {1 Suspension points (must be called from inside a fiber)} *)
 
 val sleep : time -> unit

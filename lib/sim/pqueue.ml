@@ -1,67 +1,127 @@
-type 'a entry = { time : int; seq : int; value : 'a }
+(* Binary min-heap keyed by [(time, seq)], laid out as three parallel
+   arrays. The structure-of-arrays layout exists for the simulator's
+   dispatch loop: a [push]/[pop] cycle allocates nothing (the old
+   single-array-of-records layout allocated one 3-field [entry] per push
+   and a [Some (t, s, v)] per pop, which at millions of events per
+   second was most of the engine's minor-GC traffic). Values popped off
+   the heap are read out through a caller-owned reusable {!slot}. *)
 
-type 'a t = { mutable arr : 'a entry array; mutable size : int }
+type 'a t = {
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable vals : 'a array;
+  mutable size : int;
+}
 
-let create () = { arr = [||]; size = 0 }
+type 'a slot = { mutable s_time : int; mutable s_seq : int; mutable s_value : 'a }
+
+let make_slot v = { s_time = 0; s_seq = 0; s_value = v }
+
+let create () = { times = [||]; seqs = [||]; vals = [||]; size = 0 }
 let is_empty t = t.size = 0
 let length t = t.size
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Does slot [i] order strictly before slot [j]? *)
+let less t i j =
+  t.times.(i) < t.times.(j)
+  || (t.times.(i) = t.times.(j) && t.seqs.(i) < t.seqs.(j))
 
-let grow t =
-  let cap = Array.length t.arr in
+let swap t i j =
+  let ti = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- ti;
+  let si = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- si;
+  let vi = t.vals.(i) in
+  t.vals.(i) <- t.vals.(j);
+  t.vals.(j) <- vi
+
+(* Grow before writing slot [t.size]. The filler for the fresh value
+   array is the value about to be pushed, so growth never has to read an
+   existing slot — the invariant holds unconditionally, including on the
+   very first push and after a drain back to empty (the old code read
+   [arr.(0)] as filler and was correct only because a special case kept
+   it from running on an empty heap). *)
+let ensure_capacity t filler =
+  let cap = Array.length t.vals in
   if t.size = cap then begin
     let ncap = max 16 (2 * cap) in
-    let narr = Array.make ncap t.arr.(0) in
-    Array.blit t.arr 0 narr 0 t.size;
-    t.arr <- narr
+    let ntimes = Array.make ncap 0 and nseqs = Array.make ncap 0 in
+    Array.blit t.times 0 ntimes 0 t.size;
+    Array.blit t.seqs 0 nseqs 0 t.size;
+    let nvals = Array.make ncap filler in
+    Array.blit t.vals 0 nvals 0 t.size;
+    t.times <- ntimes;
+    t.seqs <- nseqs;
+    t.vals <- nvals
   end
 
 let push t ~time ~seq value =
-  let e = { time; seq; value } in
-  if Array.length t.arr = 0 then t.arr <- Array.make 16 e else grow t;
-  t.arr.(t.size) <- e;
+  ensure_capacity t value;
+  let i = ref t.size in
+  t.times.(!i) <- time;
+  t.seqs.(!i) <- seq;
+  t.vals.(!i) <- value;
   t.size <- t.size + 1;
   (* Sift up. *)
-  let i = ref (t.size - 1) in
   while
     !i > 0
     &&
     let parent = (!i - 1) / 2 in
-    less t.arr.(!i) t.arr.(parent)
+    less t !i parent
   do
     let parent = (!i - 1) / 2 in
-    let tmp = t.arr.(!i) in
-    t.arr.(!i) <- t.arr.(parent);
-    t.arr.(parent) <- tmp;
+    swap t !i parent;
     i := parent
   done
+
+let sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && less t l !smallest then smallest := l;
+    if r < t.size && less t r !smallest then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      swap t !i !smallest;
+      i := !smallest
+    end
+  done
+
+let pop_into t slot =
+  if t.size = 0 then false
+  else begin
+    slot.s_time <- t.times.(0);
+    slot.s_seq <- t.seqs.(0);
+    slot.s_value <- t.vals.(0);
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then begin
+      t.times.(0) <- t.times.(n);
+      t.seqs.(0) <- t.seqs.(n);
+      t.vals.(0) <- t.vals.(n);
+      sift_down t
+    end;
+    true
+  end
 
 let pop t =
   if t.size = 0 then None
   else begin
-    let top = t.arr.(0) in
-    t.size <- t.size - 1;
-    if t.size > 0 then begin
-      t.arr.(0) <- t.arr.(t.size);
-      (* Sift down. *)
-      let i = ref 0 in
-      let continue = ref true in
-      while !continue do
-        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-        let smallest = ref !i in
-        if l < t.size && less t.arr.(l) t.arr.(!smallest) then smallest := l;
-        if r < t.size && less t.arr.(r) t.arr.(!smallest) then smallest := r;
-        if !smallest = !i then continue := false
-        else begin
-          let tmp = t.arr.(!i) in
-          t.arr.(!i) <- t.arr.(!smallest);
-          t.arr.(!smallest) <- tmp;
-          i := !smallest
-        end
-      done
+    let time = t.times.(0) and seq = t.seqs.(0) and v = t.vals.(0) in
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then begin
+      t.times.(0) <- t.times.(n);
+      t.seqs.(0) <- t.seqs.(n);
+      t.vals.(0) <- t.vals.(n);
+      sift_down t
     end;
-    Some (top.time, top.seq, top.value)
+    Some (time, seq, v)
   end
 
-let peek_time t = if t.size = 0 then None else Some t.arr.(0).time
+let min_time t = if t.size = 0 then max_int else t.times.(0)
+let peek_time t = if t.size = 0 then None else Some t.times.(0)

@@ -2,7 +2,12 @@
 
     The sequence number makes event ordering a total order, which in turn
     makes the whole simulation deterministic: two events scheduled for the
-    same instant fire in scheduling order. *)
+    same instant fire in scheduling order.
+
+    The heap is laid out as parallel arrays (times / seqs / values), so a
+    [push]/[pop_into] cycle performs no allocation — this is the
+    simulator's hot path and the open-loop traffic engine pushes it to
+    millions of events per second. *)
 
 type 'a t
 
@@ -12,8 +17,26 @@ val length : 'a t -> int
 
 val push : 'a t -> time:int -> seq:int -> 'a -> unit
 
+type 'a slot = { mutable s_time : int; mutable s_seq : int; mutable s_value : 'a }
+(** Caller-owned destination for {!pop_into}: reusing one slot across a
+    dispatch loop removes the per-event [Some (t, s, v)] allocation of
+    {!pop}. *)
+
+val make_slot : 'a -> 'a slot
+(** [make_slot dummy] is a fresh slot; [dummy] fills it until the first
+    successful {!pop_into}. *)
+
+val pop_into : 'a t -> 'a slot -> bool
+(** Remove the minimum [(time, seq, value)] into [slot]. [false] (slot
+    untouched) when the heap is empty. *)
+
 val pop : 'a t -> (int * int * 'a) option
-(** Remove and return the minimum [(time, seq, value)]. *)
+(** Remove and return the minimum [(time, seq, value)]. Allocating
+    convenience form of {!pop_into}. *)
+
+val min_time : 'a t -> int
+(** Time of the minimum element, [max_int] when empty. Allocation-free
+    form of {!peek_time} for the dispatch loop. *)
 
 val peek_time : 'a t -> int option
 (** Time of the minimum element, without removing it. *)

@@ -148,8 +148,12 @@ let counter_ref t name =
     Hashtbl.add t.counters name r;
     r
 
+let counter = counter_ref
 let incr t name = incr (counter_ref t name)
-let add t name n = counter_ref t name := !(counter_ref t name) + n
+
+let add t name n =
+  let r = counter_ref t name in
+  r := !r + n
 let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 let reset t name = match Hashtbl.find_opt t.counters name with Some r -> r := 0 | None -> ()
 
@@ -178,6 +182,7 @@ let hist_ref t name =
     Hashtbl.add t.hists name h;
     h
 
+let hist_handle = hist_ref
 let hist t name v = Hist.add (hist_ref t name) v
 let histogram t name = Hashtbl.find_opt t.hists name
 

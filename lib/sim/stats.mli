@@ -69,11 +69,20 @@ val add : t -> string -> int -> unit
 val get : t -> string -> int
 (** [get t name] is the counter value, 0 if never touched. *)
 
+val counter : t -> string -> int ref
+(** [counter t name] interns [name] and returns the live cell behind it.
+    Hot paths (the engine's [consume], the health sampler's per-window
+    sources) hold the ref and bump it directly instead of paying a string
+    hash + table probe per increment. The ref stays valid for the life of
+    [t]; {!reset} and {!reset_all} zero it in place. *)
+
 val reset : t -> string -> unit
 val reset_all : t -> unit
 
 val counters : t -> (string * int) list
-(** All counters, sorted by name. *)
+(** All counters, sorted by name. Sorts on every call — an export-time
+    operation (JSON / table rendering), never to be called per event or
+    per sampler tick. *)
 
 (** {1 Latency / value samples} *)
 
@@ -89,9 +98,14 @@ val samples : t -> string -> int list
 val hist : t -> string -> int -> unit
 (** Record one value into the named bounded histogram. *)
 
+val hist_handle : t -> string -> Hist.t
+(** Interned histogram handle, the {!counter} analogue: record through
+    the returned histogram directly on hot paths. *)
+
 val histogram : t -> string -> Hist.t option
 val histograms : t -> (string * Hist.t) list
-(** All histograms, sorted by name. *)
+(** All histograms, sorted by name. Export-time only, like {!counters} —
+    keep it off per-tick paths. *)
 
 module Summary : sig
   type t = {

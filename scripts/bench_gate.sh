@@ -34,7 +34,18 @@
 #      keeps granting at its superseded epoch) and asserting this
 #      script fails.
 #
-#   5. e20 self-contained checks: the health plane must be free on the
+#   5. e21 self-contained checks: the open-loop ladder must show both
+#      sides of the saturation knee on the virtual clock (a sub-knee row
+#      where completed == offered, and a saturated row whose sustained
+#      rate sits well below its offered rate), nothing may be shed, and
+#      the engine's host dispatch rate (events_per_sec_wall, the one
+#      machine-dependent number in any BENCH json) must clear the
+#      MIN_WALL_EPS floor. CI proves the floor has teeth by re-running
+#      e21 under LOCUS_BREAK_LOAD=1 — an O(queue) scan per dispatched
+#      event that leaves every virtual metric byte-identical while the
+#      wall rate collapses ~25x — and asserting this script fails.
+#
+#   6. e20 self-contained checks: the health plane must be free on the
 #      virtual clock — the health-on row's p50 must sit within
 #      TOLERANCE_PCT of the health-off row (the sampler consumes no
 #      virtual time, so they are byte-identical in practice) with
@@ -44,7 +55,7 @@
 #      CI proves the oracle side with the explorer's --break-health
 #      inversion.
 #
-# Usage: scripts/bench_gate.sh [exp ...]   (default: e4 e15 e16 e17 e18 e19 e20)
+# Usage: scripts/bench_gate.sh [exp ...]   (default: e4 e15 e16 e17 e18 e19 e20 e21)
 
 set -u
 
@@ -55,9 +66,13 @@ MIN_LOCAL_HIT=${MIN_LOCAL_HIT:-0.6}
 MAX_STATIC_HIT=${MAX_STATIC_HIT:-0.2}
 E18_P50_FRACTION=${E18_P50_FRACTION:-0.6}
 MAX_ALARM_WINDOWS=${MAX_ALARM_WINDOWS:-2}
+# Host-dispatch floor for e21 (events per wall second). ~measured/5 on
+# the reference machine: generous enough for slow CI runners, far above
+# the ~25x collapse LOCUS_BREAK_LOAD=1 inflicts.
+MIN_WALL_EPS=${MIN_WALL_EPS:-100000}
 BASELINES=${BASELINES:-bench/baselines}
-EXPS=("${@:-e4 e15 e16 e17 e18 e19 e20}")
-[ $# -eq 0 ] && EXPS=(e4 e15 e16 e17 e18 e19 e20)
+EXPS=("${@:-e4 e15 e16 e17 e18 e19 e20 e21}")
+[ $# -eq 0 ] && EXPS=(e4 e15 e16 e17 e18 e19 e20 e21)
 
 fail=0
 
@@ -215,6 +230,33 @@ check_e20_health() {
     bad "e20: alarm latency ${lat} windows outside [0, ${MAX_ALARM_WINDOWS}]"
 }
 
+check_e21_load() {
+  local cur=BENCH_e21.json
+  [ -f "$cur" ] || { bad "$cur missing"; return; }
+  # Virtual side: the ladder must show both sides of the knee, with
+  # every arrival either completed or aborted (never silently shed).
+  local subknee saturated shed
+  subknee=$(jq -r '[.metrics[] | select(.label | startswith("rate"))
+                    | select(.completed == .offered)] | length' "$cur")
+  saturated=$(jq -r '[.metrics[] | select(.label | startswith("rate"))
+                      | select(.ops_per_sec * 2 < .offered_per_sec)] | length' "$cur")
+  shed=$(jq -r '[.metrics[] | select(.label | startswith("rate")) | .shed] | add' "$cur")
+  note "gate: e21 ladder: $subknee sub-knee row(s), $saturated saturated row(s), $shed shed"
+  jq -n --argjson s "$subknee" '$s >= 1' | grep -q true ||
+    bad "e21: no ladder row completed everything it was offered (knee below the lowest rate?)"
+  jq -n --argjson s "$saturated" '$s >= 1' | grep -q true ||
+    bad "e21: no ladder row saturated (sustained < offered/2) — the ladder no longer crosses the knee"
+  jq -n --argjson s "$shed" '$s == 0' | grep -q true ||
+    bad "e21: $shed arrivals shed on a fault-free ladder"
+  # Host side: the engine must dispatch fast enough to be the harness
+  # rather than the bottleneck. Machine-dependent, hence only a floor.
+  local eps
+  eps=$(jq -r '.metrics[] | select(.label == "engine speed") | .events_per_sec_wall' "$cur")
+  note "gate: e21 engine dispatch $eps events/s wall (floor: $MIN_WALL_EPS)"
+  jq -n --argjson e "$eps" --argjson m "$MIN_WALL_EPS" '$e >= $m' | grep -q true ||
+    bad "e21: engine dispatch $eps events/s below the ${MIN_WALL_EPS} floor"
+}
+
 for exp in ${EXPS[@]+"${EXPS[@]}"}; do
   # Word-split the default "e4 e15 e16" string form.
   for e in $exp; do
@@ -223,6 +265,7 @@ for exp in ${EXPS[@]+"${EXPS[@]}"}; do
     [ "$e" = e18 ] && check_e18_ratios
     [ "$e" = e19 ] && check_e19_ratios
     [ "$e" = e20 ] && check_e20_health
+    [ "$e" = e21 ] && check_e21_load
   done
 done
 

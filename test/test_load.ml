@@ -1,0 +1,205 @@
+(* locus_load: arrival processes, Zipfian popularity, scenario scripts,
+   and open-loop driver determinism. *)
+
+module Ld = Locus_load
+module Arrival = Ld.Arrival
+module Zipf = Ld.Zipf
+module Opmix = Ld.Opmix
+module Scenario = Ld.Scenario
+module Driver = Ld.Driver
+
+let stream shape ~seed ~until =
+  let arr = Arrival.create ~prng:(Prng.create ~seed) shape in
+  let rec go acc t =
+    let n = Arrival.next_after arr t in
+    if n > until then List.rev acc else go (n :: acc) n
+  in
+  go [] 0
+
+(* Same seed, same stream — and a different seed diverges. *)
+let test_poisson_deterministic () =
+  let shape = Arrival.constant 100. in
+  let a = stream shape ~seed:11 ~until:2_000_000 in
+  let b = stream shape ~seed:11 ~until:2_000_000 in
+  let c = stream shape ~seed:12 ~until:2_000_000 in
+  Alcotest.(check (list int)) "same seed, same instants" a b;
+  Alcotest.(check bool) "different seed diverges" true (a <> c);
+  Alcotest.(check bool) "instants strictly increase" true
+    (List.for_all2 ( < ) (0 :: a) (a @ [ max_int ]))
+
+(* The empirical rate of a homogeneous stream matches the nominal rate
+   (law of large numbers; 5% tolerance over a long window). *)
+let test_poisson_mean_rate () =
+  let rate = 200. in
+  let window = 50_000_000 in
+  let n = List.length (stream (Arrival.constant rate) ~seed:3 ~until:window) in
+  let expected = rate *. float_of_int window /. 1e6 in
+  let err = Float.abs (float_of_int n -. expected) /. expected in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical %d vs expected %.0f (err %.3f)" n expected err)
+    true (err < 0.05)
+
+(* Diurnal modulation integrates out: a full period carries the same
+   expected arrivals as the unmodulated base, while the peak half-period
+   carries more than the trough half-period. *)
+let test_diurnal_integration () =
+  let period = 1_000_000 in
+  let shape =
+    {
+      (Arrival.constant 400.) with
+      Arrival.diurnal_amplitude = 0.8;
+      diurnal_period_us = period;
+    }
+  in
+  let window = 40 * period in
+  let n = List.length (stream shape ~seed:5 ~until:window) in
+  let expected = 400. *. float_of_int window /. 1e6 in
+  let err = Float.abs (float_of_int n -. expected) /. expected in
+  Alcotest.(check bool)
+    (Printf.sprintf "modulated total %d vs base %.0f (err %.3f)" n expected err)
+    true (err < 0.05);
+  let instants = stream shape ~seed:5 ~until:window in
+  let in_peak =
+    List.length (List.filter (fun t -> t mod period < period / 2) instants)
+  in
+  Alcotest.(check bool) "peak half outdraws trough half" true
+    (in_peak > (List.length instants - in_peak))
+
+(* Flash-crowd burst: the rate inside the window is the multiple, and
+   the boundaries are sharp (rate function, exactly). *)
+let test_flash_boundaries () =
+  let shape =
+    {
+      (Arrival.constant 100.) with
+      Arrival.flash_at_us = 1_000_000;
+      flash_len_us = 500_000;
+      flash_mult = 4.;
+    }
+  in
+  Alcotest.(check (float 0.001)) "before" 100. (Arrival.rate_at shape 999_999);
+  Alcotest.(check (float 0.001)) "first us" 400. (Arrival.rate_at shape 1_000_000);
+  Alcotest.(check (float 0.001)) "inside" 400. (Arrival.rate_at shape 1_400_000);
+  Alcotest.(check (float 0.001)) "after" 100. (Arrival.rate_at shape 1_500_000);
+  Alcotest.(check (float 0.001)) "peak" 400. (Arrival.peak_rate shape);
+  (* Empirically the burst window holds ~4x the arrivals of an equal
+     pre-burst window. *)
+  let instants = stream shape ~seed:9 ~until:2_000_000 in
+  let count lo hi = List.length (List.filter (fun t -> t >= lo && t < hi) instants) in
+  let before = count 500_000 1_000_000 and burst = count 1_000_000 1_500_000 in
+  Alcotest.(check bool)
+    (Printf.sprintf "burst %d vs before %d" burst before)
+    true
+    (burst > 2 * before)
+
+(* Zipf: frequency ranks come out in order, and the top-1 share at s=1.0
+   over 100 keys is 1/H_100 ≈ 0.192 within tolerance. *)
+let test_zipf_ranks () =
+  let z = Zipf.create ~s:1.0 ~n:100 () in
+  let prng = Prng.create ~seed:21 in
+  let counts = Array.make 100 0 in
+  let draws = 200_000 in
+  for _ = 1 to draws do
+    let k = Zipf.sample z prng in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank order top-3" true
+    (counts.(0) > counts.(1) && counts.(1) > counts.(2));
+  let h100 = ref 0. in
+  for k = 1 to 100 do
+    h100 := !h100 +. (1. /. float_of_int k)
+  done;
+  let expect = 1. /. !h100 in
+  let share = float_of_int counts.(0) /. float_of_int draws in
+  Alcotest.(check bool)
+    (Printf.sprintf "top-1 share %.4f vs 1/H_100 %.4f" share expect)
+    true
+    (Float.abs (share -. expect) < 0.01);
+  (* pmf sums to 1 and matches the CDF construction. *)
+  let total = ref 0. in
+  for k = 0 to 99 do
+    total := !total +. Zipf.pmf z k
+  done;
+  Alcotest.(check (float 1e-9)) "pmf sums to 1" 1.0 !total
+
+let test_opmix () =
+  let prng = Prng.create ~seed:4 in
+  let z = Zipf.create ~s:1.0 ~n:16 () in
+  let mix = Opmix.make ~read_frac:1.0 ~ops_min:3 ~ops_max:3 () in
+  let ops = Opmix.gen_txn mix prng z in
+  Alcotest.(check int) "fixed size" 3 (List.length ops);
+  Alcotest.(check bool) "all reads at read_frac 1" true
+    (List.for_all (function Opmix.Read _ -> true | Opmix.Update _ -> false) ops);
+  let mix = Opmix.make ~read_frac:0.0 ~ops_min:2 ~ops_max:5 () in
+  let ops = Opmix.gen_txn mix prng z in
+  Alcotest.(check bool) "all updates at read_frac 0" true
+    (List.for_all (function Opmix.Update _ -> true | Opmix.Read _ -> false) ops)
+
+let test_scenario_parse () =
+  let text =
+    "# a scenario\n\
+     rate 120\n\
+     diurnal 0.25 2000000\n\
+     flash 1500000 300000 3.5\n\
+     keys 96\n\
+     zipf 0.8\n\
+     remote 0.2\n\
+     mix 0.7 2 5\n\
+     crash 800000 300000 1\n\
+     partition 1600000 200000 2   # mid-flash\n\
+     rolling 2500000 150000 250000\n"
+  in
+  match Scenario.parse text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok sc ->
+    Alcotest.(check (float 0.001)) "rate" 120. sc.Scenario.arrival.Arrival.base_per_sec;
+    Alcotest.(check (float 0.001)) "amplitude" 0.25
+      sc.Scenario.arrival.Arrival.diurnal_amplitude;
+    Alcotest.(check int) "flash at" 1_500_000 sc.Scenario.arrival.Arrival.flash_at_us;
+    Alcotest.(check int) "keys" 96 sc.Scenario.keys;
+    Alcotest.(check (float 0.001)) "zipf" 0.8 sc.Scenario.zipf_s;
+    Alcotest.(check (float 0.001)) "remote" 0.2 sc.Scenario.remote_frac;
+    Alcotest.(check (float 0.001)) "read frac" 0.7 sc.Scenario.mix.Opmix.read_frac;
+    Alcotest.(check int) "three events" 3 (List.length sc.Scenario.events);
+    (match Scenario.parse "bogus 1 2\n" with
+    | Error e ->
+      Alcotest.(check bool) "error names the line" true
+        (String.length e > 0 && String.sub e 0 6 = "line 1")
+    | Ok _ -> Alcotest.fail "bogus directive accepted")
+
+(* The full driver is deterministic: two runs of the same config produce
+   identical reports (this is what the CI byte-determinism diff rests
+   on). *)
+let test_driver_deterministic () =
+  let cfg =
+    {
+      Driver.default_config with
+      Driver.duration_us = 400_000;
+      seed = 17;
+      scenario =
+        { Scenario.default with Scenario.arrival = Arrival.constant 40. };
+    }
+  in
+  let r1, _ = Driver.run cfg in
+  let r2, _ = Driver.run cfg in
+  Alcotest.(check bool) "identical reports" true (r1 = r2);
+  Alcotest.(check bool) "offered nonzero" true (r1.Driver.offered > 0);
+  Alcotest.(check int) "conservation" r1.Driver.offered
+    (r1.Driver.completed + r1.Driver.aborted + r1.Driver.shed);
+  let r3, _ = Driver.run { cfg with Driver.seed = 18 } in
+  Alcotest.(check bool) "different seed diverges" true (r1 <> r3)
+
+let suite =
+  [
+    ( "load",
+      [
+        Alcotest.test_case "poisson determinism per seed" `Quick test_poisson_deterministic;
+        Alcotest.test_case "poisson empirical rate" `Quick test_poisson_mean_rate;
+        Alcotest.test_case "diurnal curve integration" `Quick test_diurnal_integration;
+        Alcotest.test_case "flash-crowd burst boundaries" `Quick test_flash_boundaries;
+        Alcotest.test_case "zipf frequency ranks" `Quick test_zipf_ranks;
+        Alcotest.test_case "op mix generation" `Quick test_opmix;
+        Alcotest.test_case "scenario script parse" `Quick test_scenario_parse;
+        Alcotest.test_case "driver determinism + conservation" `Quick
+          test_driver_deterministic;
+      ] );
+  ]

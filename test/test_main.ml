@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "locus"
-    (List.concat [ Test_util.suite; Test_sim.suite; Test_net.suite; Test_disk.suite; Test_lock.suite; Test_fs.suite; Test_deadlock.suite; Test_txn.suite; Test_wal.suite; Test_kernel.suite; Test_recovery.suite; Test_props.suite; Test_regressions.suite; Test_namespace.suite; Test_proc.suite; Test_edge.suite; Test_nested.suite; Test_stress.suite; Test_access_matrix.suite; Test_repl.suite; Test_chaos.suite; Test_check.suite; Test_otrace.suite; Test_batch.suite; Test_pcommit.suite; Test_shard.suite; Test_health.suite ])
+    (List.concat [ Test_util.suite; Test_sim.suite; Test_net.suite; Test_disk.suite; Test_lock.suite; Test_fs.suite; Test_deadlock.suite; Test_txn.suite; Test_wal.suite; Test_kernel.suite; Test_recovery.suite; Test_props.suite; Test_regressions.suite; Test_namespace.suite; Test_proc.suite; Test_edge.suite; Test_nested.suite; Test_stress.suite; Test_access_matrix.suite; Test_repl.suite; Test_chaos.suite; Test_check.suite; Test_otrace.suite; Test_batch.suite; Test_pcommit.suite; Test_shard.suite; Test_health.suite; Test_load.suite ])

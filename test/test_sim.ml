@@ -55,6 +55,107 @@ let prop_pqueue_sorted =
       in
       drain min_int)
 
+(* 10k interleaved random pushes and pops drain in strict (time, seq)
+   order — the tie-break on seq matters, not just the time key. *)
+let test_pqueue_interleaved_10k () =
+  let prng = Prng.create ~seed:99 in
+  let q = Pqueue.create () in
+  let popped = ref [] in
+  let seq = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.int prng 3 = 0 then (
+      match Pqueue.pop q with
+      | Some (t, s, ()) -> popped := (t, s) :: !popped
+      | None -> ())
+    else (
+      Pqueue.push q ~time:(Prng.int prng 500) ~seq:!seq ();
+      incr seq)
+  done;
+  let rec drain () =
+    match Pqueue.pop q with
+    | Some (t, s, ()) ->
+      popped := (t, s) :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "nothing lost" !seq (List.length !popped);
+  (* Each pop batch (between pushes) is locally sorted; the global drain
+     at the end must be fully sorted. Check the tail that the final drain
+     produced: it is the longest strictly-(time,seq)-sorted prefix of the
+     reversed pop log and must cover everything still queued. *)
+  let sorted_pairs l =
+    let rec go = function
+      | (t1, s1) :: ((t2, s2) :: _ as rest) ->
+        (t1 < t2 || (t1 = t2 && s1 < s2)) && go rest
+      | _ -> true
+    in
+    go l
+  in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (_, s) ->
+      Alcotest.(check bool) "no duplicate seq" false (Hashtbl.mem seen s);
+      Hashtbl.add seen s ())
+    !popped;
+  (* The final drain alone is a fully sorted run. *)
+  let final_run =
+    let rec take acc = function
+      | x :: rest when acc = [] || sorted_pairs [ x; List.hd acc ] ->
+        take (x :: acc) rest
+      | _ -> acc
+    in
+    take [] !popped
+  in
+  Alcotest.(check bool) "final drain sorted" true (sorted_pairs final_run)
+
+(* Regression: push into a queue that has grown, fully drained, then
+   receives a fresh element. The growth path uses the pushed value as the
+   array filler; a stale-slot read here once produced garbage. *)
+let test_pqueue_push_after_drain () =
+  let q = Pqueue.create () in
+  for i = 0 to 63 do
+    Pqueue.push q ~time:i ~seq:i (string_of_int i)
+  done;
+  while Pqueue.pop q <> None do
+    ()
+  done;
+  Alcotest.(check bool) "empty after drain" true (Pqueue.is_empty q);
+  Pqueue.push q ~time:7 ~seq:0 "fresh";
+  Alcotest.(check int) "length 1" 1 (Pqueue.length q);
+  (match Pqueue.pop q with
+  | Some (7, 0, "fresh") -> ()
+  | Some (t, s, v) -> Alcotest.failf "got (%d,%d,%s)" t s v
+  | None -> Alcotest.fail "queue empty");
+  (* And immediately grow again from the drained state. *)
+  for i = 0 to 127 do
+    Pqueue.push q ~time:(127 - i) ~seq:i "r"
+  done;
+  let rec count last n =
+    match Pqueue.pop q with
+    | Some (t, _, _) ->
+      Alcotest.(check bool) "regrow ordered" true (t >= last);
+      count t (n + 1)
+    | None -> n
+  in
+  Alcotest.(check int) "regrow drains all" 128 (count min_int 0)
+
+(* pop_into reuses one slot and agrees with min_time/peek. *)
+let test_pqueue_pop_into () =
+  let q = Pqueue.create () in
+  let slot = Pqueue.make_slot "-" in
+  Pqueue.push q ~time:30 ~seq:2 "late";
+  Pqueue.push q ~time:10 ~seq:1 "early";
+  Alcotest.(check int) "min_time" 10 (Pqueue.min_time q);
+  Alcotest.(check bool) "pop_into hit" true (Pqueue.pop_into q slot);
+  Alcotest.(check string) "value" "early" slot.Pqueue.s_value;
+  Alcotest.(check int) "time" 10 slot.Pqueue.s_time;
+  Alcotest.(check int) "seq" 1 slot.Pqueue.s_seq;
+  Alcotest.(check bool) "second hit" true (Pqueue.pop_into q slot);
+  Alcotest.(check string) "second value" "late" slot.Pqueue.s_value;
+  Alcotest.(check bool) "miss on empty" false (Pqueue.pop_into q slot);
+  Alcotest.(check string) "slot untouched on miss" "late" slot.Pqueue.s_value
+
 let test_sleep_ordering () =
   let order = ref [] in
   let e =
@@ -195,6 +296,10 @@ let suite =
       [
         Alcotest.test_case "order" `Quick test_pqueue_order;
         QCheck_alcotest.to_alcotest prop_pqueue_sorted;
+        Alcotest.test_case "interleaved 10k" `Quick test_pqueue_interleaved_10k;
+        Alcotest.test_case "push after drain to empty" `Quick
+          test_pqueue_push_after_drain;
+        Alcotest.test_case "pop_into + min_time" `Quick test_pqueue_pop_into;
       ] );
     ( "sim.engine",
       [
